@@ -1,0 +1,102 @@
+"""Extension — robustness to the radio noise level.
+
+The paper's core challenge is positioning error; our simulator exposes the
+knobs that create it.  This bench regenerates the city at three shadow-
+fading levels (calm/default/harsh), retrains LHMM and re-runs STM on each,
+and reports CMF50 — quantifying how both the learned and the heuristic
+matcher degrade as the radio environment worsens.
+"""
+
+import numpy as np
+
+from repro import LHMM
+from repro.baselines import make_baseline
+from repro.cellular import HandoffConfig, VehicleSimulator, apply_standard_filters
+from repro.cellular.tower import place_towers
+from repro.datasets import preset_config
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.datasets.groundtruth import match_gps_trajectory
+from repro.eval import evaluate_matcher, format_series
+from repro.network import ShortestPathEngine, generate_city_network
+from repro.utils import derive_rng
+
+from benchmarks.conftest import FAST, bench_lhmm_config, check_shape, save_report
+
+NOISE_LEVELS = {
+    "calm (sigma 3 dB)": HandoffConfig(shadow_sigma_db=3.0, hysteresis_db=2.0),
+    "default (sigma 6 dB)": HandoffConfig(),
+    "harsh (sigma 10 dB)": HandoffConfig(shadow_sigma_db=10.0, hysteresis_db=6.0),
+}
+
+
+def _build_noisy_dataset(handoff: HandoffConfig, trajectories: int) -> tuple:
+    """One city per noise level, sharing generator settings and seed."""
+    config = preset_config("hangzhou", num_trajectories=trajectories)
+    network = generate_city_network(config.city, rng=derive_rng(13, "city"))
+    towers = place_towers(network, config.towers, rng=derive_rng(13, "towers"))
+    engine = ShortestPathEngine(network)
+    simulator = VehicleSimulator(
+        network, towers, config=config.simulation, handoff_config=handoff, rng=13
+    )
+    samples, errors = [], []
+    for trip in simulator.simulate_many(trajectories):
+        truth = match_gps_trajectory(trip.gps, network, engine)
+        cellular = apply_standard_filters(trip.cellular)
+        if truth and len(cellular) >= 3:
+            samples.append(
+                MatchingSample(
+                    sample_id=trip.trip_id,
+                    cellular=cellular,
+                    raw_cellular=trip.cellular,
+                    gps=trip.gps,
+                    truth_path=truth,
+                    sim_path=list(trip.path),
+                )
+            )
+            errors.extend(trip.positioning_errors())
+    dataset = MatchingDataset(name="noise", network=network, towers=towers, samples=samples)
+    dataset._engine = engine
+    return dataset, float(np.median(errors))
+
+
+def test_ext_noise_robustness(benchmark, hangzhou, lhmm_hangzhou):
+    """CMF50 vs radio noise level for LHMM and STM."""
+    trajectories = 80 if FAST else 300
+    lhmm_cmf, stm_cmf, median_errors = [], [], []
+    for handoff in NOISE_LEVELS.values():
+        dataset, median_error = _build_noisy_dataset(handoff, trajectories)
+        median_errors.append(median_error)
+        lhmm_config = bench_lhmm_config()
+        lhmm_config.epochs = max(2, lhmm_config.epochs - 2)
+        matcher = LHMM(lhmm_config, rng=0).fit(dataset)
+        test = dataset.test[:12]
+        lhmm_cmf.append(
+            evaluate_matcher(matcher, dataset, test, method_name="LHMM").cmf50
+        )
+        stm = make_baseline("STM", dataset, rng=0)
+        stm_cmf.append(evaluate_matcher(stm, dataset, test, method_name="STM").cmf50)
+
+    save_report(
+        "ext_noise",
+        format_series(
+            "noise level",
+            [
+                f"{label} / median err {err:.0f} m"
+                for label, err in zip(NOISE_LEVELS, median_errors)
+            ],
+            {"LHMM cmf50": lhmm_cmf, "STM cmf50": stm_cmf},
+            title="Extension — robustness to radio noise",
+        ),
+    )
+
+    # Shape: harsher radio increases positioning error and does not make
+    # matching easier.
+    check_shape(
+        median_errors[-1] > median_errors[0],
+        "harsher radio increases positioning error",
+    )
+    check_shape(
+        lhmm_cmf[-1] >= lhmm_cmf[0] - 0.05, "harsher radio does not make LHMM better"
+    )
+
+    benchmark(lhmm_hangzhou.match, hangzhou.test[0].cellular)

@@ -1,0 +1,58 @@
+"""Extension — the precomputation table the paper cites (§V-A2, FMM [11]).
+
+The paper notes that the HMM "can use a precomputation table to avoid the
+bottleneck of repeated shortest path searches".  This bench builds a UBODT
+over the benchmark city, swaps it into a trained LHMM in place of the
+memoising Dijkstra engine, verifies the matching output is unchanged, and
+compares cold-cache matching time.
+"""
+
+import time
+
+from repro.network import ShortestPathEngine, Ubodt, UbodtRouter
+
+from benchmarks.conftest import TEST_LIMIT, check_shape, save_report
+
+UBODT_DELTA_M = 4000.0
+
+
+def test_ext_ubodt_routing(benchmark, hangzhou, lhmm_hangzhou):
+    """UBODT vs Dijkstra engine: identical matches, table answers dominate."""
+    build_start = time.perf_counter()
+    table = Ubodt.build(hangzhou.network, delta_m=UBODT_DELTA_M)
+    build_seconds = time.perf_counter() - build_start
+
+    samples = hangzhou.test[: min(TEST_LIMIT, 10)]
+    original_engine = lhmm_hangzhou.engine
+
+    # Baseline paths with the (already warm) Dijkstra engine.
+    dijkstra_paths = [lhmm_hangzhou.match(s.cellular).path for s in samples]
+
+    router = UbodtRouter(hangzhou.network, table, fallback=ShortestPathEngine(hangzhou.network))
+    try:
+        lhmm_hangzhou.engine = router
+        ubodt_start = time.perf_counter()
+        ubodt_paths = [lhmm_hangzhou.match(s.cellular).path for s in samples]
+        ubodt_seconds = (time.perf_counter() - ubodt_start) / len(samples)
+    finally:
+        lhmm_hangzhou.engine = original_engine
+
+    agree = sum(1 for a, b in zip(dijkstra_paths, ubodt_paths) if a == b)
+    total_queries = router.table_hits + router.fallback_hits
+    table_share = router.table_hits / total_queries if total_queries else 0.0
+    report = (
+        "Extension — UBODT precomputation table (FMM [11])\n"
+        f"  table rows                 {len(table):,} (delta {UBODT_DELTA_M:.0f} m)\n"
+        f"  one-off build time         {build_seconds:.1f} s\n"
+        f"  identical matched paths    {agree}/{len(samples)}\n"
+        f"  route queries from table   {table_share:.1%}\n"
+        f"  avg match time w/ UBODT    {ubodt_seconds:.3f} s"
+    )
+    save_report("ext_ubodt", report)
+
+    # Shape: the table must answer the overwhelming majority of transitions
+    # and must not change the matching output.
+    check_shape(table_share > 0.9, "UBODT answers >90% of route queries")
+    check_shape(agree >= len(samples) - 1, "UBODT routing preserves matches")
+
+    benchmark(router.route_length, dijkstra_paths[0][0], dijkstra_paths[0][-1])

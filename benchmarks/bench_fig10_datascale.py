@@ -1,0 +1,100 @@
+"""Figure 10 — impact of historical-data scale.
+
+(a) Per-tower scale: buckets test points by how many training trajectories
+    interacted with their tower and reports the fraction of points whose
+    candidate set hits the truth path per bucket (the per-point analogue of
+    the paper's per-tower CMF curve).
+(b) Global scale: retrains LHMM on growing fractions of the training split
+    and reports CMF50.
+
+Expected shape (paper): both curves improve with more data and saturate —
+per-tower after a couple of dozen interactions, globally as coverage of
+the city completes.
+"""
+
+import numpy as np
+
+from repro import LHMM
+from repro.eval import evaluate_matcher, format_series
+
+from benchmarks.conftest import TEST_LIMIT, bench_lhmm_config, check_shape, save_report
+
+TOWER_BUCKETS = [(0, 5), (5, 15), (15, 30), (30, 60), (60, 10**9)]
+GLOBAL_FRACTIONS = [0.1, 0.25, 0.5, 1.0]
+
+
+def test_fig10a_per_tower_scale(benchmark, hangzhou, lhmm_hangzhou):
+    """Candidate hit rate vs per-tower training interactions."""
+    graph = lhmm_hangzhou.graph
+    # Count training trajectories interacting with each tower.
+    tower_counts = {}
+    for sample in hangzhou.train:
+        for tower_id in {p.tower_id for p in sample.cellular.points}:
+            tower_counts[tower_id] = tower_counts.get(tower_id, 0) + 1
+
+    bucket_hits = [[] for _ in TOWER_BUCKETS]
+    for sample in hangzhou.test[:TEST_LIMIT]:
+        result = lhmm_hangzhou.match(sample.cellular)
+        truth = set(sample.truth_path)
+        for point, candidates in zip(sample.cellular.points, result.candidate_sets):
+            count = tower_counts.get(point.tower_id, 0)
+            hit = 1.0 if truth.intersection(candidates) else 0.0
+            for i, (lo, hi) in enumerate(TOWER_BUCKETS):
+                if lo <= count < hi:
+                    bucket_hits[i].append(hit)
+                    break
+
+    hit_rates = [float(np.mean(b)) if b else float("nan") for b in bucket_hits]
+    labels = [f"{lo}-{hi if hi < 10**9 else 'inf'}" for lo, hi in TOWER_BUCKETS]
+    save_report(
+        "fig10a_per_tower",
+        format_series(
+            "trajectories/tower",
+            labels,
+            {"candidate_hit_rate": hit_rates},
+            title="Fig. 10(a) — candidate hit rate vs per-tower data scale",
+        ),
+    )
+
+    populated = [r for r in hit_rates if not np.isnan(r)]
+    # Shape: well-observed towers locate their roads better than barely
+    # observed ones.
+    check_shape(
+        len(populated) >= 2 and max(populated[1:]) >= populated[0] - 0.05,
+        "better-observed towers are located at least as well",
+    )
+
+    benchmark(lhmm_hangzhou.match, hangzhou.test[0].cellular)
+
+
+def test_fig10b_global_scale(benchmark, hangzhou):
+    """CMF50 vs number of historical training trajectories."""
+    samples = hangzhou.test[: min(TEST_LIMIT, 12)]
+    train = hangzhou.train
+    sizes, cmfs, hrs = [], [], []
+    for fraction in GLOBAL_FRACTIONS:
+        subset = train[: max(5, int(len(train) * fraction))]
+        matcher = LHMM(bench_lhmm_config(), rng=0).fit(hangzhou, train_samples=subset)
+        result = evaluate_matcher(matcher, hangzhou, samples, method_name=f"{fraction}")
+        sizes.append(len(subset))
+        cmfs.append(result.cmf50)
+        hrs.append(result.hitting)
+
+    save_report(
+        "fig10b_global_scale",
+        format_series(
+            "train trajectories",
+            sizes,
+            {"cmf50": cmfs, "hitting_ratio": hrs},
+            title="Fig. 10(b) — accuracy vs historical data scale",
+        ),
+    )
+
+    # Shape: more history means better candidate location and accuracy.
+    check_shape(hrs[-1] >= hrs[0] - 0.02, "hitting ratio improves with data scale")
+    check_shape(cmfs[-1] <= cmfs[0] + 0.05, "accuracy improves with data scale")
+
+    last = LHMM(bench_lhmm_config(), rng=0)
+    benchmark.pedantic(
+        lambda: None, rounds=1, iterations=1
+    )  # training dominates; timing handled by other benches

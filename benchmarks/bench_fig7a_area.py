@@ -1,0 +1,64 @@
+"""Figure 7(a) — robustness across urban/rural areas.
+
+Stratifies test trajectories into 5 levels by distance to the city centre
+(the synthetic city has denser towers and roads downtown, mirroring the
+paper's urban/rural gradient) and reports CMF50 per level for LHMM, DMM,
+and STM.
+
+Expected shape (paper): LHMM stays comparatively stable across levels; the
+seq2seq DMM degrades toward the rim, where historical-trajectory coverage
+is thinner; the GPS-era STM trails everywhere.
+"""
+
+import numpy as np
+
+from repro.eval import evaluate_matcher, format_series
+
+from benchmarks.conftest import check_shape, save_report
+
+LEVELS = 5
+
+
+def _stratify(dataset, samples):
+    distances = np.array([dataset.distance_to_centre(s) for s in samples])
+    edges = np.quantile(distances, np.linspace(0, 1, LEVELS + 1))
+    buckets = [[] for _ in range(LEVELS)]
+    for sample, dist in zip(samples, distances):
+        level = int(np.searchsorted(edges[1:-1], dist, side="right"))
+        buckets[level].append(sample)
+    return buckets
+
+
+def test_fig7a_area_robustness(benchmark, hangzhou, lhmm_hangzhou, dmm_hangzhou, stm_hangzhou):
+    """CMF50 by distance-to-centre level for LHMM / DMM / STM."""
+    buckets = _stratify(hangzhou, hangzhou.test)
+    series = {"LHMM": [], "DMM": [], "STM": []}
+    for bucket in buckets:
+        subset = bucket[:10]
+        for name, matcher in (
+            ("LHMM", lhmm_hangzhou),
+            ("DMM", dmm_hangzhou),
+            ("STM", stm_hangzhou),
+        ):
+            if subset:
+                result = evaluate_matcher(matcher, hangzhou, subset, method_name=name)
+                series[name].append(result.cmf50)
+            else:
+                series[name].append(float("nan"))
+
+    save_report(
+        "fig7a_area",
+        format_series(
+            "centre-distance level",
+            list(range(1, LEVELS + 1)),
+            series,
+            title="Fig. 7(a) — CMF50 vs distance to city centre",
+        ),
+    )
+
+    # Shape: averaged over levels, LHMM is the most accurate.
+    lhmm_mean = np.nanmean(series["LHMM"])
+    check_shape(lhmm_mean <= np.nanmean(series["STM"]) + 0.02, "LHMM beats STM across areas")
+    check_shape(lhmm_mean <= np.nanmean(series["DMM"]) + 0.02, "LHMM beats DMM across areas")
+
+    benchmark(lhmm_hangzhou.match, hangzhou.test[0].cellular)

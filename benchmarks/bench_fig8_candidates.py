@@ -1,0 +1,51 @@
+"""Figure 8 — impact of the candidate number k.
+
+Sweeps the per-point candidate count on the *same trained* LHMM (k only
+affects path-finding, not training) and reports CMF50 and average match
+time at each k.
+
+Expected shape (paper): accuracy improves sharply at small k, then plateaus
+and can even degrade as extra candidates add noise; time grows with k
+(quadratically many transitions per step).
+"""
+
+from repro.eval import evaluate_matcher, format_series
+
+from benchmarks.conftest import TEST_LIMIT, check_shape, save_report
+
+K_VALUES = [4, 8, 12, 20, 30, 45]
+
+
+def test_fig8_candidate_number(benchmark, hangzhou, lhmm_hangzhou):
+    """CMF50 and avg time vs candidate number k."""
+    samples = hangzhou.test[: min(TEST_LIMIT, 15)]
+    original_k = lhmm_hangzhou.config.candidate_k
+    cmf_series, time_series = [], []
+    try:
+        for k in K_VALUES:
+            lhmm_hangzhou.config.candidate_k = k
+            result = evaluate_matcher(
+                lhmm_hangzhou, hangzhou, samples, method_name=f"k={k}"
+            )
+            cmf_series.append(result.cmf50)
+            time_series.append(result.avg_time)
+    finally:
+        lhmm_hangzhou.config.candidate_k = original_k
+
+    save_report(
+        "fig8_candidates",
+        format_series(
+            "k",
+            K_VALUES,
+            {"cmf50": cmf_series, "avg_time_s": time_series},
+            title="Fig. 8 — impact of candidate number k (LHMM)",
+        ),
+    )
+
+    # Shape: tiny k is starved; moderate k is near the optimum; more
+    # candidates cost more time.
+    check_shape(min(cmf_series[2:]) <= cmf_series[0] + 0.02, "moderate k beats tiny k")
+    check_shape(time_series[-1] > time_series[0], "match time grows with k")
+
+    lhmm_hangzhou.config.candidate_k = original_k
+    benchmark(lhmm_hangzhou.match, samples[0].cellular)

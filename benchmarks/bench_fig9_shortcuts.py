@@ -1,0 +1,75 @@
+"""Figure 9 — impact of the shortcut number K.
+
+Sweeps the number of shortcut predecessors per candidate (Eq. 20) on the
+same trained LHMM, at two candidate budgets:
+
+* the default k — where candidate sets usually contain a truth road, so
+  shortcuts rarely need to fire (Observation 1's premise is rare);
+* a starved k=5 "stress" setting — where unqualified candidate sets are
+  common and the shortcut mechanism has real work to do.
+
+Expected shape (paper): going from no shortcut to one brings a boost; more
+shortcuts give no steady further improvement — K=1 is sufficient.  The
+boost concentrates in the stress setting; at generous k the curves are
+nearly flat, which is itself informative (shortcuts only matter when
+candidate preparation fails — exactly Observation 1).
+"""
+
+from repro.eval import evaluate_matcher, format_series
+
+from benchmarks.conftest import TEST_LIMIT, check_shape, save_report
+
+K_VALUES = [0, 1, 2, 3]
+STRESS_CANDIDATES = 5
+
+
+def _sweep(matcher, dataset, samples, candidate_k):
+    original = (
+        matcher.config.shortcut_k,
+        matcher.config.use_shortcuts,
+        matcher.config.candidate_k,
+    )
+    cmf, hr = [], []
+    try:
+        matcher.config.candidate_k = candidate_k
+        for k in K_VALUES:
+            matcher.config.use_shortcuts = k > 0
+            matcher.config.shortcut_k = max(k, 1)
+            result = evaluate_matcher(matcher, dataset, samples, method_name=f"K={k}")
+            cmf.append(result.cmf50)
+            hr.append(result.hitting)
+    finally:
+        (
+            matcher.config.shortcut_k,
+            matcher.config.use_shortcuts,
+            matcher.config.candidate_k,
+        ) = original
+    return cmf, hr
+
+
+def test_fig9_shortcut_number(benchmark, hangzhou, lhmm_hangzhou):
+    """CMF50 vs shortcut count K at default and starved candidate budgets."""
+    samples = hangzhou.test[: min(TEST_LIMIT, 15)]
+    cmf_default, _ = _sweep(lhmm_hangzhou, hangzhou, samples, lhmm_hangzhou.config.candidate_k)
+    cmf_stress, _ = _sweep(lhmm_hangzhou, hangzhou, samples, STRESS_CANDIDATES)
+
+    save_report(
+        "fig9_shortcuts",
+        format_series(
+            "K",
+            K_VALUES,
+            {
+                "cmf50 (default k)": cmf_default,
+                f"cmf50 (k={STRESS_CANDIDATES})": cmf_stress,
+            },
+            title="Fig. 9 — impact of shortcut number K (LHMM)",
+        ),
+    )
+
+    # Shape: one shortcut is at least as good as none (clearest under
+    # starved candidate sets); extra shortcuts add little over K=1.
+    check_shape(cmf_stress[1] <= cmf_stress[0] + 0.02, "K=1 at least as good as K=0 (stress)")
+    check_shape(cmf_default[1] <= cmf_default[0] + 0.02, "K=1 at least as good as K=0")
+    check_shape(abs(cmf_stress[3] - cmf_stress[1]) < 0.08, "K>1 adds little over K=1")
+
+    benchmark(lhmm_hangzhou.match, samples[0].cellular)

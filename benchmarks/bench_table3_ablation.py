@@ -1,0 +1,60 @@
+"""Table III — ablation study.
+
+Regenerates the paper's ablation table: LHMM against LHMM-E (MLP embedding
+instead of the Het-Graph encoder), LHMM-H (homogeneous GCN), LHMM-O (no
+implicit observation correlation), LHMM-T (no implicit transition
+correlation), LHMM-S (no shortcuts), plus STM and STM+S (the shortcut
+structure bolted onto a classical HMM).
+
+Expected shape (paper): every ablation hurts; LHMM-O hurts the most; the
+shortcut helps both LHMM (LHMM > LHMM-S) and STM (STM+S > STM, notably on
+hitting ratio / corridor accuracy).
+"""
+
+from repro import LHMM
+from repro.baselines import STMatching
+from repro.eval import evaluate_matcher, format_table
+
+from benchmarks.conftest import TEST_LIMIT, bench_lhmm_config, check_shape, save_report
+
+VARIANTS = ("LHMM", "LHMM-E", "LHMM-H", "LHMM-O", "LHMM-T", "LHMM-S")
+
+
+def test_table3_ablation(benchmark, hangzhou, lhmm_hangzhou):
+    """Train every ablated variant and report precision / CMF50 / HR."""
+    test = hangzhou.test[:TEST_LIMIT]
+    results = [evaluate_matcher(lhmm_hangzhou, hangzhou, test, method_name="LHMM")]
+    for variant in VARIANTS[1:]:
+        config = bench_lhmm_config().ablated(variant)
+        matcher = LHMM(config, rng=0).fit(hangzhou)
+        results.append(evaluate_matcher(matcher, hangzhou, test, method_name=variant))
+
+    stm = STMatching(hangzhou)
+    stm_s = STMatching(hangzhou, with_shortcuts=True)
+    results.append(evaluate_matcher(stm, hangzhou, test, method_name="STM"))
+    results.append(evaluate_matcher(stm_s, hangzhou, test, method_name="STM+S"))
+
+    save_report(
+        "table3_ablation",
+        format_table(
+            results,
+            columns=["precision", "cmf50", "hr"],
+            title="Table III — ablations (Hangzhou-like)",
+        ),
+    )
+
+    by_name = {r.method: r for r in results}
+    # The full model leads the ablations on the corridor metric (small
+    # noise tolerance; the paper's margins are a few points).
+    for variant in VARIANTS[1:]:
+        check_shape(
+            by_name["LHMM"].cmf50 <= by_name[variant].cmf50 + 0.05,
+            f"full LHMM at least as accurate as {variant}",
+        )
+    # The shortcut is a general HMM improvement (paper: HR 0.874 -> 0.911).
+    check_shape(
+        by_name["STM+S"].hitting >= by_name["STM"].hitting - 0.02,
+        "shortcuts do not hurt STM's hitting ratio",
+    )
+
+    benchmark(lhmm_hangzhou.match, hangzhou.test[0].cellular)

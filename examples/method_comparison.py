@@ -1,0 +1,51 @@
+"""Compare LHMM against classical and learned baselines on one city.
+
+A compact version of the paper's Table II: trains LHMM and DMM, runs the
+heuristic HMMs, prints one accuracy table, and bootstrap-tests whether
+LHMM's margin over the strongest heuristic is statistically significant.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from repro import LHMM, LHMMConfig, evaluate_matcher, make_city_dataset
+from repro.baselines import make_baseline
+from repro.eval import format_table, paired_bootstrap
+
+
+def main() -> None:
+    dataset = make_city_dataset("hangzhou", num_trajectories=200, rng=5)
+    test = dataset.test
+    print(
+        f"City: {dataset.network.num_segments} segments, "
+        f"{len(dataset.towers)} towers; evaluating on {len(test)} trajectories\n"
+    )
+
+    results = []
+    for name in ("STM", "IFM", "THMM", "CLSTERS"):
+        matcher = make_baseline(name, dataset, rng=0)
+        results.append(evaluate_matcher(matcher, dataset, test, method_name=name))
+        print(f"  {name} done")
+
+    dmm = make_baseline("DMM", dataset, rng=0)
+    results.append(evaluate_matcher(dmm, dataset, test, method_name="DMM"))
+    print("  DMM done (seq2seq, trained)")
+
+    lhmm = LHMM(LHMMConfig(epochs=4), rng=0).fit(dataset)
+    results.append(evaluate_matcher(lhmm, dataset, test, method_name="LHMM"))
+    print("  LHMM done (trained)\n")
+
+    print(format_table(results, title="Method comparison (Hangzhou-like city)"))
+
+    # Is LHMM's edge over the strongest heuristic statistically meaningful?
+    lhmm_result = results[-1]
+    heuristics = results[:4]
+    strongest = min(heuristics, key=lambda r: r.cmf50)
+    comparison = paired_bootstrap(lhmm_result, strongest, metric="cmf50", rng=0)
+    print(f"\n{comparison.describe()}")
+    print(f"P(LHMM better than {strongest.method} on CMF50) = {comparison.p_better:.2f}")
+
+
+if __name__ == "__main__":
+    main()

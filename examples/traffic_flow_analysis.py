@@ -1,0 +1,60 @@
+"""Traffic-flow analysis from cellular data — the paper's motivating use.
+
+Telecom operators want road-level traffic estimates from telecom tokens
+(§I).  This example map-matches a fleet of cellular trajectories with LHMM,
+aggregates per-segment traversal counts, and compares the estimated
+congestion hot-spots against the ground-truth flows.
+
+Run with::
+
+    python examples/traffic_flow_analysis.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import LHMM, LHMMConfig, make_city_dataset
+
+
+def flow_counts(paths: list[list[int]]) -> Counter:
+    counts: Counter[int] = Counter()
+    for path in paths:
+        counts.update(set(path))
+    return counts
+
+
+def main() -> None:
+    print("Building city and training LHMM ...")
+    dataset = make_city_dataset("xiamen", num_trajectories=180, rng=3)
+    matcher = LHMM(LHMMConfig(epochs=4), rng=1).fit(dataset)
+
+    fleet = dataset.test
+    print(f"Map-matching a fleet of {len(fleet)} cellular trajectories ...")
+    estimated = flow_counts([matcher.match(s.cellular).path for s in fleet])
+    actual = flow_counts([s.truth_path for s in fleet])
+
+    top_estimated = [seg for seg, _ in estimated.most_common(15)]
+    top_actual = [seg for seg, _ in actual.most_common(15)]
+    overlap = len(set(top_estimated) & set(top_actual))
+    print(f"\nTop-15 hottest segments, estimated vs actual overlap: {overlap}/15")
+
+    print("\nEstimated busiest road segments:")
+    print(f"  {'segment':>8}  {'est. trips':>10}  {'true trips':>10}  class")
+    for seg_id in top_estimated[:10]:
+        seg = dataset.network.segments[seg_id]
+        print(
+            f"  {seg_id:>8}  {estimated[seg_id]:>10}  {actual.get(seg_id, 0):>10}  "
+            f"{seg.road_class}"
+        )
+
+    # Correlation between estimated and true per-segment flow.
+    segments = sorted(set(estimated) | set(actual))
+    est = np.array([estimated.get(s, 0) for s in segments], dtype=float)
+    act = np.array([actual.get(s, 0) for s in segments], dtype=float)
+    correlation = np.corrcoef(est, act)[0, 1]
+    print(f"\nPer-segment flow correlation (estimated vs truth): {correlation:.3f}")
+
+
+if __name__ == "__main__":
+    main()

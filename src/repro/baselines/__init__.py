@@ -1,0 +1,91 @@
+"""Baseline map matchers (§V-A4).
+
+Methods designed for GPS trajectories: STM, IVMM, IFM, DeepMM, MCM,
+TransformerMM.  Methods designed for CTMM: CLSTERS, SNet (SnapNet), THMM,
+DMM.  All run on the same cellular datasets; :func:`make_baseline` builds
+any of them by the name used in Table II.
+
+Heuristic baselines differ in which explicit features they use and in their
+error-scale assumptions — GPS-era methods trust small positioning errors
+(tight observation sigma), CTMM-era methods assume kilometre-scale error.
+Learning baselines (DeepMM, TransformerMM, DMM) are seq2seq models trained
+on the same split LHMM trains on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, TrainableMatcher
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.baselines.stm import STMatching
+from repro.baselines.ivmm import IVMM
+from repro.baselines.ifm import IFMatching
+from repro.baselines.mcm import MCM
+from repro.baselines.snapnet import SnapNet
+from repro.baselines.thmm import THMM
+from repro.baselines.clsters import CLSTERS
+from repro.baselines.seq2seq import Seq2SeqConfig
+from repro.baselines.deepmm import DeepMM
+from repro.baselines.dmm import DMM
+from repro.baselines.transformer_mm import TransformerMM
+from repro.datasets.dataset import MatchingDataset
+
+GPS_BASELINES = ("STM", "IVMM", "IFM", "DeepMM", "MCM", "TransformerMM")
+CTMM_BASELINES = ("CLSTERS", "SNet", "THMM", "DMM")
+ALL_BASELINES = GPS_BASELINES + CTMM_BASELINES
+
+_REGISTRY = {
+    "STM": STMatching,
+    "IVMM": IVMM,
+    "IFM": IFMatching,
+    "MCM": MCM,
+    "SNet": SnapNet,
+    "THMM": THMM,
+    "CLSTERS": CLSTERS,
+    "DeepMM": DeepMM,
+    "DMM": DMM,
+    "TransformerMM": TransformerMM,
+}
+
+
+def make_baseline(
+    name: str,
+    dataset: MatchingDataset,
+    rng: int | np.random.Generator | None = 0,
+    **kwargs,
+):
+    """Build (and, for learning methods, train) the baseline called ``name``.
+
+    Heuristic matchers are ready immediately; seq2seq matchers are fitted
+    on ``dataset.train`` before being returned.
+    """
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown baseline {name!r}; choose from {sorted(_REGISTRY)}")
+    matcher = _REGISTRY[name](dataset, rng=rng, **kwargs)
+    if isinstance(matcher, TrainableMatcher):
+        matcher.fit(dataset.train)
+    return matcher
+
+
+__all__ = [
+    "BaselineResult",
+    "TrainableMatcher",
+    "HeuristicHmmConfig",
+    "HeuristicHmmMatcher",
+    "STMatching",
+    "IVMM",
+    "IFMatching",
+    "MCM",
+    "SnapNet",
+    "THMM",
+    "CLSTERS",
+    "Seq2SeqConfig",
+    "DeepMM",
+    "DMM",
+    "TransformerMM",
+    "make_baseline",
+    "GPS_BASELINES",
+    "CTMM_BASELINES",
+    "ALL_BASELINES",
+]

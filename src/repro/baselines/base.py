@@ -1,0 +1,38 @@
+"""Common baseline interfaces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellular.trajectory import Trajectory
+from repro.datasets.dataset import MatchingSample
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    """Matching output shared by all baselines.
+
+    ``candidate_sets`` is populated by HMM-style methods (it feeds the
+    hitting-ratio metric) and left empty by seq2seq methods, mirroring the
+    paper's "HR only suits HMM-based methods" remark.
+    """
+
+    path: list[int]
+    candidate_sets: list[list[int]] | None = None
+    matched_sequence: list[int] = field(default_factory=list)
+
+
+class TrainableMatcher:
+    """Marker base class for matchers that need a training pass.
+
+    ``fit`` consumes labelled samples; :func:`repro.baselines.make_baseline`
+    calls it automatically.
+    """
+
+    def fit(self, samples: list[MatchingSample]) -> "TrainableMatcher":
+        """Train on historical samples; returns ``self``."""
+        raise NotImplementedError
+
+    def match(self, trajectory: Trajectory) -> BaselineResult:
+        """Match one cellular trajectory."""
+        raise NotImplementedError

@@ -1,0 +1,32 @@
+"""DeepMM (Feng et al. [37]) — LSTM-style seq2seq with attention.
+
+Designed for sparse, noisy *GPS* trajectories: the input is a sequence of
+discretised position cells (not tower identities), encoded by a recurrent
+network and decoded into road segments with attention.  Applied to cellular
+data, the position cells inherit the tower offset, which is where its
+accuracy gap against CTMM-native methods comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.seq2seq import Seq2SeqConfig, Seq2SeqMatcher
+from repro.datasets.dataset import MatchingDataset
+
+
+class DeepMM(Seq2SeqMatcher):
+    """GRU seq2seq over position-grid tokens, unconstrained decoding."""
+
+    name = "DeepMM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: Seq2SeqConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        config = config or Seq2SeqConfig(
+            input_mode="grid", constrained=False, encoder="gru"
+        )
+        super().__init__(dataset, config, rng)

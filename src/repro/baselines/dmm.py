@@ -1,0 +1,33 @@
+"""DMM (Shen et al. [15]) — seq2seq map matching for cellular data.
+
+The state-of-the-art learning baseline: tower-identity tokens feed a
+recurrent encoder, and the decoder is constrained to the road network —
+each emitted segment must be reachable from the previous one (mirroring
+DMM's feasibility-aware decoding that its RL component enforces).  This is
+the strongest baseline in Table II, but still inherits the seq2seq error
+propagation that motivates LHMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.seq2seq import Seq2SeqConfig, Seq2SeqMatcher
+from repro.datasets.dataset import MatchingDataset
+
+
+class DMM(Seq2SeqMatcher):
+    """Tower-token seq2seq with road-network-constrained decoding."""
+
+    name = "DMM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: Seq2SeqConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        config = config or Seq2SeqConfig(
+            input_mode="tower", constrained=True, encoder="gru", epochs=4
+        )
+        super().__init__(dataset, config, rng)

@@ -1,0 +1,58 @@
+"""IF-Matching (Hu et al. [32]) — information fusion with moving speed.
+
+IFM fuses the surrounding moving speed into the transition evaluation: a
+transition is plausible only when the speed the route implies is compatible
+with the speed limits of the roads it traverses, which disambiguates many
+parallel-road cases.  Like STM it carries GPS-era error assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.cellular.trajectory import TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.datasets.dataset import MatchingDataset
+
+
+class IFMatching(HeuristicHmmMatcher):
+    """IF-Matching: speed-consistency-weighted transitions."""
+
+    name = "IFM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: HeuristicHmmConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        config = config or HeuristicHmmConfig(
+            observation_sigma_m=300.0, transition_beta_m=350.0
+        )
+        super().__init__(dataset, config, rng)
+
+    def transition_probability(
+        self, points: list[TrajectoryPoint], index: int, prev_segment: int, segment: int
+    ) -> float:
+        base = super().transition_probability(points, index, prev_segment, segment)
+        if base <= UNREACHABLE_SCORE:
+            return base
+        route = self.engine.route(prev_segment, segment)
+        assert route is not None
+        dt = points[index].timestamp - points[index - 1].timestamp
+        if dt <= 0 or route.length == 0:
+            return base
+        implied = route.length / dt
+        limits = [self.network.segments[s].speed_limit_mps for s in route.segments]
+        ceiling = max(limits) * 1.4  # tolerate mild speeding
+        if implied > ceiling:
+            # Physically implausible transition: heavily damp rather than
+            # forbid (the data is noisy).
+            return base * math.exp(-(implied - ceiling) / 5.0)
+        # Mild preference for routes driven near their design speed.
+        mean_limit = sum(limits) / len(limits)
+        ratio = min(implied, mean_limit) / max(implied, mean_limit, 1e-9)
+        return base * (0.5 + 0.5 * ratio)

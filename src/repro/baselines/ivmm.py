@@ -1,0 +1,104 @@
+"""IVMM (Yuan et al. [10]) — interactive-voting-based map matching.
+
+IVMM models the mutual influence between points: instead of one global
+Viterbi pass, every point runs its own pass in which all observation
+probabilities are re-weighted by a distance-decay kernel centred on that
+point, and the candidate each pass selects for each position receives a
+vote.  The final sequence takes the most-voted candidate per position,
+letting confident neighbourhoods outvote noisy ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.datasets.dataset import MatchingDataset
+from repro.network.shortest_path import stitch_segments
+
+
+class IVMM(HeuristicHmmMatcher):
+    """Interactive voting map matcher."""
+
+    name = "IVMM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: HeuristicHmmConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+        influence_scale_m: float = 1500.0,
+    ) -> None:
+        config = config or HeuristicHmmConfig(
+            observation_sigma_m=300.0, transition_beta_m=350.0
+        )
+        super().__init__(dataset, config, rng)
+        self.influence_scale_m = influence_scale_m
+
+    def _weighted_viterbi(
+        self,
+        points: list[TrajectoryPoint],
+        candidate_sets: list[list[int]],
+        weights: list[float],
+    ) -> list[int]:
+        """One Viterbi pass with per-point observation weights."""
+        scores = [
+            weights[0] * self.observation_probability(points, 0, c)
+            for c in candidate_sets[0]
+        ]
+        back: list[list[int]] = []
+        for i in range(1, len(points)):
+            new_scores: list[float] = []
+            pointers: list[int] = []
+            for seg in candidate_sets[i]:
+                obs = weights[i] * self.observation_probability(points, i, seg)
+                best = -math.inf
+                best_j = 0
+                for j, prev in enumerate(candidate_sets[i - 1]):
+                    trans = self.transition_probability(points, i, prev, seg)
+                    w = trans * obs if trans > UNREACHABLE_SCORE else UNREACHABLE_SCORE
+                    value = scores[j] + w
+                    if value > best:
+                        best = value
+                        best_j = j
+                new_scores.append(best)
+                pointers.append(best_j)
+            scores = new_scores
+            back.append(pointers)
+        state = max(range(len(scores)), key=lambda j: scores[j])
+        sequence = [state]
+        for pointers in reversed(back):
+            sequence.append(pointers[sequence[-1]])
+        sequence.reverse()
+        return [candidate_sets[i][s] for i, s in enumerate(sequence)]
+
+    def match(self, trajectory: Trajectory) -> BaselineResult:
+        trajectory = self.preprocess(trajectory)
+        points = list(trajectory.points)
+        candidate_sets = self.candidate_sets(trajectory)
+        if len(points) == 1:
+            best = candidate_sets[0][0]
+            return BaselineResult(path=[best], candidate_sets=candidate_sets,
+                                  matched_sequence=[best])
+        votes: list[dict[int, int]] = [dict() for _ in points]
+        for centre in range(len(points)):
+            weights = [
+                math.exp(
+                    -points[centre].position.distance_to(p.position)
+                    / self.influence_scale_m
+                )
+                for p in points
+            ]
+            chosen = self._weighted_viterbi(points, candidate_sets, weights)
+            for i, seg in enumerate(chosen):
+                votes[i][seg] = votes[i].get(seg, 0) + 1
+        sequence = [max(vote, key=vote.get) for vote in votes]  # type: ignore[arg-type]
+        path = stitch_segments(sequence, self.engine)
+        return BaselineResult(
+            path=path, candidate_sets=candidate_sets, matched_sequence=sequence
+        )

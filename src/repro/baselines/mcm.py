@@ -1,0 +1,60 @@
+"""MCM (Li et al. [34]) — multiple-candidate tracking via common
+sub-sequences.
+
+MCM evaluates how well a potential route *as a whole* shadows the observed
+trajectory, instead of scoring only endpoint gaps: the transition factor
+rewards routes whose segments stay close to the straight-line corridor
+between the two points (a continuous analogue of the common-sub-sequence
+score between trajectory and route).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.cellular.trajectory import TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.datasets.dataset import MatchingDataset
+from repro.geometry import point_to_segment_distance
+
+
+class MCM(HeuristicHmmMatcher):
+    """Common-sub-sequence-flavoured candidate tracking."""
+
+    name = "MCM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: HeuristicHmmConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+        corridor_scale_m: float = 600.0,
+    ) -> None:
+        config = config or HeuristicHmmConfig(
+            observation_sigma_m=350.0, transition_beta_m=400.0
+        )
+        super().__init__(dataset, config, rng)
+        self.corridor_scale_m = corridor_scale_m
+
+    def transition_probability(
+        self, points: list[TrajectoryPoint], index: int, prev_segment: int, segment: int
+    ) -> float:
+        base = super().transition_probability(points, index, prev_segment, segment)
+        if base <= UNREACHABLE_SCORE:
+            return base
+        route = self.engine.route(prev_segment, segment)
+        assert route is not None
+        a = points[index - 1].position
+        b = points[index].position
+        if a.distance_to(b) < 1.0 or not route.segments:
+            return base
+        # Mean distance of route segment midpoints to the corridor a-b.
+        total = 0.0
+        for seg_id in route.segments:
+            mid = self.network.segments[seg_id].midpoint
+            total += point_to_segment_distance(mid, a, b)
+        corridor = total / len(route.segments)
+        return base * math.exp(-corridor / self.corridor_scale_m)

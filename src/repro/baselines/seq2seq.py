@@ -1,0 +1,360 @@
+"""Seq2seq map matchers (DeepMM [37], TransformerMM [38], DMM [15]).
+
+These baselines treat CTMM as translation: encode the observation token
+sequence (tower ids, or discretised position cells for the GPS-designed
+variants), then decode a road-segment sequence with attention.  Greedy
+decoding feeds each predicted segment back in — the very mechanism behind
+the error-propagation weakness the paper highlights: one wrong segment
+conditions everything after it.
+
+DMM additionally constrains decoding to the road network (each next segment
+must be reachable from the previous one), which is why it is the strongest
+seq2seq baseline in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, TrainableMatcher
+from repro.cellular.trajectory import Trajectory
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.geometry import Point
+from repro.nn import GRU, Adam, Embedding, GRUCell, Linear, Module, Tensor, clip_grad_norm, no_grad
+from repro.nn.functional import concat, softmax
+from repro.nn.loss import cross_entropy_with_label_smoothing
+from repro.nn.transformer import TransformerEncoderLayer, sinusoidal_positions
+from repro.utils import derive_rng, ensure_rng
+
+
+@dataclass(slots=True)
+class Seq2SeqConfig:
+    """Hyper-parameters of the seq2seq matchers.
+
+    Attributes:
+        embedding_dim: Token embedding width.
+        hidden_dim: Encoder/decoder hidden width.
+        epochs: Passes over the training set.
+        learning_rate / weight_decay / label_smoothing: Adam settings.
+        max_target_len: Truth paths are truncated to this length in training.
+        max_decode_len: Greedy decoding stops after this many segments.
+        input_mode: ``"tower"`` feeds tower-id tokens (DMM); ``"grid"``
+            feeds discretised position cells (the GPS-designed variants).
+        grid_cell_m: Cell size of the position grid for ``"grid"`` mode.
+        constrained: Restrict each decoding step to segments reachable from
+            the previous one (DMM's road-network constraint).
+        encoder: ``"gru"`` or ``"transformer"``.
+        beam_width: 1 decodes greedily; larger values run beam search (the
+            production DMM uses beam search; it trades time for accuracy).
+    """
+
+    embedding_dim: int = 48
+    hidden_dim: int = 64
+    epochs: int = 3
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-4
+    label_smoothing: float = 0.1
+    max_target_len: int = 48
+    max_decode_len: int = 64
+    input_mode: str = "tower"
+    grid_cell_m: float = 600.0
+    constrained: bool = False
+    encoder: str = "gru"
+    beam_width: int = 1
+
+
+class _Seq2SeqModel(Module):
+    """Encoder-decoder with dot-product attention over encoder states."""
+
+    def __init__(
+        self,
+        input_vocab: int,
+        output_vocab: int,
+        config: Seq2SeqConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        d, h = config.embedding_dim, config.hidden_dim
+        self.config = config
+        self.input_embedding = Embedding(input_vocab, d, rng=rng)
+        self.output_embedding = Embedding(output_vocab + 2, d, rng=rng)  # +BOS +EOS
+        self.bos_token = output_vocab
+        self.eos_token = output_vocab + 1
+        if config.encoder == "transformer":
+            self.encoder_proj = Linear(d, h, rng=rng)
+            self.encoder_layer = TransformerEncoderLayer(h, rng=rng)
+            self.encoder_rnn = None
+        else:
+            self.encoder_rnn = GRU(d, h, rng=rng)
+            self.encoder_proj = None
+            self.encoder_layer = None
+        self.decoder_cell = GRUCell(d, h, rng=rng)
+        self.output_proj = Linear(2 * h, output_vocab + 2, rng=rng)
+
+    def encode(self, tokens: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Encoder states ``(T, h)`` and the initial decoder hidden ``(1, h)``."""
+        embedded = self.input_embedding(tokens)
+        if self.encoder_rnn is not None:
+            states, final = self.encoder_rnn(embedded)
+            return states, final
+        projected = self.encoder_proj(embedded)
+        positions = Tensor(sinusoidal_positions(len(tokens), projected.shape[-1]))
+        states = self.encoder_layer(projected + positions)
+        return states, states.mean(axis=0, keepdims=True)
+
+    def _attend(self, hidden: Tensor, encoder_states: Tensor) -> Tensor:
+        """Dot-product attention context for decoder state(s)."""
+        scores = hidden @ encoder_states.transpose()  # (L, T)
+        return softmax(scores, axis=-1) @ encoder_states
+
+    def teacher_forced_logits(self, tokens: np.ndarray, target: np.ndarray) -> Tensor:
+        """Logits for each target position under teacher forcing.
+
+        The decoder consumes ``[BOS, target[:-1]]`` and the attention runs
+        batched over all steps, so each training sample is one graph.
+        """
+        encoder_states, hidden = self.encode(tokens)
+        inputs = np.concatenate([[self.bos_token], target[:-1]])
+        embedded = self.output_embedding(inputs)
+        hiddens = []
+        h = hidden
+        for t in range(len(inputs)):
+            h = self.decoder_cell(embedded[t : t + 1], h)
+            hiddens.append(h.reshape(h.shape[-1]))
+        from repro.nn.functional import stack
+
+        decoder_states = stack(hiddens, axis=0)  # (L, h)
+        context = self._attend(decoder_states, encoder_states)
+        return self.output_proj(concat([decoder_states, context], axis=-1))
+
+    def _step_logits(self, previous: int, h: Tensor, encoder_states: Tensor):
+        """One decoder step: returns ``(log_probs, new_hidden)``."""
+        embedded = self.output_embedding(np.array([previous]))
+        h = self.decoder_cell(embedded, h)
+        context = self._attend(h, encoder_states)
+        logits = self.output_proj(concat([h, context], axis=-1)).numpy()[0]
+        shifted = logits - logits.max()
+        log_probs = shifted - np.log(np.exp(shifted).sum())
+        return log_probs, h
+
+    def _masked(self, log_probs: np.ndarray, allowed) -> np.ndarray:
+        if allowed is None:
+            return log_probs
+        blocked = np.full_like(log_probs, -1e9)
+        blocked[list(allowed)] = log_probs[list(allowed)]
+        return blocked
+
+    def greedy_decode(
+        self,
+        tokens: np.ndarray,
+        max_len: int,
+        allowed_next=None,
+    ) -> list[int]:
+        """Greedy decoding; ``allowed_next(prev)`` masks the vocabulary."""
+        with no_grad():
+            encoder_states, h = self.encode(tokens)
+            previous = self.bos_token
+            output: list[int] = []
+            for _ in range(max_len):
+                log_probs, h = self._step_logits(previous, h, encoder_states)
+                if allowed_next is not None:
+                    log_probs = self._masked(
+                        log_probs, allowed_next(output[-1] if output else None)
+                    )
+                token = int(np.argmax(log_probs))
+                if token == self.eos_token:
+                    break
+                if token == self.bos_token:
+                    continue
+                output.append(token)
+                previous = token
+            return output
+
+    def beam_decode(
+        self,
+        tokens: np.ndarray,
+        max_len: int,
+        beam_width: int,
+        allowed_next=None,
+    ) -> list[int]:
+        """Length-normalised beam search over output sequences."""
+        if beam_width <= 1:
+            return self.greedy_decode(tokens, max_len, allowed_next)
+        with no_grad():
+            encoder_states, h0 = self.encode(tokens)
+            # Each hypothesis: (sum_log_prob, output_list, hidden, finished)
+            beams = [(0.0, [], h0, False)]
+            for _ in range(max_len):
+                expanded = []
+                for score, output, h, finished in beams:
+                    if finished:
+                        expanded.append((score, output, h, True))
+                        continue
+                    previous = output[-1] if output else self.bos_token
+                    log_probs, new_h = self._step_logits(previous, h, encoder_states)
+                    if allowed_next is not None:
+                        log_probs = self._masked(
+                            log_probs, allowed_next(output[-1] if output else None)
+                        )
+                    top = np.argsort(-log_probs)[: beam_width + 1]
+                    for token in top:
+                        token = int(token)
+                        if token == self.bos_token:
+                            continue
+                        if token == self.eos_token:
+                            expanded.append((score + log_probs[token], output, new_h, True))
+                        else:
+                            expanded.append(
+                                (score + log_probs[token], output + [token], new_h, False)
+                            )
+                # Length-normalised pruning keeps long/short hypotheses comparable.
+                expanded.sort(
+                    key=lambda b: b[0] / max(1, len(b[1]) + 1), reverse=True
+                )
+                beams = expanded[:beam_width]
+                if all(b[3] for b in beams):
+                    break
+            best = max(beams, key=lambda b: b[0] / max(1, len(b[1]) + 1))
+            return best[1]
+
+
+class Seq2SeqMatcher(TrainableMatcher):
+    """Base class wiring tokenisation, training, and decoding."""
+
+    name = "Seq2Seq"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: Seq2SeqConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.network = dataset.network
+        self.towers = dataset.towers
+        self.engine = dataset.engine
+        self.config = config or Seq2SeqConfig()
+        self._rng = ensure_rng(rng)
+        self._segment_ids = sorted(self.network.segments)
+        self._segment_index = {s: i for i, s in enumerate(self._segment_ids)}
+        self._tower_ids = sorted(self.towers.towers)
+        self._tower_index = {t: i for i, t in enumerate(self._tower_ids)}
+        min_x, min_y, max_x, max_y = self.network.bounding_box()
+        self._origin = Point(min_x - 2000.0, min_y - 2000.0)
+        self._grid_cols = int((max_x - min_x + 4000.0) / self.config.grid_cell_m) + 1
+        self._grid_rows = int((max_y - min_y + 4000.0) / self.config.grid_cell_m) + 1
+        input_vocab = (
+            len(self._tower_ids)
+            if self.config.input_mode == "tower"
+            else self._grid_rows * self._grid_cols
+        )
+        self.model = _Seq2SeqModel(
+            input_vocab,
+            len(self._segment_ids),
+            self.config,
+            derive_rng(self._rng, "model"),
+        )
+        # successor table in model-vocabulary space, for constrained decoding
+        self._successors: dict[int, list[int]] | None = None
+        if self.config.constrained:
+            self._successors = {}
+            for seg_id in self._segment_ids:
+                idx = self._segment_index[seg_id]
+                nexts = {self._segment_index[s] for s in self.network.successors(seg_id)}
+                nexts.add(idx)
+                self._successors[idx] = sorted(nexts)
+
+    # ------------------------------------------------------------ tokenisation
+    def _tokens(self, trajectory: Trajectory) -> np.ndarray:
+        if self.config.input_mode == "tower":
+            tokens = []
+            for p in trajectory.points:
+                if p.tower_id is not None and p.tower_id in self._tower_index:
+                    tokens.append(self._tower_index[p.tower_id])
+                else:
+                    nearest = self.towers.nearest(p.position, count=1)[0]
+                    tokens.append(self._tower_index[nearest])
+            return np.asarray(tokens)
+        cells = []
+        for p in trajectory.points:
+            col = int((p.position.x - self._origin.x) / self.config.grid_cell_m)
+            row = int((p.position.y - self._origin.y) / self.config.grid_cell_m)
+            col = min(max(col, 0), self._grid_cols - 1)
+            row = min(max(row, 0), self._grid_rows - 1)
+            cells.append(row * self._grid_cols + col)
+        return np.asarray(cells)
+
+    # --------------------------------------------------------------- training
+    def fit(self, samples: list[MatchingSample]) -> "Seq2SeqMatcher":
+        """Teacher-forced training on labelled samples."""
+        cfg = self.config
+        usable = [
+            s for s in samples if len(s.cellular) >= 2 and len(s.truth_path) >= 2
+        ]
+        if not usable:
+            raise ValueError("no usable training samples")
+        optimizer = Adam(
+            self.model.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay
+        )
+        order = np.arange(len(usable))
+        self.losses: list[float] = []
+        for _ in range(cfg.epochs):
+            self._rng.shuffle(order)
+            for i in order:
+                sample = usable[int(i)]
+                tokens = self._tokens(sample.cellular)
+                target = [
+                    self._segment_index[s]
+                    for s in sample.truth_path[: cfg.max_target_len]
+                ]
+                target.append(self.model.eos_token)
+                logits = self.model.teacher_forced_logits(tokens, np.asarray(target))
+                loss = cross_entropy_with_label_smoothing(
+                    logits, np.asarray(target), cfg.label_smoothing
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), max_norm=5.0)
+                optimizer.step()
+                self.losses.append(loss.item())
+        self.model.eval()
+        return self
+
+    # --------------------------------------------------------------- matching
+    def _make_allowed_next(self, trajectory: Trajectory):
+        if self._successors is None:
+            return None
+        # DMM restricts the opening emission to the first point's vicinity
+        # and every later emission to road-network successors.
+        first = trajectory.points[0]
+        nearby = self.network.segments_near(first.position, 2500.0)
+        if not nearby:
+            nearby = self.network.nearest_segments(first.position, count=30)
+        first_allowed = [self._segment_index[s] for s in nearby]
+        successors = self._successors
+        eos = self.model.eos_token
+
+        def allowed_next(previous: int | None):
+            if previous is None:
+                return first_allowed
+            return [*successors[previous], eos]
+
+        return allowed_next
+
+    def match(self, trajectory: Trajectory) -> BaselineResult:
+        """Seq2seq decoding of the matched path (greedy or beam search)."""
+        tokens = self._tokens(trajectory)
+        decode_len = min(self.config.max_decode_len, 4 * max(len(tokens), 2))
+        decoded = self.model.beam_decode(
+            tokens,
+            decode_len,
+            self.config.beam_width,
+            allowed_next=self._make_allowed_next(trajectory),
+        )
+        path = [self._segment_ids[i] for i in decoded]
+        deduped: list[int] = []
+        for seg in path:
+            if not deduped or deduped[-1] != seg:
+                deduped.append(seg)
+        return BaselineResult(path=deduped, candidate_sets=None, matched_sequence=[])

@@ -1,0 +1,68 @@
+"""SnapNet (Mohamed et al. [12]) — filters plus digital-map heuristics.
+
+SnapNet pipelines aggressive noise filtering (speed, alpha-trimmed mean,
+direction) before an HMM whose transition adds two map hints: a moving
+direction heuristic (the route should head the way the trajectory moves)
+and a fewer-turns heuristic.  It is designed for cellular-scale errors, so
+its observation sigma is wide.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.cellular.filters import apply_standard_filters
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.core.features import route_turn_sum_deg
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.datasets.dataset import MatchingDataset
+from repro.geometry import bearing_deg, heading_difference_deg
+
+
+class SnapNet(HeuristicHmmMatcher):
+    """SnapNet: filtered input, direction and turn heuristics."""
+
+    name = "SNet"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: HeuristicHmmConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+        turn_scale_deg: float = 420.0,
+        direction_scale_deg: float = 120.0,
+    ) -> None:
+        config = config or HeuristicHmmConfig(
+            observation_sigma_m=500.0, transition_beta_m=450.0
+        )
+        super().__init__(dataset, config, rng)
+        self.turn_scale_deg = turn_scale_deg
+        self.direction_scale_deg = direction_scale_deg
+
+    def preprocess(self, trajectory: Trajectory) -> Trajectory:
+        """Re-apply the SnapNet filter stack (idempotent on filtered data)."""
+        filtered = apply_standard_filters(trajectory)
+        return filtered if len(filtered) >= 2 else trajectory
+
+    def transition_probability(
+        self, points: list[TrajectoryPoint], index: int, prev_segment: int, segment: int
+    ) -> float:
+        base = super().transition_probability(points, index, prev_segment, segment)
+        if base <= UNREACHABLE_SCORE:
+            return base
+        route = self.engine.route(prev_segment, segment)
+        assert route is not None
+        a = points[index - 1].position
+        b = points[index].position
+        factor = 1.0
+        if a.distance_to(b) > 1.0:
+            move_heading = bearing_deg(a, b)
+            target_heading = self.network.segments[segment].heading_deg()
+            deviation = heading_difference_deg(move_heading, target_heading)
+            factor *= math.exp(-deviation / self.direction_scale_deg)
+        turns = route_turn_sum_deg(self.network, route)
+        factor *= math.exp(-turns / self.turn_scale_deg)
+        return base * factor

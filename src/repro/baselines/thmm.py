@@ -1,0 +1,71 @@
+"""THMM (Chen et al. [42]) — tailored HMM for cellular map matching.
+
+THMM constrains the HMM path-finding with geometric and topological
+characteristics of the road network: a reachability window on transitions
+(topology), a heading-agreement factor between the two candidate roads and
+the trajectory's movement (geometry), and a probabilistic observation that
+mixes distance with road class (arterials carry more cellular traffic).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.cellular.trajectory import TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.datasets.dataset import MatchingDataset
+from repro.geometry import bearing_deg, heading_difference_deg
+
+
+class THMM(HeuristicHmmMatcher):
+    """Tailored HMM with geometric/topological constraints."""
+
+    name = "THMM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: HeuristicHmmConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+        heading_scale_deg: float = 100.0,
+        arterial_bonus: float = 1.25,
+    ) -> None:
+        config = config or HeuristicHmmConfig(
+            observation_sigma_m=550.0,
+            transition_beta_m=450.0,
+            max_detour_factor=4.0,  # tighter topological window
+        )
+        super().__init__(dataset, config, rng)
+        self.heading_scale_deg = heading_scale_deg
+        self.arterial_bonus = arterial_bonus
+
+    def observation_probability(
+        self, points: list[TrajectoryPoint], index: int, segment_id: int
+    ) -> float:
+        base = super().observation_probability(points, index, segment_id)
+        if self.network.segments[segment_id].road_class == "arterial":
+            base *= self.arterial_bonus
+        return min(base, 1.0)
+
+    def transition_probability(
+        self, points: list[TrajectoryPoint], index: int, prev_segment: int, segment: int
+    ) -> float:
+        base = super().transition_probability(points, index, prev_segment, segment)
+        if base <= UNREACHABLE_SCORE:
+            return base
+        a = points[index - 1].position
+        b = points[index].position
+        if a.distance_to(b) <= 1.0:
+            return base
+        move_heading = bearing_deg(a, b)
+        prev_dev = heading_difference_deg(
+            move_heading, self.network.segments[prev_segment].heading_deg()
+        )
+        next_dev = heading_difference_deg(
+            move_heading, self.network.segments[segment].heading_deg()
+        )
+        geometric = math.exp(-(prev_dev + next_dev) / (2.0 * self.heading_scale_deg))
+        return base * geometric

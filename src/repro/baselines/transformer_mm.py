@@ -1,0 +1,31 @@
+"""TransformerMM (Jin et al. [38]) — transformer encoder seq2seq.
+
+Replaces the recurrent encoder of DeepMM with a transformer encoder over
+the same discretised position tokens; decoding remains autoregressive with
+attention.  Stronger encoding, same GPS-era input representation, same
+exposure to error propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.seq2seq import Seq2SeqConfig, Seq2SeqMatcher
+from repro.datasets.dataset import MatchingDataset
+
+
+class TransformerMM(Seq2SeqMatcher):
+    """Transformer-encoded seq2seq over position-grid tokens."""
+
+    name = "TransformerMM"
+
+    def __init__(
+        self,
+        dataset: MatchingDataset,
+        config: Seq2SeqConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        config = config or Seq2SeqConfig(
+            input_mode="grid", constrained=False, encoder="transformer"
+        )
+        super().__init__(dataset, config, rng)

@@ -1,0 +1,38 @@
+"""Cellular-positioning substrate.
+
+The paper's datasets come from a telecom operator; this package simulates
+the data-generating process instead: cell-tower placement with an urban
+density gradient, a signal/handoff model that connects a moving phone to a
+(possibly distant) tower, a vehicle simulator that emits paired GPS and
+cellular samples for the same trip, and the pre-filters the paper applies
+before matching (speed, alpha-trimmed mean, direction — from SnapNet [12]).
+"""
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.cellular.tower import CellTower, TowerField, TowerPlacementConfig, place_towers
+from repro.cellular.handoff import HandoffConfig, HandoffModel
+from repro.cellular.simulator import SimulatedTrip, SimulationConfig, VehicleSimulator
+from repro.cellular.filters import (
+    alpha_trimmed_mean_filter,
+    apply_standard_filters,
+    direction_filter,
+    speed_filter,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryPoint",
+    "CellTower",
+    "TowerField",
+    "TowerPlacementConfig",
+    "place_towers",
+    "HandoffConfig",
+    "HandoffModel",
+    "SimulatedTrip",
+    "SimulationConfig",
+    "VehicleSimulator",
+    "speed_filter",
+    "alpha_trimmed_mean_filter",
+    "direction_filter",
+    "apply_standard_filters",
+]

@@ -1,0 +1,104 @@
+"""Cellular-trajectory pre-filters (SnapNet [12], as used in §V-A1).
+
+Before matching, the paper removes noise and smooths cellular trajectories
+with three filters: a speed filter (drop points implying impossible speeds),
+an alpha-trimmed mean filter (robust positional smoothing), and a direction
+filter (drop ping-pong handoff oscillations).  :func:`apply_standard_filters`
+composes them in that order.
+"""
+
+from __future__ import annotations
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.geometry import Point, bearing_deg, heading_difference_deg
+
+MAX_REASONABLE_SPEED_MPS = 42.0  # ~150 km/h: nothing in the city drives faster
+
+
+def speed_filter(
+    trajectory: Trajectory, max_speed_mps: float = MAX_REASONABLE_SPEED_MPS
+) -> Trajectory:
+    """Drop points that imply a speed above ``max_speed_mps`` from the last kept point.
+
+    Implied speed uses straight-line distance, which lower-bounds travelled
+    distance, so only physically impossible samples are removed.  The first
+    point is always kept.
+    """
+    if len(trajectory) <= 1:
+        return trajectory
+    kept = [trajectory.points[0]]
+    for point in trajectory.points[1:]:
+        dt = point.timestamp - kept[-1].timestamp
+        if dt <= 0:
+            continue
+        speed = point.position.distance_to(kept[-1].position) / dt
+        if speed <= max_speed_mps:
+            kept.append(point)
+    return Trajectory(points=kept, trajectory_id=trajectory.trajectory_id, _validated=True)
+
+
+def alpha_trimmed_mean_filter(
+    trajectory: Trajectory, window: int = 5, alpha: int = 1
+) -> Trajectory:
+    """Smooth positions with an alpha-trimmed mean over a sliding window.
+
+    For each point, the ``window`` nearest-in-sequence samples are gathered,
+    the ``alpha`` most extreme values *per coordinate* are trimmed from each
+    end, and the mean of the rest replaces the position.  Timestamps and
+    tower ids are preserved — smoothing affects geometry only.
+    """
+    if window < 3 or len(trajectory) < window:
+        return trajectory
+    if 2 * alpha >= window:
+        raise ValueError("alpha too large for window")
+    half = window // 2
+    points = trajectory.points
+    smoothed: list[TrajectoryPoint] = []
+    for i, point in enumerate(points):
+        lo = max(0, i - half)
+        hi = min(len(points), i + half + 1)
+        xs = sorted(p.position.x for p in points[lo:hi])
+        ys = sorted(p.position.y for p in points[lo:hi])
+        trim = alpha if len(xs) > 2 * alpha else 0
+        xs = xs[trim : len(xs) - trim] if trim else xs
+        ys = ys[trim : len(ys) - trim] if trim else ys
+        smoothed.append(
+            point.with_position(Point(sum(xs) / len(xs), sum(ys) / len(ys)))
+        )
+    return Trajectory(points=smoothed, trajectory_id=trajectory.trajectory_id, _validated=True)
+
+
+def direction_filter(trajectory: Trajectory, reversal_deg: float = 150.0) -> Trajectory:
+    """Drop points that create a sharp out-and-back (ping-pong handoff).
+
+    A point ``p_i`` is removed when the heading into it and the heading out
+    of it differ by more than ``reversal_deg`` — i.e. the trajectory doubles
+    back on itself at ``p_i``, the signature of oscillating between two
+    towers rather than actual vehicle motion.
+    """
+    if len(trajectory) < 3:
+        return trajectory
+    points = trajectory.points
+    kept = [points[0]]
+    for i in range(1, len(points) - 1):
+        incoming = bearing_deg(kept[-1].position, points[i].position)
+        outgoing = bearing_deg(points[i].position, points[i + 1].position)
+        if points[i].position.distance_to(kept[-1].position) == 0.0:
+            kept.append(points[i])
+            continue
+        if heading_difference_deg(incoming, outgoing) <= reversal_deg:
+            kept.append(points[i])
+    kept.append(points[-1])
+    return Trajectory(points=kept, trajectory_id=trajectory.trajectory_id, _validated=True)
+
+
+def apply_standard_filters(trajectory: Trajectory) -> Trajectory:
+    """Speed filter, then alpha-trimmed mean, then direction filter.
+
+    This is the pre-processing pipeline the paper applies to every cellular
+    trajectory before matching (§V-A1).  Smoothing runs on *positions*; the
+    original tower ids survive, which the learned components rely on.
+    """
+    filtered = speed_filter(trajectory)
+    filtered = alpha_trimmed_mean_filter(filtered)
+    return direction_filter(filtered)

@@ -1,0 +1,131 @@
+"""Trajectory data structures (Definition 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.geometry import Point, bearing_deg, euclidean
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One time-stamped positioning sample.
+
+    For cellular points, ``position`` is the location of the *interacted
+    cell tower* (the observable), which may be far from the phone's true
+    location; ``tower_id`` records which tower produced the sample.  GPS
+    points carry ``tower_id=None``.
+    """
+
+    position: Point
+    timestamp: float
+    tower_id: int | None = None
+
+    def with_position(self, position: Point) -> "TrajectoryPoint":
+        """A copy of this point at a different position (used by filters)."""
+        return replace(self, position=position)
+
+
+@dataclass(slots=True)
+class Trajectory:
+    """A time-ordered sequence of positioning samples."""
+
+    points: list[TrajectoryPoint]
+    trajectory_id: int = 0
+    _validated: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._validated:
+            for earlier, later in zip(self.points, self.points[1:]):
+                if later.timestamp < earlier.timestamp:
+                    raise ValueError("trajectory timestamps must be non-decreasing")
+            self._validated = True
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[TrajectoryPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> TrajectoryPoint:
+        return self.points[index]
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between the first and last samples."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+    def sampling_intervals(self) -> list[float]:
+        """Seconds between consecutive samples."""
+        return [
+            later.timestamp - earlier.timestamp
+            for earlier, later in zip(self.points, self.points[1:])
+        ]
+
+    def sampling_distances(self) -> list[float]:
+        """Straight-line metres between consecutive sample positions."""
+        return [
+            euclidean(earlier.position, later.position)
+            for earlier, later in zip(self.points, self.points[1:])
+        ]
+
+    def path_length(self) -> float:
+        """Total straight-line length of the sample polyline, in metres."""
+        return sum(self.sampling_distances())
+
+    def headings_deg(self) -> list[float]:
+        """Bearing of each consecutive sample pair, in degrees."""
+        return [
+            bearing_deg(earlier.position, later.position)
+            for earlier, later in zip(self.points, self.points[1:])
+        ]
+
+    def subsampled(self, keep_every: int) -> "Trajectory":
+        """Keep every ``keep_every``-th point (always keeping the last).
+
+        Used by the sampling-rate robustness study (Fig. 7(b)).
+        """
+        if keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
+        kept = self.points[::keep_every]
+        if kept and kept[-1] is not self.points[-1]:
+            kept.append(self.points[-1])
+        return Trajectory(points=kept, trajectory_id=self.trajectory_id, _validated=True)
+
+    def resampled_to_rate(self, samples_per_minute: float) -> "Trajectory":
+        """Thin samples down to approximately ``samples_per_minute``.
+
+        Greedily keeps a point once at least ``60 / rate`` seconds have
+        passed since the previously kept point; the first and last points
+        are always kept.  Rates above the native rate return the trajectory
+        unchanged.
+        """
+        if samples_per_minute <= 0:
+            raise ValueError("samples_per_minute must be positive")
+        min_gap = 60.0 / samples_per_minute
+        kept = [self.points[0]]
+        for point in self.points[1:-1]:
+            if point.timestamp - kept[-1].timestamp >= min_gap:
+                kept.append(point)
+        if len(self.points) > 1:
+            kept.append(self.points[-1])
+        return Trajectory(points=kept, trajectory_id=self.trajectory_id, _validated=True)
+
+    def positions(self) -> list[Point]:
+        """Positions of all samples in order."""
+        return [p.position for p in self.points]
+
+    def tower_ids(self) -> list[int | None]:
+        """Tower id per sample (``None`` for GPS samples)."""
+        return [p.tower_id for p in self.points]
+
+    def centroid(self) -> Point:
+        """Mean of all sample positions."""
+        if not self.points:
+            raise ValueError("empty trajectory")
+        sx = sum(p.position.x for p in self.points)
+        sy = sum(p.position.y for p in self.points)
+        return Point(sx / len(self.points), sy / len(self.points))

@@ -1,0 +1,218 @@
+"""Command-line interface: generate, inspect, train, evaluate, match.
+
+Usage::
+
+    python -m repro generate --preset hangzhou --trajectories 300 -o city.json.gz
+    python -m repro stats    --dataset city.json.gz
+    python -m repro train    --dataset city.json.gz -o model.npz --epochs 6
+    python -m repro evaluate --dataset city.json.gz --model model.npz
+    python -m repro evaluate --dataset city.json.gz --baseline THMM
+    python -m repro match    --dataset city.json.gz --model model.npz \
+                             --sample-id 12 --svg match.svg --ascii
+
+Every command takes ``--seed`` for reproducibility.  All heavy outputs are
+files; stdout carries human-readable summaries only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LHMM cellular map matching (ICDE 2023 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic city dataset")
+    generate.add_argument("--preset", choices=["hangzhou", "xiamen"], default="hangzhou")
+    generate.add_argument("--trajectories", type=int, default=300)
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="city size multiplier (0.5 = quarter-size)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True, help="output .json.gz path")
+
+    stats = commands.add_parser("stats", help="print Table-I statistics of a dataset")
+    stats.add_argument("--dataset", required=True)
+
+    train = commands.add_parser("train", help="train LHMM on a dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("-o", "--output", required=True, help="output model .npz path")
+    train.add_argument("--epochs", type=int, default=6)
+    train.add_argument("--dim", type=int, default=48, help="embedding dimension")
+    train.add_argument("--candidates", type=int, default=12, help="candidate count k")
+    train.add_argument("--variant", default="LHMM",
+                       help="ablation variant (LHMM, LHMM-E, LHMM-H, LHMM-O, LHMM-T, LHMM-S)")
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = commands.add_parser("evaluate", help="evaluate a model or baseline")
+    evaluate.add_argument("--dataset", required=True)
+    group = evaluate.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", help="trained LHMM .npz")
+    group.add_argument("--baseline", help="baseline name (STM, IVMM, ..., DMM)")
+    evaluate.add_argument("--limit", type=int, default=None,
+                          help="max test trajectories to evaluate")
+    evaluate.add_argument("--json", default=None,
+                          help="write aggregates + per-sample metrics as JSON")
+    evaluate.add_argument("--csv", default=None,
+                          help="write per-sample metrics as CSV")
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    match = commands.add_parser("match", help="match one trajectory and render it")
+    match.add_argument("--dataset", required=True)
+    match.add_argument("--model", required=True)
+    match.add_argument("--sample-id", type=int, default=None,
+                       help="sample to match (default: first test sample)")
+    match.add_argument("--svg", default=None, help="write an SVG map here")
+    match.add_argument("--ascii", action="store_true", help="print an ASCII map")
+
+    return parser
+
+
+# ---------------------------------------------------------------- commands
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import make_city_dataset, preset_config, save_dataset
+
+    config = preset_config(args.preset, num_trajectories=args.trajectories,
+                           scale=args.scale)
+    dataset = make_city_dataset(config, rng=args.seed)
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {args.output}: {len(dataset)} samples, "
+        f"{dataset.network.num_segments} segments, {len(dataset.towers)} towers"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.datasets import compute_statistics, load_dataset
+
+    dataset = load_dataset(args.dataset)
+    stats = compute_statistics(dataset)
+    width = max(len(label) for label, _ in stats.rows())
+    print(f"dataset {dataset.name!r} ({len(dataset)} samples)")
+    for label, value in stats.rows():
+        print(f"  {label.ljust(width)}  {value}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import LHMM, LHMMConfig
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    config = LHMMConfig(
+        embedding_dim=args.dim,
+        mlp_hidden=args.dim,
+        candidate_k=args.candidates,
+        epochs=args.epochs,
+    ).ablated(args.variant)
+    matcher = LHMM(config, rng=args.seed).fit(dataset)
+    matcher.save(args.output)
+    report = matcher.report
+    print(
+        f"trained {args.variant} on {len(dataset.train)} trajectories; "
+        f"final losses: obs_pre={report.observation_pretrain[-1]:.3f} "
+        f"obs_fin={report.observation_finetune[-1]:.3f} "
+        f"trans_pre={(report.transition_pretrain or [float('nan')])[-1]:.3f} "
+        f"trans_fin={report.transition_finetune[-1]:.3f}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.baselines import make_baseline
+    from repro.core import LHMM
+    from repro.datasets import load_dataset
+    from repro.eval import evaluate_matcher
+
+    dataset = load_dataset(args.dataset)
+    if args.model:
+        matcher = LHMM.load(args.model, dataset)
+        name = f"LHMM[{Path(args.model).name}]"
+    else:
+        matcher = make_baseline(args.baseline, dataset, rng=args.seed)
+        name = args.baseline
+    samples = dataset.test if args.limit is None else dataset.test[: args.limit]
+    result = evaluate_matcher(matcher, dataset, samples, method_name=name)
+    row = result.row()
+    print(f"{name} on {len(samples)} test trajectories of {dataset.name!r}:")
+    print(
+        "  precision={precision:.3f} recall={recall:.3f} RMF={rmf:.3f} "
+        "CMF50={cmf50:.3f} HR={hr:.3f} avg_time={avg_time:.3f}s".format(**row)
+    )
+    if args.json:
+        result.save_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        result.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from repro.core import LHMM
+    from repro.datasets import load_dataset
+    from repro.eval.metrics import corridor_mismatch_fraction, precision_recall
+    from repro.viz import render_match_ascii, render_match_svg
+
+    dataset = load_dataset(args.dataset)
+    matcher = LHMM.load(args.model, dataset)
+    if args.sample_id is None:
+        sample = dataset.test[0]
+    else:
+        matching = [s for s in dataset.samples if s.sample_id == args.sample_id]
+        if not matching:
+            print(f"error: no sample with id {args.sample_id}", file=sys.stderr)
+            return 2
+        sample = matching[0]
+    result = matcher.match(sample.cellular)
+    precision, recall = precision_recall(dataset.network, sample.truth_path, result.path)
+    cmf = corridor_mismatch_fraction(dataset.network, sample.truth_path, result.path)
+    print(
+        f"sample {sample.sample_id}: {len(sample.cellular)} points -> "
+        f"{len(result.path)} segments; precision={precision:.3f} "
+        f"recall={recall:.3f} CMF50={cmf:.3f}"
+    )
+    if args.ascii:
+        print(
+            render_match_ascii(
+                dataset.network, sample.truth_path, {"L": result.path}, sample.cellular
+            )
+        )
+    if args.svg:
+        Path(args.svg).write_text(
+            render_match_svg(
+                dataset.network,
+                sample.truth_path,
+                {"LHMM": result.path},
+                trajectory=sample.cellular,
+                towers=dataset.towers,
+            )
+        )
+        print(f"wrote {args.svg}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "match": _cmd_match,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""LHMM — the paper's contribution: a learning-enhanced HMM for CTMM.
+
+Public entry points:
+
+* :class:`LHMM` — the full matcher: ``fit(dataset)`` then ``match(trajectory)``.
+* :class:`LHMMConfig` — hyper-parameters and ablation switches
+  (``LHMM-E/H/O/T/S`` from Table III map to config fields).
+* :class:`RelationGraph` — the multi-relational tower/road graph (§IV-B).
+* :class:`HetGraphEncoder` — relational message-passing encoder (Eq. 4–5).
+* :class:`ObservationLearner` / :class:`TransitionLearner` — learned
+  probabilities (§IV-C / §IV-D).
+* :class:`Trellis` — candidate-graph Viterbi with shortcut optimisation
+  (Algorithms 1 and 2), reusable by baseline HMMs (STM+S).
+"""
+
+from repro.core.config import LHMMConfig
+from repro.core.relation_graph import RelationGraph
+from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
+from repro.core.observation import ObservationLearner
+from repro.core.transition import TransitionLearner
+from repro.core.trellis import Trellis, TrellisScorer
+from repro.core.matcher import LHMM
+from repro.core.online import OnlineLHMM
+
+__all__ = [
+    "LHMM",
+    "OnlineLHMM",
+    "LHMMConfig",
+    "RelationGraph",
+    "HetGraphEncoder",
+    "MlpNodeEncoder",
+    "ObservationLearner",
+    "TransitionLearner",
+    "Trellis",
+    "TrellisScorer",
+]

@@ -1,0 +1,54 @@
+"""Candidate road retrieval (Definition 4 / Step 1 of §IV-E)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cellular.trajectory import TrajectoryPoint
+from repro.network.road_network import RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.relation_graph import RelationGraph
+
+
+def spatial_candidate_pool(
+    network: RoadNetwork,
+    point: TrajectoryPoint,
+    radius_m: float,
+    limit: int,
+) -> list[int]:
+    """Roads within ``radius_m`` of the sample, nearest first, capped at ``limit``.
+
+    Falls back to the nearest roads when the radius search comes back empty
+    (points in network gaps must still receive candidates).  This pool is
+    what LHMM's learned observation probability re-ranks; distance-based
+    baselines take their top-k directly from it.
+    """
+    pool = network.segments_near(point.position, radius_m)
+    if not pool:
+        pool = network.nearest_segments(point.position, count=limit)
+    return pool[:limit]
+
+
+def learned_candidate_pool(
+    graph: "RelationGraph",
+    point: TrajectoryPoint,
+    radius_m: float,
+    limit: int,
+    include_cooccurrence: bool = True,
+) -> list[int]:
+    """Spatial pool plus the tower's historically co-occurring roads.
+
+    Appending co-occurring roads realises LHMM's ability to reach "more
+    relevant but farther roads" (Example 1): a road outside the spatial
+    radius — or beyond the nearest-first cap in dense areas — still enters
+    the pool when history says this tower serves it.  Training and
+    inference must use the *same* pool builder so the pool-relative rank
+    features stay distributionally consistent.
+    """
+    pool = spatial_candidate_pool(graph.network, point, radius_m, limit)
+    if include_cooccurrence and point.tower_id is not None:
+        known = graph.roads_seen_with(point.tower_id)
+        pool_set = set(pool)
+        pool.extend(seg for seg in known if seg not in pool_set)
+    return pool

@@ -1,0 +1,95 @@
+"""Node encoders: the Het-Graph encoder (Eq. 4–5) and the LHMM-E ablation.
+
+The Het-Graph encoder initialises every node (tower or road) with a
+learnable embedding, then runs ``q`` rounds of relational message passing:
+each relation ``rel`` aggregates neighbour messages as
+``z_i^rel = mean_{j in N_i^rel} W_rel h_j`` (Eq. 4) and the update is
+``h_i' = ReLU( sum_rel W_agg z_i^rel + W_0 h_i )`` (Eq. 5).
+
+``MlpNodeEncoder`` replaces graph propagation with an embedding + MLP — the
+LHMM-E variant of Table III.  Setting ``heterogeneous=False`` on the graph
+encoder collapses all relations into one (a plain GCN) — the LHMM-H variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.relation_graph import RELATIONS, RelationGraph
+from repro.nn import MLP, Embedding, Linear, Module, Tensor
+from repro.nn.functional import segment_mean
+from repro.utils import ensure_rng
+
+
+class HetGraphEncoder(Module):
+    """Relational message-passing encoder over a :class:`RelationGraph`."""
+
+    def __init__(
+        self,
+        graph: RelationGraph,
+        dim: int = 48,
+        num_layers: int = 2,
+        heterogeneous: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not graph.edges:
+            raise ValueError("relation graph must be built before encoding")
+        rng = ensure_rng(rng)
+        self.graph = graph
+        self.dim = dim
+        self.num_layers = num_layers
+        self.heterogeneous = heterogeneous
+        self.embedding = Embedding(graph.num_nodes, dim, rng=rng)
+        relations = list(RELATIONS) if heterogeneous else ["ALL"]
+        self.relation_weights = [
+            {rel: Linear(dim, dim, bias=False, rng=rng) for rel in relations}
+            for _ in range(num_layers)
+        ]
+        self.self_weights = [Linear(dim, dim, bias=False, rng=rng) for _ in range(num_layers)]
+        self.aggregate_weights = [
+            Linear(dim, dim, bias=False, rng=rng) for _ in range(num_layers)
+        ]
+
+    def _relation_edges(self):
+        if self.heterogeneous:
+            return {rel: self.graph.edges[rel] for rel in RELATIONS}
+        return {"ALL": self.graph.merged_edges()}
+
+    def forward(self) -> Tensor:
+        """Embeddings for every graph node, shape ``(num_nodes, dim)``."""
+        h = self.embedding.all()
+        edges = self._relation_edges()
+        for layer in range(self.num_layers):
+            messages = None
+            for rel, edge_set in edges.items():
+                if edge_set.count == 0:
+                    continue
+                projected = self.relation_weights[layer][rel](h[edge_set.sources])
+                pooled = segment_mean(projected, edge_set.targets, self.graph.num_nodes)
+                contribution = self.aggregate_weights[layer](pooled)
+                messages = contribution if messages is None else messages + contribution
+            self_term = self.self_weights[layer](h)
+            h = (self_term if messages is None else messages + self_term).relu()
+        return h
+
+
+class MlpNodeEncoder(Module):
+    """Embedding + MLP without any graph propagation (the LHMM-E ablation)."""
+
+    def __init__(
+        self,
+        graph: RelationGraph,
+        dim: int = 48,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.graph = graph
+        self.dim = dim
+        self.embedding = Embedding(graph.num_nodes, dim, rng=rng)
+        self.mlp = MLP([dim, dim, dim], activation="relu", rng=rng)
+
+    def forward(self) -> Tensor:
+        """Embeddings for every graph node, shape ``(num_nodes, dim)``."""
+        return self.mlp(self.embedding.all())

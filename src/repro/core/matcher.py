@@ -1,0 +1,446 @@
+"""The LHMM facade: ``fit`` on historical trajectories, ``match`` new ones.
+
+``fit`` builds the multi-relational graph from the training split, trains
+the Het-Graph encoder and both probability learners (§IV-B–D), and caches
+the final node embeddings.  ``match`` runs the neuralised HMM path-finding
+of §IV-E: learned candidate preparation, candidate-graph construction with
+batched learned ``P_O``/``P_T`` scoring, Viterbi, and shortcut optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.core.candidates import learned_candidate_pool
+from repro.core.config import LHMMConfig
+from repro.core.features import observation_feature_matrix, transition_features
+from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
+from repro.core.observation import ObservationLearner
+from repro.core.relation_graph import RelationGraph
+from repro.core.training import LHMMTrainer, TrainingReport
+from repro.core.transition import TransitionLearner
+from repro.core.trellis import UNREACHABLE_SCORE, Trellis
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.nn import Tensor, no_grad
+from repro.network.shortest_path import ShortestPathEngine, stitch_segments
+from repro.utils import derive_rng, ensure_rng
+
+
+@dataclass(slots=True)
+class MatchResult:
+    """Output of one matching run.
+
+    Attributes:
+        path: The matched path as consecutive segment ids.
+        matched_sequence: The decoded candidate per trajectory point.
+        candidate_sets: Candidates per point, *including* any roads the
+            shortcut pass inserted (the hitting-ratio metric counts them,
+            matching how the paper credits STM+S with a higher HR).
+        score: The Viterbi path score (Eq. 14).
+    """
+
+    path: list[int]
+    matched_sequence: list[int]
+    candidate_sets: list[list[int]]
+    score: float
+
+
+class _LHMMScorer:
+    """Trellis scorer backed by the trained learners (batched, cached)."""
+
+    def __init__(
+        self,
+        matcher: "LHMM",
+        points: list[TrajectoryPoint],
+        candidate_sets: list[list[int]],
+        po_maps: list[dict[int, float]],
+        context: np.ndarray,
+        relevance: dict[int, float] | None,
+    ) -> None:
+        self._matcher = matcher
+        self._points = points
+        self._candidate_sets = candidate_sets
+        self._po = po_maps
+        self._context = context
+        self._relevance = relevance  # segment id -> P(e|X), or None
+        self._pt_cache: dict[tuple[int, int, int], float] = {}
+        self._steps_done: set[int] = set()
+
+    # ------------------------------------------------------------ observation
+    def observation(self, index: int, segment_id: int) -> float:
+        cached = self._po[index].get(segment_id)
+        if cached is not None:
+            return cached
+        # Score the new segment against the point's original pool so the
+        # pool-relative rank features stay meaningful.
+        pool = [seg for seg in self._po[index] if seg != segment_id]
+        value = self._matcher._score_observations(
+            self._points[index], [*pool, segment_id], self._context[index]
+        )[-1]
+        self._po[index][segment_id] = float(value)
+        return float(value)
+
+    # ------------------------------------------------------------- transition
+    def transition(self, index: int, prev_segment_id: int, segment_id: int) -> float:
+        key = (index, prev_segment_id, segment_id)
+        cached = self._pt_cache.get(key)
+        if cached is not None:
+            return cached
+        if index not in self._steps_done:
+            self._batch_step(index)
+            self._steps_done.add(index)
+            cached = self._pt_cache.get(key)
+            if cached is not None:
+                return cached
+        value = self._compute_transitions(
+            index, [(prev_segment_id, segment_id)]
+        )[0]
+        self._pt_cache[key] = value
+        return value
+
+    def _batch_step(self, index: int) -> None:
+        """Score every candidate pair of one step in a single MLP call."""
+        pairs = [
+            (a, b)
+            for a in self._candidate_sets[index - 1]
+            for b in self._candidate_sets[index]
+        ]
+        values = self._compute_transitions(index, pairs)
+        for pair, value in zip(pairs, values):
+            self._pt_cache[(index, pair[0], pair[1])] = value
+
+    def _compute_transitions(
+        self, index: int, pairs: list[tuple[int, int]]
+    ) -> list[float]:
+        matcher = self._matcher
+        rows: list[np.ndarray] = []
+        row_positions: list[int] = []
+        values = [UNREACHABLE_SCORE] * len(pairs)
+        for pos, (a, b) in enumerate(pairs):
+            route = matcher.engine.route(a, b)
+            if route is None:
+                continue
+            explicit = transition_features(
+                matcher.network, route, self._points[index - 1], self._points[index]
+            )
+            if matcher.transition_learner.use_implicit:
+                assert self._relevance is not None
+                implicit = float(
+                    np.mean([self._relevance.get(s, 0.5) for s in route.segments])
+                )
+                rows.append(np.concatenate([[implicit], explicit]))
+            else:
+                rows.append(explicit)
+            row_positions.append(pos)
+        if rows:
+            with no_grad():
+                probs = (
+                    matcher.transition_learner.fusion_mlp(Tensor(np.stack(rows)))
+                    .reshape(len(rows))
+                    .sigmoid()
+                    .numpy()
+                )
+            for pos, prob in zip(row_positions, probs):
+                values[pos] = float(prob)
+        return values
+
+
+class LHMM:
+    """Learning-enhanced HMM map matcher (the paper's model)."""
+
+    def __init__(
+        self,
+        config: LHMMConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.config = config or LHMMConfig()
+        self.config.validate()
+        self._rng = ensure_rng(rng)
+        self.graph: RelationGraph | None = None
+        self.encoder = None
+        self.observation_learner: ObservationLearner | None = None
+        self.transition_learner: TransitionLearner | None = None
+        self.node_embeddings: np.ndarray | None = None
+        self.network = None
+        self.engine: ShortestPathEngine | None = None
+        self.report: TrainingReport | None = None
+
+    # -------------------------------------------------------------------- fit
+    def fit(
+        self,
+        dataset: MatchingDataset,
+        train_samples: list[MatchingSample] | None = None,
+    ) -> "LHMM":
+        """Train on ``dataset`` (``train_samples`` overrides the train split)."""
+        cfg = self.config
+        samples = train_samples if train_samples is not None else dataset.train
+        self.network = dataset.network
+        self.engine = dataset.engine
+        self.graph = RelationGraph(dataset.network, dataset.towers).build(samples)
+
+        model_rng = derive_rng(self._rng, "model")
+        if cfg.use_graph_encoder:
+            self.encoder = HetGraphEncoder(
+                self.graph,
+                dim=cfg.embedding_dim,
+                num_layers=cfg.het_layers,
+                heterogeneous=cfg.heterogeneous,
+                rng=model_rng,
+            )
+        else:
+            self.encoder = MlpNodeEncoder(self.graph, dim=cfg.embedding_dim, rng=model_rng)
+        self.observation_learner = ObservationLearner(
+            dim=cfg.embedding_dim,
+            hidden=cfg.mlp_hidden,
+            use_implicit=cfg.use_implicit_observation,
+            num_explicit=cfg.observation_feature_count,
+            rng=model_rng,
+        )
+        self.transition_learner = TransitionLearner(
+            dim=cfg.embedding_dim,
+            hidden=cfg.mlp_hidden,
+            use_implicit=cfg.use_implicit_transition,
+            rng=model_rng,
+        )
+        trainer = LHMMTrainer(
+            cfg,
+            self.graph,
+            self.encoder,
+            self.observation_learner,
+            self.transition_learner,
+            self.engine,
+            rng=derive_rng(self._rng, "training"),
+        )
+        self.report = trainer.train(samples)
+        self.node_embeddings = trainer.node_embeddings
+        self.encoder.eval()
+        self.observation_learner.eval()
+        self.transition_learner.eval()
+        return self
+
+    def _require_fit(self) -> None:
+        if self.node_embeddings is None or self.graph is None:
+            raise RuntimeError("call fit() before matching")
+
+    # ------------------------------------------------------------- inference
+    def _tower_node_for(self, point: TrajectoryPoint) -> int:
+        assert self.graph is not None
+        if point.tower_id is not None and point.tower_id in self.graph.towers.towers:
+            return self.graph.tower_node(point.tower_id)
+        nearest = self.graph.towers.nearest(point.position, count=1)
+        return self.graph.tower_node(nearest[0])
+
+    def _score_observations(
+        self,
+        point: TrajectoryPoint,
+        segment_ids: list[int],
+        context_vector: np.ndarray,
+    ) -> np.ndarray:
+        """Batched learned ``P_O`` for one point over ``segment_ids``."""
+        assert self.graph is not None and self.observation_learner is not None
+        assert self.node_embeddings is not None
+        explicit = observation_feature_matrix(
+            self.graph, point, segment_ids, include_ranks=self.config.use_rank_features
+        )
+        with no_grad():
+            implicit = None
+            if self.observation_learner.use_implicit:
+                embeddings = Tensor(
+                    self.node_embeddings[self.graph.segment_nodes(segment_ids)]
+                )
+                implicit = self.observation_learner.implicit_logits(
+                    embeddings, Tensor(context_vector)
+                ).sigmoid()
+            return self.observation_learner.fuse(implicit, explicit).numpy()
+
+    def _segment_relevance(
+        self, tower_embeddings: Tensor, segment_ids: list[int]
+    ) -> dict[int, float]:
+        """``P(e | X)`` (Eq. 10) for the given road segments.
+
+        Restricted to the roads transitions can actually touch (everything
+        near the trajectory) rather than the whole network — identical
+        results, far less attention work.
+        """
+        assert self.graph is not None and self.transition_learner is not None
+        assert self.node_embeddings is not None
+        if not segment_ids:
+            return {}
+        rows = self.node_embeddings[self.graph.segment_nodes(segment_ids)]
+        values: list[float] = []
+        with no_grad():
+            for start in range(0, rows.shape[0], 512):
+                block = Tensor(rows[start : start + 512])
+                logits = self.transition_learner.road_relevance_logits(
+                    block, tower_embeddings
+                )
+                values.extend(logits.sigmoid().numpy().tolist())
+        return dict(zip(segment_ids, values))
+
+    def _relevance_scope(self, trajectory: Trajectory) -> list[int]:
+        """Segments any transition route of this trajectory could traverse."""
+        scope: list[int] = []
+        seen: set[int] = set()
+        for point in trajectory.points:
+            for seg in self.network.segments_near(
+                point.position, self.config.candidate_radius_m + 1500.0
+            ):
+                if seg not in seen:
+                    seen.add(seg)
+                    scope.append(seg)
+        return scope
+
+    def prepare_candidates(
+        self, trajectory: Trajectory
+    ) -> tuple[list[list[int]], list[dict[int, float]], np.ndarray]:
+        """Step 1 of §IV-E: learned top-k candidates per point.
+
+        Returns ``(candidate_sets, po_maps, context)`` where ``po_maps``
+        holds the learned observation probability of every pool road (kept
+        so shortcut insertion can score off-candidate roads cheaply).
+        """
+        self._require_fit()
+        assert self.graph is not None and self.observation_learner is not None
+        cfg = self.config
+        points = trajectory.points
+        tower_nodes = np.array([self._tower_node_for(p) for p in points])
+        with no_grad():
+            x = Tensor(self.node_embeddings[tower_nodes])  # type: ignore[index]
+            context = self.observation_learner.context(x).numpy()
+        candidate_sets: list[list[int]] = []
+        po_maps: list[dict[int, float]] = []
+        for i, point in enumerate(points):
+            pool = learned_candidate_pool(
+                self.graph,
+                point,
+                cfg.candidate_radius_m,
+                cfg.candidate_pool,
+                include_cooccurrence=cfg.extend_pool_with_cooccurrence,
+            )
+            scores = self._score_observations(point, pool, context[i])
+            order = np.argsort(-scores)
+            top = [pool[int(j)] for j in order[: cfg.candidate_k]]
+            candidate_sets.append(top)
+            po_maps.append({seg: float(s) for seg, s in zip(pool, scores)})
+        return candidate_sets, po_maps, context
+
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        """Map-match one cellular trajectory (Algorithms 1 + 2)."""
+        self._require_fit()
+        assert self.transition_learner is not None
+        if len(trajectory) == 0:
+            raise ValueError("cannot match an empty trajectory")
+        candidate_sets, po_maps, context = self.prepare_candidates(trajectory)
+        points = trajectory.points
+        if len(points) == 1:
+            best = max(po_maps[0], key=po_maps[0].get)  # type: ignore[arg-type]
+            return MatchResult([best], [best], [list(candidate_sets[0])], po_maps[0][best])
+
+        relevance = None
+        if self.transition_learner.use_implicit:
+            tower_nodes = np.array([self._tower_node_for(p) for p in points])
+            with no_grad():
+                relevance = self._segment_relevance(
+                    Tensor(self.node_embeddings[tower_nodes]),  # type: ignore[index]
+                    self._relevance_scope(trajectory),
+                )
+        scorer = _LHMMScorer(self, points, candidate_sets, po_maps, context, relevance)
+        trellis = Trellis(candidate_sets, scorer, self.network, self.engine, points)
+        shortcut_k = self.config.shortcut_k if self.config.use_shortcuts else 0
+        sequence = trellis.run(shortcut_k=shortcut_k)
+        path = stitch_segments(sequence, self.engine)
+        return MatchResult(
+            path=path,
+            matched_sequence=sequence,
+            # The trellis's sets include shortcut-inserted candidates.
+            candidate_sets=[list(c) for c in trellis.candidate_sets],
+            score=trellis.best_score,
+        )
+
+    def match_many(self, trajectories: list[Trajectory]) -> list[MatchResult]:
+        """Match a batch of trajectories."""
+        return [self.match(t) for t in trajectories]
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Persist a fitted matcher to one ``.npz`` archive.
+
+        Stores the cached node embeddings, both learners' weights, the
+        mined relation-graph counts (needed for explicit features and
+        candidate pools), and the configuration.  The road network and
+        towers are *not* stored — :meth:`load` takes the dataset they live
+        in, matching how a deployment would keep the (large, static) map
+        separate from the (small, trained) model.
+        """
+        import dataclasses
+        import json
+
+        self._require_fit()
+        assert self.graph is not None
+        payload: dict[str, np.ndarray] = {
+            "node_embeddings": self.node_embeddings,
+            "config_json": np.frombuffer(
+                json.dumps(dataclasses.asdict(self.config)).encode(), dtype=np.uint8
+            ),
+        }
+        payload.update(
+            {f"graph.{k}": v for k, v in self.graph.mining_state().items()}
+        )
+        payload.update(
+            {f"obs.{k}": v for k, v in self.observation_learner.state_dict().items()}
+        )
+        payload.update(
+            {f"trans.{k}": v for k, v in self.transition_learner.state_dict().items()}
+        )
+        np.savez(path, **payload)
+
+    @classmethod
+    def load(cls, path, dataset: MatchingDataset) -> "LHMM":
+        """Restore a matcher saved by :meth:`save` onto ``dataset``'s map."""
+        import json
+
+        with np.load(path) as archive:
+            config_dict = json.loads(bytes(archive["config_json"].tobytes()).decode())
+            config = LHMMConfig(**config_dict)
+            matcher = cls(config)
+            matcher.network = dataset.network
+            matcher.engine = dataset.engine
+            matcher.graph = RelationGraph(dataset.network, dataset.towers)
+            matcher.graph.load_mining_state(
+                {
+                    "co_counts": archive["graph.co_counts"],
+                    "sq_counts": archive["graph.sq_counts"],
+                }
+            )
+            matcher.node_embeddings = archive["node_embeddings"]
+            matcher.observation_learner = ObservationLearner(
+                dim=config.embedding_dim,
+                hidden=config.mlp_hidden,
+                use_implicit=config.use_implicit_observation,
+                num_explicit=config.observation_feature_count,
+            )
+            matcher.observation_learner.load_state_dict(
+                {
+                    k[len("obs.") :]: archive[k]
+                    for k in archive.files
+                    if k.startswith("obs.")
+                }
+            )
+            matcher.transition_learner = TransitionLearner(
+                dim=config.embedding_dim,
+                hidden=config.mlp_hidden,
+                use_implicit=config.use_implicit_transition,
+            )
+            matcher.transition_learner.load_state_dict(
+                {
+                    k[len("trans.") :]: archive[k]
+                    for k in archive.files
+                    if k.startswith("trans.")
+                }
+            )
+        matcher.observation_learner.eval()
+        matcher.transition_learner.eval()
+        return matcher

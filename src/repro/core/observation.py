@@ -1,0 +1,98 @@
+"""The observation-probability learner (§IV-C).
+
+Pipeline per trajectory point:
+
+1. **Context** (Eq. 6): additive self-attention over the trajectory's tower
+   embeddings yields a context-aware point representation ``x'_i``.
+2. **Implicit correlation** (Eq. 7): an MLP over ``road_embedding (+) x'_i``
+   scores how plausibly the road hosts the point given the context.
+3. **Fusion** (Eq. 8): a final MLP combines the implicit score with the
+   explicit features ``D_O`` into the observation probability ``P_O``.
+
+One deviation from the paper's notation: Eq. 7 normalises implicit scores
+with a softmax over the sampled candidate set, which couples the value to
+the candidate-set size.  We keep the softmax for the classification
+*pre-training* objective but feed the fusion MLP the per-road sigmoid of the
+same logit, so ``P_O`` is well-defined for any pool size at inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import NUM_OBSERVATION_FEATURES
+from repro.nn import MLP, AdditiveAttention, Module, Tensor
+from repro.nn.functional import concat
+from repro.utils import ensure_rng
+
+
+class ObservationLearner(Module):
+    """Learned ``P_O(c | x)`` with implicit and explicit components."""
+
+    def __init__(
+        self,
+        dim: int = 48,
+        hidden: int = 48,
+        use_implicit: bool = True,
+        num_explicit: int = NUM_OBSERVATION_FEATURES,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.dim = dim
+        self.use_implicit = use_implicit
+        self.num_explicit = num_explicit
+        self.context_attention = AdditiveAttention(dim, rng=rng)
+        self.correlation_mlp = MLP([2 * dim, hidden, 1], activation="relu", rng=rng)
+        fusion_inputs = (1 if use_implicit else 0) + num_explicit
+        self.fusion_mlp = MLP([fusion_inputs, hidden, 1], activation="relu", rng=rng)
+
+    # ----------------------------------------------------------------- pieces
+    def context(self, tower_embeddings: Tensor) -> Tensor:
+        """Context-aware point representations ``x'_i`` (Eq. 6).
+
+        ``tower_embeddings`` holds the trajectory's point embeddings,
+        shape ``(|X|, dim)``; the result has the same shape.
+        """
+        return self.context_attention(tower_embeddings, tower_embeddings)
+
+    def implicit_logits(self, road_embeddings: Tensor, context_vector: Tensor) -> Tensor:
+        """Implicit point–road correlation logits (pre-softmax of Eq. 7).
+
+        ``road_embeddings`` is ``(m, dim)``; ``context_vector`` is either
+        ``(dim,)`` (one point against m roads) or ``(m, dim)`` paired rows.
+        Returns shape ``(m,)``.
+        """
+        m = road_embeddings.shape[0]
+        if context_vector.ndim == 1:
+            context_vector = context_vector.reshape(1, self.dim) * Tensor(np.ones((m, 1)))
+        merged = concat([road_embeddings, context_vector], axis=-1)
+        return self.correlation_mlp(merged).reshape(m)
+
+    def fuse(self, implicit_probs: Tensor | None, explicit: np.ndarray) -> Tensor:
+        """Observation probabilities from implicit + explicit features (Eq. 8).
+
+        ``explicit`` is ``(m, NUM_OBSERVATION_FEATURES)``; the result is a
+        ``(m,)`` tensor of probabilities in ``(0, 1)``.
+        """
+        pieces = []
+        if self.use_implicit:
+            if implicit_probs is None:
+                raise ValueError("implicit probabilities required unless ablated")
+            pieces.append(implicit_probs.reshape(-1, 1))
+        pieces.append(Tensor(np.asarray(explicit, dtype=np.float64)))
+        merged = concat(pieces, axis=-1) if len(pieces) > 1 else pieces[0]
+        return self.fusion_mlp(merged).reshape(merged.shape[0]).sigmoid()
+
+    # ------------------------------------------------------------------ whole
+    def score(
+        self,
+        road_embeddings: Tensor,
+        context_vector: Tensor,
+        explicit: np.ndarray,
+    ) -> Tensor:
+        """End-to-end ``P_O`` for one point against ``m`` candidate roads."""
+        implicit = None
+        if self.use_implicit:
+            implicit = self.implicit_logits(road_embeddings, context_vector).sigmoid()
+        return self.fuse(implicit, explicit)

@@ -1,0 +1,199 @@
+"""The multi-relational tower/road graph (§IV-B, "Multi-relational Graph
+Construction").
+
+Nodes are all cell towers plus all road segments in one shared id space.
+Three forward relations are mined, each with an inverse so messages flow
+both ways during encoding (the R-GCN convention):
+
+* ``CO`` — co-occurrence: a ground-truth road co-occurs with the trajectory
+  point whose tower is closest to it; edge weights count occurrences.
+* ``SQ`` — sequentiality: consecutive towers within training trajectories.
+* ``TP`` — topology: road-to-road adjacency on the network.
+
+The graph also exposes the co-occurrence *frequency* used as an explicit
+observation feature (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellular.tower import TowerField
+from repro.datasets.dataset import MatchingSample
+from repro.network.road_network import RoadNetwork
+
+RELATIONS = ("CO", "CO_inv", "SQ", "SQ_inv", "TP", "TP_inv")
+
+
+@dataclass(slots=True)
+class RelationEdges:
+    """Edges of one relation as parallel source/target index arrays."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of edges in this relation."""
+        return int(self.sources.shape[0])
+
+
+class RelationGraph:
+    """Unified tower+road graph with typed edges and co-occurrence counts."""
+
+    def __init__(self, network: RoadNetwork, towers: TowerField) -> None:
+        self.network = network
+        self.towers = towers
+        # Towers occupy [0, T), road segments [T, T + R).
+        self._tower_ids = sorted(towers.towers)
+        self._segment_ids = sorted(network.segments)
+        self._tower_index = {tid: i for i, tid in enumerate(self._tower_ids)}
+        self._segment_index = {
+            sid: len(self._tower_ids) + i for i, sid in enumerate(self._segment_ids)
+        }
+        self.num_towers = len(self._tower_ids)
+        self.num_segments = len(self._segment_ids)
+        self.num_nodes = self.num_towers + self.num_segments
+        self._co_counts: Counter[tuple[int, int]] = Counter()
+        self._sq_counts: Counter[tuple[int, int]] = Counter()
+        self._tower_totals: Counter[int] = Counter()
+        self._tower_roads: dict[int, set[int]] = defaultdict(set)
+        self.edges: dict[str, RelationEdges] = {}
+
+    # ---------------------------------------------------------------- indices
+    def tower_node(self, tower_id: int) -> int:
+        """Graph node index of a cell tower."""
+        return self._tower_index[tower_id]
+
+    def segment_node(self, segment_id: int) -> int:
+        """Graph node index of a road segment."""
+        return self._segment_index[segment_id]
+
+    def tower_nodes(self, tower_ids: list[int]) -> np.ndarray:
+        """Vectorised :meth:`tower_node`."""
+        return np.array([self._tower_index[t] for t in tower_ids], dtype=np.int64)
+
+    def segment_nodes(self, segment_ids: list[int]) -> np.ndarray:
+        """Vectorised :meth:`segment_node`."""
+        return np.array([self._segment_index[s] for s in segment_ids], dtype=np.int64)
+
+    # ----------------------------------------------------------------- mining
+    def add_trajectory(self, sample: MatchingSample) -> None:
+        """Mine CO and SQ edges from one training sample.
+
+        CO follows the paper's definition: a path road ``e`` co-occurs with
+        the trajectory point whose tower is *closest to e* among the
+        trajectory's points.
+        """
+        towers_seq = [p.tower_id for p in sample.cellular.points if p.tower_id is not None]
+        if not towers_seq:
+            return
+        for earlier, later in zip(towers_seq, towers_seq[1:]):
+            if earlier != later:
+                self._sq_counts[(earlier, later)] += 1
+        tower_positions = [self.towers.location(t) for t in towers_seq]
+        for seg_id in sample.truth_path:
+            seg = self.network.segments[seg_id]
+            mid = seg.midpoint
+            best = min(
+                range(len(towers_seq)),
+                key=lambda i: tower_positions[i].distance_to(mid),
+            )
+            tower_id = towers_seq[best]
+            self._co_counts[(tower_id, seg_id)] += 1
+            self._tower_totals[tower_id] += 1
+            self._tower_roads[tower_id].add(seg_id)
+
+    def build(self, samples: list[MatchingSample] | None = None) -> "RelationGraph":
+        """Finalise edge arrays (optionally mining ``samples`` first)."""
+        for sample in samples or []:
+            self.add_trajectory(sample)
+
+        co_src, co_dst, co_w = [], [], []
+        for (tower_id, seg_id), count in self._co_counts.items():
+            co_src.append(self.tower_node(tower_id))
+            co_dst.append(self.segment_node(seg_id))
+            co_w.append(float(count))
+        sq_src, sq_dst, sq_w = [], [], []
+        for (a, b), count in self._sq_counts.items():
+            sq_src.append(self.tower_node(a))
+            sq_dst.append(self.tower_node(b))
+            sq_w.append(float(count))
+        tp_src, tp_dst = [], []
+        for seg_id in self._segment_ids:
+            for succ in self.network.successors(seg_id):
+                tp_src.append(self.segment_node(seg_id))
+                tp_dst.append(self.segment_node(succ))
+        tp_w = [1.0] * len(tp_src)
+
+        def edges(src: list, dst: list, weights: list) -> RelationEdges:
+            return RelationEdges(
+                sources=np.asarray(src, dtype=np.int64),
+                targets=np.asarray(dst, dtype=np.int64),
+                weights=np.asarray(weights, dtype=np.float64),
+            )
+
+        self.edges = {
+            "CO": edges(co_src, co_dst, co_w),
+            "CO_inv": edges(co_dst, co_src, co_w),
+            "SQ": edges(sq_src, sq_dst, sq_w),
+            "SQ_inv": edges(sq_dst, sq_src, sq_w),
+            "TP": edges(tp_src, tp_dst, tp_w),
+            "TP_inv": edges(tp_dst, tp_src, tp_w),
+        }
+        return self
+
+    # --------------------------------------------------------------- features
+    def co_occurrence_frequency(self, tower_id: int, segment_id: int) -> float:
+        """Fraction of the tower's co-occurrences landing on ``segment_id``.
+
+        This is the explicit "co-occurrence frequency" feature of Eq. 8;
+        zero for pairs never seen in training.
+        """
+        total = self._tower_totals.get(tower_id, 0)
+        if not total:
+            return 0.0
+        return self._co_counts.get((tower_id, segment_id), 0) / total
+
+    def roads_seen_with(self, tower_id: int) -> set[int]:
+        """Road segments that historically co-occur with ``tower_id``."""
+        return self._tower_roads.get(tower_id, set())
+
+    # ------------------------------------------------------------ persistence
+    def mining_state(self) -> dict[str, np.ndarray]:
+        """The mined counts as arrays (for persisting a trained matcher)."""
+        co = np.array(
+            [(t, s, c) for (t, s), c in self._co_counts.items()], dtype=np.int64
+        ).reshape(-1, 3)
+        sq = np.array(
+            [(a, b, c) for (a, b), c in self._sq_counts.items()], dtype=np.int64
+        ).reshape(-1, 3)
+        return {"co_counts": co, "sq_counts": sq}
+
+    def load_mining_state(self, state: dict[str, np.ndarray]) -> "RelationGraph":
+        """Restore counts saved by :meth:`mining_state`, then re-build edges."""
+        self._co_counts.clear()
+        self._sq_counts.clear()
+        self._tower_totals.clear()
+        self._tower_roads.clear()
+        for tower_id, seg_id, count in np.asarray(state["co_counts"]).reshape(-1, 3):
+            self._co_counts[(int(tower_id), int(seg_id))] = int(count)
+            self._tower_totals[int(tower_id)] += int(count)
+            self._tower_roads[int(tower_id)].add(int(seg_id))
+        for a, b, count in np.asarray(state["sq_counts"]).reshape(-1, 3):
+            self._sq_counts[(int(a), int(b))] = int(count)
+        return self.build()
+
+    def merged_edges(self) -> RelationEdges:
+        """All relations flattened into one homogeneous edge set (LHMM-H)."""
+        if not self.edges:
+            raise RuntimeError("call build() first")
+        return RelationEdges(
+            sources=np.concatenate([e.sources for e in self.edges.values()]),
+            targets=np.concatenate([e.targets for e in self.edges.values()]),
+            weights=np.concatenate([e.weights for e in self.edges.values()]),
+        )

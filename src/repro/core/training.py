@@ -1,0 +1,489 @@
+"""Training loops for the learned probabilities (§IV-D, "Training Process").
+
+The paper trains each learner in two stages:
+
+* **Observation** — (1) classification pre-training of the implicit
+  point–road correlation: for each point, the co-occurring ground-truth road
+  is the positive class against under-sampled surrounding negatives
+  (cross-entropy with label smoothing); the Het-Graph encoder trains
+  end-to-end through this stage.  (2) Fine-tuning of the fusion MLP on
+  binary on-path labels with the implicit score frozen.
+* **Transition** — (1) classification of roads as belonging/not belonging to
+  the trajectory (binary cross-entropy) on top of the *frozen* embeddings;
+  (2) fine-tuning of the fusion MLP to predict the ratio of traveled roads
+  in sampled moving paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import learned_candidate_pool, spatial_candidate_pool
+from repro.core.config import LHMMConfig
+from repro.core.features import observation_feature_matrix, transition_features
+from repro.core.observation import ObservationLearner
+from repro.core.relation_graph import RelationGraph
+from repro.core.transition import TransitionLearner
+from repro.datasets.dataset import MatchingSample
+from repro.nn import Adam, Module, Tensor, no_grad
+from repro.nn.functional import stack
+from repro.nn.loss import binary_cross_entropy_with_logits, cross_entropy_with_label_smoothing
+from repro.network.shortest_path import ShortestPathEngine
+from repro.utils import ensure_rng
+
+
+@dataclass(slots=True)
+class TrainingReport:
+    """Loss trajectories of the four training stages."""
+
+    observation_pretrain: list[float] = field(default_factory=list)
+    observation_finetune: list[float] = field(default_factory=list)
+    transition_pretrain: list[float] = field(default_factory=list)
+    transition_finetune: list[float] = field(default_factory=list)
+
+
+def _point_positive_roads(
+    graph: RelationGraph, sample: MatchingSample
+) -> list[tuple[int, int]]:
+    """``(point_index, positive_segment)`` pairs for one sample.
+
+    The positive of a point is the truth-path road closest to its tower —
+    the same criterion used to mine co-occurrence edges.
+    """
+    pairs: list[tuple[int, int]] = []
+    if not sample.truth_path:
+        return pairs
+    truth_segments = [graph.network.segments[s] for s in sample.truth_path]
+    for i, point in enumerate(sample.cellular.points):
+        best = min(
+            range(len(truth_segments)),
+            key=lambda j: truth_segments[j].distance_to(point.position),
+        )
+        pairs.append((i, sample.truth_path[best]))
+    return pairs
+
+
+class LHMMTrainer:
+    """Runs the four-stage training procedure and caches final embeddings."""
+
+    def __init__(
+        self,
+        config: LHMMConfig,
+        graph: RelationGraph,
+        encoder: Module,
+        observation: ObservationLearner,
+        transition: TransitionLearner,
+        engine: ShortestPathEngine,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.config = config
+        self.graph = graph
+        self.encoder = encoder
+        self.observation = observation
+        self.transition = transition
+        self.engine = engine
+        self._rng = ensure_rng(rng)
+        self.node_embeddings: np.ndarray | None = None
+        # Candidate pools are repeatedly needed for the same points across
+        # epochs and stages; cache them per (sample, point).
+        self._pool_cache: dict[tuple[int, int], list[int]] = {}
+
+    # ----------------------------------------------------------------- driver
+    def train(self, samples: list[MatchingSample]) -> TrainingReport:
+        """Run all stages on ``samples``; returns the loss report."""
+        samples = [s for s in samples if len(s.cellular) >= 2 and s.truth_path]
+        if not samples:
+            raise ValueError("no usable training samples")
+        report = TrainingReport()
+        report.observation_pretrain = self._train_observation_pretrain(samples)
+        self._freeze_embeddings()
+        report.observation_finetune = self._train_observation_finetune(samples)
+        report.transition_pretrain = self._train_transition_pretrain(samples)
+        report.transition_finetune = self._train_transition_finetune(samples)
+        return report
+
+    def _freeze_embeddings(self) -> None:
+        """Cache encoder output; later stages and inference reuse it."""
+        with no_grad():
+            self.node_embeddings = self.encoder().numpy().copy()
+
+    def _embeddings_tensor(self) -> Tensor:
+        if self.node_embeddings is None:
+            raise RuntimeError("embeddings not frozen yet")
+        return Tensor(self.node_embeddings)
+
+    def _point_pool(self, sample: MatchingSample, point_index: int) -> list[int]:
+        """Cached learned candidate pool for one trajectory point."""
+        key = (sample.sample_id, point_index)
+        pool = self._pool_cache.get(key)
+        if pool is None:
+            pool = learned_candidate_pool(
+                self.graph,
+                sample.cellular.points[point_index],
+                self.config.candidate_radius_m,
+                self.config.candidate_pool,
+                include_cooccurrence=self.config.extend_pool_with_cooccurrence,
+            )
+            self._pool_cache[key] = pool
+        return pool
+
+    def _spatial_pool(self, sample: MatchingSample, point_index: int) -> list[int]:
+        """Cached distance-ordered pool (no co-occurrence extension).
+
+        Stage-1 negatives must come from the spatial vicinity only:
+        extending them with the tower's co-occurring roads would label the
+        co-occurrence signal itself as negative and wash it out.
+        """
+        key = (-sample.sample_id - 1, point_index)
+        pool = self._pool_cache.get(key)
+        if pool is None:
+            pool = spatial_candidate_pool(
+                self.graph.network,
+                sample.cellular.points[point_index],
+                self.config.candidate_radius_m,
+                self.config.candidate_pool,
+            )
+            self._pool_cache[key] = pool
+        return pool
+
+    # -------------------------------------------------- stage 1: obs pretrain
+    def _sample_negatives(
+        self, sample: MatchingSample, point_index: int, exclude: set[int], count: int
+    ) -> list[int]:
+        pool = self._spatial_pool(sample, point_index)
+        negatives = [seg for seg in pool if seg not in exclude]
+        if len(negatives) > count:
+            picks = self._rng.choice(len(negatives), size=count, replace=False)
+            negatives = [negatives[int(p)] for p in picks]
+        return negatives
+
+    def _train_observation_pretrain(self, samples: list[MatchingSample]) -> list[float]:
+        params = self.encoder.parameters() + list(
+            self.observation.context_attention.parameters()
+        ) + list(self.observation.correlation_mlp.parameters())
+        optimizer = Adam(
+            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+        # Note: this stage runs even under the LHMM-O ablation — it is the
+        # representation-learning task that trains the encoder, which the
+        # transition learner still depends on.  LHMM-O only removes the
+        # implicit score from the fusion input (Eq. 8).
+        losses: list[float] = []
+        order = np.arange(len(samples))
+        for _ in range(self.config.epochs):
+            self._rng.shuffle(order)
+            for start in range(0, len(order), self.config.batch_size):
+                batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
+                loss = self._observation_pretrain_loss(batch)
+                if loss is None:
+                    continue
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        return losses
+
+    def _observation_pretrain_loss(self, batch: list[MatchingSample]) -> Tensor | None:
+        h = self.encoder()
+        per_point_losses: list[Tensor] = []
+        for sample in batch:
+            towers = [p.tower_id for p in sample.cellular.points]
+            if any(t is None for t in towers):
+                continue
+            tower_nodes = self.graph.tower_nodes(towers)  # type: ignore[arg-type]
+            x = h[tower_nodes]
+            context = self.observation.context(x)
+            truth_set = set(sample.truth_path)
+            for point_index, positive in _point_positive_roads(self.graph, sample):
+                negatives = self._sample_negatives(
+                    sample, point_index, truth_set, self.config.negatives_per_positive
+                )
+                if not negatives:
+                    continue
+                roads = [positive, *negatives]
+                road_embeddings = h[self.graph.segment_nodes(roads)]
+                logits = self.observation.implicit_logits(
+                    road_embeddings, context[point_index]
+                )
+                loss = cross_entropy_with_label_smoothing(
+                    logits.reshape(1, len(roads)),
+                    np.array([0]),
+                    self.config.label_smoothing,
+                )
+                per_point_losses.append(loss)
+        if not per_point_losses:
+            return None
+        return stack(per_point_losses).mean()
+
+    # -------------------------------------------------- stage 2: obs finetune
+    def _train_observation_finetune(self, samples: list[MatchingSample]) -> list[float]:
+        features, labels = self._collect_observation_fusion_data(samples)
+        if features is None:
+            return []
+        optimizer = Adam(
+            self.observation.fusion_mlp.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        losses: list[float] = []
+        n = features.shape[0]
+        batch = max(64, self.config.batch_size * 16)
+        for _ in range(max(1, self.config.epochs)):
+            order = self._rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                logits = self.observation.fusion_mlp(Tensor(features[idx]))
+                loss = binary_cross_entropy_with_logits(
+                    logits.reshape(len(idx)), labels[idx], self.config.label_smoothing
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        return losses
+
+    def _collect_observation_fusion_data(
+        self, samples: list[MatchingSample]
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        h = self._embeddings_tensor()
+        rows: list[np.ndarray] = []
+        labels: list[float] = []
+        with no_grad():
+            for sample in samples:
+                towers = [p.tower_id for p in sample.cellular.points]
+                if any(t is None for t in towers):
+                    continue
+                x = h[self.graph.tower_nodes(towers)]  # type: ignore[arg-type]
+                context = self.observation.context(x).numpy()
+                truth_set = set(sample.truth_path)
+                for i, point in enumerate(sample.cellular.points):
+                    pool = self._point_pool(sample, i)
+                    if not pool:
+                        continue
+                    # Features over the FULL pool (rank features must see the
+                    # same pool they will see at inference), then
+                    # under-sample negatives to keep labels balanced.
+                    explicit = observation_feature_matrix(
+                        self.graph,
+                        point,
+                        pool,
+                        include_ranks=self.config.use_rank_features,
+                    )
+                    pos_idx = [j for j, seg in enumerate(pool) if seg in truth_set]
+                    neg_idx = [j for j, seg in enumerate(pool) if seg not in truth_set]
+                    keep = min(len(neg_idx), max(1, 3 * max(1, len(pos_idx))))
+                    if keep < len(neg_idx):
+                        picks = self._rng.choice(len(neg_idx), size=keep, replace=False)
+                        neg_idx = [neg_idx[int(p)] for p in picks]
+                    chosen = pos_idx + neg_idx
+                    if not chosen:
+                        continue
+                    explicit = explicit[chosen]
+                    if self.observation.use_implicit:
+                        roads = [pool[j] for j in chosen]
+                        embeddings = h[self.graph.segment_nodes(roads)]
+                        implicit = (
+                            self.observation.implicit_logits(
+                                embeddings, Tensor(context[i])
+                            )
+                            .sigmoid()
+                            .numpy()
+                            .reshape(-1, 1)
+                        )
+                        rows.append(np.concatenate([implicit, explicit], axis=1))
+                    else:
+                        rows.append(explicit)
+                    labels.extend([1.0] * len(pos_idx) + [0.0] * len(neg_idx))
+        if not rows:
+            return None, None
+        return np.concatenate(rows, axis=0), np.asarray(labels)
+
+    # ------------------------------------------------ stage 3: trans pretrain
+    def _train_transition_pretrain(self, samples: list[MatchingSample]) -> list[float]:
+        if not self.transition.use_implicit:
+            return []
+        h = self._embeddings_tensor()
+        params = list(self.transition.road_attention.parameters()) + list(
+            self.transition.relevance_mlp.parameters()
+        )
+        optimizer = Adam(
+            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+        losses: list[float] = []
+        order = np.arange(len(samples))
+        for _ in range(self.config.epochs):
+            self._rng.shuffle(order)
+            for start in range(0, len(order), self.config.batch_size):
+                batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
+                loss = self._transition_pretrain_loss(batch, h)
+                if loss is None:
+                    continue
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        return losses
+
+    def _transition_pretrain_loss(
+        self, batch: list[MatchingSample], h: Tensor
+    ) -> Tensor | None:
+        per_sample: list[Tensor] = []
+        for sample in batch:
+            towers = [p.tower_id for p in sample.cellular.points]
+            if any(t is None for t in towers):
+                continue
+            x = h[self.graph.tower_nodes(towers)]  # type: ignore[arg-type]
+            truth = list(dict.fromkeys(sample.truth_path))
+            if not truth:
+                continue
+            max_pos = 24
+            if len(truth) > max_pos:
+                picks = self._rng.choice(len(truth), size=max_pos, replace=False)
+                truth = [truth[int(p)] for p in picks]
+            negatives = self._off_path_roads(sample, set(sample.truth_path), len(truth))
+            roads = truth + negatives
+            labels = np.array([1.0] * len(truth) + [0.0] * len(negatives))
+            embeddings = h[self.graph.segment_nodes(roads)]
+            logits = self.transition.road_relevance_logits(embeddings, x)
+            per_sample.append(
+                binary_cross_entropy_with_logits(logits, labels, self.config.label_smoothing)
+            )
+        if not per_sample:
+            return None
+        return stack(per_sample).mean()
+
+    def _off_path_roads(
+        self, sample: MatchingSample, truth_set: set[int], count: int
+    ) -> list[int]:
+        """Roads near the trajectory but not on the truth path."""
+        negatives: list[int] = []
+        seen: set[int] = set()
+        for i in range(len(sample.cellular)):
+            for seg in self._point_pool(sample, i)[:20]:
+                if seg not in truth_set and seg not in seen:
+                    seen.add(seg)
+                    negatives.append(seg)
+        if len(negatives) > count:
+            picks = self._rng.choice(len(negatives), size=count, replace=False)
+            negatives = [negatives[int(p)] for p in picks]
+        return negatives
+
+    # ------------------------------------------------ stage 4: trans finetune
+    def _train_transition_finetune(self, samples: list[MatchingSample]) -> list[float]:
+        features, targets = self._collect_transition_fusion_data(samples)
+        if features is None:
+            return []
+        optimizer = Adam(
+            self.transition.fusion_mlp.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        losses: list[float] = []
+        n = features.shape[0]
+        batch = max(64, self.config.batch_size * 16)
+        for _ in range(max(1, self.config.epochs)):
+            order = self._rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                logits = self.transition.fusion_mlp(Tensor(features[idx]))
+                loss = binary_cross_entropy_with_logits(
+                    logits.reshape(len(idx)), targets[idx], smoothing=0.0
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        return losses
+
+    def _collect_transition_fusion_data(
+        self, samples: list[MatchingSample]
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        h = self._embeddings_tensor()
+        rows: list[np.ndarray] = []
+        targets: list[float] = []
+        transitions_per_pair = 4
+        with no_grad():
+            for sample in samples:
+                towers = [p.tower_id for p in sample.cellular.points]
+                if any(t is None for t in towers) or len(sample.cellular) < 2:
+                    continue
+                x = h[self.graph.tower_nodes(towers)]  # type: ignore[arg-type]
+                relevance = self._road_relevance_lookup(sample, x, h)
+                truth_set = set(sample.truth_path)
+                points = sample.cellular.points
+                for i in range(1, len(points)):
+                    pairs = self._sample_transition_pairs(
+                        sample, i, transitions_per_pair
+                    )
+                    for from_seg, to_seg in pairs:
+                        route = self.engine.route(from_seg, to_seg)
+                        if route is None:
+                            continue
+                        on_path = sum(1 for s in route.segments if s in truth_set)
+                        target = on_path / route.num_segments
+                        explicit = transition_features(
+                            self.graph.network, route, points[i - 1], points[i]
+                        )
+                        if self.transition.use_implicit:
+                            implicit = float(
+                                np.mean([relevance.get(s, 0.5) for s in route.segments])
+                            )
+                            rows.append(np.concatenate([[implicit], explicit]))
+                        else:
+                            rows.append(explicit)
+                        targets.append(target)
+        if not rows:
+            return None, None
+        return np.stack(rows), np.asarray(targets)
+
+    def _road_relevance_lookup(
+        self, sample: MatchingSample, x: Tensor, h: Tensor
+    ) -> dict[int, float]:
+        """Per-road relevance probabilities for roads near this sample."""
+        if not self.transition.use_implicit:
+            return {}
+        roads: list[int] = []
+        seen: set[int] = set()
+        for i in range(len(sample.cellular)):
+            for seg in self._point_pool(sample, i)[:40]:
+                if seg not in seen:
+                    seen.add(seg)
+                    roads.append(seg)
+        for seg in sample.truth_path:
+            if seg not in seen:
+                seen.add(seg)
+                roads.append(seg)
+        if not roads:
+            return {}
+        embeddings = h[self.graph.segment_nodes(roads)]
+        probs = self.transition.road_relevance_logits(embeddings, x).sigmoid().numpy()
+        return dict(zip(roads, probs.tolist()))
+
+    def _sample_transition_pairs(
+        self, sample: MatchingSample, i: int, count: int
+    ) -> list[tuple[int, int]]:
+        """Candidate transitions for the step into point ``i``.
+
+        Mixes the true transition (closest truth roads of both points) with
+        random pool pairs so targets span the full [0, 1] range.
+        """
+        prev_pool = self._point_pool(sample, i - 1)[:20]
+        next_pool = self._point_pool(sample, i)[:20]
+        if not prev_pool or not next_pool:
+            return []
+        pairs: list[tuple[int, int]] = []
+        truth_set = set(sample.truth_path)
+        prev_truth = [s for s in prev_pool if s in truth_set]
+        next_truth = [s for s in next_pool if s in truth_set]
+        if prev_truth and next_truth:
+            pairs.append((prev_truth[0], next_truth[0]))
+        while len(pairs) < count:
+            pairs.append(
+                (
+                    prev_pool[int(self._rng.integers(0, len(prev_pool)))],
+                    next_pool[int(self._rng.integers(0, len(next_pool)))],
+                )
+            )
+        return pairs

@@ -1,0 +1,70 @@
+"""The transition-probability learner (§IV-D).
+
+Pipeline per transition ``c_{i-1} -> c_i``:
+
+1. **Road-conditioned trajectory representation** (Eq. 9): for each road on
+   the moving path, additive attention over the trajectory's point
+   embeddings (query = road) produces a road-specific summary ``X_l``.
+2. **Road relevance** (Eq. 10): an MLP over ``road (+) X_l`` estimates the
+   probability the road belongs to the trajectory.
+3. **Path relevance** (Eq. 11): the mean relevance over the shortest path's
+   segments.
+4. **Fusion** (Eq. 12): a final MLP combines the path relevance with the
+   explicit features ``D_T`` into the transition probability ``P_T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import NUM_TRANSITION_FEATURES
+from repro.nn import MLP, AdditiveAttention, Module, Tensor
+from repro.nn.functional import concat
+from repro.utils import ensure_rng
+
+
+class TransitionLearner(Module):
+    """Learned ``P_T(c_{i-1} -> c_i)`` with implicit and explicit components."""
+
+    def __init__(
+        self,
+        dim: int = 48,
+        hidden: int = 48,
+        use_implicit: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.dim = dim
+        self.use_implicit = use_implicit
+        self.road_attention = AdditiveAttention(dim, rng=rng)
+        self.relevance_mlp = MLP([2 * dim, hidden, 1], activation="relu", rng=rng)
+        fusion_inputs = (1 if use_implicit else 0) + NUM_TRANSITION_FEATURES
+        self.fusion_mlp = MLP([fusion_inputs, hidden, 1], activation="relu", rng=rng)
+
+    def road_relevance_logits(
+        self, road_embeddings: Tensor, tower_embeddings: Tensor
+    ) -> Tensor:
+        """Logits of ``P(e_l | X)`` for each road row (Eq. 9 + Eq. 10).
+
+        ``road_embeddings`` is ``(m, dim)``, ``tower_embeddings`` is
+        ``(|X|, dim)``; returns shape ``(m,)``.
+        """
+        summaries = self.road_attention(road_embeddings, tower_embeddings)
+        merged = concat([road_embeddings, summaries], axis=-1)
+        return self.relevance_mlp(merged).reshape(road_embeddings.shape[0])
+
+    def fuse(self, path_relevance: Tensor | None, explicit: np.ndarray) -> Tensor:
+        """Transition probabilities from implicit + explicit features (Eq. 12).
+
+        ``path_relevance`` is ``(m,)`` mean road relevances (Eq. 11) for m
+        transitions; ``explicit`` is ``(m, NUM_TRANSITION_FEATURES)``.
+        """
+        pieces = []
+        if self.use_implicit:
+            if path_relevance is None:
+                raise ValueError("path relevance required unless ablated")
+            pieces.append(path_relevance.reshape(-1, 1))
+        pieces.append(Tensor(np.asarray(explicit, dtype=np.float64)))
+        merged = concat(pieces, axis=-1) if len(pieces) > 1 else pieces[0]
+        return self.fusion_mlp(merged).reshape(merged.shape[0]).sigmoid()

@@ -1,0 +1,189 @@
+"""Candidate-graph path finding: Viterbi (Alg. 1) plus shortcuts (Alg. 2).
+
+The trellis is deliberately matcher-agnostic: it consumes candidate sets and
+a :class:`TrellisScorer` (observation and transition callbacks), so LHMM and
+the heuristic HMM baselines — including the STM+S bolt-on of Table III —
+share the same path-finding machinery.
+
+Scores follow the paper exactly: the step score is
+``W(c_{i-1} -> c_i) = P_T(c_{i-1} -> c_i) * P_O(c_i | x_i)`` (Eq. 13), path
+scores are *sums* of step scores (Eq. 14), and unreachable transitions are
+assigned a large negative penalty so they are chosen only when no
+alternative exists.
+
+Shortcut caveat: Algorithm 2 redirects ``pre[c_{i-1}^u]`` in place (line 10),
+which can alter backtracks of other states passing through ``c_{i-1}^u``.
+We reproduce the paper's behaviour verbatim; because updates apply only on
+score improvement this is benign in practice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.cellular.trajectory import TrajectoryPoint
+from repro.network.road_network import RoadNetwork
+from repro.network.shortest_path import ShortestPathEngine
+
+UNREACHABLE_SCORE = -1e6
+
+
+class TrellisScorer(Protocol):
+    """Scoring interface the trellis drives.
+
+    Implementations must be able to score *any* segment at any point index,
+    because shortcut construction inserts candidates that were not in the
+    original candidate sets.
+    """
+
+    def observation(self, index: int, segment_id: int) -> float:
+        """``P_O(segment | x_index)`` in ``[0, 1]``."""
+        ...
+
+    def transition(self, index: int, prev_segment_id: int, segment_id: int) -> float:
+        """``P_T`` for moving between points ``index-1`` and ``index``.
+
+        Return :data:`UNREACHABLE_SCORE` when no route exists.
+        """
+        ...
+
+
+class Trellis:
+    """One map-matching instance over fixed candidate sets."""
+
+    def __init__(
+        self,
+        candidate_sets: list[list[int]],
+        scorer: TrellisScorer,
+        network: RoadNetwork,
+        engine: ShortestPathEngine,
+        points: list[TrajectoryPoint],
+    ) -> None:
+        if len(candidate_sets) != len(points):
+            raise ValueError("one candidate set per trajectory point required")
+        if any(not c for c in candidate_sets):
+            raise ValueError("every point needs at least one candidate")
+        self.candidate_sets = [list(c) for c in candidate_sets]
+        self.scorer = scorer
+        self.network = network
+        self.engine = engine
+        self.points = points
+        self._f: list[dict[int, float]] = []
+        self._pre: list[dict[int, int]] = []
+        self._w_cache: dict[tuple[int, int, int], float] = {}
+
+    # ---------------------------------------------------------------- scoring
+    def _w(self, index: int, prev_segment: int, segment: int) -> float:
+        """Cached step score ``W`` (Eq. 13)."""
+        key = (index, prev_segment, segment)
+        cached = self._w_cache.get(key)
+        if cached is not None:
+            return cached
+        trans = self.scorer.transition(index, prev_segment, segment)
+        if trans <= UNREACHABLE_SCORE:
+            score = UNREACHABLE_SCORE
+        else:
+            score = trans * self.scorer.observation(index, segment)
+        self._w_cache[key] = score
+        return score
+
+    # ---------------------------------------------------------------- viterbi
+    def _forward(self) -> None:
+        """Fill ``f`` and ``pre`` tables (Alg. 1, lines 4–12)."""
+        n = len(self.points)
+        self._f = [dict() for _ in range(n)]
+        self._pre = [dict() for _ in range(n)]
+        for seg in self.candidate_sets[0]:
+            self._f[0][seg] = self.scorer.observation(0, seg)
+        for i in range(1, n):
+            for seg in self.candidate_sets[i]:
+                best_score = -math.inf
+                best_prev: int | None = None
+                for prev_seg in self.candidate_sets[i - 1]:
+                    score = self._f[i - 1][prev_seg] + self._w(i, prev_seg, seg)
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_seg
+                self._f[i][seg] = best_score
+                if best_prev is not None:
+                    self._pre[i][seg] = best_prev
+
+    # -------------------------------------------------------------- shortcuts
+    def _closest_route_segment(self, route_segments: tuple[int, ...], index: int) -> int:
+        """The route segment closest to point ``index`` (Alg. 2, line 5)."""
+        position = self.points[index].position
+        return min(
+            route_segments,
+            key=lambda seg_id: self.network.segments[seg_id].distance_to(position),
+        )
+
+    def _apply_shortcuts(self, shortcut_k: int) -> None:
+        """Insert skipping edges for every candidate (Alg. 2)."""
+        n = len(self.points)
+        for i in range(2, n):
+            prev_candidates = list(self.candidate_sets[i - 1])
+            prev2_candidates = list(self.candidate_sets[i - 2])
+            for seg in list(self.candidate_sets[i]):
+                # Eq. 20: rank one-hop predecessors by the best two-step score.
+                ranked: list[tuple[float, int]] = []
+                for j_seg in prev2_candidates:
+                    best_two_step = max(
+                        (
+                            self._w(i - 1, j_seg, l_seg) + self._w(i, l_seg, seg)
+                            for l_seg in prev_candidates
+                        ),
+                        default=-math.inf,
+                    )
+                    ranked.append((best_two_step, j_seg))
+                ranked.sort(reverse=True)
+                for _, j_seg in ranked[:shortcut_k]:
+                    route = self.engine.route(j_seg, seg)
+                    if route is None or len(route.segments) == 0:
+                        continue
+                    u_seg = self._closest_route_segment(route.segments, i - 1)
+                    w_in = self._w(i - 1, j_seg, u_seg)
+                    w_out = self._w(i, u_seg, seg)
+                    if w_in <= UNREACHABLE_SCORE or w_out <= UNREACHABLE_SCORE:
+                        continue
+                    shortcut_score = self._f[i - 2][j_seg] + w_in + w_out
+                    if shortcut_score > self._f[i][seg]:
+                        self._f[i][seg] = shortcut_score
+                        self._pre[i][seg] = u_seg
+                        self._pre[i - 1][u_seg] = j_seg
+                        # Keep layer i-1 self-consistent for later backtracks.
+                        projected = self._f[i - 2][j_seg] + w_in
+                        if projected > self._f[i - 1].get(u_seg, -math.inf):
+                            self._f[i - 1][u_seg] = projected
+                        if u_seg not in self.candidate_sets[i - 1]:
+                            self.candidate_sets[i - 1].append(u_seg)
+
+    # -------------------------------------------------------------- interface
+    def run(self, shortcut_k: int = 0) -> list[int]:
+        """Best candidate per point (Alg. 1 with optional Alg. 2 shortcuts)."""
+        self._forward()
+        if shortcut_k > 0 and len(self.points) >= 3:
+            self._apply_shortcuts(shortcut_k)
+        return self._backtrack()
+
+    def _backtrack(self) -> list[int]:
+        n = len(self.points)
+        last_scores = self._f[-1]
+        current = max(last_scores, key=last_scores.get)  # type: ignore[arg-type]
+        sequence = [current]
+        for i in range(n - 1, 0, -1):
+            current = self._pre[i].get(current)
+            if current is None:
+                # Disconnected trellis: restart from the best state at i-1.
+                layer = self._f[i - 1]
+                current = max(layer, key=layer.get)  # type: ignore[arg-type]
+            sequence.append(current)
+        sequence.reverse()
+        return sequence
+
+    @property
+    def best_score(self) -> float:
+        """Score of the decoded path (valid after :meth:`run`)."""
+        if not self._f:
+            raise RuntimeError("run() first")
+        return max(self._f[-1].values())

@@ -1,0 +1,28 @@
+"""Dataset assembly: synthetic city datasets with GPS-derived ground truth."""
+
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.datasets.groundtruth import GpsHmmConfig, match_gps_trajectory
+from repro.datasets.synthetic import DatasetConfig, make_city_dataset, preset_config
+from repro.datasets.stats import DatasetStatistics, compute_statistics
+from repro.datasets.io import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+
+__all__ = [
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset",
+    "save_dataset",
+    "MatchingDataset",
+    "MatchingSample",
+    "GpsHmmConfig",
+    "match_gps_trajectory",
+    "DatasetConfig",
+    "make_city_dataset",
+    "preset_config",
+    "DatasetStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,104 @@
+"""Matching datasets: samples, splits, and accessors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellular.tower import TowerField
+from repro.cellular.trajectory import Trajectory
+from repro.geometry import Point
+from repro.network.road_network import RoadNetwork
+from repro.network.shortest_path import ShortestPathEngine
+
+
+@dataclass(slots=True)
+class MatchingSample:
+    """One labelled CTMM instance.
+
+    Attributes:
+        sample_id: Unique id within the dataset.
+        cellular: The pre-filtered cellular trajectory matchers consume.
+        raw_cellular: The unfiltered cellular trajectory (for filter studies
+            and resampling sweeps, which re-filter after thinning).
+        gps: The paired GPS trajectory.
+        truth_path: Ground-truth path as ordered segment ids (recovered from
+            GPS by the classical HMM, per the paper's protocol).
+        sim_path: The simulator's actual driven path — used only to validate
+            the ground-truth pipeline itself, never given to matchers.
+    """
+
+    sample_id: int
+    cellular: Trajectory
+    raw_cellular: Trajectory
+    gps: Trajectory
+    truth_path: list[int]
+    sim_path: list[int] = field(default_factory=list)
+
+
+@dataclass
+class MatchingDataset:
+    """A city's worth of CTMM data plus the substrate it lives on."""
+
+    name: str
+    network: RoadNetwork
+    towers: TowerField
+    samples: list[MatchingSample]
+    train_fraction: float = 0.7
+    val_fraction: float = 0.1
+    _engine: ShortestPathEngine | None = field(default=None, repr=False)
+
+    @property
+    def engine(self) -> ShortestPathEngine:
+        """A shared, memoising shortest-path engine over the network."""
+        if self._engine is None:
+            self._engine = ShortestPathEngine(self.network)
+        return self._engine
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _boundaries(self) -> tuple[int, int]:
+        n = len(self.samples)
+        train_end = int(n * self.train_fraction)
+        val_end = train_end + int(n * self.val_fraction)
+        return train_end, min(val_end, n)
+
+    @property
+    def train(self) -> list[MatchingSample]:
+        """Training split (historical trajectories with traveled paths)."""
+        train_end, _ = self._boundaries()
+        return self.samples[:train_end]
+
+    @property
+    def val(self) -> list[MatchingSample]:
+        """Validation split for hyper-parameter selection."""
+        train_end, val_end = self._boundaries()
+        return self.samples[train_end:val_end]
+
+    @property
+    def test(self) -> list[MatchingSample]:
+        """Held-out evaluation split."""
+        _, val_end = self._boundaries()
+        return self.samples[val_end:]
+
+    def city_centre(self) -> Point:
+        """Centre of the network bounding box (for Fig. 7(a) stratification)."""
+        min_x, min_y, max_x, max_y = self.network.bounding_box()
+        return Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0)
+
+    def distance_to_centre(self, sample: MatchingSample) -> float:
+        """Distance from the sample's cellular centroid to the city centre."""
+        return sample.cellular.centroid().distance_to(self.city_centre())
+
+    def with_samples(self, samples: list[MatchingSample]) -> "MatchingDataset":
+        """A shallow copy over a different sample list (shares the substrate)."""
+        clone = MatchingDataset(
+            name=self.name,
+            network=self.network,
+            towers=self.towers,
+            samples=samples,
+            train_fraction=self.train_fraction,
+            val_fraction=self.val_fraction,
+        )
+        clone._engine = self._engine
+        return clone

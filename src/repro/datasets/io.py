@@ -1,0 +1,115 @@
+"""Dataset persistence: save/load a full :class:`MatchingDataset`.
+
+A dataset bundles the road network, the tower field, and every labelled
+sample (raw + filtered cellular trajectories, the GPS sequence, and both
+paths).  Everything serialises to one gzip-compressed JSON document, so
+generated cities can be shared and experiments re-run bit-identically
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.cellular.tower import CellTower, TowerField
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.geometry import Point
+from repro.network.io import network_from_dict, network_to_dict
+
+_FORMAT_VERSION = 1
+
+
+def _trajectory_to_dict(trajectory: Trajectory) -> dict:
+    return {
+        "id": trajectory.trajectory_id,
+        "points": [
+            [p.position.x, p.position.y, p.timestamp, p.tower_id]
+            for p in trajectory.points
+        ],
+    }
+
+
+def _trajectory_from_dict(data: dict) -> Trajectory:
+    points = [
+        TrajectoryPoint(
+            position=Point(float(x), float(y)),
+            timestamp=float(t),
+            tower_id=None if tower is None else int(tower),
+        )
+        for x, y, t, tower in data["points"]
+    ]
+    return Trajectory(points=points, trajectory_id=int(data["id"]), _validated=True)
+
+
+def dataset_to_dict(dataset: MatchingDataset) -> dict:
+    """A JSON-serialisable representation of the full dataset."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "train_fraction": dataset.train_fraction,
+        "val_fraction": dataset.val_fraction,
+        "network": network_to_dict(dataset.network),
+        "towers": [
+            [t.tower_id, t.location.x, t.location.y] for t in dataset.towers
+        ],
+        "samples": [
+            {
+                "id": s.sample_id,
+                "cellular": _trajectory_to_dict(s.cellular),
+                "raw_cellular": _trajectory_to_dict(s.raw_cellular),
+                "gps": _trajectory_to_dict(s.gps),
+                "truth_path": s.truth_path,
+                "sim_path": s.sim_path,
+            }
+            for s in dataset.samples
+        ],
+    }
+
+
+def dataset_from_dict(data: dict) -> MatchingDataset:
+    """Rebuild a dataset from :func:`dataset_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+    network = network_from_dict(data["network"])
+    towers = TowerField(
+        [
+            CellTower(int(tid), Point(float(x), float(y)))
+            for tid, x, y in data["towers"]
+        ]
+    )
+    samples = [
+        MatchingSample(
+            sample_id=int(entry["id"]),
+            cellular=_trajectory_from_dict(entry["cellular"]),
+            raw_cellular=_trajectory_from_dict(entry["raw_cellular"]),
+            gps=_trajectory_from_dict(entry["gps"]),
+            truth_path=[int(s) for s in entry["truth_path"]],
+            sim_path=[int(s) for s in entry.get("sim_path", [])],
+        )
+        for entry in data["samples"]
+    ]
+    return MatchingDataset(
+        name=str(data["name"]),
+        network=network,
+        towers=towers,
+        samples=samples,
+        train_fraction=float(data.get("train_fraction", 0.7)),
+        val_fraction=float(data.get("val_fraction", 0.1)),
+    )
+
+
+def save_dataset(dataset: MatchingDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` as gzip-compressed JSON."""
+    payload = json.dumps(dataset_to_dict(dataset)).encode("utf-8")
+    with gzip.open(Path(path), "wb") as handle:
+        handle.write(payload)
+
+
+def load_dataset(path: str | Path) -> MatchingDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with gzip.open(Path(path), "rb") as handle:
+        return dataset_from_dict(json.loads(handle.read().decode("utf-8")))

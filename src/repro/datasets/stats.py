@@ -1,0 +1,74 @@
+"""Dataset characteristics — the quantities reported in Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import MatchingDataset
+
+
+@dataclass(slots=True)
+class DatasetStatistics:
+    """Summary statistics of a matching dataset (Table I's rows)."""
+
+    name: str
+    road_segments: int
+    intersections: int
+    cellular_points: int
+    gps_points: int
+    cellular_points_per_trajectory: float
+    gps_points_per_trajectory: float
+    mean_cellular_interval_s: float
+    max_cellular_interval_s: float
+    mean_cellular_distance_m: float
+    median_cellular_distance_m: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """``(label, value)`` rows in the paper's Table I order."""
+        return [
+            ("road segments", f"{self.road_segments:,}"),
+            ("intersections", f"{self.intersections:,}"),
+            ("all cellular trajectory points", f"{self.cellular_points:,}"),
+            ("all GPS trajectory points", f"{self.gps_points:,}"),
+            ("cellular trajectory points per trajectory", f"{self.cellular_points_per_trajectory:.0f}"),
+            ("GPS trajectory points per trajectory", f"{self.gps_points_per_trajectory:.0f}"),
+            ("average cellular sampling interval (s)", f"{self.mean_cellular_interval_s:.0f}"),
+            ("maximum cellular sampling interval (s)", f"{self.max_cellular_interval_s:.0f}"),
+            ("average cellular sampling distance (m)", f"{self.mean_cellular_distance_m:.0f}"),
+            ("median cellular sampling distance (m)", f"{self.median_cellular_distance_m:.0f}"),
+        ]
+
+
+def compute_statistics(dataset: MatchingDataset) -> DatasetStatistics:
+    """Compute Table-I style statistics for ``dataset``.
+
+    Interval/distance statistics use the *raw* (unfiltered) cellular
+    trajectories, matching how an operator would characterise the feed.
+    """
+    if not dataset.samples:
+        raise ValueError("empty dataset")
+    intervals: list[float] = []
+    distances: list[float] = []
+    cellular_points = 0
+    gps_points = 0
+    for sample in dataset.samples:
+        intervals.extend(sample.raw_cellular.sampling_intervals())
+        distances.extend(sample.raw_cellular.sampling_distances())
+        cellular_points += len(sample.raw_cellular)
+        gps_points += len(sample.gps)
+    n = len(dataset.samples)
+    return DatasetStatistics(
+        name=dataset.name,
+        road_segments=dataset.network.num_segments,
+        intersections=dataset.network.num_nodes,
+        cellular_points=cellular_points,
+        gps_points=gps_points,
+        cellular_points_per_trajectory=cellular_points / n,
+        gps_points_per_trajectory=gps_points / n,
+        mean_cellular_interval_s=float(np.mean(intervals)) if intervals else 0.0,
+        max_cellular_interval_s=float(np.max(intervals)) if intervals else 0.0,
+        mean_cellular_distance_m=float(np.mean(distances)) if distances else 0.0,
+        median_cellular_distance_m=float(np.median(distances)) if distances else 0.0,
+    )

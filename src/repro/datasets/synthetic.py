@@ -1,0 +1,183 @@
+"""Synthetic city dataset assembly with Hangzhou-like / Xiamen-like presets.
+
+The presets mirror Table I qualitatively at reduced scale: the Hangzhou-like
+city is larger, with a slightly sparser cellular sampling rate (mean 67 s vs
+42 s) and longer sampling distances; the Xiamen-like city is smaller and
+samples faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cellular.filters import apply_standard_filters
+from repro.cellular.simulator import SimulationConfig, VehicleSimulator
+from repro.cellular.tower import TowerPlacementConfig, place_towers
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.datasets.groundtruth import GpsHmmConfig, match_gps_trajectory
+from repro.network.generators import CityConfig, generate_city_network
+from repro.network.shortest_path import ShortestPathEngine
+from repro.utils import derive_rng
+
+
+@dataclass(slots=True)
+class DatasetConfig:
+    """Everything needed to build a synthetic city dataset.
+
+    Attributes:
+        name: Dataset label (``"hangzhou"`` / ``"xiamen"`` / custom).
+        city: Road-network generator settings.
+        towers: Tower placement settings.
+        simulation: Trip/sampling settings.
+        num_trajectories: How many trips to simulate.
+        groundtruth: ``"gps_hmm"`` runs the paper's GPS-HMM pipeline;
+            ``"oracle"`` uses the simulator's true path directly (faster,
+            used by unit tests).
+        apply_filters: Whether to run the SnapNet pre-filters on the
+            cellular trajectories (the paper always does).
+    """
+
+    name: str = "hangzhou"
+    city: CityConfig = None  # type: ignore[assignment]
+    towers: TowerPlacementConfig = None  # type: ignore[assignment]
+    simulation: SimulationConfig = None  # type: ignore[assignment]
+    num_trajectories: int = 300
+    groundtruth: str = "gps_hmm"
+    apply_filters: bool = True
+
+    def __post_init__(self) -> None:
+        if self.city is None:
+            self.city = CityConfig()
+        if self.towers is None:
+            self.towers = TowerPlacementConfig()
+        if self.simulation is None:
+            self.simulation = SimulationConfig()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.num_trajectories < 1:
+            raise ValueError("num_trajectories must be >= 1")
+        if self.groundtruth not in ("gps_hmm", "oracle"):
+            raise ValueError("groundtruth must be 'gps_hmm' or 'oracle'")
+        self.city.validate()
+        self.towers.validate()
+        self.simulation.validate()
+
+
+def preset_config(name: str, num_trajectories: int = 300, scale: float = 1.0) -> DatasetConfig:
+    """Named preset mirroring one of the paper's two cities.
+
+    ``scale`` multiplies the grid dimensions (0.5 gives a quarter-size city
+    for fast tests).
+    """
+    rows = max(8, int(round(24 * scale)))
+    if name == "hangzhou":
+        return DatasetConfig(
+            name="hangzhou",
+            city=CityConfig(
+                grid_rows=rows,
+                grid_cols=rows,
+                block_size_m=230.0,
+                density_gradient=0.9,
+                removal_prob=0.12,
+            ),
+            towers=TowerPlacementConfig(base_spacing_m=480.0, spacing_gradient=2.2),
+            simulation=SimulationConfig(
+                cellular_interval_mean_s=67.0,
+                cellular_interval_sigma_s=24.0,
+                cellular_interval_max_s=247.0,
+                gps_interval_s=25.0,
+            ),
+            num_trajectories=num_trajectories,
+        )
+    if name == "xiamen":
+        return DatasetConfig(
+            name="xiamen",
+            city=CityConfig(
+                grid_rows=max(8, int(round(20 * scale))),
+                grid_cols=rows,
+                block_size_m=200.0,
+                density_gradient=0.7,
+                removal_prob=0.10,
+            ),
+            towers=TowerPlacementConfig(base_spacing_m=430.0, spacing_gradient=1.8),
+            simulation=SimulationConfig(
+                cellular_interval_mean_s=42.0,
+                cellular_interval_sigma_s=15.0,
+                cellular_interval_max_s=185.0,
+                gps_interval_s=19.0,
+            ),
+            num_trajectories=num_trajectories,
+        )
+    raise ValueError(f"unknown preset {name!r}; use 'hangzhou' or 'xiamen'")
+
+
+def make_city_dataset(
+    config: DatasetConfig | str | None = None,
+    rng: int | np.random.Generator | None = 0,
+    num_trajectories: int | None = None,
+    scale: float = 1.0,
+) -> MatchingDataset:
+    """Build a complete synthetic dataset: city, towers, trips, ground truth.
+
+    ``config`` may be a :class:`DatasetConfig` or a preset name; ``None``
+    defaults to the Hangzhou-like preset.
+    """
+    if config is None or isinstance(config, str):
+        config = preset_config(config or "hangzhou", num_trajectories=num_trajectories or 300)
+    elif num_trajectories is not None:
+        config = replace(config, num_trajectories=num_trajectories)
+    config.validate()
+
+    network = generate_city_network(config.city, rng=derive_rng(rng, config.name, "city"))
+    towers = place_towers(network, config.towers, rng=derive_rng(rng, config.name, "towers"))
+    # Clamp the trip range to what the generated city can actually host, so
+    # scaled-down cities still produce valid origin/destination pairs.
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    diagonal = ((max_x - min_x) ** 2 + (max_y - min_y) ** 2) ** 0.5
+    simulation = config.simulation
+    if simulation.max_trip_m > 0.85 * diagonal:
+        simulation = replace(
+            simulation,
+            max_trip_m=max(600.0, 0.85 * diagonal),
+            min_trip_m=min(simulation.min_trip_m, max(300.0, 0.4 * diagonal)),
+        )
+    simulator = VehicleSimulator(
+        network,
+        towers,
+        config=simulation,
+        rng=derive_rng(rng, config.name, "trips"),
+    )
+    engine = ShortestPathEngine(network)
+    gps_hmm = GpsHmmConfig()
+
+    samples: list[MatchingSample] = []
+    for trip in simulator.simulate_many(config.num_trajectories):
+        if config.groundtruth == "gps_hmm":
+            truth = match_gps_trajectory(trip.gps, network, engine, gps_hmm)
+        else:
+            truth = list(trip.path)
+        if not truth:
+            continue
+        cellular = (
+            apply_standard_filters(trip.cellular) if config.apply_filters else trip.cellular
+        )
+        if len(cellular) < 3:
+            continue
+        samples.append(
+            MatchingSample(
+                sample_id=trip.trip_id,
+                cellular=cellular,
+                raw_cellular=trip.cellular,
+                gps=trip.gps,
+                truth_path=truth,
+                sim_path=list(trip.path),
+            )
+        )
+    dataset = MatchingDataset(
+        name=config.name, network=network, towers=towers, samples=samples
+    )
+    dataset._engine = engine
+    return dataset

@@ -1,0 +1,27 @@
+"""Evaluation: the paper's metrics (§V-A3), harness, and table reporting."""
+
+from repro.eval.metrics import (
+    corridor_mismatch_fraction,
+    hitting_ratio,
+    path_length,
+    precision_recall,
+    route_mismatch_fraction,
+)
+from repro.eval.harness import EvaluationResult, SampleEvaluation, evaluate_matcher
+from repro.eval.report import format_table, format_series
+from repro.eval.stats import PairedComparison, paired_bootstrap
+
+__all__ = [
+    "path_length",
+    "precision_recall",
+    "route_mismatch_fraction",
+    "corridor_mismatch_fraction",
+    "hitting_ratio",
+    "EvaluationResult",
+    "SampleEvaluation",
+    "evaluate_matcher",
+    "format_table",
+    "format_series",
+    "PairedComparison",
+    "paired_bootstrap",
+]

@@ -1,0 +1,173 @@
+"""Evaluation harness: run a matcher over a dataset split and aggregate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.cellular.trajectory import Trajectory
+from repro.datasets.dataset import MatchingDataset, MatchingSample
+from repro.eval.metrics import (
+    corridor_mismatch_fraction,
+    hitting_ratio,
+    precision_recall,
+    route_mismatch_fraction,
+)
+from repro.utils import Timer
+
+
+class Matcher(Protocol):
+    """Anything that maps a cellular trajectory to a path."""
+
+    def match(self, trajectory: Trajectory):
+        """Return an object with ``path`` (and optionally ``candidate_sets``)."""
+        ...
+
+
+@dataclass(slots=True)
+class SampleEvaluation:
+    """Per-sample metric values."""
+
+    sample_id: int
+    precision: float
+    recall: float
+    rmf: float
+    cmf50: float
+    hitting: float | None
+    seconds: float
+
+
+@dataclass(slots=True)
+class EvaluationResult:
+    """Aggregated metrics over an evaluation split (one Table II cell row)."""
+
+    method: str
+    dataset: str
+    samples: list[SampleEvaluation] = field(default_factory=list)
+
+    def _mean(self, attr: str) -> float:
+        values = [getattr(s, attr) for s in self.samples if getattr(s, attr) is not None]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Mean length-weighted precision."""
+        return self._mean("precision")
+
+    @property
+    def recall(self) -> float:
+        """Mean length-weighted recall."""
+        return self._mean("recall")
+
+    @property
+    def rmf(self) -> float:
+        """Mean route mismatch fraction (lower is better)."""
+        return self._mean("rmf")
+
+    @property
+    def cmf50(self) -> float:
+        """Mean 50 m corridor mismatch fraction (lower is better)."""
+        return self._mean("cmf50")
+
+    @property
+    def hitting(self) -> float:
+        """Mean hitting ratio (HMM-based methods only)."""
+        return self._mean("hitting")
+
+    @property
+    def avg_time(self) -> float:
+        """Mean seconds per matched trajectory."""
+        return self._mean("seconds")
+
+    def row(self) -> dict[str, float]:
+        """All aggregates as a dict (for table printing)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "rmf": self.rmf,
+            "cmf50": self.cmf50,
+            "hr": self.hitting,
+            "avg_time": self.avg_time,
+        }
+
+    # ------------------------------------------------------------------ export
+    def to_dict(self) -> dict:
+        """Aggregates plus per-sample rows, JSON-serialisable."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "aggregates": self.row(),
+            "samples": [
+                {
+                    "sample_id": s.sample_id,
+                    "precision": s.precision,
+                    "recall": s.recall,
+                    "rmf": s.rmf,
+                    "cmf50": s.cmf50,
+                    "hitting": s.hitting,
+                    "seconds": s.seconds,
+                }
+                for s in self.samples
+            ],
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def save_csv(self, path) -> None:
+        """Write the per-sample rows to ``path`` as CSV."""
+        import csv
+        from pathlib import Path
+
+        fields = ["sample_id", "precision", "recall", "rmf", "cmf50", "hitting", "seconds"]
+        with Path(path).open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for entry in self.to_dict()["samples"]:
+                writer.writerow(entry)
+
+
+def evaluate_matcher(
+    matcher: Matcher,
+    dataset: MatchingDataset,
+    samples: list[MatchingSample] | None = None,
+    method_name: str = "matcher",
+    corridor_radius_m: float = 50.0,
+) -> EvaluationResult:
+    """Run ``matcher`` over ``samples`` (default: test split) and score it."""
+    samples = dataset.test if samples is None else samples
+    result = EvaluationResult(method=method_name, dataset=dataset.name)
+    for sample in samples:
+        timer = Timer()
+        with timer:
+            outcome = matcher.match(sample.cellular)
+        matched_path = list(outcome.path)
+        precision, recall = precision_recall(dataset.network, sample.truth_path, matched_path)
+        rmf = route_mismatch_fraction(dataset.network, sample.truth_path, matched_path)
+        cmf = corridor_mismatch_fraction(
+            dataset.network, sample.truth_path, matched_path, radius_m=corridor_radius_m
+        )
+        candidate_sets = getattr(outcome, "candidate_sets", None)
+        hitting = (
+            hitting_ratio(candidate_sets, sample.truth_path)
+            if candidate_sets is not None
+            else None
+        )
+        result.samples.append(
+            SampleEvaluation(
+                sample_id=sample.sample_id,
+                precision=precision,
+                recall=recall,
+                rmf=rmf,
+                cmf50=cmf,
+                hitting=hitting,
+                seconds=timer.elapsed,
+            )
+        )
+    return result

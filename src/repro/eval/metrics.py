@@ -1,0 +1,106 @@
+"""Matching-quality metrics (§V-A3).
+
+All length-based metrics treat a path as the *set* of its road segments
+(repeated traversals count once), matching the usual map-matching
+evaluation convention.
+"""
+
+from __future__ import annotations
+
+from repro.network.road_network import RoadNetwork
+
+
+def path_length(network: RoadNetwork, path: list[int]) -> float:
+    """Total length of the distinct segments of ``path``, in metres."""
+    return sum(network.segments[s].length for s in set(path))
+
+
+def precision_recall(
+    network: RoadNetwork, truth_path: list[int], matched_path: list[int]
+) -> tuple[float, float]:
+    """Length-weighted precision and recall of ``matched_path``.
+
+    Precision is correctly-matched length over matched length; recall is
+    correctly-matched length over ground-truth length.
+    """
+    truth = set(truth_path)
+    matched = set(matched_path)
+    correct = path_length(network, list(truth & matched))
+    matched_len = path_length(network, matched_path)
+    truth_len = path_length(network, truth_path)
+    precision = correct / matched_len if matched_len > 0 else 0.0
+    recall = correct / truth_len if truth_len > 0 else 0.0
+    return precision, recall
+
+
+def route_mismatch_fraction(
+    network: RoadNetwork, truth_path: list[int], matched_path: list[int]
+) -> float:
+    """RMF (Eq. 22): missing plus redundant length over ground-truth length.
+
+    The strictest error indicator — 0 only for an exact segment-set match,
+    and it can exceed 1 when the matched path wanders far.
+    """
+    truth = set(truth_path)
+    matched = set(matched_path)
+    missing = path_length(network, list(truth - matched))
+    redundant = path_length(network, list(matched - truth))
+    truth_len = path_length(network, truth_path)
+    if truth_len <= 0:
+        return 0.0
+    return (missing + redundant) / truth_len
+
+
+def corridor_mismatch_fraction(
+    network: RoadNetwork,
+    truth_path: list[int],
+    matched_path: list[int],
+    radius_m: float = 50.0,
+    sample_step_m: float = 25.0,
+) -> float:
+    """CMF (Eq. 23): ground-truth length outside the matched path's corridor.
+
+    The ground-truth path is sampled every ``sample_step_m`` metres; a
+    sample counts as covered when it lies within ``radius_m`` of any
+    matched segment.  ``CMF50`` is this metric at the paper's common 50 m
+    corridor radius.
+    """
+    if not truth_path:
+        return 0.0
+    if not matched_path:
+        return 1.0
+    matched_segments = [network.segments[s] for s in set(matched_path)]
+    uncovered = 0
+    total = 0
+    for seg_id in set(truth_path):
+        polyline = network.segments[seg_id].polyline
+        offsets = []
+        offset = sample_step_m / 2.0
+        while offset < polyline.length:
+            offsets.append(offset)
+            offset += sample_step_m
+        if not offsets:  # segment shorter than the step: sample its midpoint
+            offsets = [polyline.length / 2.0]
+        for position in offsets:
+            sample = polyline.interpolate(position)
+            total += 1
+            covered = any(
+                seg.distance_to(sample) <= radius_m for seg in matched_segments
+            )
+            if not covered:
+                uncovered += 1
+    return uncovered / total if total else 0.0
+
+
+def hitting_ratio(candidate_sets: list[list[int]], truth_path: list[int]) -> float:
+    """Fraction of points whose candidate set intersects the truth path.
+
+    Reflects the candidate-preparation quality of HMM-based methods; a
+    point with no truth-path candidate is unmatchable without shortcuts
+    (Observation 1).
+    """
+    if not candidate_sets:
+        return 0.0
+    truth = set(truth_path)
+    hits = sum(1 for candidates in candidate_sets if truth.intersection(candidates))
+    return hits / len(candidate_sets)

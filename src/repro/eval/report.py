@@ -1,0 +1,52 @@
+"""Plain-text tables and series, formatted like the paper's exhibits."""
+
+from __future__ import annotations
+
+from repro.eval.harness import EvaluationResult
+
+
+def format_table(
+    results: list[EvaluationResult],
+    columns: list[str] = ("precision", "recall", "rmf", "cmf50", "avg_time"),
+    title: str | None = None,
+) -> str:
+    """Render evaluation results as an aligned text table.
+
+    ``columns`` picks metric keys from :meth:`EvaluationResult.row`.
+    """
+    header = ["method", *columns]
+    body: list[list[str]] = []
+    for result in results:
+        row = result.row()
+        body.append([result.method, *(f"{row[c]:.3f}" for c in columns)])
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: list,
+    series: dict[str, list[float]],
+    title: str | None = None,
+) -> str:
+    """Render one figure's data as a table: x values against named series."""
+    header = [x_label, *series]
+    body = []
+    for i, x in enumerate(x_values):
+        body.append([str(x), *(f"{series[name][i]:.3f}" for name in series)])
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Statistical comparison of matchers: paired bootstrap over trajectories.
+
+Map-matching metrics vary a lot across trajectories, so point estimates of
+"method A beats method B by 0.02 CMF" need uncertainty.  Both methods are
+evaluated on the *same* trajectories, which makes the paired bootstrap the
+natural tool: resample trajectories with replacement, recompute the mean
+difference, and read confidence bounds off the resampled distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.harness import EvaluationResult
+from repro.utils import ensure_rng
+
+
+@dataclass(slots=True)
+class PairedComparison:
+    """Bootstrap summary of ``metric(A) - metric(B)`` over shared samples.
+
+    For error metrics (RMF, CMF) a negative ``mean_difference`` favours A;
+    for precision/recall a positive one does.
+    """
+
+    metric: str
+    method_a: str
+    method_b: str
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_better: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the confidence interval excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        marker = "significant" if self.significant else "not significant"
+        return (
+            f"{self.method_a} - {self.method_b} on {self.metric}: "
+            f"{self.mean_difference:+.3f} "
+            f"[{self.ci_low:+.3f}, {self.ci_high:+.3f}] ({marker})"
+        )
+
+
+def paired_bootstrap(
+    result_a: EvaluationResult,
+    result_b: EvaluationResult,
+    metric: str = "cmf50",
+    iterations: int = 2000,
+    confidence: float = 0.95,
+    rng: int | np.random.Generator | None = 0,
+) -> PairedComparison:
+    """Paired bootstrap of the per-sample metric difference A - B.
+
+    Both results must cover the same samples in the same order (the
+    harness guarantees this when given the same sample list).  ``p_better``
+    is the bootstrap probability that A's mean is strictly better than B's
+    (lower for error metrics, higher for precision/recall/hitting).
+    """
+    ids_a = [s.sample_id for s in result_a.samples]
+    ids_b = [s.sample_id for s in result_b.samples]
+    if ids_a != ids_b:
+        raise ValueError("results must be evaluated on the same samples, in order")
+    if not ids_a:
+        raise ValueError("empty results")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    a = np.array([getattr(s, metric) for s in result_a.samples], dtype=np.float64)
+    b = np.array([getattr(s, metric) for s in result_b.samples], dtype=np.float64)
+    rng = ensure_rng(rng)
+    n = len(a)
+    differences = a - b
+    resampled = np.empty(iterations)
+    for i in range(iterations):
+        picks = rng.integers(0, n, size=n)
+        resampled[i] = differences[picks].mean()
+    alpha = (1.0 - confidence) / 2.0
+    lower_is_better = metric in ("rmf", "cmf50", "seconds")
+    if lower_is_better:
+        p_better = float(np.mean(resampled < 0.0))
+    else:
+        p_better = float(np.mean(resampled > 0.0))
+    return PairedComparison(
+        metric=metric,
+        method_a=result_a.method,
+        method_b=result_b.method,
+        mean_difference=float(differences.mean()),
+        ci_low=float(np.quantile(resampled, alpha)),
+        ci_high=float(np.quantile(resampled, 1.0 - alpha)),
+        p_better=p_better,
+    )

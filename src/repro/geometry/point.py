@@ -1,0 +1,56 @@
+"""Points, distances, and bearings in the local metric frame."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable 2-D point (east/north metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)`` metres."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(x, y)`` tuple, handy for numpy interop."""
+        return (self.x, self.y)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def bearing_deg(a: Point, b: Point) -> float:
+    """Compass-style bearing from ``a`` to ``b`` in degrees.
+
+    0 deg points north (+y), 90 deg points east (+x); the result lies in
+    ``[0, 360)``.  Identical points yield 0 by convention.
+    """
+    dx = b.x - a.x
+    dy = b.y - a.y
+    if dx == 0.0 and dy == 0.0:
+        return 0.0
+    angle = math.degrees(math.atan2(dx, dy)) % 360.0
+    # A tiny negative angle can round the modulo up to exactly 360.0.
+    return 0.0 if angle >= 360.0 else angle
+
+
+def heading_difference_deg(h1: float, h2: float) -> float:
+    """Smallest absolute angle between two headings, in ``[0, 180]``."""
+    diff = abs(h1 - h2) % 360.0
+    return 360.0 - diff if diff > 180.0 else diff

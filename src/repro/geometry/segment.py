@@ -1,0 +1,130 @@
+"""Segment and polyline geometry: projection, distance, interpolation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point, bearing_deg, euclidean
+
+
+def project_point_to_segment(p: Point, a: Point, b: Point) -> tuple[Point, float]:
+    """Orthogonal projection of ``p`` onto the segment ``a``–``b``.
+
+    Returns ``(foot, t)`` where ``foot`` is the closest point on the segment
+    and ``t`` in ``[0, 1]`` is the normalised position of the foot along the
+    segment (0 at ``a``, 1 at ``b``).  Degenerate zero-length segments
+    project everything onto ``a``.
+    """
+    ax, ay = a.x, a.y
+    dx, dy = b.x - ax, b.y - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return a, 0.0
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / length_sq
+    t = min(1.0, max(0.0, t))
+    return Point(ax + t * dx, ay + t * dy), t
+
+
+def point_to_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from ``p`` to the closest point of segment ``a``–``b``."""
+    foot, _ = project_point_to_segment(p, a, b)
+    return euclidean(p, foot)
+
+
+@dataclass(slots=True)
+class Polyline:
+    """An open polyline given by two or more vertices.
+
+    Lengths are cached lazily; instances are cheap to construct in bulk from
+    the road-network builder.
+    """
+
+    points: list[Point]
+    _cumulative: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("Polyline requires at least two points")
+
+    def _cumlengths(self) -> list[float]:
+        if not self._cumulative:
+            acc = [0.0]
+            for a, b in zip(self.points, self.points[1:]):
+                acc.append(acc[-1] + euclidean(a, b))
+            self._cumulative = acc
+        return self._cumulative
+
+    @property
+    def length(self) -> float:
+        """Total polyline length in metres."""
+        return self._cumlengths()[-1]
+
+    @property
+    def start(self) -> Point:
+        """First vertex."""
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        """Last vertex."""
+        return self.points[-1]
+
+    def interpolate(self, distance: float) -> Point:
+        """The point ``distance`` metres from the start along the polyline.
+
+        Distances are clamped to ``[0, length]``.
+        """
+        cum = self._cumlengths()
+        total = cum[-1]
+        distance = min(total, max(0.0, distance))
+        # Find the hosting segment by linear scan; polylines are short.
+        for i in range(1, len(cum)):
+            if distance <= cum[i] or i == len(cum) - 1:
+                seg_len = cum[i] - cum[i - 1]
+                if seg_len == 0.0:
+                    return self.points[i - 1]
+                t = (distance - cum[i - 1]) / seg_len
+                a, b = self.points[i - 1], self.points[i]
+                return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+        return self.points[-1]
+
+    def project(self, p: Point) -> tuple[Point, float, float]:
+        """Closest point on the polyline to ``p``.
+
+        Returns ``(foot, distance_to_p, offset_along_polyline)``.
+        """
+        best_foot: Point | None = None
+        best_dist = math.inf
+        best_offset = 0.0
+        cum = self._cumlengths()
+        for i in range(len(self.points) - 1):
+            a, b = self.points[i], self.points[i + 1]
+            foot, t = project_point_to_segment(p, a, b)
+            dist = euclidean(p, foot)
+            if dist < best_dist:
+                best_dist = dist
+                best_foot = foot
+                best_offset = cum[i] + t * (cum[i + 1] - cum[i])
+        assert best_foot is not None
+        return best_foot, best_dist, best_offset
+
+    def heading_deg(self) -> float:
+        """Overall bearing of the polyline (start to end) in degrees."""
+        return bearing_deg(self.start, self.end)
+
+    def turn_angle_sum_deg(self) -> float:
+        """Sum of absolute turn angles along internal vertices, in degrees."""
+        total = 0.0
+        for i in range(1, len(self.points) - 1):
+            h1 = bearing_deg(self.points[i - 1], self.points[i])
+            h2 = bearing_deg(self.points[i], self.points[i + 1])
+            diff = abs(h1 - h2) % 360.0
+            total += 360.0 - diff if diff > 180.0 else diff
+        return total
+
+
+def point_to_polyline_distance(p: Point, polyline: Polyline) -> float:
+    """Distance from ``p`` to the closest point of ``polyline``."""
+    _, dist, _ = polyline.project(p)
+    return dist

@@ -1,0 +1,22 @@
+"""Road-network substrate: graph model, synthetic generators, routing."""
+
+from repro.network.road_network import RoadNetwork, RoadSegment
+from repro.network.generators import CityConfig, generate_city_network
+from repro.network.shortest_path import Route, ShortestPathEngine
+from repro.network.io import network_from_dict, network_to_dict, load_network, save_network
+from repro.network.ubodt import Ubodt, UbodtRouter
+
+__all__ = [
+    "RoadNetwork",
+    "RoadSegment",
+    "CityConfig",
+    "generate_city_network",
+    "Route",
+    "ShortestPathEngine",
+    "network_from_dict",
+    "network_to_dict",
+    "load_network",
+    "save_network",
+    "Ubodt",
+    "UbodtRouter",
+]

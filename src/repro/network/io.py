@@ -1,0 +1,56 @@
+"""Road-network (de)serialisation to plain dictionaries and JSON files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.geometry import Point, Polyline
+from repro.network.road_network import RoadNetwork, RoadSegment
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """A JSON-serialisable representation of ``network``."""
+    return {
+        "nodes": {str(nid): [p.x, p.y] for nid, p in network.nodes.items()},
+        "segments": [
+            {
+                "id": seg.segment_id,
+                "start": seg.start_node,
+                "end": seg.end_node,
+                "points": [[p.x, p.y] for p in seg.polyline.points],
+                "speed": seg.speed_limit_mps,
+                "class": seg.road_class,
+            }
+            for seg in network.segments.values()
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> RoadNetwork:
+    """Rebuild a frozen :class:`RoadNetwork` from :func:`network_to_dict` output."""
+    network = RoadNetwork()
+    for nid, (x, y) in data["nodes"].items():
+        network.add_node(int(nid), Point(float(x), float(y)))
+    for entry in data["segments"]:
+        network.add_segment(
+            RoadSegment(
+                segment_id=int(entry["id"]),
+                start_node=int(entry["start"]),
+                end_node=int(entry["end"]),
+                polyline=Polyline([Point(float(x), float(y)) for x, y in entry["points"]]),
+                speed_limit_mps=float(entry.get("speed", 13.9)),
+                road_class=str(entry.get("class", "local")),
+            )
+        )
+    return network.freeze()
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    """Load a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

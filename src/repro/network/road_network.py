@@ -1,0 +1,222 @@
+"""Directed road-network model with spatial queries.
+
+A :class:`RoadNetwork` is the substrate every matcher in this library runs
+on: a set of intersection nodes plus directed road segments between them,
+with a uniform-grid spatial index for "segments near this point" queries
+(candidate retrieval) and adjacency structures for routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import GridIndex, Point, Polyline
+
+
+@dataclass(slots=True)
+class RoadSegment:
+    """One directed road segment.
+
+    Attributes:
+        segment_id: Unique integer id within the network.
+        start_node: Id of the node the segment leaves.
+        end_node: Id of the node the segment enters.
+        polyline: Geometry from the start node to the end node.
+        speed_limit_mps: Free-flow speed in metres per second.
+        road_class: Coarse class label (``"arterial"``, ``"local"``, ...),
+            used by the generators and by heuristic baselines.
+    """
+
+    segment_id: int
+    start_node: int
+    end_node: int
+    polyline: Polyline
+    speed_limit_mps: float = 13.9
+    road_class: str = "local"
+
+    @property
+    def length(self) -> float:
+        """Segment length in metres."""
+        return self.polyline.length
+
+    @property
+    def midpoint(self) -> Point:
+        """Point halfway along the segment geometry."""
+        return self.polyline.interpolate(self.polyline.length / 2.0)
+
+    def heading_deg(self) -> float:
+        """Overall bearing of the segment in degrees."""
+        return self.polyline.heading_deg()
+
+    def distance_to(self, p: Point) -> float:
+        """Distance from ``p`` to the closest point of the segment."""
+        _, dist, _ = self.polyline.project(p)
+        return dist
+
+
+@dataclass
+class RoadNetwork:
+    """A directed road network ``G<V, E>`` (Definition 3 of the paper).
+
+    Build with :meth:`add_node` / :meth:`add_segment` then call
+    :meth:`freeze` (or use :func:`repro.network.generate_city_network`).
+    Spatial queries require a frozen network.
+    """
+
+    nodes: dict[int, Point] = field(default_factory=dict)
+    segments: dict[int, RoadSegment] = field(default_factory=dict)
+    _out: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _in: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _index: GridIndex | None = field(default=None, repr=False)
+    _index_sample_step: float = field(default=150.0, repr=False)
+    # Flattened sub-segment geometry for vectorised distance queries:
+    # _sub_geometry rows are (ax, ay, dx, dy, len_sq); _sub_rows maps each
+    # segment id to its contiguous row range.
+    _sub_geometry: "np.ndarray | None" = field(default=None, repr=False)
+    _sub_rows: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ build
+    def add_node(self, node_id: int, location: Point) -> None:
+        """Register intersection ``node_id`` at ``location``."""
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        self.nodes[node_id] = location
+        self._out.setdefault(node_id, [])
+        self._in.setdefault(node_id, [])
+
+    def add_segment(self, segment: RoadSegment) -> None:
+        """Register a directed segment; endpoints must already exist."""
+        if segment.segment_id in self.segments:
+            raise ValueError(f"duplicate segment id {segment.segment_id}")
+        if segment.start_node not in self.nodes or segment.end_node not in self.nodes:
+            raise ValueError("segment endpoints must be added before the segment")
+        self.segments[segment.segment_id] = segment
+        self._out[segment.start_node].append(segment.segment_id)
+        self._in[segment.end_node].append(segment.segment_id)
+        self._index = None  # invalidate spatial index
+
+    def freeze(self) -> "RoadNetwork":
+        """Build the spatial index and geometry tables; returns ``self``."""
+        index: GridIndex[int] = GridIndex(cell_size=max(self._index_sample_step, 100.0))
+        rows: list[tuple[float, float, float, float, float]] = []
+        self._sub_rows = {}
+        for seg in self.segments.values():
+            index.insert_many(seg.segment_id, self._sample_points(seg))
+            start = len(rows)
+            points = seg.polyline.points
+            for a, b in zip(points, points[1:]):
+                dx, dy = b.x - a.x, b.y - a.y
+                rows.append((a.x, a.y, dx, dy, max(dx * dx + dy * dy, 1e-12)))
+            self._sub_rows[seg.segment_id] = (start, len(rows))
+        self._sub_geometry = np.asarray(rows, dtype=np.float64)
+        self._index = index
+        return self
+
+    def _sample_points(self, seg: RoadSegment) -> list[Point]:
+        """Representative points for the spatial index (ends + interior)."""
+        points = [seg.polyline.start, seg.polyline.end]
+        step = self._index_sample_step
+        offset = step
+        while offset < seg.length:
+            points.append(seg.polyline.interpolate(offset))
+            offset += step
+        return points
+
+    # ----------------------------------------------------------------- access
+    @property
+    def num_nodes(self) -> int:
+        """Number of intersection nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of directed road segments."""
+        return len(self.segments)
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        """The segment with id ``segment_id`` (KeyError if absent)."""
+        return self.segments[segment_id]
+
+    def out_segments(self, node_id: int) -> list[int]:
+        """Ids of segments leaving ``node_id``."""
+        return self._out.get(node_id, [])
+
+    def in_segments(self, node_id: int) -> list[int]:
+        """Ids of segments entering ``node_id``."""
+        return self._in.get(node_id, [])
+
+    def successors(self, segment_id: int) -> list[int]:
+        """Segments reachable immediately after ``segment_id``."""
+        return self.out_segments(self.segments[segment_id].end_node)
+
+    def predecessors(self, segment_id: int) -> list[int]:
+        """Segments from which ``segment_id`` is immediately reachable."""
+        return self.in_segments(self.segments[segment_id].start_node)
+
+    def total_length(self) -> float:
+        """Sum of all segment lengths in metres."""
+        return sum(seg.length for seg in self.segments.values())
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        if not self.nodes:
+            raise ValueError("empty network")
+        xs = [p.x for p in self.nodes.values()]
+        ys = [p.y for p in self.nodes.values()]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    # ---------------------------------------------------------------- spatial
+    def _require_index(self) -> GridIndex:
+        if self._index is None:
+            self.freeze()
+        assert self._index is not None
+        return self._index
+
+    def distances_to_segments(self, p: Point, segment_ids: list[int]) -> np.ndarray:
+        """Exact distance from ``p`` to each listed segment, vectorised."""
+        self._require_index()
+        assert self._sub_geometry is not None
+        if not segment_ids:
+            return np.empty(0)
+        spans = [self._sub_rows[s] for s in segment_ids]
+        row_idx = np.concatenate([np.arange(lo, hi) for lo, hi in spans])
+        counts = np.array([hi - lo for lo, hi in spans])
+        sub = self._sub_geometry[row_idx]
+        rel_x = p.x - sub[:, 0]
+        rel_y = p.y - sub[:, 1]
+        t = np.clip((rel_x * sub[:, 2] + rel_y * sub[:, 3]) / sub[:, 4], 0.0, 1.0)
+        dist_sq = (rel_x - t * sub[:, 2]) ** 2 + (rel_y - t * sub[:, 3]) ** 2
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        return np.sqrt(np.minimum.reduceat(dist_sq, offsets))
+
+    def segments_near(self, p: Point, radius: float) -> list[int]:
+        """Segment ids whose geometry lies within ``radius`` metres of ``p``.
+
+        The grid-index pre-filter is refined with exact, vectorised polyline
+        distances; the result is sorted by true distance, nearest first.
+        """
+        rough = list(
+            self._require_index().items_in_box(p, radius + self._index_sample_step)
+        )
+        if not rough:
+            return []
+        distances = self.distances_to_segments(p, rough)
+        keep = distances <= radius
+        order = np.argsort(distances[keep], kind="stable")
+        kept_ids = np.asarray(rough)[keep]
+        return [int(s) for s in kept_ids[order]]
+
+    def nearest_segments(self, p: Point, count: int = 1, max_radius: float = 8000.0) -> list[int]:
+        """The ``count`` nearest segments to ``p`` by exact distance.
+
+        Expands the search radius geometrically until enough segments are
+        found or ``max_radius`` is reached.
+        """
+        radius = max(self._index_sample_step * 2, 200.0)
+        while True:
+            found = self.segments_near(p, radius)
+            if len(found) >= count or radius >= max_radius:
+                return found[:count]
+            radius = min(radius * 2.0, max_radius)

@@ -1,0 +1,171 @@
+"""Shortest-path routing between road segments.
+
+HMM map matching evaluates the shortest path between every pair of
+neighbouring candidate roads, so routing dominates runtime.  Following the
+precomputation idea the paper borrows from FMM [11], the engine memoises a
+full single-source Dijkstra result per queried source node; repeated queries
+from the same candidate segment (the common case across a trajectory) then
+cost a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.network.road_network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A routed path between two segments.
+
+    Attributes:
+        segments: Consecutive segment ids, starting at the source segment
+            and ending at the target segment (inclusive on both ends).
+        length: Network distance in metres measured from the *end* of the
+            source segment to the *end* of the target segment — i.e. the
+            distance actually driven to complete the transition.
+    """
+
+    segments: tuple[int, ...]
+    length: float
+
+    @property
+    def num_segments(self) -> int:
+        """Number of road segments on the route."""
+        return len(self.segments)
+
+
+class ShortestPathEngine:
+    """Dijkstra routing with per-source memoisation over a road network."""
+
+    def __init__(self, network: RoadNetwork, max_route_length: float = 30000.0) -> None:
+        """``max_route_length`` bounds the explored radius per source node."""
+        self.network = network
+        self.max_route_length = float(max_route_length)
+        self._dist_cache: dict[int, dict[int, float]] = {}
+        self._pred_cache: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------- node level
+    def _run_dijkstra(self, source: int) -> None:
+        """Settle all nodes within ``max_route_length`` of ``source``.
+
+        Edge cost between nodes is the length of the connecting segment;
+        parallel segments are resolved to the shortest one.
+        """
+        dist: dict[int, float] = {source: 0.0}
+        pred: dict[int, int] = {}  # node -> incoming segment id on best path
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        settled: set[int] = set()
+        network = self.network
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if d > self.max_route_length:
+                break
+            for seg_id in network.out_segments(node):
+                seg = network.segments[seg_id]
+                nd = d + seg.length
+                if nd < dist.get(seg.end_node, math.inf):
+                    dist[seg.end_node] = nd
+                    pred[seg.end_node] = seg_id
+                    heapq.heappush(heap, (nd, seg.end_node))
+        self._dist_cache[source] = dist
+        self._pred_cache[source] = pred
+
+    def node_distance(self, u: int, v: int) -> float:
+        """Network distance from node ``u`` to node ``v`` (inf if unreachable)."""
+        if u not in self._dist_cache:
+            self._run_dijkstra(u)
+        return self._dist_cache[u].get(v, math.inf)
+
+    def node_path_segments(self, u: int, v: int) -> list[int] | None:
+        """Segment ids along the shortest ``u``→``v`` path (None if unreachable).
+
+        Returns an empty list when ``u == v``.
+        """
+        if u == v:
+            return []
+        if u not in self._dist_cache:
+            self._run_dijkstra(u)
+        pred = self._pred_cache[u]
+        if v not in self._dist_cache[u]:
+            return None
+        path: list[int] = []
+        node = v
+        while node != u:
+            seg_id = pred.get(node)
+            if seg_id is None:
+                return None
+            path.append(seg_id)
+            node = self.network.segments[seg_id].start_node
+        path.reverse()
+        return path
+
+    # ---------------------------------------------------------- segment level
+    def route(self, from_segment: int, to_segment: int) -> Route | None:
+        """Shortest route between two segments (Definition: transition path).
+
+        The route starts on ``from_segment``, continues along the shortest
+        node path from its end node to ``to_segment``'s start node, and ends
+        on ``to_segment``.  ``None`` when no path exists within the engine's
+        exploration bound.  A self-transition yields a single-segment route
+        of length 0.
+        """
+        if from_segment == to_segment:
+            return Route(segments=(from_segment,), length=0.0)
+        src = self.network.segments[from_segment]
+        dst = self.network.segments[to_segment]
+        # Direct continuation: dst leaves the node src enters.
+        if src.end_node == dst.start_node:
+            return Route(segments=(from_segment, to_segment), length=dst.length)
+        mid = self.node_path_segments(src.end_node, dst.start_node)
+        if mid is None:
+            return None
+        length = self.node_distance(src.end_node, dst.start_node) + dst.length
+        if length > self.max_route_length:
+            return None
+        return Route(segments=(from_segment, *mid, to_segment), length=length)
+
+    def route_length(self, from_segment: int, to_segment: int) -> float:
+        """Length of :meth:`route` (inf when unreachable)."""
+        routed = self.route(from_segment, to_segment)
+        return routed.length if routed is not None else math.inf
+
+    def clear_cache(self) -> None:
+        """Drop all memoised Dijkstra results (e.g. after editing the network)."""
+        self._dist_cache.clear()
+        self._pred_cache.clear()
+
+    @property
+    def cached_sources(self) -> int:
+        """Number of source nodes with a memoised Dijkstra result."""
+        return len(self._dist_cache)
+
+
+def stitch_segments(matched: list[int], engine: ShortestPathEngine) -> list[int]:
+    """Connect per-point matched segments into one consecutive path.
+
+    Consecutive duplicates collapse; gaps are filled with the shortest route
+    between the segments.  Unroutable gaps fall back to a hard break (the
+    later segment simply follows), which keeps the function total.
+    """
+    path: list[int] = []
+    for seg_id in matched:
+        if path and path[-1] == seg_id:
+            continue
+        if not path:
+            path.append(seg_id)
+            continue
+        route = engine.route(path[-1], seg_id)
+        if route is None:
+            path.append(seg_id)
+            continue
+        for hop in route.segments[1:]:
+            if path[-1] != hop:
+                path.append(hop)
+    return path

@@ -1,0 +1,160 @@
+"""UBODT: an upper-bounded origin–destination precomputation table.
+
+The paper notes (§V-A2, citing FMM [11]) that HMM matching can use a
+precomputation table to avoid repeated shortest-path searches.  A UBODT
+stores, for every node pair within a distance bound Δ, the network distance
+and the first segment of the shortest path — enough to answer both route
+lengths and full route reconstructions in O(path) time.
+
+:class:`UbodtRouter` exposes the same ``route``/``route_length`` interface
+as :class:`~repro.network.shortest_path.ShortestPathEngine`, answering
+within-Δ queries from the table and delegating the (rare) longer ones to a
+fallback engine.  The table serialises to ``.npz`` so city-scale
+deployments build it once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.road_network import RoadNetwork
+from repro.network.shortest_path import Route, ShortestPathEngine
+
+
+class Ubodt:
+    """The precomputed table: ``(source, target) -> (distance, first_segment)``."""
+
+    def __init__(self, delta_m: float) -> None:
+        if delta_m <= 0:
+            raise ValueError("delta_m must be positive")
+        self.delta_m = float(delta_m)
+        self._rows: dict[tuple[int, int], tuple[float, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def lookup(self, source: int, target: int) -> tuple[float, int] | None:
+        """``(distance, first_segment)`` or ``None`` when out of range."""
+        if source == target:
+            return (0.0, -1)
+        return self._rows.get((source, target))
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, network: RoadNetwork, delta_m: float) -> "Ubodt":
+        """Run a bounded Dijkstra from every node and record the rows.
+
+        The "first segment" of each row is propagated along the search, so
+        path reconstruction never needs predecessor chains.
+        """
+        table = cls(delta_m)
+        for source in network.nodes:
+            dist: dict[int, float] = {source: 0.0}
+            first: dict[int, int] = {}
+            heap: list[tuple[float, int]] = [(0.0, source)]
+            settled: set[int] = set()
+            while heap:
+                d, node = heapq.heappop(heap)
+                if node in settled:
+                    continue
+                settled.add(node)
+                if d > delta_m:
+                    break
+                for seg_id in network.out_segments(node):
+                    seg = network.segments[seg_id]
+                    nd = d + seg.length
+                    if nd <= delta_m and nd < dist.get(seg.end_node, np.inf):
+                        dist[seg.end_node] = nd
+                        first[seg.end_node] = seg_id if node == source else first[node]
+                        heapq.heappush(heap, (nd, seg.end_node))
+            for target, d in dist.items():
+                if target != source and d <= delta_m:
+                    table._rows[(source, target)] = (d, first[target])
+        return table
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> None:
+        """Write the table to ``path`` (npz)."""
+        if self._rows:
+            keys = np.array(list(self._rows), dtype=np.int64)
+            values = np.array(
+                [(d, f) for d, f in self._rows.values()], dtype=np.float64
+            )
+        else:
+            keys = np.empty((0, 2), dtype=np.int64)
+            values = np.empty((0, 2), dtype=np.float64)
+        np.savez(
+            Path(path), delta=np.array([self.delta_m]), keys=keys, values=values
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Ubodt":
+        """Load a table written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            table = cls(float(archive["delta"][0]))
+            for (source, target), (distance, first) in zip(
+                archive["keys"], archive["values"]
+            ):
+                table._rows[(int(source), int(target))] = (float(distance), int(first))
+        return table
+
+
+class UbodtRouter:
+    """Drop-in segment router backed by a UBODT with Dijkstra fallback."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        table: Ubodt,
+        fallback: ShortestPathEngine | None = None,
+    ) -> None:
+        self.network = network
+        self.table = table
+        self.fallback = fallback or ShortestPathEngine(network)
+        self.table_hits = 0
+        self.fallback_hits = 0
+
+    def _node_route(self, source: int, target: int) -> list[int] | None:
+        """Segment ids along the tabled shortest node path (None if absent)."""
+        if source == target:
+            return []
+        path: list[int] = []
+        node = source
+        while node != target:
+            row = self.table.lookup(node, target)
+            if row is None:
+                return None
+            _, first_segment = row
+            path.append(first_segment)
+            node = self.network.segments[first_segment].end_node
+        return path
+
+    def route(self, from_segment: int, to_segment: int) -> Route | None:
+        """Same contract as :meth:`ShortestPathEngine.route`."""
+        if from_segment == to_segment:
+            return Route(segments=(from_segment,), length=0.0)
+        src = self.network.segments[from_segment]
+        dst = self.network.segments[to_segment]
+        if src.end_node == dst.start_node:
+            return Route(segments=(from_segment, to_segment), length=dst.length)
+        row = self.table.lookup(src.end_node, dst.start_node)
+        if row is None:
+            self.fallback_hits += 1
+            return self.fallback.route(from_segment, to_segment)
+        self.table_hits += 1
+        middle = self._node_route(src.end_node, dst.start_node)
+        if middle is None:  # truncated table row chain: defer to fallback
+            self.fallback_hits += 1
+            return self.fallback.route(from_segment, to_segment)
+        return Route(
+            segments=(from_segment, *middle, to_segment),
+            length=row[0] + dst.length,
+        )
+
+    def route_length(self, from_segment: int, to_segment: int) -> float:
+        """Length of :meth:`route` (inf when unreachable)."""
+        routed = self.route(from_segment, to_segment)
+        return routed.length if routed is not None else float("inf")

@@ -1,0 +1,55 @@
+"""A minimal deep-learning framework on numpy.
+
+The paper implements its models in a message-passing framework on GPUs; this
+package provides the same building blocks — reverse-mode autograd tensors,
+layers, attention, recurrence, optimisers, and losses — in pure numpy, sized
+for the small models the paper uses (d=128, two graph layers, small MLPs).
+
+Everything differentiable flows through :class:`Tensor`; models subclass
+:class:`Module`; training uses :class:`Adam` with
+:func:`cross_entropy_with_label_smoothing` exactly as §IV-D prescribes.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
+from repro.nn.attention import AdditiveAttention, ScaledDotProductSelfAttention
+from repro.nn.rnn import GRU, GRUCell
+from repro.nn.transformer import TransformerEncoderLayer
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.loss import (
+    binary_cross_entropy_with_logits,
+    cross_entropy_with_label_smoothing,
+    mse_loss,
+)
+from repro.nn.init import xavier_uniform
+from repro.nn.serialization import load_state, save_state
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "AdditiveAttention",
+    "ScaledDotProductSelfAttention",
+    "GRU",
+    "GRUCell",
+    "TransformerEncoderLayer",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cross_entropy_with_label_smoothing",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "xavier_uniform",
+    "save_state",
+    "load_state",
+]

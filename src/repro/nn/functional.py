@@ -1,0 +1,96 @@
+"""Free differentiable functions built on :class:`~repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concat, stack
+
+__all__ = [
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "segment_mean",
+    "embedding_lookup",
+    "dropout_mask",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with an exact backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            total = grad.sum(axis=axis, keepdims=True)
+            x._accumulate(grad - soft * total)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-pool rows of ``x`` into ``num_segments`` groups.
+
+    ``out[s] = mean(x[i] for segment_ids[i] == s)``; empty segments are
+    zero.  This is the neighbour-group aggregation of Eq. 4 — one call per
+    relation type, with ``segment_ids`` mapping each (neighbour, target)
+    message row to its target node.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape[0] != x.data.shape[0]:
+        raise ValueError("segment_ids must have one entry per row of x")
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    sums = np.zeros((num_segments, *x.data.shape[1:]), dtype=np.float64)
+    np.add.at(sums, segment_ids, x.data)
+    safe_counts = np.maximum(counts, 1.0)
+    out_data = sums / safe_counts.reshape(-1, *([1] * (x.data.ndim - 1)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            scaled = grad / safe_counts.reshape(-1, *([1] * (grad.ndim - 1)))
+            x._accumulate(scaled[segment_ids])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``indices`` of an embedding matrix (scatter-add backward)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices, grad)
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def dropout_mask(
+    x: Tensor, p: float, rng: np.random.Generator, training: bool
+) -> Tensor:
+    """Inverted dropout: zero a fraction ``p`` of entries during training."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

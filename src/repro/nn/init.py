@@ -1,0 +1,36 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: int | np.random.Generator | None = None, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape``.
+
+    Fan-in/fan-out are taken from the last two axes (or the single axis for
+    vectors), matching the convention of the usual frameworks.
+    """
+    rng = ensure_rng(rng)
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal_init(
+    shape: tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+    std: float = 0.02,
+) -> np.ndarray:
+    """Small-variance normal initialisation (embedding tables)."""
+    rng = ensure_rng(rng)
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,137 @@
+"""Core layers: Linear, MLP, Embedding, LayerNorm, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import dropout_mask, embedding_lookup
+from repro.nn.init import normal_init, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils import ensure_rng
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_ACTIVATIONS = {
+    "relu": lambda t: t.relu(),
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "identity": lambda t: t,
+}
+
+
+class MLP(Module):
+    """Multilayer perceptron over a list of layer widths.
+
+    ``MLP([in, hidden, out])`` builds two linear layers with ``activation``
+    between them and ``out_activation`` (default identity — emit logits) on
+    the output.
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        activation: str = "relu",
+        out_activation: str = "identity",
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output widths")
+        if activation not in _ACTIVATIONS or out_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation; choose from {sorted(_ACTIVATIONS)}")
+        rng = ensure_rng(rng)
+        self.layers = [
+            Linear(d_in, d_out, rng=rng) for d_in, d_out in zip(dims, dims[1:])
+        ]
+        self.activation = activation
+        self.out_activation = out_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            act = self.out_activation if i == len(self.layers) - 1 else self.activation
+            x = _ACTIVATIONS[act](x)
+        return x
+
+
+class Embedding(Module):
+    """Trainable lookup table: integer ids to dense vectors.
+
+    This realises the paper's ``W_init`` (one-hot times a learnable matrix)
+    without materialising the one-hot vectors.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(normal_init((num_embeddings, dim), rng, std=0.1))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return embedding_lookup(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """The full table as a differentiable tensor."""
+        return embedding_lookup(self.weight, np.arange(self.num_embeddings))
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred * ((var + self.eps) ** -0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_mask(x, self.p, self._rng, self.training)

@@ -1,0 +1,115 @@
+"""Module base class: parameter discovery, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is always trainable."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural components.
+
+    Parameters are discovered by walking instance attributes recursively
+    (parameters, sub-modules, and lists/tuples/dicts of either), so models
+    compose without any registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ----------------------------------------------------------------- params
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, deterministically ordered."""
+        for name in sorted(vars(self)):
+            value = vars(self)[name]
+            yield from _walk(value, f"{prefix}{name}")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------- mode
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all sub-modules."""
+        yield self
+        for value in vars(self).values():
+            yield from _walk_modules(value)
+
+    def train(self) -> "Module":
+        """Switch this module tree into training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree into inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------ state
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (strict matching)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}")
+            param.data = state[name].astype(np.float64).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        """Compute the module output; subclasses must override."""
+        raise NotImplementedError
+
+
+def _walk(value: object, name: str) -> Iterator[tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        yield name, value
+    elif isinstance(value, Module):
+        yield from value.named_parameters(prefix=f"{name}.")
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _walk(item, f"{name}.{i}")
+    elif isinstance(value, dict):
+        for key in sorted(value, key=str):
+            yield from _walk(value[key], f"{name}.{key}")
+
+
+def _walk_modules(value: object) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield from value.modules()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _walk_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _walk_modules(item)

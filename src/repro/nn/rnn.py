@@ -1,0 +1,57 @@
+"""Gated recurrent units for the seq2seq baselines (DeepMM, DMM)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import stack
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """One GRU step: ``h' = (1 - z) * n + z * h``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.x_gates = Linear(input_dim, 3 * hidden_dim, rng=rng)
+        self.h_gates = Linear(hidden_dim, 3 * hidden_dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance the hidden state; ``x`` is ``(batch, in)``, ``h`` ``(batch, hid)``."""
+        d = self.hidden_dim
+        gx = self.x_gates(x)
+        gh = self.h_gates(h)
+        z = (gx[:, 0:d] + gh[:, 0:d]).sigmoid()
+        r = (gx[:, d : 2 * d] + gh[:, d : 2 * d]).sigmoid()
+        n = (gx[:, 2 * d : 3 * d] + r * gh[:, 2 * d : 3 * d]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """Unidirectional GRU over a sequence."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, sequence: Tensor, h0: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        """Run over ``sequence`` of shape ``(time, in)``.
+
+        Returns ``(outputs, final_hidden)`` where outputs has shape
+        ``(time, hidden)`` and final_hidden ``(1, hidden)``.
+        """
+        steps = sequence.shape[0]
+        h = h0 if h0 is not None else Tensor(np.zeros((1, self.hidden_dim)))
+        outputs = []
+        for t in range(steps):
+            x_t = sequence[t : t + 1]
+            h = self.cell(x_t, h)
+            outputs.append(h.reshape(self.hidden_dim))
+        return stack(outputs, axis=0), h

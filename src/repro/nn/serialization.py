@@ -1,0 +1,20 @@
+"""Save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | Path) -> None:
+    """Write ``module``'s parameters to ``path`` (npz)."""
+    np.savez(Path(path), **module.state_dict())
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load parameters written by :func:`save_state` into ``module``."""
+    with np.load(Path(path)) as archive:
+        module.load_state_dict({key: archive[key] for key in archive.files})

@@ -1,0 +1,39 @@
+"""A small transformer encoder layer for the TransformerMM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import ScaledDotProductSelfAttention
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm single-head transformer block: attention + feed-forward."""
+
+    def __init__(self, dim: int, ffn_dim: int | None = None,
+                 rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        ffn_dim = ffn_dim or 2 * dim
+        self.attention = ScaledDotProductSelfAttention(dim, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Transform a ``(time, dim)`` sequence."""
+        x = x + self.attention(self.norm1(x))
+        return x + self.ffn_out(self.ffn_in(self.norm2(x)).relu())
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Classic sinusoidal positional encodings, shape ``(length, dim)``."""
+    positions = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((length, dim))
+    table[:, 0::2] = np.sin(positions * div)
+    table[:, 1::2] = np.cos(positions * div[: (dim - dim // 2)])
+    return table

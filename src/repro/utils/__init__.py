@@ -1,0 +1,6 @@
+"""Shared utilities: seeded randomness, timing, and lightweight logging."""
+
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.timer import Timer
+
+__all__ = ["derive_rng", "ensure_rng", "Timer"]

@@ -1,0 +1,54 @@
+"""A tiny wall-clock timer used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    Use either as a context manager::
+
+        timer = Timer()
+        with timer:
+            do_work()
+        print(timer.elapsed)
+
+    or via explicit :meth:`start` / :meth:`stop` calls.  Repeated timing
+    accumulates into :attr:`elapsed`, and :attr:`count` tracks the number of
+    completed intervals so callers can report means.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin a timing interval; raises if one is already open."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the current interval and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Timer not running")
+        interval = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += interval
+        self.count += 1
+        return interval
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration (0.0 before any interval completes)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

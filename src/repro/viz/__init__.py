@@ -1,0 +1,16 @@
+"""Visualisation: ASCII maps for terminals, SVG maps for reports.
+
+The paper communicates results with map figures (Figs. 1, 5, 11); this
+package renders the same content from library objects — road networks,
+trajectories, matched paths — without any plotting dependency.
+"""
+
+from repro.viz.ascii_map import AsciiCanvas, render_match_ascii
+from repro.viz.svg import SvgCanvas, render_match_svg
+
+__all__ = [
+    "AsciiCanvas",
+    "render_match_ascii",
+    "SvgCanvas",
+    "render_match_svg",
+]

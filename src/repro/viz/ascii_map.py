@@ -1,0 +1,125 @@
+"""Terminal rendering of networks, paths, and trajectories."""
+
+from __future__ import annotations
+
+from repro.cellular.trajectory import Trajectory
+from repro.geometry import Point
+from repro.network.road_network import RoadNetwork
+
+
+class AsciiCanvas:
+    """A character grid over a metric bounding box.
+
+    Later draws overwrite earlier ones unless the earlier mark is listed in
+    ``protected`` — so backgrounds stay in the background.
+    """
+
+    def __init__(
+        self,
+        bounds: tuple[float, float, float, float],
+        width: int = 78,
+        height: int = 30,
+        protected: str = "",
+    ) -> None:
+        min_x, min_y, max_x, max_y = bounds
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("degenerate bounding box")
+        if width < 2 or height < 2:
+            raise ValueError("canvas too small")
+        self.bounds = bounds
+        self.width = width
+        self.height = height
+        self.protected = set(protected)
+        self._grid = [[" "] * width for _ in range(height)]
+
+    def _cell(self, p: Point) -> tuple[int, int] | None:
+        min_x, min_y, max_x, max_y = self.bounds
+        if not (min_x <= p.x <= max_x and min_y <= p.y <= max_y):
+            return None
+        col = int((p.x - min_x) / (max_x - min_x) * (self.width - 1))
+        row = int((max_y - p.y) / (max_y - min_y) * (self.height - 1))
+        return row, col
+
+    def mark(self, p: Point, symbol: str) -> None:
+        """Place ``symbol`` at point ``p`` (no-op outside the bounds)."""
+        cell = self._cell(p)
+        if cell is None:
+            return
+        row, col = cell
+        if self._grid[row][col] in self.protected:
+            return
+        self._grid[row][col] = symbol
+
+    def draw_segments(
+        self, network: RoadNetwork, segment_ids, symbol: str, step_m: float = 40.0
+    ) -> None:
+        """Trace road segments by sampling their geometry every ``step_m``."""
+        for seg_id in segment_ids:
+            seg = network.segments[seg_id]
+            offset = 0.0
+            while offset <= seg.length:
+                self.mark(seg.polyline.interpolate(offset), symbol)
+                offset += step_m
+            self.mark(seg.polyline.end, symbol)
+
+    def draw_network(self, network: RoadNetwork, symbol: str = "-") -> None:
+        """Trace the whole network as a faint background."""
+        self.draw_segments(network, network.segments, symbol, step_m=80.0)
+
+    def draw_trajectory(self, trajectory: Trajectory, symbol: str = "x") -> None:
+        """Mark every sample position."""
+        for point in trajectory.points:
+            self.mark(point.position, symbol)
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string."""
+        return "\n".join("".join(row) for row in self._grid)
+
+
+def _bounds_of(network: RoadNetwork, paths, trajectory, margin: float = 200.0):
+    xs, ys = [], []
+    for path in paths:
+        for seg_id in path:
+            seg = network.segments[seg_id]
+            for p in (seg.polyline.start, seg.polyline.end):
+                xs.append(p.x)
+                ys.append(p.y)
+    if trajectory is not None:
+        for point in trajectory.points:
+            xs.append(point.position.x)
+            ys.append(point.position.y)
+    if not xs:
+        return network.bounding_box()
+    return (min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin)
+
+
+def render_match_ascii(
+    network: RoadNetwork,
+    truth_path: list[int],
+    matched_paths: dict[str, list[int]],
+    trajectory: Trajectory | None = None,
+    width: int = 78,
+    height: int = 30,
+) -> str:
+    """A comparison map: ground truth, one mark per matched path, samples.
+
+    ``matched_paths`` maps a single-character label to a path; the ground
+    truth renders as ``.``, trajectory samples as ``x`` (drawn last, on
+    top).  Returns the map plus a legend line.
+    """
+    for label in matched_paths:
+        if len(label) != 1:
+            raise ValueError("matched path labels must be single characters")
+    bounds = _bounds_of(network, [truth_path, *matched_paths.values()], trajectory)
+    canvas = AsciiCanvas(bounds, width=width, height=height)
+    canvas.draw_segments(network, truth_path, ".")
+    for label, path in matched_paths.items():
+        canvas.draw_segments(network, path, label)
+    if trajectory is not None:
+        canvas.draw_trajectory(trajectory, "x")
+    legend = "legend: . truth  " + "  ".join(
+        f"{label} {label}-path" for label in matched_paths
+    )
+    if trajectory is not None:
+        legend += "  x sample"
+    return canvas.render() + "\n" + legend

@@ -1,0 +1,135 @@
+"""SVG rendering of networks, paths, trajectories, and towers."""
+
+from __future__ import annotations
+
+from pathlib import Path as FilePath
+from xml.sax.saxutils import escape
+
+from repro.cellular.tower import TowerField
+from repro.cellular.trajectory import Trajectory
+from repro.geometry import Point
+from repro.network.road_network import RoadNetwork
+
+_NETWORK_STYLE = "stroke:#d0d0d0;stroke-width:1;fill:none"
+_DEFAULT_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+
+
+class SvgCanvas:
+    """Accumulates SVG shapes in metric coordinates, scaled at render time."""
+
+    def __init__(
+        self,
+        bounds: tuple[float, float, float, float],
+        width_px: int = 900,
+    ) -> None:
+        min_x, min_y, max_x, max_y = bounds
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("degenerate bounding box")
+        self.bounds = bounds
+        self.width_px = width_px
+        self.height_px = max(
+            1, int(width_px * (max_y - min_y) / (max_x - min_x))
+        )
+        self._elements: list[str] = []
+
+    def _px(self, p: Point) -> tuple[float, float]:
+        min_x, min_y, max_x, max_y = self.bounds
+        x = (p.x - min_x) / (max_x - min_x) * self.width_px
+        y = (max_y - p.y) / (max_y - min_y) * self.height_px
+        return round(x, 2), round(y, 2)
+
+    def polyline(self, points: list[Point], style: str) -> None:
+        """Add an open polyline."""
+        coords = " ".join(f"{x},{y}" for x, y in (self._px(p) for p in points))
+        self._elements.append(f'<polyline points="{coords}" style="{escape(style)}"/>')
+
+    def circle(self, centre: Point, radius_px: float, style: str) -> None:
+        """Add a circle with a pixel radius."""
+        x, y = self._px(centre)
+        self._elements.append(
+            f'<circle cx="{x}" cy="{y}" r="{radius_px}" style="{escape(style)}"/>'
+        )
+
+    def text(self, anchor: Point, content: str, size_px: int = 12) -> None:
+        """Add a text label."""
+        x, y = self._px(anchor)
+        self._elements.append(
+            f'<text x="{x}" y="{y}" font-size="{size_px}">{escape(content)}</text>'
+        )
+
+    # ----------------------------------------------------------- high level
+    def draw_network(self, network: RoadNetwork, style: str = _NETWORK_STYLE) -> None:
+        """Draw every road segment as a faint background."""
+        for seg in network.segments.values():
+            self.polyline(seg.polyline.points, style)
+
+    def draw_path(
+        self, network: RoadNetwork, path: list[int], color: str, width: float = 2.5
+    ) -> None:
+        """Draw a path of segment ids in ``color``."""
+        style = f"stroke:{color};stroke-width:{width};fill:none;stroke-opacity:0.85"
+        for seg_id in path:
+            self.polyline(network.segments[seg_id].polyline.points, style)
+
+    def draw_trajectory(
+        self, trajectory: Trajectory, color: str = "#333333", radius_px: float = 3.0
+    ) -> None:
+        """Draw trajectory samples as dots."""
+        for point in trajectory.points:
+            self.circle(point.position, radius_px, f"fill:{color};fill-opacity:0.8")
+
+    def draw_towers(self, towers: TowerField, color: str = "#888888") -> None:
+        """Draw cell towers as hollow markers."""
+        for tower in towers:
+            self.circle(
+                tower.location, 4.0, f"fill:none;stroke:{color};stroke-width:1.5"
+            )
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str | FilePath) -> None:
+        """Write the SVG document to ``path``."""
+        FilePath(path).write_text(self.render())
+
+
+def render_match_svg(
+    network: RoadNetwork,
+    truth_path: list[int],
+    matched_paths: dict[str, list[int]],
+    trajectory: Trajectory | None = None,
+    towers: TowerField | None = None,
+    width_px: int = 900,
+) -> str:
+    """A full comparison figure: network, truth (blue), matches, samples.
+
+    ``matched_paths`` maps legend names to paths; colours are assigned from
+    a fixed palette (truth always takes the first colour).
+    """
+    canvas = SvgCanvas(network.bounding_box(), width_px=width_px)
+    canvas.draw_network(network)
+    if towers is not None:
+        canvas.draw_towers(towers)
+    canvas.draw_path(network, truth_path, _DEFAULT_PALETTE[0], width=4.0)
+    legend = [("truth", _DEFAULT_PALETTE[0])]
+    for i, (name, path) in enumerate(matched_paths.items()):
+        color = _DEFAULT_PALETTE[(i + 1) % len(_DEFAULT_PALETTE)]
+        canvas.draw_path(network, path, color)
+        legend.append((name, color))
+    if trajectory is not None:
+        canvas.draw_trajectory(trajectory)
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    anchor_y = max_y - 0.02 * (max_y - min_y)
+    for i, (name, color) in enumerate(legend):
+        anchor = Point(min_x + 0.02 * (max_x - min_x), anchor_y - i * 0.035 * (max_y - min_y))
+        canvas.circle(anchor, 5.0, f"fill:{color}")
+        canvas.text(anchor.translated(0.015 * (max_x - min_x), -0.005 * (max_y - min_y)), name)
+    return canvas.render()

@@ -1,0 +1,114 @@
+"""Shared test fixtures: small, deterministic substrates.
+
+Session-scoped fixtures keep the suite fast: the tiny city, dataset, and a
+trained LHMM are each built once.  Tests that mutate state must build their
+own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular import (
+    SimulationConfig,
+    TowerPlacementConfig,
+    VehicleSimulator,
+    place_towers,
+)
+from repro.core import LHMM, LHMMConfig
+from repro.datasets import DatasetConfig, make_city_dataset
+from repro.network import CityConfig, ShortestPathEngine, generate_city_network
+
+
+TINY_CITY = CityConfig(
+    grid_rows=10,
+    grid_cols=10,
+    block_size_m=250.0,
+    density_gradient=0.5,
+    removal_prob=0.08,
+    one_way_prob=0.05,
+)
+
+TINY_SIMULATION = SimulationConfig(
+    min_trip_m=900.0,
+    max_trip_m=2200.0,
+    cellular_interval_mean_s=35.0,
+    cellular_interval_sigma_s=10.0,
+    cellular_interval_max_s=90.0,
+    gps_interval_s=12.0,
+)
+
+TINY_TOWERS = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
+
+
+def tiny_lhmm_config() -> LHMMConfig:
+    """A configuration small enough to train inside a unit test."""
+    return LHMMConfig(
+        embedding_dim=12,
+        het_layers=1,
+        mlp_hidden=12,
+        candidate_k=10,
+        candidate_pool=50,
+        candidate_radius_m=1600.0,
+        epochs=2,
+        batch_size=4,
+        negatives_per_positive=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A ~200-node synthetic city network."""
+    return generate_city_network(TINY_CITY, rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_towers(tiny_network):
+    """Towers deployed over the tiny network."""
+    return place_towers(tiny_network, TINY_TOWERS, rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_network):
+    """A routing engine over the tiny network."""
+    return ShortestPathEngine(tiny_network)
+
+
+@pytest.fixture(scope="session")
+def tiny_simulator(tiny_network, tiny_towers):
+    """A vehicle simulator over the tiny city."""
+    return VehicleSimulator(tiny_network, tiny_towers, TINY_SIMULATION, rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A complete small dataset with oracle ground truth (fast)."""
+    config = DatasetConfig(
+        name="tiny",
+        city=TINY_CITY,
+        towers=TINY_TOWERS,
+        simulation=TINY_SIMULATION,
+        num_trajectories=40,
+        groundtruth="oracle",
+    )
+    return make_city_dataset(config, rng=7)
+
+
+@pytest.fixture(scope="session")
+def gps_dataset():
+    """A small dataset with the paper's GPS-HMM ground-truth pipeline."""
+    config = DatasetConfig(
+        name="tiny-gps",
+        city=TINY_CITY,
+        towers=TINY_TOWERS,
+        simulation=TINY_SIMULATION,
+        num_trajectories=15,
+        groundtruth="gps_hmm",
+    )
+    return make_city_dataset(config, rng=9)
+
+
+@pytest.fixture(scope="session")
+def trained_lhmm(tiny_dataset):
+    """An LHMM fitted on the tiny dataset (shared, read-only)."""
+    return LHMM(tiny_lhmm_config(), rng=3).fit(tiny_dataset)

@@ -1,0 +1,124 @@
+"""Tests for the heuristic HMM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CLSTERS,
+    IVMM,
+    MCM,
+    THMM,
+    HeuristicHmmConfig,
+    HeuristicHmmMatcher,
+    IFMatching,
+    STMatching,
+    SnapNet,
+    make_baseline,
+)
+from repro.core.trellis import UNREACHABLE_SCORE
+
+HEURISTIC_CLASSES = [STMatching, IVMM, IFMatching, MCM, SnapNet, THMM, CLSTERS]
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return HeuristicHmmConfig(candidate_k=6, candidate_radius_m=1200.0)
+
+
+class TestGenericCore:
+    def test_candidate_sets_sorted_by_distance(self, tiny_dataset, small_config):
+        matcher = HeuristicHmmMatcher(tiny_dataset, small_config)
+        sample = tiny_dataset.test[0]
+        sets = matcher.candidate_sets(sample.cellular)
+        for point, candidates in zip(sample.cellular.points, sets):
+            dists = [
+                tiny_dataset.network.segments[s].distance_to(point.position)
+                for s in candidates
+            ]
+            assert dists == sorted(dists)
+
+    def test_observation_decreases_with_distance(self, tiny_dataset, small_config):
+        matcher = HeuristicHmmMatcher(tiny_dataset, small_config)
+        sample = tiny_dataset.test[0]
+        points = list(sample.cellular.points)
+        sets = matcher.candidate_sets(sample.cellular)
+        probs = [matcher.observation_probability(points, 0, s) for s in sets[0]]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_transition_unreachable(self, tiny_dataset, small_config):
+        matcher = HeuristicHmmMatcher(tiny_dataset, small_config)
+        sample = tiny_dataset.test[0]
+        points = list(sample.cellular.points)
+        # a segment pair with absurd detour is pruned
+        segs = sorted(tiny_dataset.network.segments)
+        far_pairs = [(segs[0], segs[-1])]
+        for a, b in far_pairs:
+            value = matcher.transition_probability(points, 1, a, b)
+            assert value <= 1.0  # either a probability or the penalty
+
+    def test_match_returns_result(self, tiny_dataset, small_config):
+        matcher = HeuristicHmmMatcher(tiny_dataset, small_config)
+        result = matcher.match(tiny_dataset.test[0].cellular)
+        assert result.path
+        assert result.candidate_sets is not None
+        assert len(result.matched_sequence) == len(tiny_dataset.test[0].cellular)
+
+
+class TestAllHeuristics:
+    @pytest.mark.parametrize("cls", HEURISTIC_CLASSES)
+    def test_each_matcher_produces_path(self, tiny_dataset, cls):
+        matcher = cls(tiny_dataset)
+        matcher.config.candidate_k = 6
+        matcher.config.candidate_radius_m = 1200.0
+        result = matcher.match(tiny_dataset.test[0].cellular)
+        assert result.path
+        assert all(s in tiny_dataset.network.segments for s in result.path)
+
+    @pytest.mark.parametrize("cls", HEURISTIC_CLASSES)
+    def test_transition_probabilities_bounded(self, tiny_dataset, cls):
+        matcher = cls(tiny_dataset)
+        sample = tiny_dataset.test[1]
+        points = list(matcher.preprocess(sample.cellular).points)
+        if len(points) < 2:
+            pytest.skip("preprocessing collapsed the trajectory")
+        sets = matcher.candidate_sets(matcher.preprocess(sample.cellular))
+        for a in sets[0][:3]:
+            for b in sets[1][:3]:
+                value = matcher.transition_probability(points, 1, a, b)
+                assert value <= 1.5 or value == UNREACHABLE_SCORE
+
+    def test_stm_shortcut_variant(self, tiny_dataset):
+        plain = STMatching(tiny_dataset)
+        with_s = STMatching(tiny_dataset, with_shortcuts=True)
+        assert plain.config.shortcut_k == 0
+        assert with_s.config.shortcut_k == 1
+        assert with_s.name == "STM+S"
+        result = with_s.match(tiny_dataset.test[0].cellular)
+        assert result.path
+
+    def test_snapnet_preprocess_filters(self, tiny_dataset):
+        matcher = SnapNet(tiny_dataset)
+        raw = tiny_dataset.test[0].raw_cellular
+        processed = matcher.preprocess(raw)
+        assert 1 <= len(processed) <= len(raw)
+
+    def test_clsters_calibration_changes_positions(self, tiny_dataset):
+        matcher = CLSTERS(tiny_dataset)
+        raw = tiny_dataset.test[0].raw_cellular
+        calibrated = matcher.preprocess(raw)
+        if len(calibrated) >= 5:
+            moved = any(
+                a.position != b.position
+                for a, b in zip(calibrated.points, raw.points)
+            )
+            assert moved
+
+
+class TestRegistry:
+    def test_unknown_name_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_baseline("NoSuchMethod", tiny_dataset)
+
+    def test_make_heuristic_by_name(self, tiny_dataset):
+        matcher = make_baseline("THMM", tiny_dataset)
+        assert matcher.name == "THMM"

@@ -1,0 +1,151 @@
+"""Behavioural tests for individual baseline heuristics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import IVMM, MCM, STMatching, IFMatching, SnapNet, THMM
+from repro.cellular import TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE
+from repro.geometry import Point
+
+
+def _reachable_pair(dataset):
+    """A segment and one of its successors (a guaranteed short route)."""
+    net = dataset.network
+    for seg_id in sorted(net.segments):
+        successors = net.successors(seg_id)
+        if successors:
+            return seg_id, successors[0]
+    raise AssertionError("network has no reachable pair")
+
+
+def _points_for(dataset, a, b, dt=60.0):
+    net = dataset.network
+    return [
+        TrajectoryPoint(net.segments[a].midpoint, 0.0, tower_id=0),
+        TrajectoryPoint(net.segments[b].midpoint, dt, tower_id=0),
+    ]
+
+
+class TestSTM:
+    def test_transmission_prefers_direct_routes(self, tiny_dataset):
+        """A near-straight route must beat a detour between the same points."""
+        matcher = STMatching(tiny_dataset)
+        a, b = _reachable_pair(tiny_dataset)
+        points = _points_for(tiny_dataset, a, b)
+        direct = matcher.transition_probability(points, 1, a, b)
+        # transit to a far-away segment implies an enormous detour
+        far = max(
+            sorted(tiny_dataset.network.segments),
+            key=lambda s: tiny_dataset.network.segments[s].midpoint.distance_to(
+                points[0].position
+            ),
+        )
+        detour = matcher.transition_probability(points, 1, a, far)
+        assert direct > detour or detour == UNREACHABLE_SCORE
+
+    def test_temporal_penalises_impossible_speed(self, tiny_dataset):
+        matcher = STMatching(tiny_dataset)
+        a, b = _reachable_pair(tiny_dataset)
+        slow = matcher.transition_probability(_points_for(tiny_dataset, a, b, dt=60.0), 1, a, b)
+        fast = matcher.transition_probability(_points_for(tiny_dataset, a, b, dt=0.5), 1, a, b)
+        assert fast <= slow + 1e-9
+
+
+class TestIFM:
+    def test_speed_violation_damped(self, tiny_dataset):
+        matcher = IFMatching(tiny_dataset)
+        a, b = _reachable_pair(tiny_dataset)
+        normal = matcher.transition_probability(
+            _points_for(tiny_dataset, a, b, dt=60.0), 1, a, b
+        )
+        teleport = matcher.transition_probability(
+            _points_for(tiny_dataset, a, b, dt=0.2), 1, a, b
+        )
+        assert teleport < normal
+
+
+class TestMCM:
+    def test_corridor_bonus_prefers_on_corridor_routes(self, tiny_dataset):
+        matcher = MCM(tiny_dataset)
+        a, b = _reachable_pair(tiny_dataset)
+        points = _points_for(tiny_dataset, a, b)
+        base = super(MCM, matcher).transition_probability(points, 1, a, b)
+        scored = matcher.transition_probability(points, 1, a, b)
+        # the corridor factor is multiplicative in (0, 1]
+        assert 0 < scored <= base + 1e-12
+
+
+class TestSnapNet:
+    def test_direction_factor_prefers_aligned_roads(self, tiny_dataset):
+        matcher = SnapNet(tiny_dataset)
+        net = tiny_dataset.network
+        a, b = _reachable_pair(tiny_dataset)
+        seg_b = net.segments[b]
+        heading = seg_b.heading_deg()
+        # movement aligned with b's heading
+        start = seg_b.polyline.start
+        aligned_end = start.translated(
+            600 * math.sin(math.radians(heading)), 600 * math.cos(math.radians(heading))
+        )
+        opposed_end = start.translated(
+            -600 * math.sin(math.radians(heading)), -600 * math.cos(math.radians(heading))
+        )
+        points_aligned = [
+            TrajectoryPoint(start, 0.0, tower_id=0),
+            TrajectoryPoint(aligned_end, 60.0, tower_id=0),
+        ]
+        points_opposed = [
+            TrajectoryPoint(start, 0.0, tower_id=0),
+            TrajectoryPoint(opposed_end, 60.0, tower_id=0),
+        ]
+        p_aligned = matcher.transition_probability(points_aligned, 1, a, b)
+        p_opposed = matcher.transition_probability(points_opposed, 1, a, b)
+        if p_aligned > UNREACHABLE_SCORE and p_opposed > UNREACHABLE_SCORE:
+            # direction factor must not favour the opposed movement; length
+            # terms differ too, so allow a generous margin.
+            assert p_aligned >= p_opposed * 0.5
+
+
+class TestTHMM:
+    def test_arterial_observation_bonus(self, tiny_dataset):
+        matcher = THMM(tiny_dataset)
+        net = tiny_dataset.network
+        arterials = [s for s in sorted(net.segments) if net.segments[s].road_class == "arterial"]
+        locals_ = [s for s in sorted(net.segments) if net.segments[s].road_class == "local"]
+        art, loc = arterials[0], locals_[0]
+        # place the point equidistant scenarios: compare against the plain
+        # gaussian by checking the bonus factor directly
+        p = TrajectoryPoint(net.segments[art].midpoint, 0.0, tower_id=0)
+        bonus = matcher.observation_probability([p], 0, art)
+        plain = math.exp(
+            -0.5
+            * (net.segments[art].distance_to(p.position) / matcher.config.observation_sigma_m) ** 2
+        )
+        assert bonus >= plain
+
+    def test_tighter_reachability_window(self, tiny_dataset):
+        assert THMM(tiny_dataset).config.max_detour_factor < STMatching(
+            tiny_dataset
+        ).config.max_detour_factor + 3.0
+
+
+class TestIVMM:
+    def test_votes_fill_every_position(self, tiny_dataset):
+        matcher = IVMM(tiny_dataset)
+        matcher.config.candidate_k = 5
+        sample = tiny_dataset.test[0]
+        result = matcher.match(sample.cellular)
+        assert len(result.matched_sequence) == len(sample.cellular)
+
+    def test_weighted_viterbi_respects_weights(self, tiny_dataset):
+        matcher = IVMM(tiny_dataset)
+        matcher.config.candidate_k = 4
+        sample = tiny_dataset.test[0]
+        points = list(sample.cellular.points)
+        sets = matcher.candidate_sets(sample.cellular)
+        uniform = matcher._weighted_viterbi(points, sets, [1.0] * len(points))
+        assert len(uniform) == len(points)
+        assert all(seg in candidates for seg, candidates in zip(uniform, sets))

@@ -1,0 +1,137 @@
+"""Tests for the seq2seq baselines (DeepMM, TransformerMM, DMM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DMM, DeepMM, TransformerMM, make_baseline
+from repro.baselines.seq2seq import Seq2SeqConfig, Seq2SeqMatcher
+
+
+def fast_config(**overrides) -> Seq2SeqConfig:
+    defaults = dict(
+        embedding_dim=12,
+        hidden_dim=16,
+        epochs=2,
+        max_target_len=20,
+        max_decode_len=25,
+    )
+    defaults.update(overrides)
+    return Seq2SeqConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def trained_dmm(tiny_dataset):
+    matcher = DMM(
+        tiny_dataset, fast_config(input_mode="tower", constrained=True), rng=0
+    )
+    return matcher.fit(tiny_dataset.train)
+
+
+class TestTokenisation:
+    def test_tower_tokens(self, tiny_dataset):
+        matcher = DMM(tiny_dataset, fast_config(input_mode="tower", constrained=True), rng=0)
+        tokens = matcher._tokens(tiny_dataset.test[0].cellular)
+        assert len(tokens) == len(tiny_dataset.test[0].cellular)
+        assert tokens.min() >= 0
+        assert tokens.max() < len(tiny_dataset.towers)
+
+    def test_grid_tokens_in_vocab(self, tiny_dataset):
+        matcher = DeepMM(tiny_dataset, fast_config(input_mode="grid"), rng=0)
+        tokens = matcher._tokens(tiny_dataset.test[0].cellular)
+        assert tokens.min() >= 0
+        assert tokens.max() < matcher._grid_rows * matcher._grid_cols
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_dmm):
+        losses = trained_dmm.losses
+        first = np.mean(losses[: max(3, len(losses) // 10)])
+        last = np.mean(losses[-max(3, len(losses) // 10) :])
+        assert last < first
+
+    def test_fit_rejects_empty(self, tiny_dataset):
+        matcher = DMM(tiny_dataset, fast_config(), rng=0)
+        with pytest.raises(ValueError):
+            matcher.fit([])
+
+
+class TestDecoding:
+    def test_match_produces_segments(self, trained_dmm, tiny_dataset):
+        result = trained_dmm.match(tiny_dataset.test[0].cellular)
+        assert all(s in tiny_dataset.network.segments for s in result.path)
+        assert result.candidate_sets is None  # HR does not apply to seq2seq
+
+    def test_constrained_decoding_is_connected(self, trained_dmm, tiny_dataset):
+        net = tiny_dataset.network
+        for sample in tiny_dataset.test[:3]:
+            path = trained_dmm.match(sample.cellular).path
+            for a, b in zip(path, path[1:]):
+                assert net.segments[b].start_node == net.segments[a].end_node
+
+    def test_first_segment_near_first_point(self, trained_dmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        path = trained_dmm.match(sample.cellular).path
+        if path:
+            first = tiny_dataset.network.segments[path[0]]
+            assert first.distance_to(sample.cellular[0].position) <= 2500.0
+
+    def test_decode_length_bounded(self, trained_dmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        path = trained_dmm.match(sample.cellular).path
+        assert len(path) <= trained_dmm.config.max_decode_len
+
+    def test_no_consecutive_duplicates(self, trained_dmm, tiny_dataset):
+        path = trained_dmm.match(tiny_dataset.test[1].cellular).path
+        assert all(a != b for a, b in zip(path, path[1:]))
+
+
+class TestBeamSearch:
+    def test_beam_one_equals_greedy(self, trained_dmm, tiny_dataset):
+        tokens = trained_dmm._tokens(tiny_dataset.test[0].cellular)
+        allowed = trained_dmm._make_allowed_next(tiny_dataset.test[0].cellular)
+        greedy = trained_dmm.model.greedy_decode(tokens, 20, allowed_next=allowed)
+        beam1 = trained_dmm.model.beam_decode(tokens, 20, 1, allowed_next=allowed)
+        assert greedy == beam1
+
+    def test_beam_respects_constraints(self, trained_dmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        tokens = trained_dmm._tokens(sample.cellular)
+        allowed = trained_dmm._make_allowed_next(sample.cellular)
+        decoded = trained_dmm.model.beam_decode(tokens, 20, 3, allowed_next=allowed)
+        net = tiny_dataset.network
+        segs = [trained_dmm._segment_ids[i] for i in decoded]
+        for a, b in zip(segs, segs[1:]):
+            assert b == a or net.segments[b].start_node == net.segments[a].end_node
+
+    def test_beam_width_via_config(self, tiny_dataset):
+        matcher = DMM(
+            tiny_dataset,
+            fast_config(input_mode="tower", constrained=True, beam_width=3),
+            rng=0,
+        )
+        matcher.fit(tiny_dataset.train[:10])
+        result = matcher.match(tiny_dataset.test[0].cellular)
+        assert all(s in tiny_dataset.network.segments for s in result.path)
+
+
+class TestVariants:
+    def test_deepmm_unconstrained(self, tiny_dataset):
+        matcher = DeepMM(tiny_dataset, fast_config(input_mode="grid"), rng=0)
+        matcher.fit(tiny_dataset.train[:10])
+        assert matcher._successors is None
+        assert matcher.match(tiny_dataset.test[0].cellular).path is not None
+
+    def test_transformer_encoder_used(self, tiny_dataset):
+        matcher = TransformerMM(
+            tiny_dataset, fast_config(input_mode="grid", encoder="transformer"), rng=0
+        )
+        assert matcher.model.encoder_layer is not None
+        assert matcher.model.encoder_rnn is None
+        matcher.fit(tiny_dataset.train[:10])
+        assert matcher.match(tiny_dataset.test[0].cellular) is not None
+
+    def test_registry_trains_seq2seq(self, tiny_dataset):
+        matcher = make_baseline(
+            "DMM", tiny_dataset, rng=0, config=fast_config(input_mode="tower", constrained=True)
+        )
+        assert matcher.losses  # fit() was called by the factory

@@ -1,0 +1,100 @@
+"""Tests for repro.cellular.filters."""
+
+import pytest
+
+from repro.cellular import (
+    Trajectory,
+    TrajectoryPoint,
+    alpha_trimmed_mean_filter,
+    apply_standard_filters,
+    direction_filter,
+    speed_filter,
+)
+from repro.geometry import Point
+
+
+def traj(coords, gap=30.0):
+    return Trajectory(
+        points=[
+            TrajectoryPoint(Point(x, y), i * gap, tower_id=i)
+            for i, (x, y) in enumerate(coords)
+        ]
+    )
+
+
+class TestSpeedFilter:
+    def test_keeps_reasonable_speeds(self):
+        t = traj([(0, 0), (300, 0), (600, 0)])  # 10 m/s
+        assert len(speed_filter(t)) == 3
+
+    def test_drops_teleporting_point(self):
+        t = traj([(0, 0), (30000, 0), (600, 0)])  # 1 km/s spike
+        filtered = speed_filter(t)
+        assert len(filtered) == 2
+        assert filtered[1].position == Point(600, 0)
+
+    def test_short_trajectory_untouched(self):
+        t = traj([(0, 0)])
+        assert speed_filter(t) is t
+
+    def test_keeps_first_point(self):
+        t = traj([(0, 0), (99999, 0)])
+        assert speed_filter(t)[0].position == Point(0, 0)
+
+
+class TestAlphaTrimmedMean:
+    def test_smooths_outlier(self):
+        coords = [(0, 0), (100, 0), (5000, 0), (300, 0), (400, 0)]
+        smoothed = alpha_trimmed_mean_filter(traj(coords), window=5, alpha=1)
+        assert smoothed[2].position.x < 5000
+
+    def test_preserves_length_and_metadata(self):
+        t = traj([(i * 100, 0) for i in range(7)])
+        smoothed = alpha_trimmed_mean_filter(t)
+        assert len(smoothed) == len(t)
+        assert [p.timestamp for p in smoothed] == [p.timestamp for p in t]
+        assert [p.tower_id for p in smoothed] == [p.tower_id for p in t]
+
+    def test_short_trajectory_untouched(self):
+        t = traj([(0, 0), (1, 1)])
+        assert alpha_trimmed_mean_filter(t) is t
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            alpha_trimmed_mean_filter(traj([(i, 0) for i in range(9)]), window=3, alpha=2)
+
+
+class TestDirectionFilter:
+    def test_removes_ping_pong(self):
+        # out-and-back spike at index 1
+        t = traj([(0, 0), (1000, 0), (50, 10), (100, 20)])
+        filtered = direction_filter(t)
+        assert len(filtered) < len(t)
+
+    def test_keeps_straight_movement(self):
+        t = traj([(i * 200, 0) for i in range(5)])
+        assert len(direction_filter(t)) == 5
+
+    def test_short_trajectory_untouched(self):
+        t = traj([(0, 0), (10, 0)])
+        assert direction_filter(t) is t
+
+    def test_endpoints_always_kept(self):
+        t = traj([(0, 0), (1000, 0), (50, 10), (100, 20)])
+        filtered = direction_filter(t)
+        assert filtered[0].position == t[0].position
+        assert filtered[-1].position == t[-1].position
+
+
+class TestPipeline:
+    def test_pipeline_output_is_sane(self, tiny_simulator):
+        trip = tiny_simulator.simulate_trip(99)
+        filtered = apply_standard_filters(trip.cellular)
+        assert 1 <= len(filtered) <= len(trip.cellular)
+        times = [p.timestamp for p in filtered]
+        assert times == sorted(times)
+
+    def test_pipeline_preserves_tower_ids(self, tiny_simulator):
+        trip = tiny_simulator.simulate_trip(100)
+        filtered = apply_standard_filters(trip.cellular)
+        assert all(p.tower_id is not None for p in filtered)

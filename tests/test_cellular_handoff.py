@@ -1,0 +1,85 @@
+"""Tests for repro.cellular.handoff."""
+
+import numpy as np
+import pytest
+
+from repro.cellular import CellTower, HandoffConfig, HandoffModel, TowerField
+from repro.geometry import Point
+
+
+def two_tower_field() -> TowerField:
+    return TowerField([CellTower(0, Point(0, 0)), CellTower(1, Point(2000, 0))])
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        HandoffConfig().validate()
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(path_loss_exponent=0).validate()
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(shadow_correlation=1.0).validate()
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(shadow_sigma_db=-1).validate()
+
+
+class TestHandoff:
+    def test_connects_to_near_tower_without_fading(self):
+        config = HandoffConfig(shadow_sigma_db=0.0, hysteresis_db=0.0)
+        model = HandoffModel(two_tower_field(), config, rng=0)
+        assert model.observe(Point(100, 0)) == 0
+        assert model.observe(Point(1900, 0)) == 1
+
+    def test_hysteresis_keeps_serving_cell(self):
+        config = HandoffConfig(shadow_sigma_db=0.0, hysteresis_db=30.0)
+        model = HandoffModel(two_tower_field(), config, rng=0)
+        assert model.observe(Point(100, 0)) == 0
+        # Slightly past the midpoint: tower 1 is better but not by 30 dB.
+        assert model.observe(Point(1100, 0)) == 0
+
+    def test_reset_clears_serving_cell(self):
+        config = HandoffConfig(shadow_sigma_db=0.0, hysteresis_db=30.0)
+        model = HandoffModel(two_tower_field(), config, rng=0)
+        model.observe(Point(100, 0))
+        model.reset()
+        assert model.observe(Point(1900, 0)) == 1
+
+    def test_positioning_error_distribution(self, tiny_towers):
+        """Errors should mostly fall in the paper's 0.1-3 km band."""
+        model = HandoffModel(tiny_towers, rng=0)
+        rng = np.random.default_rng(1)
+        errors = []
+        for _ in range(200):
+            p = Point(float(rng.uniform(-800, 800)), float(rng.uniform(-800, 800)))
+            tower = model.observe(p)
+            errors.append(tiny_towers.location(tower).distance_to(p))
+        errors = np.array(errors)
+        assert np.median(errors) > 50.0
+        assert np.percentile(errors, 95) < 4000.0
+
+    def test_fading_is_temporally_correlated(self):
+        config = HandoffConfig(shadow_sigma_db=8.0, shadow_correlation=0.95)
+        field = two_tower_field()
+        model = HandoffModel(field, config, rng=0)
+        # With heavy correlation the connected tower should not flip-flop
+        # every single step while the phone stands still.
+        flips = 0
+        previous = model.observe(Point(1000, 0))
+        for _ in range(50):
+            current = model.observe(Point(1000, 0))
+            if current != previous:
+                flips += 1
+            previous = current
+        assert flips < 25
+
+    def test_deterministic_given_seed(self):
+        field = two_tower_field()
+        a = HandoffModel(field, rng=5)
+        b = HandoffModel(field, rng=5)
+        points = [Point(x, 50.0) for x in range(0, 2000, 100)]
+        assert [a.observe(p) for p in points] == [b.observe(p) for p in points]

@@ -1,0 +1,95 @@
+"""Tests for repro.cellular.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cellular import SimulationConfig
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        SimulationConfig().validate()
+
+    def test_trip_range_checked(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(min_trip_m=5000, max_trip_m=4000).validate()
+
+    def test_intervals_checked(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(gps_interval_s=0).validate()
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                cellular_interval_mean_s=100, cellular_interval_max_s=50
+            ).validate()
+
+
+class TestTrips:
+    @pytest.fixture(scope="class")
+    def trips(self, tiny_simulator):
+        return tiny_simulator.simulate_many(8)
+
+    def test_path_is_consecutive(self, trips, tiny_network):
+        for trip in trips:
+            for a, b in zip(trip.path, trip.path[1:]):
+                assert (
+                    tiny_network.segments[b].start_node
+                    == tiny_network.segments[a].end_node
+                )
+
+    def test_gps_denser_than_cellular(self, trips):
+        total_gps = sum(len(t.gps) for t in trips)
+        total_cell = sum(len(t.cellular) for t in trips)
+        assert total_gps > total_cell
+
+    def test_gps_points_near_path(self, trips, tiny_network):
+        for trip in trips:
+            for point in trip.gps.points:
+                dists = tiny_network.distances_to_segments(point.position, trip.path)
+                assert dists.min() < 100.0  # gps noise is ~12 m
+
+    def test_cellular_positions_are_tower_locations(self, trips, tiny_towers):
+        for trip in trips:
+            for point in trip.cellular.points:
+                assert point.tower_id is not None
+                assert point.position == tiny_towers.location(point.tower_id)
+
+    def test_true_positions_aligned(self, trips):
+        for trip in trips:
+            assert len(trip.true_positions) == len(trip.cellular)
+
+    def test_positioning_errors_realistic(self, trips):
+        errors = np.concatenate([t.positioning_errors() for t in trips])
+        assert errors.max() < 6000.0
+        assert np.median(errors) > 30.0
+
+    def test_timestamps_increase(self, trips):
+        for trip in trips:
+            for traj in (trip.gps, trip.cellular):
+                times = [p.timestamp for p in traj.points]
+                assert times == sorted(times)
+
+    def test_cellular_gaps_capped(self, trips, tiny_simulator):
+        cap = tiny_simulator.config.cellular_interval_max_s
+        for trip in trips:
+            for gap in trip.cellular.sampling_intervals():
+                assert gap <= cap + 1e-9
+
+    def test_deterministic_given_seed(self, tiny_network, tiny_towers):
+        from repro.cellular import VehicleSimulator
+        from tests.conftest import TINY_SIMULATION
+
+        a = VehicleSimulator(tiny_network, tiny_towers, TINY_SIMULATION, rng=11)
+        b = VehicleSimulator(tiny_network, tiny_towers, TINY_SIMULATION, rng=11)
+        ta, tb = a.simulate_trip(0), b.simulate_trip(0)
+        assert ta.path == tb.path
+        assert [p.tower_id for p in ta.cellular] == [p.tower_id for p in tb.cellular]
+
+    def test_trip_distance_in_configured_range(self, trips, tiny_network, tiny_simulator):
+        cfg = tiny_simulator.config
+        for trip in trips:
+            start = tiny_network.segments[trip.path[0]].polyline.start
+            end = tiny_network.segments[trip.path[-1]].polyline.end
+            gap = start.distance_to(end)
+            # Straight-line OD distance was sampled in range; small slack for
+            # the node-vs-segment endpoints.
+            assert gap <= cfg.max_trip_m * 1.3

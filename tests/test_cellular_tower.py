@@ -1,0 +1,90 @@
+"""Tests for repro.cellular.tower."""
+
+import pytest
+
+from repro.cellular import CellTower, TowerField, TowerPlacementConfig, place_towers
+from repro.geometry import Point
+
+
+class TestTowerField:
+    def make_field(self) -> TowerField:
+        return TowerField(
+            [
+                CellTower(0, Point(0, 0)),
+                CellTower(1, Point(1000, 0)),
+                CellTower(2, Point(0, 1000)),
+            ]
+        )
+
+    def test_requires_towers(self):
+        with pytest.raises(ValueError):
+            TowerField([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TowerField([CellTower(0, Point(0, 0)), CellTower(0, Point(1, 1))])
+
+    def test_len_iter_lookup(self):
+        field = self.make_field()
+        assert len(field) == 3
+        assert {t.tower_id for t in field} == {0, 1, 2}
+        assert field.tower(1).location == Point(1000, 0)
+        assert field.location(2) == Point(0, 1000)
+
+    def test_towers_within(self):
+        field = self.make_field()
+        assert field.towers_within(Point(0, 0), 1200) == [0, 1, 2]
+        assert field.towers_within(Point(0, 0), 500) == [0]
+
+    def test_nearest(self):
+        field = self.make_field()
+        assert field.nearest(Point(900, 100), count=1) == [1]
+        assert len(field.nearest(Point(0, 0), count=3)) == 3
+
+
+class TestPlacement:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(base_spacing_m=-1).validate()
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(spacing_gradient=-0.5).validate()
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(candidate_factor=0).validate()
+
+    def test_placement_respects_min_spacing(self, tiny_network, tiny_towers):
+        config = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
+        towers = list(tiny_towers)
+        for i, a in enumerate(towers):
+            for b in towers[i + 1 :]:
+                # The *central* exclusion radius lower-bounds all spacings.
+                assert a.location.distance_to(b.location) >= config.base_spacing_m * 0.99
+
+    def test_placement_is_deterministic(self, tiny_network):
+        a = place_towers(tiny_network, rng=3)
+        b = place_towers(tiny_network, rng=3)
+        assert len(a) == len(b)
+        assert all(a.location(t.tower_id) == b.location(t.tower_id) for t in a)
+
+    def test_placement_covers_city(self, tiny_network, tiny_towers):
+        # Every intersection should have a tower within a few kilometres.
+        for node in tiny_network.nodes.values():
+            nearest = tiny_towers.nearest(node, count=1)
+            assert tiny_towers.location(nearest[0]).distance_to(node) < 4000.0
+
+    def test_density_gradient(self):
+        from repro.network import CityConfig, generate_city_network
+
+        net = generate_city_network(
+            CityConfig(grid_rows=20, grid_cols=20, block_size_m=250.0), rng=2
+        )
+        towers = place_towers(
+            net, TowerPlacementConfig(base_spacing_m=400.0, spacing_gradient=3.0), rng=2
+        )
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        centre = Point((min_x + max_x) / 2, (min_y + max_y) / 2)
+        radius = (max_x - min_x) / 2
+        inner = [t for t in towers if t.location.distance_to(centre) < radius * 0.4]
+        outer = [t for t in towers if t.location.distance_to(centre) > radius * 0.7]
+        inner_area = 3.14159 * (radius * 0.4) ** 2
+        outer_area = (2 * radius) ** 2 - 3.14159 * (radius * 0.7) ** 2
+        assert len(inner) / inner_area > len(outer) / max(outer_area, 1.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.cellular.trajectory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cellular import Trajectory, TrajectoryPoint
+from repro.geometry import Point
+
+
+def make_trajectory(n: int = 5, gap: float = 30.0) -> Trajectory:
+    points = [
+        TrajectoryPoint(position=Point(i * 100.0, 0.0), timestamp=i * gap, tower_id=i)
+        for i in range(n)
+    ]
+    return Trajectory(points=points, trajectory_id=1)
+
+
+class TestBasics:
+    def test_rejects_unordered_timestamps(self):
+        points = [
+            TrajectoryPoint(Point(0, 0), 10.0),
+            TrajectoryPoint(Point(1, 1), 5.0),
+        ]
+        with pytest.raises(ValueError):
+            Trajectory(points=points)
+
+    def test_len_iter_getitem(self):
+        traj = make_trajectory(4)
+        assert len(traj) == 4
+        assert [p.timestamp for p in traj] == [0, 30, 60, 90]
+        assert traj[2].tower_id == 2
+
+    def test_duration(self):
+        assert make_trajectory(4).duration == pytest.approx(90.0)
+
+    def test_duration_single_point(self):
+        assert make_trajectory(1).duration == 0.0
+
+    def test_sampling_intervals(self):
+        assert make_trajectory(3).sampling_intervals() == [30.0, 30.0]
+
+    def test_sampling_distances(self):
+        assert make_trajectory(3).sampling_distances() == [100.0, 100.0]
+
+    def test_path_length(self):
+        assert make_trajectory(4).path_length() == pytest.approx(300.0)
+
+    def test_headings(self):
+        headings = make_trajectory(3).headings_deg()
+        assert headings == pytest.approx([90.0, 90.0])
+
+    def test_positions_and_tower_ids(self):
+        traj = make_trajectory(2)
+        assert traj.positions() == [Point(0, 0), Point(100, 0)]
+        assert traj.tower_ids() == [0, 1]
+
+    def test_centroid(self):
+        c = make_trajectory(3).centroid()
+        assert (c.x, c.y) == pytest.approx((100.0, 0.0))
+
+    def test_centroid_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory(points=[], _validated=True).centroid()
+
+    def test_with_position(self):
+        p = TrajectoryPoint(Point(0, 0), 1.0, tower_id=7)
+        q = p.with_position(Point(5, 5))
+        assert q.position == Point(5, 5)
+        assert q.tower_id == 7
+        assert q.timestamp == 1.0
+
+
+class TestResampling:
+    def test_subsampled_keeps_last(self):
+        traj = make_trajectory(5).subsampled(2)
+        assert [p.timestamp for p in traj] == [0, 60, 120]
+
+    def test_subsampled_identity(self):
+        traj = make_trajectory(5)
+        assert len(traj.subsampled(1)) == 5
+
+    def test_subsampled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_trajectory(3).subsampled(0)
+
+    def test_resampled_to_rate(self):
+        traj = make_trajectory(10, gap=30.0)  # 2 samples/minute native
+        thinned = traj.resampled_to_rate(1.0)  # 1 per minute
+        intervals = thinned.sampling_intervals()
+        assert all(i >= 60.0 for i in intervals[:-1])
+
+    def test_resampled_keeps_endpoints(self):
+        traj = make_trajectory(10, gap=30.0)
+        thinned = traj.resampled_to_rate(0.5)
+        assert thinned[0].timestamp == traj[0].timestamp
+        assert thinned[-1].timestamp == traj[-1].timestamp
+
+    def test_resampled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_trajectory(3).resampled_to_rate(0.0)
+
+    @given(st.integers(2, 30), st.floats(0.2, 4.0, allow_nan=False))
+    def test_resampled_never_longer(self, n, rate):
+        traj = make_trajectory(n)
+        assert len(traj.resampled_to_rate(rate)) <= len(traj)

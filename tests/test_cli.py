@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tiny_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "city.json.gz"
+    save_dataset(tiny_dataset, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_file(trained_lhmm, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    trained_lhmm.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestGenerate:
+    def test_generates_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "mini.json.gz"
+        code = main(
+            [
+                "generate",
+                "--preset",
+                "xiamen",
+                "--trajectories",
+                "5",
+                "--scale",
+                "0.4",
+                "--seed",
+                "3",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "5 samples" in capsys.readouterr().out or "samples" in ""
+
+    def test_stats_prints_table(self, dataset_file, capsys):
+        assert main(["stats", "--dataset", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "road segments" in out
+        assert "average cellular sampling interval (s)" in out
+
+
+class TestTrain:
+    def test_train_writes_model(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "trained.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                str(dataset_file),
+                "-o",
+                str(out),
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--candidates",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "trained LHMM" in capsys.readouterr().out
+
+    def test_train_ablated_variant(self, dataset_file, tmp_path):
+        out = tmp_path / "ablated.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                str(dataset_file),
+                "-o",
+                str(out),
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--variant",
+                "LHMM-S",
+            ]
+        )
+        assert code == 0
+        from repro.core import LHMM
+        from repro.datasets import load_dataset
+
+        restored = LHMM.load(out, load_dataset(dataset_file))
+        assert restored.config.use_shortcuts is False
+
+
+class TestEvaluate:
+    def test_evaluate_baseline(self, dataset_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                str(dataset_file),
+                "--baseline",
+                "STM",
+                "--limit",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out
+        assert "CMF50=" in out
+
+    def test_evaluate_exports(self, dataset_file, tmp_path, capsys):
+        json_out = tmp_path / "r.json"
+        csv_out = tmp_path / "r.csv"
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                str(dataset_file),
+                "--baseline",
+                "STM",
+                "--limit",
+                "2",
+                "--json",
+                str(json_out),
+                "--csv",
+                str(csv_out),
+            ]
+        )
+        assert code == 0
+        assert json_out.exists() and csv_out.exists()
+
+    def test_evaluate_model(self, dataset_file, model_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                str(dataset_file),
+                "--model",
+                str(model_file),
+                "--limit",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "precision=" in capsys.readouterr().out
+
+
+class TestMatch:
+    def test_match_with_renders(self, dataset_file, model_file, tmp_path, capsys):
+        svg_out = tmp_path / "match.svg"
+        code = main(
+            [
+                "match",
+                "--dataset",
+                str(dataset_file),
+                "--model",
+                str(model_file),
+                "--ascii",
+                "--svg",
+                str(svg_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "legend" in out
+        assert svg_out.exists()
+
+    def test_match_unknown_sample(self, dataset_file, model_file, capsys):
+        code = main(
+            [
+                "match",
+                "--dataset",
+                str(dataset_file),
+                "--model",
+                str(model_file),
+                "--sample-id",
+                "999999",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,51 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core import LHMMConfig
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        LHMMConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("embedding_dim", 1),
+            ("het_layers", 0),
+            ("candidate_k", 0),
+            ("candidate_pool", 5),  # < candidate_k default
+            ("shortcut_k", -1),
+            ("batch_size", 0),
+            ("label_smoothing", 1.0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        config = LHMMConfig()
+        setattr(config, field, value)
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestAblations:
+    def test_identity_variant(self):
+        config = LHMMConfig().ablated("LHMM")
+        assert config == LHMMConfig()
+
+    def test_each_variant_flips_one_switch(self):
+        base = LHMMConfig()
+        assert not base.ablated("LHMM-E").use_graph_encoder
+        assert not base.ablated("LHMM-H").heterogeneous
+        assert not base.ablated("LHMM-O").use_implicit_observation
+        assert not base.ablated("LHMM-T").use_implicit_transition
+        assert not base.ablated("LHMM-S").use_shortcuts
+
+    def test_ablation_does_not_mutate_original(self):
+        base = LHMMConfig()
+        base.ablated("LHMM-S")
+        assert base.use_shortcuts
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            LHMMConfig().ablated("LHMM-X")

@@ -1,0 +1,69 @@
+"""Tests for the reproduction's own design-choice switches."""
+
+import pytest
+
+from repro.core import LHMM, LHMMConfig, RelationGraph
+from repro.core.candidates import learned_candidate_pool, spatial_candidate_pool
+from tests.conftest import tiny_lhmm_config
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_dataset):
+    return RelationGraph(tiny_dataset.network, tiny_dataset.towers).build(
+        tiny_dataset.train
+    )
+
+
+class TestPoolExtension:
+    def test_extension_adds_cooccurring_roads(self, graph, tiny_dataset):
+        # Find a point whose tower has co-occurring roads outside the
+        # nearest-first spatial pool.
+        for sample in tiny_dataset.test:
+            for point in sample.cellular.points:
+                spatial = spatial_candidate_pool(
+                    tiny_dataset.network, point, 1200.0, 20
+                )
+                known = graph.roads_seen_with(point.tower_id)
+                extra = known - set(spatial)
+                if extra:
+                    extended = learned_candidate_pool(graph, point, 1200.0, 20)
+                    assert extra <= set(extended)
+                    return
+        pytest.skip("no point with out-of-pool co-occurring roads in this dataset")
+
+    def test_extension_can_be_disabled(self, graph, tiny_dataset):
+        point = tiny_dataset.test[0].cellular.points[0]
+        plain = learned_candidate_pool(
+            graph, point, 1200.0, 20, include_cooccurrence=False
+        )
+        spatial = spatial_candidate_pool(tiny_dataset.network, point, 1200.0, 20)
+        assert plain == spatial
+
+
+class TestConfigWiring:
+    def test_feature_count_follows_flag(self):
+        assert LHMMConfig(use_rank_features=True).observation_feature_count == 4
+        assert LHMMConfig(use_rank_features=False).observation_feature_count == 2
+
+    def test_matcher_trains_without_rank_features(self, tiny_dataset):
+        config = tiny_lhmm_config()
+        config.use_rank_features = False
+        matcher = LHMM(config, rng=2).fit(tiny_dataset)
+        assert matcher.observation_learner.num_explicit == 2
+        assert matcher.match(tiny_dataset.test[0].cellular).path
+
+    def test_matcher_trains_without_pool_extension(self, tiny_dataset):
+        config = tiny_lhmm_config()
+        config.extend_pool_with_cooccurrence = False
+        matcher = LHMM(config, rng=2).fit(tiny_dataset)
+        assert matcher.match(tiny_dataset.test[0].cellular).path
+
+    def test_flags_survive_persistence(self, tiny_dataset, tmp_path):
+        config = tiny_lhmm_config()
+        config.use_rank_features = False
+        matcher = LHMM(config, rng=2).fit(tiny_dataset)
+        path = tmp_path / "m.npz"
+        matcher.save(path)
+        restored = LHMM.load(path, tiny_dataset)
+        assert restored.config.use_rank_features is False
+        assert restored.observation_learner.num_explicit == 2

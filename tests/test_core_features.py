@@ -1,0 +1,97 @@
+"""Tests for repro.core.features."""
+
+import numpy as np
+import pytest
+
+from repro.core import RelationGraph
+from repro.core.features import (
+    NUM_OBSERVATION_FEATURES,
+    NUM_TRANSITION_FEATURES,
+    observation_feature_matrix,
+    observation_features,
+    route_turn_sum_deg,
+    transition_features,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_dataset):
+    return RelationGraph(tiny_dataset.network, tiny_dataset.towers).build(
+        tiny_dataset.train
+    )
+
+
+class TestObservationFeatures:
+    def test_matrix_shape(self, graph, tiny_dataset):
+        sample = tiny_dataset.train[0]
+        point = sample.cellular.points[0]
+        segs = sorted(tiny_dataset.network.segments)[:7]
+        matrix = observation_feature_matrix(graph, point, segs)
+        assert matrix.shape == (7, NUM_OBSERVATION_FEATURES)
+
+    def test_base_features_consistent(self, graph, tiny_dataset):
+        sample = tiny_dataset.train[0]
+        point = sample.cellular.points[0]
+        segs = sorted(tiny_dataset.network.segments)[:5]
+        matrix = observation_feature_matrix(graph, point, segs)
+        for row, seg in zip(matrix, segs):
+            base = observation_features(graph, point, seg)
+            assert row[0] == pytest.approx(base[0])
+            assert row[1] == pytest.approx(base[1])
+
+    def test_rank_features_in_unit_interval(self, graph, tiny_dataset):
+        sample = tiny_dataset.train[0]
+        point = sample.cellular.points[0]
+        segs = sorted(tiny_dataset.network.segments)[:9]
+        matrix = observation_feature_matrix(graph, point, segs)
+        assert np.all(matrix[:, 2] >= 0) and np.all(matrix[:, 2] < 1)
+        assert np.all(matrix[:, 3] >= 0) and np.all(matrix[:, 3] < 1)
+
+    def test_rank_columns_can_be_disabled(self, graph, tiny_dataset):
+        sample = tiny_dataset.train[0]
+        point = sample.cellular.points[0]
+        segs = sorted(tiny_dataset.network.segments)[:6]
+        base = observation_feature_matrix(graph, point, segs, include_ranks=False)
+        full = observation_feature_matrix(graph, point, segs, include_ranks=True)
+        assert base.shape == (6, 2)
+        assert full.shape == (6, 4)
+        assert (base == full[:, :2]).all()
+
+    def test_nearest_segment_gets_rank_zero(self, graph, tiny_dataset):
+        sample = tiny_dataset.train[0]
+        point = sample.cellular.points[0]
+        segs = sorted(tiny_dataset.network.segments)[:9]
+        matrix = observation_feature_matrix(graph, point, segs)
+        nearest_row = int(np.argmin(matrix[:, 0]))
+        assert matrix[nearest_row, 2] == 0.0
+
+
+class TestTransitionFeatures:
+    def test_shape_and_ranges(self, tiny_dataset):
+        engine = tiny_dataset.engine
+        sample = tiny_dataset.train[0]
+        truth = sample.truth_path
+        route = engine.route(truth[0], truth[min(3, len(truth) - 1)])
+        assert route is not None
+        features = transition_features(
+            tiny_dataset.network, route, sample.cellular[0], sample.cellular[1]
+        )
+        assert features.shape == (NUM_TRANSITION_FEATURES,)
+        assert features[0] >= 0.0
+        assert 0.0 <= features[1] <= 5.0
+        assert 0.0 <= features[2] <= 3.0
+
+    def test_straight_route_has_low_turning(self, tiny_dataset):
+        engine = tiny_dataset.engine
+        net = tiny_dataset.network
+        seg = sorted(net.segments)[0]
+        route = engine.route(seg, seg)
+        assert route_turn_sum_deg(net, route) < 60.0
+
+    def test_turn_sum_nonnegative(self, tiny_dataset):
+        engine = tiny_dataset.engine
+        net = tiny_dataset.network
+        segs = sorted(net.segments)
+        route = engine.route(segs[0], segs[40])
+        if route is not None:
+            assert route_turn_sum_deg(net, route) >= 0.0

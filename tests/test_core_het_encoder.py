@@ -1,0 +1,74 @@
+"""Tests for repro.core.het_encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core import HetGraphEncoder, MlpNodeEncoder, RelationGraph
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_dataset):
+    return RelationGraph(tiny_dataset.network, tiny_dataset.towers).build(
+        tiny_dataset.train
+    )
+
+
+class TestHetGraphEncoder:
+    def test_requires_built_graph(self, tiny_dataset):
+        empty = RelationGraph(tiny_dataset.network, tiny_dataset.towers)
+        with pytest.raises(ValueError):
+            HetGraphEncoder(empty, dim=8)
+
+    def test_output_shape(self, graph):
+        encoder = HetGraphEncoder(graph, dim=8, num_layers=2, rng=0)
+        out = encoder()
+        assert out.shape == (graph.num_nodes, 8)
+
+    def test_heterogeneous_has_per_relation_weights(self, graph):
+        het = HetGraphEncoder(graph, dim=8, num_layers=1, heterogeneous=True, rng=0)
+        homo = HetGraphEncoder(graph, dim=8, num_layers=1, heterogeneous=False, rng=0)
+        assert het.num_parameters() > homo.num_parameters()
+
+    def test_messages_propagate_between_node_types(self, graph):
+        """Perturbing a tower embedding must move its co-occurring roads."""
+        encoder = HetGraphEncoder(graph, dim=8, num_layers=2, rng=0)
+        co = graph.edges["CO"]
+        tower_node = int(co.sources[0])
+        road_node = int(co.targets[0])
+        base = encoder().numpy()[road_node].copy()
+        encoder.embedding.weight.data[tower_node] += 10.0
+        moved = encoder().numpy()[road_node]
+        assert not np.allclose(base, moved)
+
+    def test_gradients_reach_embeddings(self, graph):
+        encoder = HetGraphEncoder(graph, dim=8, num_layers=1, rng=0)
+        encoder().sum().backward()
+        assert encoder.embedding.weight.grad is not None
+        assert np.abs(encoder.embedding.weight.grad).sum() > 0
+
+    def test_deterministic_given_seed(self, graph):
+        a = HetGraphEncoder(graph, dim=8, rng=5)().numpy()
+        b = HetGraphEncoder(graph, dim=8, rng=5)().numpy()
+        assert np.allclose(a, b)
+
+    def test_outputs_finite_and_nonnegative(self, graph):
+        out = HetGraphEncoder(graph, dim=8, rng=0)().numpy()
+        assert np.isfinite(out).all()
+        assert (out >= 0).all()  # final ReLU
+
+
+class TestMlpNodeEncoder:
+    def test_output_shape(self, graph):
+        encoder = MlpNodeEncoder(graph, dim=8, rng=0)
+        assert encoder().shape == (graph.num_nodes, 8)
+
+    def test_ignores_graph_structure(self, graph):
+        """Perturbing a tower must NOT move other nodes (no propagation)."""
+        encoder = MlpNodeEncoder(graph, dim=8, rng=0)
+        co = graph.edges["CO"]
+        tower_node = int(co.sources[0])
+        road_node = int(co.targets[0])
+        base = encoder().numpy()[road_node].copy()
+        encoder.embedding.weight.data[tower_node] += 10.0
+        moved = encoder().numpy()[road_node]
+        assert np.allclose(base, moved)

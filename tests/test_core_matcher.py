@@ -1,0 +1,144 @@
+"""Tests for repro.core.matcher and repro.core.training (end-to-end LHMM)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LHMM
+from tests.conftest import tiny_lhmm_config
+
+
+class TestFit:
+    def test_requires_fit_before_match(self, tiny_dataset):
+        matcher = LHMM(tiny_lhmm_config(), rng=0)
+        with pytest.raises(RuntimeError):
+            matcher.match(tiny_dataset.test[0].cellular)
+
+    def test_fit_produces_embeddings(self, trained_lhmm):
+        assert trained_lhmm.node_embeddings is not None
+        assert np.isfinite(trained_lhmm.node_embeddings).all()
+        assert trained_lhmm.node_embeddings.shape == (
+            trained_lhmm.graph.num_nodes,
+            trained_lhmm.config.embedding_dim,
+        )
+
+    def test_training_report_has_losses(self, trained_lhmm):
+        report = trained_lhmm.report
+        assert report.observation_pretrain
+        assert report.observation_finetune
+        assert report.transition_pretrain
+        assert report.transition_finetune
+        for losses in (
+            report.observation_pretrain,
+            report.observation_finetune,
+            report.transition_pretrain,
+            report.transition_finetune,
+        ):
+            assert all(np.isfinite(x) for x in losses)
+
+    def test_fit_rejects_empty(self, tiny_dataset):
+        matcher = LHMM(tiny_lhmm_config(), rng=0)
+        with pytest.raises(ValueError):
+            matcher.fit(tiny_dataset, train_samples=[])
+
+
+class TestCandidatePreparation:
+    def test_topk_sets(self, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        sets, po_maps, context = trained_lhmm.prepare_candidates(sample.cellular)
+        assert len(sets) == len(sample.cellular)
+        for candidates, po in zip(sets, po_maps):
+            assert 1 <= len(candidates) <= trained_lhmm.config.candidate_k
+            assert all(seg in po for seg in candidates)
+        assert context.shape == (len(sample.cellular), trained_lhmm.config.embedding_dim)
+
+    def test_candidates_sorted_by_learned_po(self, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        sets, po_maps, _ = trained_lhmm.prepare_candidates(sample.cellular)
+        for candidates, po in zip(sets, po_maps):
+            scores = [po[c] for c in candidates]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_probabilities_in_unit_interval(self, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        _, po_maps, _ = trained_lhmm.prepare_candidates(sample.cellular)
+        for po in po_maps:
+            assert all(0.0 < v < 1.0 for v in po.values())
+
+
+class TestMatch:
+    def test_match_returns_consecutive_path(self, trained_lhmm, tiny_dataset):
+        net = tiny_dataset.network
+        for sample in tiny_dataset.test[:3]:
+            result = trained_lhmm.match(sample.cellular)
+            assert result.path
+            breaks = sum(
+                1
+                for a, b in zip(result.path, result.path[1:])
+                if net.segments[b].start_node != net.segments[a].end_node
+            )
+            assert breaks <= 1  # at most a rare unroutable break
+
+    def test_match_sequence_aligned_with_points(self, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        result = trained_lhmm.match(sample.cellular)
+        assert len(result.matched_sequence) == len(sample.cellular)
+        assert len(result.candidate_sets) == len(sample.cellular)
+
+    def test_match_empty_rejected(self, trained_lhmm):
+        from repro.cellular import Trajectory
+
+        with pytest.raises(ValueError):
+            trained_lhmm.match(Trajectory(points=[], _validated=True))
+
+    def test_match_single_point(self, trained_lhmm, tiny_dataset):
+        from repro.cellular import Trajectory
+
+        single = Trajectory(points=[tiny_dataset.test[0].cellular[0]], _validated=True)
+        result = trained_lhmm.match(single)
+        assert len(result.path) == 1
+
+    def test_match_many(self, trained_lhmm, tiny_dataset):
+        trajectories = [s.cellular for s in tiny_dataset.test[:2]]
+        results = trained_lhmm.match_many(trajectories)
+        assert len(results) == 2
+
+    def test_matching_is_deterministic(self, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        a = trained_lhmm.match(sample.cellular)
+        b = trained_lhmm.match(sample.cellular)
+        assert a.path == b.path
+
+    def test_match_beats_random_baseline(self, trained_lhmm, tiny_dataset):
+        """LHMM must do far better than a random candidate walk."""
+        from repro.eval.metrics import corridor_mismatch_fraction
+
+        rng = np.random.default_rng(0)
+        lhmm_cmf, random_cmf = [], []
+        for sample in tiny_dataset.test[:4]:
+            result = trained_lhmm.match(sample.cellular)
+            lhmm_cmf.append(
+                corridor_mismatch_fraction(tiny_dataset.network, sample.truth_path, result.path)
+            )
+            random_path = list(
+                rng.choice(sorted(tiny_dataset.network.segments), size=10)
+            )
+            random_cmf.append(
+                corridor_mismatch_fraction(
+                    tiny_dataset.network, sample.truth_path, [int(s) for s in random_path]
+                )
+            )
+        assert np.mean(lhmm_cmf) < np.mean(random_cmf)
+
+
+class TestAblations:
+    @pytest.mark.parametrize("variant", ["LHMM-E", "LHMM-O", "LHMM-T", "LHMM-S"])
+    def test_ablated_variants_train_and_match(self, tiny_dataset, variant):
+        config = tiny_lhmm_config().ablated(variant)
+        matcher = LHMM(config, rng=1).fit(tiny_dataset)
+        result = matcher.match(tiny_dataset.test[0].cellular)
+        assert result.path
+
+    def test_homogeneous_variant(self, tiny_dataset):
+        config = tiny_lhmm_config().ablated("LHMM-H")
+        matcher = LHMM(config, rng=1).fit(tiny_dataset)
+        assert matcher.match(tiny_dataset.test[0].cellular).path

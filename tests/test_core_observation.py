@@ -1,0 +1,100 @@
+"""Tests for repro.core.observation and repro.core.transition learners."""
+
+import numpy as np
+import pytest
+
+from repro.core import ObservationLearner, TransitionLearner
+from repro.core.features import NUM_OBSERVATION_FEATURES, NUM_TRANSITION_FEATURES
+from repro.nn import Tensor
+
+
+def rand(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestObservationLearner:
+    def test_context_shape(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        context = learner.context(rand((6, 8)))
+        assert context.shape == (6, 8)
+
+    def test_implicit_logits_with_single_context(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        logits = learner.implicit_logits(rand((5, 8)), rand((8,), seed=1))
+        assert logits.shape == (5,)
+
+    def test_implicit_logits_with_paired_context(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        logits = learner.implicit_logits(rand((5, 8)), rand((5, 8), seed=1))
+        assert logits.shape == (5,)
+
+    def test_fuse_outputs_probabilities(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        explicit = np.random.default_rng(0).random((5, NUM_OBSERVATION_FEATURES))
+        probs = learner.fuse(rand((5,), seed=2).sigmoid(), explicit).numpy()
+        assert probs.shape == (5,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_fuse_requires_implicit_unless_ablated(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        explicit = np.zeros((3, NUM_OBSERVATION_FEATURES))
+        with pytest.raises(ValueError):
+            learner.fuse(None, explicit)
+
+    def test_ablated_learner_uses_explicit_only(self):
+        learner = ObservationLearner(dim=8, hidden=8, use_implicit=False, rng=0)
+        explicit = np.zeros((3, NUM_OBSERVATION_FEATURES))
+        probs = learner.fuse(None, explicit).numpy()
+        assert probs.shape == (3,)
+
+    def test_score_end_to_end(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        explicit = np.random.default_rng(1).random((4, NUM_OBSERVATION_FEATURES))
+        probs = learner.score(rand((4, 8)), rand((8,), seed=3), explicit).numpy()
+        assert probs.shape == (4,)
+
+    def test_context_depends_on_other_points(self):
+        learner = ObservationLearner(dim=8, hidden=8, rng=0)
+        base = rand((4, 8), seed=5)
+        context_a = learner.context(base).numpy()[0]
+        perturbed = Tensor(np.concatenate([base.numpy()[:3], base.numpy()[3:] + 5.0]))
+        context_b = learner.context(perturbed).numpy()[0]
+        assert not np.allclose(context_a, context_b)
+
+
+class TestTransitionLearner:
+    def test_relevance_shape(self):
+        learner = TransitionLearner(dim=8, hidden=8, rng=0)
+        logits = learner.road_relevance_logits(rand((7, 8)), rand((4, 8), seed=1))
+        assert logits.shape == (7,)
+
+    def test_fuse_outputs_probabilities(self):
+        learner = TransitionLearner(dim=8, hidden=8, rng=0)
+        explicit = np.random.default_rng(0).random((6, NUM_TRANSITION_FEATURES))
+        probs = learner.fuse(rand((6,), seed=2).sigmoid(), explicit).numpy()
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_fuse_requires_implicit_unless_ablated(self):
+        learner = TransitionLearner(dim=8, hidden=8, rng=0)
+        with pytest.raises(ValueError):
+            learner.fuse(None, np.zeros((2, NUM_TRANSITION_FEATURES)))
+
+    def test_ablated_fuse(self):
+        learner = TransitionLearner(dim=8, hidden=8, use_implicit=False, rng=0)
+        probs = learner.fuse(None, np.zeros((2, NUM_TRANSITION_FEATURES))).numpy()
+        assert probs.shape == (2,)
+
+    def test_relevance_depends_on_trajectory(self):
+        learner = TransitionLearner(dim=8, hidden=8, rng=0)
+        roads = rand((5, 8), seed=6)
+        towers_a = rand((3, 8), seed=7)
+        towers_b = rand((3, 8), seed=8)
+        a = learner.road_relevance_logits(roads, towers_a).numpy()
+        b = learner.road_relevance_logits(roads, towers_b).numpy()
+        assert not np.allclose(a, b)
+
+    def test_gradients_flow(self):
+        learner = TransitionLearner(dim=8, hidden=8, rng=0)
+        logits = learner.road_relevance_logits(rand((4, 8)), rand((3, 8), seed=1))
+        logits.sum().backward()
+        assert any(p.grad is not None for p in learner.relevance_mlp.parameters())

@@ -1,0 +1,48 @@
+"""Tests for LHMM save/load persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import LHMM
+
+
+class TestPersistence:
+    def test_unfitted_matcher_cannot_save(self, tmp_path):
+        from tests.conftest import tiny_lhmm_config
+
+        matcher = LHMM(tiny_lhmm_config())
+        with pytest.raises(RuntimeError):
+            matcher.save(tmp_path / "m.npz")
+
+    def test_round_trip_reproduces_matches(self, trained_lhmm, tiny_dataset, tmp_path):
+        path = tmp_path / "lhmm.npz"
+        trained_lhmm.save(path)
+        restored = LHMM.load(path, tiny_dataset)
+        for sample in tiny_dataset.test[:3]:
+            original = trained_lhmm.match(sample.cellular)
+            loaded = restored.match(sample.cellular)
+            assert original.path == loaded.path
+            assert original.matched_sequence == loaded.matched_sequence
+            assert original.score == pytest.approx(loaded.score)
+
+    def test_round_trip_preserves_config(self, trained_lhmm, tiny_dataset, tmp_path):
+        path = tmp_path / "lhmm.npz"
+        trained_lhmm.save(path)
+        restored = LHMM.load(path, tiny_dataset)
+        assert restored.config == trained_lhmm.config
+
+    def test_round_trip_preserves_embeddings(self, trained_lhmm, tiny_dataset, tmp_path):
+        path = tmp_path / "lhmm.npz"
+        trained_lhmm.save(path)
+        restored = LHMM.load(path, tiny_dataset)
+        assert np.allclose(restored.node_embeddings, trained_lhmm.node_embeddings)
+
+    def test_round_trip_preserves_cooccurrence(self, trained_lhmm, tiny_dataset, tmp_path):
+        path = tmp_path / "lhmm.npz"
+        trained_lhmm.save(path)
+        restored = LHMM.load(path, tiny_dataset)
+        tower = next(iter(tiny_dataset.towers.towers))
+        for seg in list(trained_lhmm.graph.roads_seen_with(tower))[:5]:
+            assert restored.graph.co_occurrence_frequency(
+                tower, seg
+            ) == pytest.approx(trained_lhmm.graph.co_occurrence_frequency(tower, seg))

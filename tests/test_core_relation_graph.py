@@ -1,0 +1,128 @@
+"""Tests for repro.core.relation_graph."""
+
+import numpy as np
+import pytest
+
+from repro.core import RelationGraph
+from repro.core.relation_graph import RELATIONS
+
+
+@pytest.fixture(scope="module")
+def built_graph(tiny_dataset):
+    return RelationGraph(tiny_dataset.network, tiny_dataset.towers).build(
+        tiny_dataset.train
+    )
+
+
+class TestIndexing:
+    def test_node_count(self, built_graph, tiny_dataset):
+        assert built_graph.num_nodes == len(tiny_dataset.towers) + tiny_dataset.network.num_segments
+
+    def test_tower_and_segment_spaces_disjoint(self, built_graph, tiny_dataset):
+        tower_nodes = {built_graph.tower_node(t.tower_id) for t in tiny_dataset.towers}
+        seg_ids = sorted(tiny_dataset.network.segments)[:50]
+        segment_nodes = {built_graph.segment_node(s) for s in seg_ids}
+        assert not tower_nodes & segment_nodes
+        assert max(tower_nodes) < min(segment_nodes)
+
+    def test_vectorised_lookups(self, built_graph, tiny_dataset):
+        seg_ids = sorted(tiny_dataset.network.segments)[:5]
+        nodes = built_graph.segment_nodes(seg_ids)
+        assert list(nodes) == [built_graph.segment_node(s) for s in seg_ids]
+
+
+class TestEdges:
+    def test_all_relations_present(self, built_graph):
+        assert set(built_graph.edges) == set(RELATIONS)
+
+    def test_inverse_relations_mirror(self, built_graph):
+        co = built_graph.edges["CO"]
+        co_inv = built_graph.edges["CO_inv"]
+        assert co.count == co_inv.count
+        assert np.array_equal(co.sources, co_inv.targets)
+        assert np.array_equal(co.targets, co_inv.sources)
+
+    def test_topology_matches_network(self, built_graph, tiny_dataset):
+        tp = built_graph.edges["TP"]
+        expected = sum(
+            len(tiny_dataset.network.successors(s))
+            for s in tiny_dataset.network.segments
+        )
+        assert tp.count == expected
+
+    def test_co_edges_connect_towers_to_segments(self, built_graph):
+        co = built_graph.edges["CO"]
+        assert co.count > 0
+        assert np.all(co.sources < built_graph.num_towers)
+        assert np.all(co.targets >= built_graph.num_towers)
+
+    def test_sq_edges_connect_towers(self, built_graph):
+        sq = built_graph.edges["SQ"]
+        assert sq.count > 0
+        assert np.all(sq.sources < built_graph.num_towers)
+        assert np.all(sq.targets < built_graph.num_towers)
+
+    def test_merged_edges_cover_all(self, built_graph):
+        merged = built_graph.merged_edges()
+        assert merged.count == sum(e.count for e in built_graph.edges.values())
+
+    def test_merged_before_build_rejected(self, tiny_dataset):
+        graph = RelationGraph(tiny_dataset.network, tiny_dataset.towers)
+        with pytest.raises(RuntimeError):
+            graph.merged_edges()
+
+
+class TestMiningStatePersistence:
+    def test_round_trip(self, built_graph, tiny_dataset):
+        from repro.core import RelationGraph
+
+        state = built_graph.mining_state()
+        restored = RelationGraph(tiny_dataset.network, tiny_dataset.towers)
+        restored.load_mining_state(state)
+        # Edge counts match after reload.
+        for rel in ("CO", "SQ", "TP"):
+            assert restored.edges[rel].count == built_graph.edges[rel].count
+        # Co-occurrence frequencies survive exactly.
+        tower_id = next(iter(tiny_dataset.towers.towers))
+        for seg in list(built_graph.roads_seen_with(tower_id))[:5]:
+            assert restored.co_occurrence_frequency(
+                tower_id, seg
+            ) == pytest.approx(built_graph.co_occurrence_frequency(tower_id, seg))
+
+    def test_state_arrays_have_expected_shape(self, built_graph):
+        state = built_graph.mining_state()
+        assert state["co_counts"].ndim == 2 and state["co_counts"].shape[1] == 3
+        assert state["sq_counts"].ndim == 2 and state["sq_counts"].shape[1] == 3
+
+
+class TestCoOccurrence:
+    def test_frequencies_normalised_per_tower(self, built_graph, tiny_dataset):
+        for tower in list(tiny_dataset.towers)[:10]:
+            roads = built_graph.roads_seen_with(tower.tower_id)
+            if not roads:
+                continue
+            total = sum(
+                built_graph.co_occurrence_frequency(tower.tower_id, seg) for seg in roads
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_unseen_pair_is_zero(self, built_graph, tiny_dataset):
+        tower_id = next(iter(tiny_dataset.towers.towers))
+        unseen = [
+            s
+            for s in tiny_dataset.network.segments
+            if s not in built_graph.roads_seen_with(tower_id)
+        ]
+        assert built_graph.co_occurrence_frequency(tower_id, unseen[0]) == 0.0
+
+    def test_truth_roads_have_positive_frequency(self, built_graph, tiny_dataset):
+        """Training roads should co-occur with some tower of their sample."""
+        sample = tiny_dataset.train[0]
+        towers = {p.tower_id for p in sample.cellular.points}
+        hits = 0
+        for seg in sample.truth_path:
+            if any(
+                built_graph.co_occurrence_frequency(t, seg) > 0 for t in towers
+            ):
+                hits += 1
+        assert hits / len(sample.truth_path) > 0.9

@@ -1,0 +1,246 @@
+"""Tests for repro.core.trellis (Algorithms 1 and 2)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.cellular import TrajectoryPoint
+from repro.core.trellis import UNREACHABLE_SCORE, Trellis
+from repro.geometry import Point, Polyline
+from repro.network import RoadNetwork, RoadSegment, ShortestPathEngine
+
+
+def chain_network(n: int = 8) -> RoadNetwork:
+    """One-way chain: segment i runs node i -> node i+1."""
+    net = RoadNetwork()
+    for i in range(n + 1):
+        net.add_node(i, Point(i * 100.0, 0.0))
+    for i in range(n):
+        net.add_segment(
+            RoadSegment(
+                i, i, i + 1, Polyline([Point(i * 100.0, 0.0), Point((i + 1) * 100.0, 0.0)])
+            )
+        )
+    return net.freeze()
+
+
+class TableScorer:
+    """Scorer driven by explicit dictionaries, defaulting to small scores."""
+
+    def __init__(self, observations=None, transitions=None, default_obs=0.1, default_trans=0.1):
+        self.observations = observations or {}
+        self.transitions = transitions or {}
+        self.default_obs = default_obs
+        self.default_trans = default_trans
+
+    def observation(self, index, segment_id):
+        return self.observations.get((index, segment_id), self.default_obs)
+
+    def transition(self, index, prev, seg):
+        return self.transitions.get((index, prev, seg), self.default_trans)
+
+
+def points(n):
+    return [TrajectoryPoint(Point(i * 100.0 + 50.0, 10.0), i * 10.0) for i in range(n)]
+
+
+class TestViterbi:
+    def test_validation(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        with pytest.raises(ValueError):
+            Trellis([[0]], TableScorer(), net, engine, points(2))
+        with pytest.raises(ValueError):
+            Trellis([[0], []], TableScorer(), net, engine, points(2))
+
+    def test_picks_highest_observation_chain(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        obs = {(0, 0): 0.9, (1, 1): 0.9, (2, 2): 0.9}
+        trellis = Trellis(
+            [[0, 1], [1, 2], [2, 3]], TableScorer(obs), net, engine, points(3)
+        )
+        assert trellis.run() == [0, 1, 2]
+
+    def test_matches_bruteforce_enumeration(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        candidate_sets = [[0, 1], [1, 2, 3], [3, 4]]
+        obs = {(i, s): 0.1 + 0.13 * ((i * 7 + s) % 5) for i in range(3) for s in range(8)}
+        trans = {
+            (i, a, b): 0.05 + 0.11 * ((i + 3 * a + 5 * b) % 7)
+            for i in range(1, 3)
+            for a in range(8)
+            for b in range(8)
+        }
+        scorer = TableScorer(obs, trans)
+        trellis = Trellis(candidate_sets, scorer, net, engine, points(3))
+        decoded = trellis.run()
+
+        def path_score(path):
+            total = scorer.observation(0, path[0])
+            for i in range(1, 3):
+                total += scorer.transition(i, path[i - 1], path[i]) * scorer.observation(
+                    i, path[i]
+                )
+            return total
+
+        best = max(itertools.product(*candidate_sets), key=path_score)
+        assert decoded == list(best)
+        assert trellis.best_score == pytest.approx(path_score(best))
+
+    def test_unreachable_transitions_avoided(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        trans = {(1, 0, 2): UNREACHABLE_SCORE}
+        obs = {(1, 2): 0.99}  # tempting but unreachable from 0
+        trellis = Trellis(
+            [[0], [1, 2]], TableScorer(obs, trans), net, engine, points(2)
+        )
+        assert trellis.run() == [0, 2] or trellis.run() == [0, 1]
+        # with only candidate 0 before, unreachable 2 must lose to 1
+        trellis = Trellis(
+            [[0], [1, 2]], TableScorer(obs, trans), net, engine, points(2)
+        )
+        decoded = trellis.run()
+        assert decoded[1] == 1
+
+    def test_best_score_requires_run(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        trellis = Trellis([[0]], TableScorer(), net, engine, points(1))
+        with pytest.raises(RuntimeError):
+            trellis.best_score
+
+
+class TestViterbiProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 5),  # number of points
+        st.integers(1, 3),  # candidates per point
+        st.integers(0, 10**6),  # score-table seed
+    )
+    def test_matches_bruteforce_random_tables(self, n_points, per_point, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        net = chain_network(8)
+        engine = ShortestPathEngine(net)
+        candidate_sets = [
+            sorted(rng.choice(8, size=per_point, replace=False).tolist())
+            for _ in range(n_points)
+        ]
+        obs = {
+            (i, s): float(rng.uniform(0.01, 1.0))
+            for i in range(n_points)
+            for s in range(8)
+        }
+        trans = {
+            (i, a, b): float(rng.uniform(0.01, 1.0))
+            for i in range(1, n_points)
+            for a in range(8)
+            for b in range(8)
+        }
+        scorer = TableScorer(obs, trans)
+        trellis = Trellis(
+            [list(c) for c in candidate_sets], scorer, net, engine, points(n_points)
+        )
+        decoded = trellis.run()
+
+        def score(path):
+            total = scorer.observation(0, path[0])
+            for i in range(1, n_points):
+                total += scorer.transition(i, path[i - 1], path[i]) * scorer.observation(
+                    i, path[i]
+                )
+            return total
+
+        best = max(
+            (score(p) for p in itertools.product(*candidate_sets)),
+        )
+        assert trellis.best_score == pytest.approx(best)
+        assert score(decoded) == pytest.approx(best)
+
+
+class TestShortcuts:
+    def test_shortcut_skips_noisy_point(self):
+        """A middle point whose candidates are all terrible gets skipped.
+
+        Candidates of the middle point are far-off segments (6, 7) with
+        tiny observation scores; the shortcut inserts the on-route segment
+        and must beat the direct path.
+        """
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        obs = {
+            (0, 0): 0.9,
+            (1, 6): 0.01,
+            (1, 7): 0.01,
+            (2, 2): 0.9,
+            (1, 1): 0.5,  # the segment a shortcut would insert
+        }
+
+        class GeomScorer(TableScorer):
+            def transition(self, index, prev, seg):
+                route = engine.route(prev, seg)
+                if route is None:
+                    return UNREACHABLE_SCORE
+                return 1.0 / (1.0 + route.length / 100.0)
+
+        candidate_sets = [[0], [6, 7], [2]]
+        plain = Trellis(candidate_sets, GeomScorer(obs), net, engine, points(3))
+        plain_seq = plain.run(shortcut_k=0)
+        assert plain_seq[1] in (6, 7)
+
+        shortcut = Trellis(
+            [list(c) for c in candidate_sets], GeomScorer(obs), net, engine, points(3)
+        )
+        shortcut_seq = shortcut.run(shortcut_k=1)
+        assert shortcut_seq[1] == 1  # projected on-route segment replaces noise
+        assert shortcut.best_score >= plain.best_score
+
+    def test_shortcut_never_lowers_score(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        obs = {(i, s): 0.1 + 0.07 * ((i + s) % 4) for i in range(4) for s in range(8)}
+        candidate_sets = [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+        def run(k):
+            trellis = Trellis(
+                [list(c) for c in candidate_sets],
+                TableScorer(obs, default_trans=0.2),
+                net,
+                engine,
+                points(4),
+            )
+            trellis.run(shortcut_k=k)
+            return trellis.best_score
+
+        assert run(1) >= run(0) - 1e-12
+
+    def test_inserted_candidates_visible_after_run(self):
+        """Shortcut-inserted roads join the trellis candidate sets (they
+        count toward the hitting ratio, as the paper credits STM+S)."""
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        obs = {(0, 0): 0.9, (1, 6): 0.01, (1, 7): 0.01, (2, 2): 0.9, (1, 1): 0.5}
+
+        class GeomScorer(TableScorer):
+            def transition(self, index, prev, seg):
+                route = engine.route(prev, seg)
+                if route is None:
+                    return UNREACHABLE_SCORE
+                return 1.0 / (1.0 + route.length / 100.0)
+
+        trellis = Trellis([[0], [6, 7], [2]], GeomScorer(obs), net, engine, points(3))
+        trellis.run(shortcut_k=1)
+        assert 1 in trellis.candidate_sets[1]
+
+    def test_shortcut_requires_three_points(self):
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        trellis = Trellis([[0], [1]], TableScorer(), net, engine, points(2))
+        assert trellis.run(shortcut_k=1) == [0, 1]

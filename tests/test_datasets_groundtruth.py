@@ -1,0 +1,54 @@
+"""Tests for repro.datasets.groundtruth (the GPS-HMM ground-truth pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GpsHmmConfig, match_gps_trajectory
+from repro.eval.metrics import precision_recall
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        GpsHmmConfig().validate()
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            GpsHmmConfig(max_candidates=0).validate()
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GpsHmmConfig(observation_sigma_m=0).validate()
+
+
+class TestGpsMatching:
+    def test_recovers_simulated_path(self, tiny_simulator, tiny_network, tiny_engine):
+        """The classical HMM on GPS must recover nearly all of the true path."""
+        recalls = []
+        for i in range(6):
+            trip = tiny_simulator.simulate_trip(1000 + i)
+            matched = match_gps_trajectory(trip.gps, tiny_network, tiny_engine)
+            precision, recall = precision_recall(tiny_network, trip.path, matched)
+            recalls.append(recall)
+        assert np.mean(recalls) > 0.85
+
+    def test_path_is_consecutive_where_routable(
+        self, tiny_simulator, tiny_network, tiny_engine
+    ):
+        trip = tiny_simulator.simulate_trip(2000)
+        matched = match_gps_trajectory(trip.gps, tiny_network, tiny_engine)
+        breaks = 0
+        for a, b in zip(matched, matched[1:]):
+            if tiny_network.segments[b].start_node != tiny_network.segments[a].end_node:
+                breaks += 1
+        assert breaks == 0
+
+    def test_no_consecutive_duplicates(self, tiny_simulator, tiny_network, tiny_engine):
+        trip = tiny_simulator.simulate_trip(2001)
+        matched = match_gps_trajectory(trip.gps, tiny_network, tiny_engine)
+        assert all(a != b for a, b in zip(matched, matched[1:]))
+
+    def test_empty_trajectory_returns_empty(self, tiny_network, tiny_engine):
+        from repro.cellular import Trajectory
+
+        empty = Trajectory(points=[], _validated=True)
+        assert match_gps_trajectory(empty, tiny_network, tiny_engine) == []

@@ -1,0 +1,61 @@
+"""Tests for repro.datasets.io (dataset persistence)."""
+
+import pytest
+
+from repro.datasets import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_file_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "city.json.gz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == tiny_dataset.name
+        assert len(loaded) == len(tiny_dataset)
+        assert loaded.network.num_segments == tiny_dataset.network.num_segments
+        assert len(loaded.towers) == len(tiny_dataset.towers)
+
+    def test_round_trip_preserves_samples(self, tiny_dataset, tmp_path):
+        path = tmp_path / "city.json.gz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        for original, restored in zip(tiny_dataset.samples, loaded.samples):
+            assert restored.sample_id == original.sample_id
+            assert restored.truth_path == original.truth_path
+            assert restored.sim_path == original.sim_path
+            assert len(restored.cellular) == len(original.cellular)
+            assert restored.cellular.tower_ids() == original.cellular.tower_ids()
+            assert [p.timestamp for p in restored.gps] == [
+                p.timestamp for p in original.gps
+            ]
+
+    def test_round_trip_preserves_splits(self, tiny_dataset, tmp_path):
+        path = tmp_path / "city.json.gz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert [s.sample_id for s in loaded.train] == [
+            s.sample_id for s in tiny_dataset.train
+        ]
+        assert [s.sample_id for s in loaded.test] == [
+            s.sample_id for s in tiny_dataset.test
+        ]
+
+    def test_loaded_dataset_supports_matching(self, tiny_dataset, trained_lhmm, tmp_path):
+        """A persisted+reloaded dataset must feed the matcher unchanged."""
+        path = tmp_path / "city.json.gz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        sample = loaded.test[0]
+        result = trained_lhmm.match(sample.cellular)
+        assert result.path
+
+    def test_version_check(self, tiny_dataset):
+        data = dataset_to_dict(tiny_dataset)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            dataset_from_dict(data)

@@ -1,0 +1,46 @@
+"""Tests for repro.datasets.stats (Table I quantities)."""
+
+import pytest
+
+from repro.datasets import MatchingDataset, compute_statistics
+
+
+class TestStatistics:
+    def test_counts_match_dataset(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.road_segments == tiny_dataset.network.num_segments
+        assert stats.intersections == tiny_dataset.network.num_nodes
+        assert stats.cellular_points == sum(
+            len(s.raw_cellular) for s in tiny_dataset.samples
+        )
+        assert stats.gps_points == sum(len(s.gps) for s in tiny_dataset.samples)
+
+    def test_gps_denser_than_cellular(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.gps_points_per_trajectory > stats.cellular_points_per_trajectory
+
+    def test_interval_statistics_ordered(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert 0 < stats.mean_cellular_interval_s <= stats.max_cellular_interval_s
+
+    def test_distance_statistics_positive(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.mean_cellular_distance_m > 0
+        assert stats.median_cellular_distance_m > 0
+
+    def test_rows_cover_table1(self, tiny_dataset):
+        rows = compute_statistics(tiny_dataset).rows()
+        labels = [label for label, _ in rows]
+        assert len(rows) == 10
+        assert "road segments" in labels
+        assert "average cellular sampling interval (s)" in labels
+
+    def test_empty_dataset_rejected(self, tiny_dataset):
+        empty = MatchingDataset(
+            name="empty",
+            network=tiny_dataset.network,
+            towers=tiny_dataset.towers,
+            samples=[],
+        )
+        with pytest.raises(ValueError):
+            compute_statistics(empty)

@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.synthetic and repro.datasets.dataset."""
+
+import pytest
+
+from repro.datasets import DatasetConfig, make_city_dataset, preset_config
+
+
+class TestPresets:
+    def test_hangzhou_preset(self):
+        config = preset_config("hangzhou", num_trajectories=10)
+        config.validate()
+        assert config.simulation.cellular_interval_mean_s == pytest.approx(67.0)
+
+    def test_xiamen_preset_samples_faster(self):
+        hz = preset_config("hangzhou")
+        xm = preset_config("xiamen")
+        assert (
+            xm.simulation.cellular_interval_mean_s
+            < hz.simulation.cellular_interval_mean_s
+        )
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset_config("beijing")
+
+    def test_invalid_groundtruth_mode(self):
+        config = DatasetConfig(groundtruth="magic")
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestDataset:
+    def test_split_sizes(self, tiny_dataset):
+        n = len(tiny_dataset)
+        assert len(tiny_dataset.train) == int(n * 0.7)
+        assert len(tiny_dataset.train) + len(tiny_dataset.val) + len(tiny_dataset.test) == n
+
+    def test_splits_are_disjoint(self, tiny_dataset):
+        ids = lambda split: {s.sample_id for s in split}
+        assert not ids(tiny_dataset.train) & ids(tiny_dataset.test)
+        assert not ids(tiny_dataset.train) & ids(tiny_dataset.val)
+
+    def test_samples_have_labels(self, tiny_dataset):
+        for sample in tiny_dataset.samples:
+            assert sample.truth_path
+            assert len(sample.cellular) >= 3
+            assert len(sample.gps) >= 2
+
+    def test_truth_paths_are_consecutive(self, tiny_dataset):
+        net = tiny_dataset.network
+        for sample in tiny_dataset.samples[:10]:
+            for a, b in zip(sample.truth_path, sample.truth_path[1:]):
+                assert net.segments[b].start_node == net.segments[a].end_node
+
+    def test_engine_is_shared(self, tiny_dataset):
+        assert tiny_dataset.engine is tiny_dataset.engine
+
+    def test_with_samples_shares_substrate(self, tiny_dataset):
+        subset = tiny_dataset.with_samples(tiny_dataset.samples[:5])
+        assert len(subset) == 5
+        assert subset.network is tiny_dataset.network
+        assert subset.towers is tiny_dataset.towers
+
+    def test_distance_to_centre(self, tiny_dataset):
+        for sample in tiny_dataset.samples[:5]:
+            assert tiny_dataset.distance_to_centre(sample) >= 0.0
+
+    def test_gps_hmm_groundtruth_close_to_oracle(self, gps_dataset):
+        """GPS-derived truth should cover most of the simulator's true path."""
+        from repro.eval.metrics import precision_recall
+
+        net = gps_dataset.network
+        recalls = []
+        for sample in gps_dataset.samples:
+            _, recall = precision_recall(net, sample.sim_path, sample.truth_path)
+            recalls.append(recall)
+        assert sum(recalls) / len(recalls) > 0.8
+
+    def test_deterministic_given_seed(self):
+        from tests.conftest import TINY_CITY, TINY_SIMULATION, TINY_TOWERS
+
+        config = DatasetConfig(
+            name="det",
+            city=TINY_CITY,
+            towers=TINY_TOWERS,
+            simulation=TINY_SIMULATION,
+            num_trajectories=5,
+            groundtruth="oracle",
+        )
+        a = make_city_dataset(config, rng=4)
+        b = make_city_dataset(config, rng=4)
+        assert [s.truth_path for s in a.samples] == [s.truth_path for s in b.samples]

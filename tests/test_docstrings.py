@@ -1,0 +1,48 @@
+"""Meta-test: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_module_docstring(self, module):
+        assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_public_classes_and_functions_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for method_name, method in vars(obj).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method) and not inspect.getdoc(method):
+                        undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, (
+            f"undocumented public items in {module.__name__}: {undocumented}"
+        )

@@ -1,0 +1,128 @@
+"""Tests for repro.eval.harness and repro.eval.report."""
+
+import pytest
+
+from repro.eval import EvaluationResult, evaluate_matcher, format_series, format_table
+from repro.eval.harness import SampleEvaluation
+
+
+class PerfectMatcher:
+    """Returns the ground-truth path it was given at construction."""
+
+    def __init__(self, dataset):
+        self._paths = {s.sample_id: s.truth_path for s in dataset.samples}
+        self._dataset = dataset
+
+    def match(self, trajectory):
+        class Result:
+            pass
+
+        result = Result()
+        result.path = list(self._paths[trajectory.trajectory_id])
+        result.candidate_sets = [[result.path[0]] for _ in trajectory.points]
+        return result
+
+
+class TestHarness:
+    def test_perfect_matcher_scores_perfectly(self, tiny_dataset):
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:4], "oracle"
+        )
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(1.0)
+        assert result.rmf == pytest.approx(0.0)
+        assert result.cmf50 == pytest.approx(0.0)
+
+    def test_uses_test_split_by_default(self, tiny_dataset):
+        result = evaluate_matcher(PerfectMatcher(tiny_dataset), tiny_dataset)
+        assert len(result.samples) == len(tiny_dataset.test)
+
+    def test_timing_recorded(self, tiny_dataset):
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:2], "oracle"
+        )
+        assert result.avg_time >= 0.0
+        assert all(s.seconds >= 0 for s in result.samples)
+
+    def test_row_keys(self, tiny_dataset):
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:1], "oracle"
+        )
+        assert set(result.row()) == {"precision", "recall", "rmf", "cmf50", "hr", "avg_time"}
+
+    def test_empty_result_means(self):
+        result = EvaluationResult(method="x", dataset="y")
+        assert result.precision == 0.0
+        assert result.avg_time == 0.0
+
+
+class TestExport:
+    def test_to_dict_structure(self, tiny_dataset):
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:2], "oracle"
+        )
+        data = result.to_dict()
+        assert data["method"] == "oracle"
+        assert len(data["samples"]) == 2
+        assert set(data["aggregates"]) == {
+            "precision", "recall", "rmf", "cmf50", "hr", "avg_time",
+        }
+
+    def test_save_json(self, tiny_dataset, tmp_path):
+        import json
+
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:2], "oracle"
+        )
+        path = tmp_path / "result.json"
+        result.save_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["aggregates"]["precision"] == pytest.approx(1.0)
+
+    def test_save_csv(self, tiny_dataset, tmp_path):
+        import csv
+
+        result = evaluate_matcher(
+            PerfectMatcher(tiny_dataset), tiny_dataset, tiny_dataset.test[:3], "oracle"
+        )
+        path = tmp_path / "result.csv"
+        result.save_csv(path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert float(rows[0]["precision"]) == pytest.approx(1.0)
+
+
+class TestReport:
+    def make_result(self, name, value):
+        result = EvaluationResult(method=name, dataset="d")
+        result.samples.append(
+            SampleEvaluation(
+                sample_id=0, precision=value, recall=value, rmf=value,
+                cmf50=value, hitting=value, seconds=0.01,
+            )
+        )
+        return result
+
+    def test_format_table_contains_methods_and_values(self):
+        table = format_table(
+            [self.make_result("A", 0.5), self.make_result("B", 0.25)],
+            columns=["precision", "cmf50"],
+            title="Table II",
+        )
+        assert "Table II" in table
+        assert "A" in table and "B" in table
+        assert "0.500" in table and "0.250" in table
+
+    def test_format_table_alignment(self):
+        table = format_table([self.make_result("LongMethodName", 0.1)])
+        lines = table.splitlines()
+        assert len(set(len(line) for line in lines if line)) <= 2
+
+    def test_format_series(self):
+        text = format_series(
+            "k", [10, 20], {"LHMM": [0.1, 0.2], "STM": [0.3, 0.4]}, title="Fig 8"
+        )
+        assert "Fig 8" in text
+        assert "LHMM" in text and "STM" in text
+        assert "0.100" in text and "0.400" in text

@@ -1,0 +1,141 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    corridor_mismatch_fraction,
+    hitting_ratio,
+    path_length,
+    precision_recall,
+    route_mismatch_fraction,
+)
+
+
+class TestPathLength:
+    def test_counts_distinct_segments(self, tiny_network):
+        segs = sorted(tiny_network.segments)[:3]
+        once = path_length(tiny_network, segs)
+        doubled = path_length(tiny_network, segs + segs)
+        assert once == pytest.approx(doubled)
+
+    def test_empty(self, tiny_network):
+        assert path_length(tiny_network, []) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        p, r = precision_recall(tiny_dataset.network, truth, list(truth))
+        assert p == pytest.approx(1.0)
+        assert r == pytest.approx(1.0)
+
+    def test_empty_match(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        p, r = precision_recall(tiny_dataset.network, truth, [])
+        assert (p, r) == (0.0, 0.0)
+
+    def test_disjoint_paths(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        other = [s for s in sorted(tiny_dataset.network.segments) if s not in set(truth)]
+        p, r = precision_recall(tiny_dataset.network, truth, other[:5])
+        assert (p, r) == (0.0, 0.0)
+
+    def test_partial_overlap_bounds(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        half = truth[: len(truth) // 2]
+        p, r = precision_recall(tiny_dataset.network, truth, half)
+        assert p == pytest.approx(1.0)
+        assert 0.0 < r < 1.0
+
+
+class TestRmf:
+    def test_zero_for_exact(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        assert route_mismatch_fraction(tiny_dataset.network, truth, list(truth)) == 0.0
+
+    def test_missing_counts(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        rmf = route_mismatch_fraction(tiny_dataset.network, truth, [])
+        assert rmf == pytest.approx(1.0)
+
+    def test_redundant_counts(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        extra = [s for s in sorted(tiny_dataset.network.segments) if s not in set(truth)]
+        rmf = route_mismatch_fraction(
+            tiny_dataset.network, truth, list(truth) + extra[:5]
+        )
+        assert rmf > 0.0
+
+    def test_can_exceed_one(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path[:2]
+        extra = [s for s in sorted(tiny_dataset.network.segments) if s not in set(truth)]
+        rmf = route_mismatch_fraction(tiny_dataset.network, truth, extra[:50])
+        assert rmf > 1.0
+
+
+class TestCmf:
+    def test_zero_for_exact(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        assert corridor_mismatch_fraction(tiny_dataset.network, truth, list(truth)) == 0.0
+
+    def test_one_for_empty_match(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        assert corridor_mismatch_fraction(tiny_dataset.network, truth, []) == 1.0
+
+    def test_empty_truth_is_zero(self, tiny_dataset):
+        assert corridor_mismatch_fraction(tiny_dataset.network, [], [1]) == 0.0
+
+    def test_wider_corridor_never_worse(self, tiny_dataset):
+        truth = tiny_dataset.samples[0].truth_path
+        match = tiny_dataset.samples[1].truth_path
+        narrow = corridor_mismatch_fraction(tiny_dataset.network, truth, match, radius_m=25)
+        wide = corridor_mismatch_fraction(tiny_dataset.network, truth, match, radius_m=200)
+        assert wide <= narrow
+
+    def test_parallel_road_forgiven_at_coarse_radius(self, tiny_dataset):
+        """CMF's purpose: a nearby-but-wrong road passes a wide corridor."""
+        net = tiny_dataset.network
+        truth = tiny_dataset.samples[0].truth_path
+        # opposite-direction twins of the truth segments
+        twins = []
+        for seg_id in truth:
+            seg = net.segments[seg_id]
+            for cand in net.out_segments(seg.end_node):
+                other = net.segments[cand]
+                if other.end_node == seg.start_node:
+                    twins.append(cand)
+        if len(twins) < len(truth) * 0.8:
+            pytest.skip("not enough two-way twins in this sample")
+        strict = route_mismatch_fraction(net, truth, twins)
+        coarse = corridor_mismatch_fraction(net, truth, twins, radius_m=60)
+        assert strict > 0.5  # segment-level metric punishes the twin road
+        assert coarse < 0.2  # corridor-level metric forgives it
+
+    def test_bounded_unit_interval(self, tiny_dataset):
+        truth = tiny_dataset.samples[2].truth_path
+        match = tiny_dataset.samples[3].truth_path
+        cmf = corridor_mismatch_fraction(tiny_dataset.network, truth, match)
+        assert 0.0 <= cmf <= 1.0
+
+
+class TestHittingRatio:
+    def test_full_hit(self):
+        assert hitting_ratio([[1, 2], [3]], [2, 3]) == 1.0
+
+    def test_no_hit(self):
+        assert hitting_ratio([[1], [2]], [9]) == 0.0
+
+    def test_partial(self):
+        assert hitting_ratio([[1], [9]], [1, 2]) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert hitting_ratio([], [1]) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 20), min_size=1, max_size=5), min_size=1, max_size=8),
+        st.lists(st.integers(0, 20), min_size=1, max_size=10),
+    )
+    def test_always_unit_interval(self, candidate_sets, truth):
+        assert 0.0 <= hitting_ratio(candidate_sets, truth) <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for repro.eval.stats (paired bootstrap)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvaluationResult, paired_bootstrap
+from repro.eval.harness import SampleEvaluation
+
+
+def make_result(name, cmf_values, ids=None):
+    result = EvaluationResult(method=name, dataset="d")
+    ids = ids or list(range(len(cmf_values)))
+    for sample_id, value in zip(ids, cmf_values):
+        result.samples.append(
+            SampleEvaluation(
+                sample_id=sample_id, precision=1 - value, recall=1 - value,
+                rmf=value, cmf50=value, hitting=None, seconds=0.01,
+            )
+        )
+    return result
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = make_result("A", list(rng.uniform(0.1, 0.2, 40)))
+        b = make_result("B", list(rng.uniform(0.5, 0.6, 40)))
+        comparison = paired_bootstrap(a, b, metric="cmf50", rng=1)
+        assert comparison.mean_difference < 0
+        assert comparison.significant
+        assert comparison.p_better > 0.99  # lower cmf is better
+
+    def test_identical_methods_not_significant(self):
+        values = list(np.random.default_rng(2).uniform(0.2, 0.8, 30))
+        a = make_result("A", values)
+        b = make_result("B", values)
+        comparison = paired_bootstrap(a, b, rng=1)
+        assert comparison.mean_difference == pytest.approx(0.0)
+        assert not comparison.significant
+
+    def test_precision_direction(self):
+        rng = np.random.default_rng(3)
+        a = make_result("A", list(rng.uniform(0.1, 0.2, 40)))  # precision ~0.85
+        b = make_result("B", list(rng.uniform(0.5, 0.6, 40)))  # precision ~0.45
+        comparison = paired_bootstrap(a, b, metric="precision", rng=1)
+        assert comparison.mean_difference > 0
+        assert comparison.p_better > 0.99  # higher precision is better
+
+    def test_mismatched_samples_rejected(self):
+        a = make_result("A", [0.1, 0.2], ids=[1, 2])
+        b = make_result("B", [0.1, 0.2], ids=[2, 3])
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(make_result("A", []), make_result("B", []))
+
+    def test_bad_confidence_rejected(self):
+        a = make_result("A", [0.1])
+        b = make_result("B", [0.2])
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b, confidence=1.5)
+
+    def test_describe_mentions_methods(self):
+        a = make_result("LHMM", [0.1, 0.15, 0.12])
+        b = make_result("STM", [0.3, 0.35, 0.32])
+        text = paired_bootstrap(a, b, rng=1).describe()
+        assert "LHMM" in text and "STM" in text
+        assert "cmf50" in text
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        a = make_result("A", list(rng.uniform(0, 1, 20)))
+        b = make_result("B", list(rng.uniform(0, 1, 20)))
+        first = paired_bootstrap(a, b, rng=7)
+        second = paired_bootstrap(a, b, rng=7)
+        assert first.ci_low == second.ci_low
+        assert first.ci_high == second.ci_high

@@ -1,0 +1,47 @@
+"""Smoke tests over the example scripts.
+
+All examples must at least parse and expose a ``main``; the cheapest one
+(the custom-city pipeline) is executed end to end so the documented
+low-level API path stays green.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert "quickstart" in names
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        functions = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} has no main()"
+
+    def test_custom_city_pipeline_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "custom_city_pipeline.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "network:" in out
+        assert "matched test trajectory" in out

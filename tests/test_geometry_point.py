@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, bearing_deg, euclidean, heading_difference_deg
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_to_known_value(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(10, 4))
+        assert (mid.x, mid.y) == (5.0, 2.0)
+
+    def test_translated(self):
+        p = Point(1, 1).translated(2, -3)
+        assert (p.x, p.y) == (3.0, -2.0)
+
+    def test_as_tuple(self):
+        assert Point(2.5, -1.0).as_tuple() == (2.5, -1.0)
+
+    def test_points_are_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert {p: "ok"}[Point(1, 2)] == "ok"
+        with pytest.raises(AttributeError):
+            p.x = 5  # type: ignore[misc]
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, origin = Point(x1, y1), Point(x2, y2), Point(0, 0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-6
+
+
+class TestBearing:
+    def test_north_is_zero(self):
+        assert bearing_deg(Point(0, 0), Point(0, 10)) == pytest.approx(0.0)
+
+    def test_east_is_ninety(self):
+        assert bearing_deg(Point(0, 0), Point(10, 0)) == pytest.approx(90.0)
+
+    def test_south_is_one_eighty(self):
+        assert bearing_deg(Point(0, 0), Point(0, -10)) == pytest.approx(180.0)
+
+    def test_west_is_two_seventy(self):
+        assert bearing_deg(Point(0, 0), Point(-10, 0)) == pytest.approx(270.0)
+
+    def test_identical_points_yield_zero(self):
+        assert bearing_deg(Point(3, 3), Point(3, 3)) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_bearing_in_range(self, x1, y1, x2, y2):
+        bearing = bearing_deg(Point(x1, y1), Point(x2, y2))
+        assert 0.0 <= bearing < 360.0
+
+
+class TestHeadingDifference:
+    def test_zero_for_equal_headings(self):
+        assert heading_difference_deg(42.0, 42.0) == 0.0
+
+    def test_wraps_around(self):
+        assert heading_difference_deg(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_maximum_is_180(self):
+        assert heading_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+    @given(st.floats(0, 360, allow_nan=False), st.floats(0, 360, allow_nan=False))
+    def test_range_and_symmetry(self, h1, h2):
+        diff = heading_difference_deg(h1, h2)
+        assert 0.0 <= diff <= 180.0
+        assert diff == pytest.approx(heading_difference_deg(h2, h1))

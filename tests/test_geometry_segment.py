@@ -1,0 +1,108 @@
+"""Tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Point,
+    Polyline,
+    point_to_polyline_distance,
+    point_to_segment_distance,
+    project_point_to_segment,
+)
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestProjection:
+    def test_projects_inside_segment(self):
+        foot, t = project_point_to_segment(Point(5, 5), Point(0, 0), Point(10, 0))
+        assert (foot.x, foot.y) == (5.0, 0.0)
+        assert t == pytest.approx(0.5)
+
+    def test_clamps_before_start(self):
+        foot, t = project_point_to_segment(Point(-3, 2), Point(0, 0), Point(10, 0))
+        assert (foot.x, foot.y) == (0.0, 0.0)
+        assert t == 0.0
+
+    def test_clamps_after_end(self):
+        foot, t = project_point_to_segment(Point(15, 2), Point(0, 0), Point(10, 0))
+        assert (foot.x, foot.y) == (10.0, 0.0)
+        assert t == 1.0
+
+    def test_degenerate_segment(self):
+        foot, t = project_point_to_segment(Point(1, 1), Point(2, 2), Point(2, 2))
+        assert (foot.x, foot.y) == (2.0, 2.0)
+        assert t == 0.0
+
+    def test_distance_matches_projection(self):
+        d = point_to_segment_distance(Point(5, 7), Point(0, 0), Point(10, 0))
+        assert d == pytest.approx(7.0)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_projection_is_nearest_of_samples(self, px, py, ax, ay, bx, by):
+        p, a, b = Point(px, py), Point(ax, ay), Point(bx, by)
+        best = point_to_segment_distance(p, a, b)
+        for i in range(11):
+            t = i / 10.0
+            sample = Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+            assert best <= p.distance_to(sample) + 1e-6
+
+
+class TestPolyline:
+    def make(self) -> Polyline:
+        return Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0)])
+
+    def test_length(self):
+        assert self.make().length == pytest.approx(20.0)
+
+    def test_start_end(self):
+        line = self.make()
+        assert line.start == Point(0, 0)
+        assert line.end == Point(10, 10)
+
+    def test_interpolate_midway(self):
+        p = self.make().interpolate(10.0)
+        assert (p.x, p.y) == pytest.approx((10.0, 0.0))
+
+    def test_interpolate_clamps(self):
+        line = self.make()
+        assert line.interpolate(-5).as_tuple() == (0.0, 0.0)
+        assert line.interpolate(100).as_tuple() == (10.0, 10.0)
+
+    def test_interpolate_within_second_leg(self):
+        p = self.make().interpolate(15.0)
+        assert (p.x, p.y) == pytest.approx((10.0, 5.0))
+
+    def test_project_returns_offset(self):
+        foot, dist, offset = self.make().project(Point(10, 4))
+        assert (foot.x, foot.y) == pytest.approx((10.0, 4.0))
+        assert dist == pytest.approx(0.0)
+        assert offset == pytest.approx(14.0)
+
+    def test_project_off_line(self):
+        _, dist, _ = self.make().project(Point(5, 3))
+        assert dist == pytest.approx(3.0)
+
+    def test_turn_angle_sum_right_angle(self):
+        assert self.make().turn_angle_sum_deg() == pytest.approx(90.0)
+
+    def test_turn_angle_sum_straight_line(self):
+        line = Polyline([Point(0, 0), Point(5, 0), Point(10, 0)])
+        assert line.turn_angle_sum_deg() == pytest.approx(0.0)
+
+    def test_heading(self):
+        assert Polyline([Point(0, 0), Point(0, 5)]).heading_deg() == pytest.approx(0.0)
+
+    def test_point_to_polyline_distance(self):
+        assert point_to_polyline_distance(Point(5, -2), self.make()) == pytest.approx(2.0)
+
+    @given(st.floats(0, 20, allow_nan=False))
+    def test_interpolated_points_lie_on_line(self, offset):
+        line = self.make()
+        p = line.interpolate(offset)
+        assert point_to_polyline_distance(p, line) < 1e-6

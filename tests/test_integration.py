@@ -1,0 +1,75 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import LHMM, evaluate_matcher
+from repro.baselines import STMatching
+from repro.eval.metrics import hitting_ratio
+from tests.conftest import tiny_lhmm_config
+
+
+class TestEndToEnd:
+    def test_full_pipeline_metrics_are_sane(self, trained_lhmm, tiny_dataset):
+        result = evaluate_matcher(
+            trained_lhmm, tiny_dataset, tiny_dataset.test[:5], "LHMM"
+        )
+        row = result.row()
+        assert 0.0 <= row["precision"] <= 1.0
+        assert 0.0 <= row["recall"] <= 1.0
+        assert row["rmf"] >= 0.0
+        assert 0.0 <= row["cmf50"] <= 1.0
+        assert 0.0 <= row["hr"] <= 1.0
+        assert row["avg_time"] > 0.0
+
+    def test_lhmm_better_than_untrained_observation(self, trained_lhmm, tiny_dataset):
+        """The learned candidates must hit the truth path most of the time."""
+        hits = []
+        for sample in tiny_dataset.test[:5]:
+            result = trained_lhmm.match(sample.cellular)
+            hits.append(hitting_ratio(result.candidate_sets, sample.truth_path))
+        assert np.mean(hits) > 0.5
+
+    def test_lhmm_and_baseline_share_substrate(self, trained_lhmm, tiny_dataset):
+        baseline = STMatching(tiny_dataset)
+        baseline.config.candidate_k = 6
+        sample = tiny_dataset.test[0]
+        lhmm_result = trained_lhmm.match(sample.cellular)
+        stm_result = baseline.match(sample.cellular)
+        all_segments = set(tiny_dataset.network.segments)
+        assert set(lhmm_result.path) <= all_segments
+        assert set(stm_result.path) <= all_segments
+
+    def test_shortcuts_never_hurt_score(self, tiny_dataset):
+        """Matching with shortcuts must score at least as high (Eq. 21)."""
+        config_s = tiny_lhmm_config()
+        config_s.use_shortcuts = True
+        matcher = LHMM(config_s, rng=3).fit(tiny_dataset)
+        for sample in tiny_dataset.test[:3]:
+            with_s = matcher.match(sample.cellular)
+            matcher.config.use_shortcuts = False
+            without_s = matcher.match(sample.cellular)
+            matcher.config.use_shortcuts = True
+            assert with_s.score >= without_s.score - 1e-9
+
+    def test_sampling_rate_resample_pipeline(self, trained_lhmm, tiny_dataset):
+        """The Fig. 7(b) protocol: thin, re-filter, match."""
+        from repro.cellular import apply_standard_filters
+
+        sample = tiny_dataset.test[0]
+        thinned = sample.raw_cellular.resampled_to_rate(1.0)
+        filtered = apply_standard_filters(thinned)
+        if len(filtered) >= 2:
+            assert trained_lhmm.match(filtered).path
+
+    def test_model_state_roundtrip(self, trained_lhmm, tmp_path):
+        """Learner weights survive a save/load cycle."""
+        from repro.nn import load_state, save_state
+
+        path = tmp_path / "obs.npz"
+        save_state(trained_lhmm.observation_learner, path)
+        before = trained_lhmm.observation_learner.state_dict()
+        load_state(trained_lhmm.observation_learner, path)
+        after = trained_lhmm.observation_learner.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key])

@@ -1,0 +1,115 @@
+"""Tests for repro.network.generators."""
+
+from collections import deque
+
+import pytest
+
+from repro.network import CityConfig, generate_city_network
+from repro.network.generators import ARTERIAL_SPEED_MPS, _axis_positions
+
+
+class TestCityConfig:
+    def test_defaults_validate(self):
+        CityConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("grid_rows", 1),
+            ("block_size_m", 0.0),
+            ("removal_prob", 0.6),
+            ("one_way_prob", 1.5),
+            ("arterial_every", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        config = CityConfig()
+        setattr(config, field, value)
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestAxisPositions:
+    def test_uniform_when_gradient_zero(self):
+        positions = _axis_positions(5, 100.0, 0.0)
+        gaps = positions[1:] - positions[:-1]
+        assert all(abs(g - 100.0) < 1e-9 for g in gaps)
+
+    def test_gradient_grows_outward(self):
+        positions = _axis_positions(9, 100.0, 1.0)
+        gaps = positions[1:] - positions[:-1]
+        assert gaps[0] > gaps[len(gaps) // 2]
+        assert gaps[-1] > gaps[len(gaps) // 2]
+
+    def test_centred(self):
+        positions = _axis_positions(7, 100.0, 0.5)
+        assert abs(positions.mean()) < 1e-9
+
+
+class TestGenerateCity:
+    def test_deterministic_given_seed(self):
+        a = generate_city_network(CityConfig(grid_rows=8, grid_cols=8), rng=5)
+        b = generate_city_network(CityConfig(grid_rows=8, grid_cols=8), rng=5)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_segments == b.num_segments
+
+    def test_network_is_weakly_connected(self, tiny_network):
+        # BFS over the undirected view must reach every node.
+        start = next(iter(tiny_network.nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            neighbours = [
+                tiny_network.segments[s].end_node for s in tiny_network.out_segments(node)
+            ] + [
+                tiny_network.segments[s].start_node for s in tiny_network.in_segments(node)
+            ]
+            for n in neighbours:
+                if n not in seen:
+                    seen.add(n)
+                    queue.append(n)
+        assert seen == set(tiny_network.nodes)
+
+    def test_contains_both_road_classes(self, tiny_network):
+        classes = {seg.road_class for seg in tiny_network.segments.values()}
+        assert classes == {"arterial", "local"}
+
+    def test_arterials_are_faster(self, tiny_network):
+        for seg in tiny_network.segments.values():
+            if seg.road_class == "arterial":
+                assert seg.speed_limit_mps == pytest.approx(ARTERIAL_SPEED_MPS)
+
+    def test_two_way_streets_dominate(self, tiny_network):
+        # Most streets have an opposing twin (one_way_prob is small).
+        pairs = 0
+        for seg in tiny_network.segments.values():
+            for other_id in tiny_network.out_segments(seg.end_node):
+                other = tiny_network.segments[other_id]
+                if other.end_node == seg.start_node:
+                    pairs += 1
+                    break
+        assert pairs > 0.7 * tiny_network.num_segments
+
+    def test_segment_endpoints_match_nodes(self, tiny_network):
+        for seg in tiny_network.segments.values():
+            start = tiny_network.nodes[seg.start_node]
+            end = tiny_network.nodes[seg.end_node]
+            assert seg.polyline.start.distance_to(start) < 1e-6
+            assert seg.polyline.end.distance_to(end) < 1e-6
+
+    def test_density_gradient_blocks_grow_outward(self):
+        config = CityConfig(
+            grid_rows=16, grid_cols=16, density_gradient=1.5, jitter_frac=0.0,
+            removal_prob=0.0, curve_frac=0.0,
+        )
+        net = generate_city_network(config, rng=1)
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        cx, cy = (min_x + max_x) / 2, (min_y + max_y) / 2
+        radius = (max_x - min_x) / 2
+        central, outer = [], []
+        from repro.geometry import Point
+        for seg in net.segments.values():
+            dist = seg.midpoint.distance_to(Point(cx, cy))
+            (central if dist < radius * 0.3 else outer).append(seg.length)
+        assert sum(central) / len(central) < sum(outer) / len(outer)

@@ -1,0 +1,34 @@
+"""Tests for repro.network.io."""
+
+import pytest
+
+from repro.network import load_network, network_from_dict, network_to_dict, save_network
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, tiny_network):
+        data = network_to_dict(tiny_network)
+        rebuilt = network_from_dict(data)
+        assert rebuilt.num_nodes == tiny_network.num_nodes
+        assert rebuilt.num_segments == tiny_network.num_segments
+        assert rebuilt.total_length() == pytest.approx(tiny_network.total_length())
+
+    def test_dict_round_trip_preserves_attributes(self, tiny_network):
+        rebuilt = network_from_dict(network_to_dict(tiny_network))
+        for seg_id, seg in tiny_network.segments.items():
+            other = rebuilt.segments[seg_id]
+            assert other.start_node == seg.start_node
+            assert other.end_node == seg.end_node
+            assert other.speed_limit_mps == pytest.approx(seg.speed_limit_mps)
+            assert other.road_class == seg.road_class
+
+    def test_file_round_trip(self, tiny_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(tiny_network, path)
+        rebuilt = load_network(path)
+        assert rebuilt.num_segments == tiny_network.num_segments
+
+    def test_rebuilt_network_is_frozen(self, tiny_network):
+        rebuilt = network_from_dict(network_to_dict(tiny_network))
+        centre = next(iter(rebuilt.nodes.values()))
+        assert rebuilt.segments_near(centre, 300.0)

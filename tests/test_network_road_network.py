@@ -1,0 +1,118 @@
+"""Tests for repro.network.road_network."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Polyline
+from repro.network import RoadNetwork, RoadSegment
+
+
+def small_network() -> RoadNetwork:
+    """Three nodes in a line with two forward segments and one reverse."""
+    net = RoadNetwork()
+    net.add_node(0, Point(0, 0))
+    net.add_node(1, Point(100, 0))
+    net.add_node(2, Point(200, 0))
+    net.add_segment(RoadSegment(0, 0, 1, Polyline([Point(0, 0), Point(100, 0)])))
+    net.add_segment(RoadSegment(1, 1, 2, Polyline([Point(100, 0), Point(200, 0)])))
+    net.add_segment(RoadSegment(2, 1, 0, Polyline([Point(100, 0), Point(0, 0)])))
+    return net.freeze()
+
+
+class TestBuild:
+    def test_duplicate_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_node(0, Point(1, 1))
+
+    def test_duplicate_segment_rejected(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(0, 0, 1, Polyline([Point(0, 0), Point(1, 0)])))
+
+    def test_segment_requires_nodes(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(0, 0, 99, Polyline([Point(0, 0), Point(1, 0)])))
+
+    def test_counts(self):
+        net = small_network()
+        assert net.num_nodes == 3
+        assert net.num_segments == 3
+
+    def test_total_length(self):
+        assert small_network().total_length() == pytest.approx(300.0)
+
+    def test_bounding_box(self):
+        assert small_network().bounding_box() == (0.0, 0.0, 200.0, 0.0)
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().bounding_box()
+
+
+class TestTopology:
+    def test_successors(self):
+        net = small_network()
+        assert set(net.successors(0)) == {1, 2}
+
+    def test_predecessors(self):
+        net = small_network()
+        assert net.predecessors(1) == [0]
+
+    def test_out_in_segments(self):
+        net = small_network()
+        assert set(net.out_segments(1)) == {1, 2}
+        assert net.in_segments(0) == [2]
+
+    def test_unknown_node_has_no_edges(self):
+        assert small_network().out_segments(99) == []
+
+
+class TestSegmentProperties:
+    def test_length_and_midpoint(self):
+        seg = small_network().segment(0)
+        assert seg.length == pytest.approx(100.0)
+        assert seg.midpoint.as_tuple() == pytest.approx((50.0, 0.0))
+
+    def test_heading(self):
+        assert small_network().segment(0).heading_deg() == pytest.approx(90.0)
+
+    def test_distance_to(self):
+        assert small_network().segment(0).distance_to(Point(50, 30)) == pytest.approx(30.0)
+
+
+class TestSpatialQueries:
+    def test_segments_near_exact(self):
+        net = small_network()
+        found = net.segments_near(Point(50, 10), 20)
+        assert set(found) == {0, 2}
+
+    def test_segments_near_sorted_by_distance(self):
+        net = small_network()
+        found = net.segments_near(Point(120, 5), 500)
+        d = [net.segments[s].distance_to(Point(120, 5)) for s in found]
+        assert d == sorted(d)
+
+    def test_segments_near_empty(self):
+        net = small_network()
+        assert net.segments_near(Point(5000, 5000), 10) == []
+
+    def test_nearest_segments_expands(self):
+        net = small_network()
+        found = net.nearest_segments(Point(5000, 0), count=1)
+        assert len(found) == 1
+
+    def test_distances_to_segments_vectorised_matches_scalar(self):
+        net = small_network()
+        p = Point(33, 21)
+        ids = [0, 1, 2]
+        vector = net.distances_to_segments(p, ids)
+        scalar = [net.segments[s].distance_to(p) for s in ids]
+        assert np.allclose(vector, scalar)
+
+    def test_distances_to_segments_empty(self):
+        net = small_network()
+        assert net.distances_to_segments(Point(0, 0), []).size == 0

@@ -1,0 +1,118 @@
+"""Tests for repro.network.ubodt (precomputed routing table)."""
+
+import math
+
+import pytest
+
+from repro.network import ShortestPathEngine, Ubodt, UbodtRouter
+from tests.test_network_shortest_path import line_network
+
+
+class TestBuild:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            Ubodt(0.0)
+
+    def test_rows_within_bound(self):
+        net = line_network(6)
+        table = Ubodt.build(net, delta_m=250.0)
+        for (source, target), (distance, _) in table._rows.items():
+            assert distance <= 250.0
+            assert source != target
+
+    def test_lookup_self_is_zero(self):
+        net = line_network(4)
+        table = Ubodt.build(net, delta_m=500.0)
+        assert table.lookup(2, 2) == (0.0, -1)
+
+    def test_lookup_out_of_range(self):
+        net = line_network(10)
+        table = Ubodt.build(net, delta_m=150.0)
+        assert table.lookup(0, 9) is None
+
+    def test_distances_match_dijkstra(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=1200.0)
+        engine = ShortestPathEngine(tiny_network)
+        nodes = sorted(tiny_network.nodes)[:15]
+        checked = 0
+        for u in nodes:
+            for v in nodes:
+                row = table.lookup(u, v)
+                if row is None or u == v:
+                    continue
+                assert row[0] == pytest.approx(engine.node_distance(u, v))
+                checked += 1
+        assert checked > 10
+
+
+class TestPersistence:
+    def test_round_trip(self, tiny_network, tmp_path):
+        table = Ubodt.build(tiny_network, delta_m=800.0)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        loaded = Ubodt.load(path)
+        assert loaded.delta_m == table.delta_m
+        assert len(loaded) == len(table)
+        sample_key = next(iter(table._rows))
+        assert loaded.lookup(*sample_key) == pytest.approx(table.lookup(*sample_key))
+
+    def test_empty_table_round_trip(self, tmp_path):
+        table = Ubodt(100.0)
+        path = tmp_path / "empty.npz"
+        table.save(path)
+        assert len(Ubodt.load(path)) == 0
+
+
+class TestRouter:
+    def test_routes_match_engine(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=2500.0)
+        engine = ShortestPathEngine(tiny_network)
+        router = UbodtRouter(tiny_network, table, fallback=engine)
+        segs = sorted(tiny_network.segments)[:12]
+        for a in segs:
+            for b in segs:
+                via_table = router.route_length(a, b)
+                via_engine = engine.route_length(a, b)
+                if math.isinf(via_engine):
+                    assert math.isinf(via_table)
+                else:
+                    assert via_table == pytest.approx(via_engine)
+
+    def test_route_segments_are_consecutive(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=2500.0)
+        router = UbodtRouter(tiny_network, table)
+        segs = sorted(tiny_network.segments)
+        route = router.route(segs[0], segs[25])
+        if route is not None:
+            for a, b in zip(route.segments, route.segments[1:]):
+                assert (
+                    tiny_network.segments[b].start_node
+                    == tiny_network.segments[a].end_node
+                )
+
+    def test_fallback_used_beyond_delta(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=300.0)
+        router = UbodtRouter(tiny_network, table)
+        segs = sorted(tiny_network.segments)
+        far_a, far_b = segs[0], segs[-1]
+        router.route(far_a, far_b)
+        assert router.fallback_hits >= 1
+
+    def test_table_used_within_delta(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=2500.0)
+        router = UbodtRouter(tiny_network, table)
+        net = tiny_network
+        # a pair one hop apart but not directly adjacent
+        for seg_id in sorted(net.segments)[:50]:
+            for mid in net.successors(seg_id):
+                for nxt in net.successors(mid):
+                    if (
+                        nxt != seg_id
+                        and net.segments[nxt].start_node
+                        != net.segments[seg_id].end_node
+                    ):
+                        router.route(seg_id, nxt)
+                        if router.table_hits:
+                            assert router.table_hits >= 1
+                            return
+        pytest.skip("no suitable pair found")

@@ -1,0 +1,111 @@
+"""Tests for repro.nn.attention, rnn, and transformer modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    AdditiveAttention,
+    GRUCell,
+    ScaledDotProductSelfAttention,
+    Tensor,
+    TransformerEncoderLayer,
+)
+from repro.nn.transformer import sinusoidal_positions
+
+
+class TestAdditiveAttention:
+    def test_context_shape(self):
+        att = AdditiveAttention(8, rng=0)
+        q = Tensor(np.random.default_rng(0).normal(size=(3, 8)))
+        k = Tensor(np.random.default_rng(1).normal(size=(6, 8)))
+        assert att(q, k).shape == (3, 8)
+
+    def test_weights_normalised(self):
+        att = AdditiveAttention(8, rng=0)
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 8)))
+        k = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        weights = att.attention_weights(q, k)
+        assert weights.shape == (2, 5)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert np.all(weights >= 0)
+
+    def test_single_key_gives_that_value(self):
+        att = AdditiveAttention(4, rng=0)
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        value = np.random.default_rng(1).normal(size=(1, 4))
+        out = att(q, Tensor(value)).numpy()
+        assert np.allclose(out, np.repeat(value, 2, axis=0))
+
+    def test_separate_values(self):
+        att = AdditiveAttention(4, rng=0)
+        q = Tensor(np.ones((1, 4)))
+        k = Tensor(np.ones((3, 4)))
+        v = Tensor(np.eye(3, 4))
+        out = att(q, k, v).numpy()
+        # identical keys -> uniform weights -> mean of values
+        assert np.allclose(out, v.numpy().mean(axis=0, keepdims=True))
+
+    def test_gradients_flow_to_parameters(self):
+        att = AdditiveAttention(4, rng=0)
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        att(q, q).sum().backward()
+        for p in att.parameters():
+            assert p.grad is not None
+
+
+class TestDotProductAttention:
+    def test_shape_preserved(self):
+        att = ScaledDotProductSelfAttention(6, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 6)))
+        assert att(x).shape == (5, 6)
+
+
+class TestGRU:
+    def test_cell_shape(self):
+        cell = GRUCell(3, 7, rng=0)
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 7))))
+        assert h.shape == (2, 7)
+
+    def test_hidden_state_bounded(self):
+        cell = GRUCell(3, 7, rng=0)
+        h = Tensor(np.zeros((1, 7)))
+        for _ in range(20):
+            h = cell(Tensor(np.random.default_rng(0).normal(size=(1, 3))), h)
+        assert np.all(np.abs(h.numpy()) <= 1.0 + 1e-9)
+
+    def test_sequence_outputs(self):
+        gru = GRU(3, 5, rng=0)
+        outputs, final = gru(Tensor(np.random.default_rng(0).normal(size=(9, 3))))
+        assert outputs.shape == (9, 5)
+        assert final.shape == (1, 5)
+        assert np.allclose(outputs.numpy()[-1], final.numpy()[0])
+
+    def test_gradients_flow(self):
+        gru = GRU(2, 4, rng=0)
+        outputs, _ = gru(Tensor(np.random.default_rng(0).normal(size=(4, 2))))
+        outputs.sum().backward()
+        for p in gru.parameters():
+            assert p.grad is not None
+
+
+class TestTransformer:
+    def test_shape_preserved(self):
+        layer = TransformerEncoderLayer(8, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 8)))
+        assert layer(x).shape == (6, 8)
+
+    def test_gradients_flow(self):
+        layer = TransformerEncoderLayer(8, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+
+    def test_positions_shape_and_range(self):
+        table = sinusoidal_positions(12, 8)
+        assert table.shape == (12, 8)
+        assert np.all(np.abs(table) <= 1.0)
+
+    def test_positions_distinct(self):
+        table = sinusoidal_positions(10, 8)
+        assert not np.allclose(table[0], table[5])

@@ -1,0 +1,91 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import (
+    dropout_mask,
+    embedding_lookup,
+    log_softmax,
+    segment_mean,
+    softmax,
+)
+from tests.test_nn_tensor import check_gradients, numeric_grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        out = softmax(x, axis=-1).numpy()
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        assert np.all(out >= 0)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        a = softmax(Tensor(x)).numpy()
+        b = softmax(Tensor(x + 1000.0)).numpy()
+        assert np.allclose(a, b)
+
+    def test_gradient(self):
+        check_gradients(lambda a: (softmax(a, axis=-1) ** 2.0).sum(), (3, 4))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 6)))
+        assert np.allclose(log_softmax(x).numpy(), np.log(softmax(x).numpy()))
+
+    def test_log_softmax_gradient(self):
+        check_gradients(lambda a: (log_softmax(a, axis=-1) * log_softmax(a, axis=-1)).sum(), (2, 3))
+
+
+class TestSegmentMean:
+    def test_values(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0]]))
+        out = segment_mean(x, np.array([0, 0, 2]), 3).numpy()
+        assert np.allclose(out[:, 0], [2.0, 0.0, 10.0])
+
+    def test_empty_segments_are_zero(self):
+        x = Tensor(np.ones((2, 3)))
+        out = segment_mean(x, np.array([1, 1]), 4).numpy()
+        assert np.allclose(out[0], 0)
+        assert np.allclose(out[2], 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segment_mean(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)
+
+    def test_gradient(self):
+        ids = np.array([0, 0, 1, 2, 2, 2])
+
+        def build(a):
+            return (segment_mean(a, ids, 4) ** 2.0).sum()
+
+        check_gradients(build, (6, 2))
+
+
+class TestEmbeddingLookup:
+    def test_selects_rows(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3))
+        out = embedding_lookup(w, np.array([2, 0])).numpy()
+        assert np.allclose(out[0], [6, 7, 8])
+        assert np.allclose(out[1], [0, 1, 2])
+
+    def test_gradient_scatter_adds_duplicates(self):
+        w = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = embedding_lookup(w, np.array([1, 1, 0]))
+        out.sum().backward()
+        assert np.allclose(w.grad, [[1, 1], [2, 2], [0, 0]])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(100))
+        out = dropout_mask(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_training_zeroes_and_rescales(self):
+        x = Tensor(np.ones(10000))
+        out = dropout_mask(x, 0.5, np.random.default_rng(0), training=True).numpy()
+        zero_fraction = np.mean(out == 0)
+        assert 0.4 < zero_fraction < 0.6
+        assert np.isclose(out.mean(), 1.0, atol=0.1)

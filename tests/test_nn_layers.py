@@ -1,0 +1,162 @@
+"""Tests for repro.nn.layers and repro.nn.module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import MLP, Dropout, Embedding, LayerNorm, Linear, Module, Tensor
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_zero_input_gives_bias(self):
+        layer = Linear(2, 2, rng=0)
+        layer.bias.data[:] = [1.0, 2.0]
+        out = layer(Tensor(np.zeros((1, 2)))).numpy()
+        assert np.allclose(out, [[1.0, 2.0]])
+
+
+class TestMLP:
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], activation="swish")
+
+    def test_output_shape(self):
+        mlp = MLP([4, 8, 2], rng=0)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_identity_output_activation_emits_logits(self):
+        mlp = MLP([2, 4, 1], rng=0)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(50, 2)))).numpy()
+        assert out.min() < 0 or out.max() > 1  # not squashed
+
+    def test_sigmoid_output_activation(self):
+        mlp = MLP([2, 4, 1], out_activation="sigmoid", rng=0)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(20, 2)))).numpy()
+        assert np.all((out > 0) & (out < 1))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        assert emb(np.array([1, 5, 5])).shape == (3, 4)
+
+    def test_out_of_range_rejected(self):
+        emb = Embedding(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_all_returns_full_table(self):
+        emb = Embedding(6, 3, rng=0)
+        assert emb.all().shape == (6, 3)
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(4, 8)))
+        out = norm(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestDropoutLayer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_train_vs_eval(self):
+        layer = Dropout(0.5, rng=0)
+        x = Tensor(np.ones(1000))
+        train_out = layer(x).numpy()
+        layer.eval()
+        eval_out = layer(x).numpy()
+        assert (train_out == 0).any()
+        assert not (eval_out == 0).any()
+
+
+class TestModule:
+    def test_parameter_discovery_nested(self):
+        class Model(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng=0), Linear(2, 2, rng=0)]
+                self.head = Linear(2, 1, rng=0)
+
+        model = Model()
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 6
+        assert "layers.0.weight" in names
+        assert "head.bias" in names
+
+    def test_num_parameters(self):
+        model = Linear(3, 2, rng=0)
+        assert model.num_parameters() == 3 * 2 + 2
+
+    def test_state_dict_round_trip(self):
+        a = MLP([3, 4, 2], rng=0)
+        b = MLP([3, 4, 2], rng=1)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_mismatch_rejected(self):
+        a = MLP([3, 4, 2], rng=0)
+        b = MLP([3, 5, 2], rng=0)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_train_eval_propagates(self):
+        class Model(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5, rng=0)
+
+        model = Model()
+        model.eval()
+        assert not model.drop.training
+        model.train()
+        assert model.drop.training
+
+    def test_zero_grad(self):
+        model = Linear(2, 2, rng=0)
+        model(Tensor(np.ones((1, 2)))).sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestLinearProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-5, 5, allow_nan=False)),
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-5, 5, allow_nan=False)),
+        st.floats(-3, 3, allow_nan=False),
+    )
+    def test_linearity(self, a, b, alpha):
+        layer = Linear(4, 2, bias=False, rng=0)
+        lhs = layer(Tensor(a + alpha * b)).numpy()
+        rhs = layer(Tensor(a)).numpy() + alpha * layer(Tensor(b)).numpy()
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (5, 3), elements=st.floats(-10, 10, allow_nan=False)))
+    def test_bias_shift(self, x):
+        layer = Linear(3, 3, rng=1)
+        no_bias = (Tensor(x) @ layer.weight).numpy()
+        with_bias = layer(Tensor(x)).numpy()
+        assert np.allclose(with_bias - no_bias, layer.bias.data)

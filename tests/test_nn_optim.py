@@ -1,0 +1,140 @@
+"""Tests for repro.nn.optim, loss, init, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    SGD,
+    Adam,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy_with_label_smoothing,
+    load_state,
+    mse_loss,
+    save_state,
+    xavier_uniform,
+)
+from repro.nn.module import Parameter
+
+
+class TestOptimizers:
+    def test_lr_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(2))], lr=0)
+
+    def test_sgd_step_direction(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([2.0])
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(0.8)
+
+    def test_sgd_momentum(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        opt.step()
+        assert (first[0] - p.data[0]) > 0.1  # momentum accelerates
+
+    def test_adam_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-2)
+
+    def test_adam_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        for _ in range(50):
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skip_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        Adam([p]).step()
+        assert p.data[0] == 1.0
+
+    def test_training_decreases_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        y = (x.sum(axis=1) > 0).astype(int)
+        mlp = MLP([3, 16, 2], rng=1)
+        opt = Adam(mlp.parameters(), lr=1e-2, weight_decay=0.0)
+        losses = []
+        for _ in range(60):
+            opt.zero_grad()
+            loss = cross_entropy_with_label_smoothing(mlp(Tensor(x)), y, 0.1)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        targets = np.array([0, 1])
+        loss = cross_entropy_with_label_smoothing(logits, targets, smoothing=0.0)
+        manual = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert loss.item() == pytest.approx(manual)
+
+    def test_smoothing_raises_floor(self):
+        logits = Tensor(np.array([[50.0, 0.0]]))
+        hard = cross_entropy_with_label_smoothing(logits, np.array([0]), 0.0)
+        smooth = cross_entropy_with_label_smoothing(logits, np.array([0]), 0.1)
+        assert smooth.item() > hard.item()
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy_with_label_smoothing(Tensor(np.ones((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy_with_label_smoothing(
+                Tensor(np.ones((1, 2))), np.array([0]), smoothing=1.0
+            )
+
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_bce_extreme_logits_stable(self):
+        logits = Tensor(np.array([500.0, -500.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_bce_gradient_direction(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        binary_cross_entropy_with_logits(logits, np.array([1.0])).backward()
+        assert logits.grad[0] < 0  # pushing the logit up reduces loss
+
+    def test_mse(self):
+        loss = mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+
+class TestInitAndSerialization:
+    def test_xavier_bounds(self):
+        w = xavier_uniform((100, 50), rng=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_vector(self):
+        w = xavier_uniform((10,), rng=0)
+        assert w.shape == (10,)
+
+    def test_save_load_round_trip(self, tmp_path):
+        a = MLP([3, 4, 2], rng=0)
+        b = MLP([3, 4, 2], rng=9)
+        path = tmp_path / "model.npz"
+        save_state(a, path)
+        load_state(b, path)
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(a(x).numpy(), b(x).numpy())

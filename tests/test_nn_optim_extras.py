@@ -1,0 +1,44 @@
+"""Tests for gradient clipping and related optimiser utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import clip_grad_norm
+from repro.nn.module import Parameter
+
+
+class TestClipGradNorm:
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+    def test_no_clipping_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_clipping_scales_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=2.5)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(2.5)
+
+    def test_parameters_without_grad_skipped(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([10.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        assert b.grad is None
+        assert abs(a.grad[0]) == pytest.approx(1.0)

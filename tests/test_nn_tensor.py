@@ -1,0 +1,177 @@
+"""Tests for repro.nn.tensor: autograd correctness via numeric gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, no_grad
+from repro.nn.functional import concat, stack
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(build, *shapes, seed=0, tol=1e-6):
+    """Compare autograd and numeric gradients for ``build(*tensors)``."""
+    rng = np.random.default_rng(seed)
+    tensors = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+    loss = build(*tensors)
+    loss.backward()
+    for tensor in tensors:
+        numeric = numeric_grad(lambda: build(*[Tensor(t.data) for t in tensors]).item(), tensor.data)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=tol, rtol=1e-4)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_sub(self):
+        check_gradients(lambda a, b: (a - b).sum(), (2, 3), (2, 3))
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: (a * b).sum(), (3, 4), (3, 1))
+
+    def test_div(self):
+        check_gradients(lambda a, b: (a / (b * b + 1.0)).sum(), (2, 2), (2, 2))
+
+    def test_pow(self):
+        check_gradients(lambda a: ((a * a + 1.0) ** 1.5).sum(), (3,))
+
+    def test_neg_rsub_rdiv(self):
+        check_gradients(lambda a: (1.0 - a).sum() + (2.0 / (a * a + 2.0)).sum(), (4,))
+
+    def test_matmul(self):
+        check_gradients(lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+    def test_matmul_chain(self):
+        check_gradients(lambda a, b, c: ((a @ b) @ c).sum(), (2, 3), (3, 3), (3, 2))
+
+
+class TestActivationGradients:
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh().sum(), (5,))
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid().sum(), (5,))
+
+    def test_relu(self):
+        # keep away from the kink for numeric stability
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(6,))
+        data[np.abs(data) < 0.1] = 0.5
+        a = Tensor(data, requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, (data > 0).astype(float))
+
+    def test_exp_log(self):
+        check_gradients(lambda a: ((a * a + 1.0).log() + a.exp()).sum(), (4,))
+
+
+class TestReductionGradients:
+    def test_sum_axis(self):
+        check_gradients(lambda a: (a.sum(axis=0) ** 2.0).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) * a).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradients(lambda a: (a.mean(axis=1) ** 2.0).sum(), (2, 5))
+
+    def test_max(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(4, 3))
+        a = Tensor(data, requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert a.grad.sum() == pytest.approx(4.0)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_gradients(lambda a: (a.reshape(6) ** 2.0).sum(), (2, 3))
+
+    def test_transpose(self):
+        check_gradients(lambda a, b: (a.transpose() @ b).sum(), (3, 2), (3, 4))
+
+    def test_getitem_rows(self):
+        idx = np.array([0, 2, 2])
+
+        def build(a):
+            return (a[idx] ** 2.0).sum()
+
+        check_gradients(build, (4, 3))
+
+    def test_concat(self):
+        check_gradients(lambda a, b: (concat([a, b], axis=1) ** 2.0).sum(), (2, 3), (2, 2))
+
+    def test_stack(self):
+        check_gradients(lambda a, b: (stack([a, b], axis=0) ** 2.0).sum(), (4,), (4,))
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_grad_accumulates_across_backward(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        assert np.allclose(t.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_shared_subexpression(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        y = t * t  # used twice below
+        (y + y).sum().backward()
+        assert t.grad[0] == pytest.approx(8.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=2, max_side=4),
+            elements=st.floats(-3, 3, allow_nan=False),
+        )
+    )
+    def test_tanh_bounded_and_monotone_grad(self, data):
+        t = Tensor(data, requires_grad=True)
+        out = t.tanh()
+        assert np.all(np.abs(out.data) <= 1.0)
+        out.sum().backward()
+        assert np.all(t.grad >= 0.0)
+        assert np.all(t.grad <= 1.0)

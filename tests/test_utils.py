@@ -1,0 +1,60 @@
+"""Tests for repro.utils."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, derive_rng, ensure_rng
+
+
+class TestRng:
+    def test_ensure_from_int_is_deterministic(self):
+        assert ensure_rng(5).integers(0, 100) == ensure_rng(5).integers(0, 100)
+
+    def test_ensure_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_derive_deterministic(self):
+        a = derive_rng(7, "city").integers(0, 1000)
+        b = derive_rng(7, "city").integers(0, 1000)
+        assert a == b
+
+    def test_derive_keys_independent(self):
+        a = derive_rng(7, "city").integers(0, 10**9)
+        b = derive_rng(7, "towers").integers(0, 10**9)
+        assert a != b
+
+
+class TestTimer:
+    def test_context_manager(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert timer.count == 1
+
+    def test_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.count == 3
+        assert timer.mean == pytest.approx(timer.elapsed / 3)
+
+    def test_double_start_rejected(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean_before_any_interval(self):
+        assert Timer().mean == 0.0

@@ -1,0 +1,107 @@
+"""Tests for repro.viz (ASCII and SVG rendering)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.viz import AsciiCanvas, SvgCanvas, render_match_ascii, render_match_svg
+
+
+class TestAsciiCanvas:
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas((0, 0, 0, 10))
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas((0, 0, 10, 10), width=1)
+
+    def test_mark_inside(self):
+        canvas = AsciiCanvas((0, 0, 100, 100), width=10, height=10)
+        canvas.mark(Point(50, 50), "#")
+        assert "#" in canvas.render()
+
+    def test_mark_outside_is_noop(self):
+        canvas = AsciiCanvas((0, 0, 100, 100), width=10, height=10)
+        canvas.mark(Point(500, 500), "#")
+        assert "#" not in canvas.render()
+
+    def test_protected_marks_survive(self):
+        canvas = AsciiCanvas((0, 0, 100, 100), width=10, height=10, protected="x")
+        canvas.mark(Point(50, 50), "x")
+        canvas.mark(Point(50, 50), "o")
+        assert "x" in canvas.render()
+        assert "o" not in canvas.render()
+
+    def test_render_dimensions(self):
+        canvas = AsciiCanvas((0, 0, 10, 10), width=20, height=5)
+        lines = canvas.render().splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 20 for line in lines)
+
+    def test_draw_network(self, tiny_network):
+        canvas = AsciiCanvas(tiny_network.bounding_box(), width=60, height=20)
+        canvas.draw_network(tiny_network)
+        assert canvas.render().count("-") > 50
+
+
+class TestMatchAscii:
+    def test_contains_all_marks(self, tiny_dataset):
+        sample = tiny_dataset.samples[0]
+        other = tiny_dataset.samples[1]
+        art = render_match_ascii(
+            tiny_dataset.network,
+            sample.truth_path,
+            {"L": other.truth_path},
+            sample.cellular,
+        )
+        assert "." in art
+        assert "L" in art
+        assert "x" in art
+        assert "legend" in art
+
+    def test_rejects_multichar_labels(self, tiny_dataset):
+        sample = tiny_dataset.samples[0]
+        with pytest.raises(ValueError):
+            render_match_ascii(
+                tiny_dataset.network, sample.truth_path, {"AB": sample.truth_path}
+            )
+
+
+class TestSvg:
+    def test_document_structure(self, tiny_network):
+        canvas = SvgCanvas(tiny_network.bounding_box())
+        canvas.draw_network(tiny_network)
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == tiny_network.num_segments
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            SvgCanvas((0, 0, 0, 10))
+
+    def test_full_match_figure(self, tiny_dataset):
+        sample = tiny_dataset.samples[0]
+        svg = render_match_svg(
+            tiny_dataset.network,
+            sample.truth_path,
+            {"LHMM": tiny_dataset.samples[1].truth_path},
+            trajectory=sample.cellular,
+            towers=tiny_dataset.towers,
+        )
+        assert "<circle" in svg  # samples + towers + legend dots
+        assert "LHMM" in svg
+        assert "truth" in svg
+
+    def test_save(self, tiny_network, tmp_path):
+        canvas = SvgCanvas(tiny_network.bounding_box())
+        canvas.draw_network(tiny_network)
+        out = tmp_path / "map.svg"
+        canvas.save(out)
+        assert out.read_text().startswith("<svg")
+
+    def test_text_is_escaped(self, tiny_network):
+        canvas = SvgCanvas(tiny_network.bounding_box())
+        canvas.text(Point(0, 0), "<script>")
+        assert "<script>" not in canvas.render()
+        assert "&lt;script&gt;" in canvas.render()
