@@ -1,0 +1,179 @@
+"""Perf smoke benchmark: vectorised routing + parallel matching.
+
+Self-contained (builds its own small city, independent of the session-scoped
+benchmark fixtures) so it runs in well under a minute::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_matching.py -s -m perf
+
+It measures and writes to ``benchmarks/results/perf_matching.txt``:
+
+* batched route-matrix throughput of the scipy CSR engine vs the seed
+  per-pair pure-Python heap engine (expected ≥ 3x);
+* UBODT build time plus vectorised ``lookup_many`` vs scalar lookups;
+* end-to-end ``match_many`` wall-clock, serial vs 2 workers, with decoded
+  paths verified bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import check_shape, save_report
+from repro.cellular import SimulationConfig, TowerPlacementConfig
+from repro.core import LHMM, LHMMConfig
+from repro.datasets import DatasetConfig, make_city_dataset
+from repro.network import CityConfig, ShortestPathEngine, Ubodt, UbodtRouter
+
+pytestmark = pytest.mark.perf
+
+PERF_CITY = CityConfig(
+    grid_rows=12,
+    grid_cols=12,
+    block_size_m=250.0,
+    density_gradient=0.5,
+    removal_prob=0.08,
+    one_way_prob=0.05,
+)
+PERF_SIMULATION = SimulationConfig(
+    min_trip_m=900.0,
+    max_trip_m=2400.0,
+    cellular_interval_mean_s=35.0,
+    cellular_interval_sigma_s=10.0,
+    cellular_interval_max_s=90.0,
+    gps_interval_s=12.0,
+)
+PERF_TOWERS = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
+
+
+@pytest.fixture(scope="module")
+def perf_dataset():
+    config = DatasetConfig(
+        name="perf-city",
+        city=PERF_CITY,
+        towers=PERF_TOWERS,
+        simulation=PERF_SIMULATION,
+        num_trajectories=60,
+        groundtruth="oracle",
+    )
+    return make_city_dataset(config, rng=13)
+
+
+def test_perf_routing_and_matching(perf_dataset):
+    dataset = perf_dataset
+    network = dataset.network
+    lines = [f"perf smoke on {network.num_nodes} nodes / {network.num_segments} segments"]
+
+    # ---- 1. batched route-matrix queries vs the seed per-pair engine ----
+    rng = np.random.default_rng(3)
+    nodes = sorted(network.nodes)
+    sources = [int(n) for n in rng.choice(nodes, size=40, replace=False)]
+    targets = [int(n) for n in rng.choice(nodes, size=40, replace=False)]
+
+    seed_engine = ShortestPathEngine(network, use_scipy=False)
+    start = time.perf_counter()
+    reference = [
+        [seed_engine.node_distance(u, v) for v in targets] for u in sources
+    ]
+    per_pair_s = time.perf_counter() - start
+
+    vector_engine = ShortestPathEngine(network)
+    start = time.perf_counter()
+    matrix = vector_engine.distances(sources, targets)
+    batched_s = time.perf_counter() - start
+
+    for i in range(len(sources)):
+        for j in range(len(targets)):
+            if math.isinf(reference[i][j]):
+                assert math.isinf(matrix[i, j])
+            else:
+                assert matrix[i, j] == pytest.approx(reference[i][j])
+    routing_speedup = per_pair_s / max(batched_s, 1e-9)
+    lines.append(
+        f"route matrix 40x40   per-pair {per_pair_s * 1e3:8.1f} ms   "
+        f"batched {batched_s * 1e3:8.1f} ms   speedup {routing_speedup:6.1f}x"
+    )
+    check_shape(routing_speedup >= 3.0, "batched routing >= 3x per-pair engine")
+
+    # ---- 2. UBODT build + vectorised lookups ----
+    start = time.perf_counter()
+    table = Ubodt.build(network, delta_m=2500.0)
+    build_s = time.perf_counter() - start
+    probe_s = np.repeat(sources, len(targets)).astype(np.int64)
+    probe_t = np.tile(targets, len(sources)).astype(np.int64)
+    start = time.perf_counter()
+    table.lookup_many(probe_s, probe_t)
+    many_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for s, t in zip(probe_s, probe_t):
+        table.lookup(int(s), int(t))
+    scalar_s = time.perf_counter() - start
+    lines.append(
+        f"ubodt delta=2500m    build {build_s:6.2f} s ({len(table)} rows)   "
+        f"lookup_many {many_s * 1e3:6.1f} ms vs scalar {scalar_s * 1e3:6.1f} ms"
+    )
+
+    # ---- 3. end-to-end match_many: serial vs parallel, bit-identical ----
+    matcher = LHMM(
+        LHMMConfig(
+            embedding_dim=12,
+            het_layers=1,
+            mlp_hidden=12,
+            candidate_k=10,
+            candidate_pool=50,
+            candidate_radius_m=1600.0,
+            epochs=2,
+            batch_size=4,
+            negatives_per_positive=3,
+        ),
+        rng=0,
+    ).fit(dataset)
+    trajectories = [sample.cellular for sample in dataset.samples]
+
+    matcher.engine.clear_cache()
+    start = time.perf_counter()
+    serial = matcher.match_many(trajectories)
+    serial_s = time.perf_counter() - start
+
+    matcher.engine.clear_cache()
+    start = time.perf_counter()
+    parallel = matcher.match_many(trajectories, workers=2)
+    parallel_s = time.perf_counter() - start
+
+    assert [r.path for r in parallel] == [r.path for r in serial]
+    assert [r.matched_sequence for r in parallel] == [
+        r.matched_sequence for r in serial
+    ]
+    match_speedup = serial_s / max(parallel_s, 1e-9)
+    stats = matcher.last_parallel_stats or {}
+    cores = os.cpu_count() or 1
+    lines.append(
+        f"match_many {len(trajectories):3d} trajs  serial {serial_s:6.2f} s   "
+        f"2 workers {parallel_s:6.2f} s   speedup {match_speedup:5.2f}x   "
+        f"(paths bit-identical, {stats.get('workers', 0)} workers, {cores} cores)"
+    )
+    if cores >= 2:
+        check_shape(parallel_s < serial_s, "2-worker match_many beats serial wall-clock")
+    else:
+        lines.append(
+            "single-core host: parallel wall-clock win not enforced "
+            "(determinism still verified above)"
+        )
+
+    # ---- 4. UBODT-routed matching parity (same paths, table absorbs work) --
+    ubodt_matcher = matcher.use_router(
+        UbodtRouter(network, table, fallback=ShortestPathEngine(network))
+    )
+    ubodt_paths = [ubodt_matcher.match(t).path for t in trajectories[:5]]
+    assert ubodt_paths == [r.path for r in serial[:5]]
+    router = ubodt_matcher.engine
+    lines.append(
+        f"ubodt router parity  first 5 trajs identical; "
+        f"{router.table_hits} table hits / {router.fallback_hits} fallback hits"
+    )
+
+    save_report("perf_matching", "\n".join(lines))

@@ -23,6 +23,7 @@ from repro.cellular.trajectory import Trajectory, TrajectoryPoint
 from repro.core.candidates import spatial_candidate_pool
 from repro.core.trellis import UNREACHABLE_SCORE, Trellis
 from repro.datasets.dataset import MatchingDataset
+from repro.network.router import Router
 from repro.network.shortest_path import stitch_segments
 
 
@@ -80,9 +81,10 @@ class HeuristicHmmMatcher:
         dataset: MatchingDataset,
         config: HeuristicHmmConfig | None = None,
         rng: int | np.random.Generator | None = 0,
+        router: Router | None = None,
     ) -> None:
         self.network = dataset.network
-        self.engine = dataset.engine
+        self.engine: Router = router if router is not None else dataset.engine
         self.config = config or HeuristicHmmConfig()
 
     # ------------------------------------------------------------- candidates

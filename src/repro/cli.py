@@ -7,6 +7,8 @@ Usage::
     python -m repro train    --dataset city.json.gz -o model.npz --epochs 6
     python -m repro evaluate --dataset city.json.gz --model model.npz
     python -m repro evaluate --dataset city.json.gz --baseline THMM
+    python -m repro evaluate --dataset city.json.gz --model model.npz \
+                             --router ubodt --ubodt-delta 3000 --workers 4
     python -m repro match    --dataset city.json.gz --model model.npz \
                              --sample-id 12 --svg match.svg --ascii
 
@@ -56,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--baseline", help="baseline name (STM, IVMM, ..., DMM)")
     evaluate.add_argument("--limit", type=int, default=None,
                           help="max test trajectories to evaluate")
+    _add_router_arguments(evaluate)
+    evaluate.add_argument("--workers", type=int, default=1,
+                          help="matching processes (1 = serial)")
     evaluate.add_argument("--json", default=None,
                           help="write aggregates + per-sample metrics as JSON")
     evaluate.add_argument("--csv", default=None,
@@ -69,8 +74,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sample to match (default: first test sample)")
     match.add_argument("--svg", default=None, help="write an SVG map here")
     match.add_argument("--ascii", action="store_true", help="print an ASCII map")
+    _add_router_arguments(match)
 
     return parser
+
+
+def _add_router_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--router", choices=["dijkstra", "ubodt"], default="dijkstra",
+        help="routing backend: online Dijkstra or a precomputed UBODT table")
+    subparser.add_argument(
+        "--ubodt-delta", type=float, default=3000.0,
+        help="UBODT distance bound Δ in metres (with --router ubodt)")
+    subparser.add_argument(
+        "--ubodt-table", default=None,
+        help="UBODT .npz cache: loaded when present, else built and saved here")
+
+
+def _resolve_router(args: argparse.Namespace, dataset):
+    """The routing backend the command asked for (shared engine by default)."""
+    if args.router != "ubodt":
+        return dataset.engine
+    from repro.network import Ubodt, UbodtRouter
+
+    table = None
+    if args.ubodt_table and Path(args.ubodt_table).exists():
+        table = Ubodt.load(args.ubodt_table)
+        if table.delta_m != args.ubodt_delta:
+            print(
+                f"note: {args.ubodt_table} has delta={table.delta_m:.0f}m, "
+                f"ignoring --ubodt-delta {args.ubodt_delta:.0f}m"
+            )
+    if table is None:
+        table = Ubodt.build(dataset.network, args.ubodt_delta)
+        if args.ubodt_table:
+            table.save(args.ubodt_table)
+            print(f"wrote {args.ubodt_table} ({len(table)} rows)")
+    return UbodtRouter(dataset.network, table, fallback=dataset.engine)
 
 
 # ---------------------------------------------------------------- commands
@@ -138,14 +178,26 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         matcher = make_baseline(args.baseline, dataset, rng=args.seed)
         name = args.baseline
+    router = _resolve_router(args, dataset)
+    if isinstance(matcher, LHMM):
+        matcher.use_router(router)
+    elif hasattr(matcher, "engine"):
+        matcher.engine = router
     samples = dataset.test if args.limit is None else dataset.test[: args.limit]
-    result = evaluate_matcher(matcher, dataset, samples, method_name=name)
+    result = evaluate_matcher(
+        matcher, dataset, samples, method_name=name, workers=args.workers
+    )
     row = result.row()
     print(f"{name} on {len(samples)} test trajectories of {dataset.name!r}:")
     print(
         "  precision={precision:.3f} recall={recall:.3f} RMF={rmf:.3f} "
         "CMF50={cmf50:.3f} HR={hr:.3f} avg_time={avg_time:.3f}s".format(**row)
     )
+    if args.router == "ubodt" and args.workers <= 1:
+        print(
+            f"  ubodt: {router.table_hits} table hits, "
+            f"{router.fallback_hits} fallback hits"
+        )
     if args.json:
         result.save_json(args.json)
         print(f"wrote {args.json}")
@@ -163,6 +215,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
     dataset = load_dataset(args.dataset)
     matcher = LHMM.load(args.model, dataset)
+    matcher.use_router(_resolve_router(args, dataset))
     if args.sample_id is None:
         sample = dataset.test[0]
     else:

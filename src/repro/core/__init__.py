@@ -21,10 +21,12 @@ from repro.core.transition import TransitionLearner
 from repro.core.trellis import Trellis, TrellisScorer
 from repro.core.matcher import LHMM
 from repro.core.online import OnlineLHMM
+from repro.core.parallel import ParallelMatcher
 
 __all__ = [
     "LHMM",
     "OnlineLHMM",
+    "ParallelMatcher",
     "LHMMConfig",
     "RelationGraph",
     "HetGraphEncoder",

@@ -25,7 +25,8 @@ from repro.core.transition import TransitionLearner
 from repro.core.trellis import UNREACHABLE_SCORE, Trellis
 from repro.datasets.dataset import MatchingDataset, MatchingSample
 from repro.nn import Tensor, no_grad
-from repro.network.shortest_path import ShortestPathEngine, stitch_segments
+from repro.network.router import Router, route_pairs
+from repro.network.shortest_path import stitch_segments
 from repro.utils import derive_rng, ensure_rng
 
 
@@ -119,8 +120,9 @@ class _LHMMScorer:
         rows: list[np.ndarray] = []
         row_positions: list[int] = []
         values = [UNREACHABLE_SCORE] * len(pairs)
-        for pos, (a, b) in enumerate(pairs):
-            route = matcher.engine.route(a, b)
+        # One batched multi-source query answers the whole trellis step.
+        routes = route_pairs(matcher.engine, pairs)
+        for pos, route in enumerate(routes):
             if route is None:
                 continue
             explicit = transition_features(
@@ -165,8 +167,9 @@ class LHMM:
         self.transition_learner: TransitionLearner | None = None
         self.node_embeddings: np.ndarray | None = None
         self.network = None
-        self.engine: ShortestPathEngine | None = None
+        self.engine: Router | None = None
         self.report: TrainingReport | None = None
+        self.last_parallel_stats: dict | None = None
 
     # -------------------------------------------------------------------- fit
     def fit(
@@ -293,20 +296,27 @@ class LHMM:
                     scope.append(seg)
         return scope
 
+    def _tower_nodes_for(self, points: list[TrajectoryPoint]) -> np.ndarray:
+        """Graph node index of the interacting tower, per trajectory point."""
+        return np.array([self._tower_node_for(p) for p in points])
+
     def prepare_candidates(
-        self, trajectory: Trajectory
+        self, trajectory: Trajectory, tower_nodes: np.ndarray | None = None
     ) -> tuple[list[list[int]], list[dict[int, float]], np.ndarray]:
         """Step 1 of §IV-E: learned top-k candidates per point.
 
         Returns ``(candidate_sets, po_maps, context)`` where ``po_maps``
         holds the learned observation probability of every pool road (kept
         so shortcut insertion can score off-candidate roads cheaply).
+        ``tower_nodes`` (from :meth:`_tower_nodes_for`) can be passed in to
+        avoid recomputing the per-point tower lookup.
         """
         self._require_fit()
         assert self.graph is not None and self.observation_learner is not None
         cfg = self.config
         points = trajectory.points
-        tower_nodes = np.array([self._tower_node_for(p) for p in points])
+        if tower_nodes is None:
+            tower_nodes = self._tower_nodes_for(points)
         with no_grad():
             x = Tensor(self.node_embeddings[tower_nodes])  # type: ignore[index]
             context = self.observation_learner.context(x).numpy()
@@ -333,15 +343,17 @@ class LHMM:
         assert self.transition_learner is not None
         if len(trajectory) == 0:
             raise ValueError("cannot match an empty trajectory")
-        candidate_sets, po_maps, context = self.prepare_candidates(trajectory)
         points = trajectory.points
+        tower_nodes = self._tower_nodes_for(points)
+        candidate_sets, po_maps, context = self.prepare_candidates(
+            trajectory, tower_nodes
+        )
         if len(points) == 1:
             best = max(po_maps[0], key=po_maps[0].get)  # type: ignore[arg-type]
             return MatchResult([best], [best], [list(candidate_sets[0])], po_maps[0][best])
 
         relevance = None
         if self.transition_learner.use_implicit:
-            tower_nodes = np.array([self._tower_node_for(p) for p in points])
             with no_grad():
                 relevance = self._segment_relevance(
                     Tensor(self.node_embeddings[tower_nodes]),  # type: ignore[index]
@@ -360,8 +372,36 @@ class LHMM:
             score=trellis.best_score,
         )
 
-    def match_many(self, trajectories: list[Trajectory]) -> list[MatchResult]:
-        """Match a batch of trajectories."""
+    def use_router(self, router: Router) -> "LHMM":
+        """Route all matching through ``router`` (e.g. a ``UbodtRouter``).
+
+        Every downstream consumer — the trellis, the learned scorer, and
+        path stitching — goes through :attr:`engine`, so swapping it swaps
+        the routing backend everywhere at once.  Returns ``self``.
+        """
+        self.engine = router
+        return self
+
+    def match_many(
+        self,
+        trajectories: list[Trajectory],
+        workers: int = 1,
+        chunk_size: int | None = None,
+    ) -> list[MatchResult]:
+        """Match a batch of trajectories, optionally across processes.
+
+        With ``workers > 1`` the batch is dispatched in chunks to a process
+        pool (forked workers share this fitted matcher read-only); results
+        come back in input order and are identical to the serial path,
+        trajectory for trajectory.  Falls back to serial matching when the
+        platform cannot fork or the batch is trivially small.
+        """
+        if workers > 1 and len(trajectories) > 1:
+            from repro.core.parallel import fork_match_many
+
+            results = fork_match_many(self, trajectories, workers, chunk_size)
+            if results is not None:
+                return results
         return [self.match(t) for t in trajectories]
 
     # ------------------------------------------------------------ persistence

@@ -1,0 +1,195 @@
+"""Process-parallel batch matching.
+
+Matching is embarrassingly parallel across trajectories but the fitted
+matcher (embeddings, learner weights, road network, routing caches) is
+expensive to ship per task, so both entry points here load it **once per
+worker**:
+
+* :func:`fork_match_many` — used by :meth:`LHMM.match_many(workers=N)
+  <repro.core.matcher.LHMM.match_many>`: POSIX-forked workers inherit the
+  in-memory fitted matcher read-only; nothing is pickled but the
+  trajectories and results.
+* :class:`ParallelMatcher` — a long-lived pool whose worker initialiser
+  loads a saved model + dataset from disk (the deployment shape: big static
+  map, small trained model), optionally behind a UBODT router.
+
+Both dispatch fixed chunks and reassemble results by chunk index, so output
+order — and content, trajectory for trajectory — is identical to serial
+matching.  Each worker keeps its own LRU-bounded route cache; per-worker
+hit/miss counters are collected with every chunk and exposed via
+``last_parallel_stats`` / :meth:`ParallelMatcher.stats`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cellular.trajectory import Trajectory
+    from repro.core.matcher import LHMM, MatchResult
+
+# Worker-process state: the fitted matcher, either inherited through fork
+# (fork_match_many) or loaded from files by the pool initialiser.
+_WORKER_STATE: dict = {}
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _match_chunk(chunk_index: int, trajectories: "list[Trajectory]"):
+    """Match one chunk inside a worker; returns results + cache counters."""
+    matcher = _WORKER_STATE["matcher"]
+    results = [matcher.match(t) for t in trajectories]
+    stats = dict(getattr(matcher.engine, "cache_stats", dict)())
+    stats["pid"] = os.getpid()
+    return chunk_index, results, stats
+
+
+def _chunked(items: list, chunk_size: int) -> list[list]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _dispatch(
+    pool: ProcessPoolExecutor, trajectories: "list[Trajectory]", chunk_size: int
+) -> tuple["list[MatchResult]", dict]:
+    """Submit chunks, reassemble in input order, aggregate worker stats."""
+    chunks = _chunked(trajectories, chunk_size)
+    futures = {
+        pool.submit(_match_chunk, index, chunk): index
+        for index, chunk in enumerate(chunks)
+    }
+    ordered: list = [None] * len(chunks)
+    per_worker: dict[int, dict] = {}
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            chunk_index, results, stats = future.result()
+            ordered[chunk_index] = results
+            pid = stats.pop("pid", 0)
+            # Counters are cumulative per worker: keep the freshest snapshot.
+            seen = per_worker.get(pid)
+            if seen is None or sum(stats.values()) >= sum(seen.values()):
+                per_worker[pid] = stats
+    flat = [result for chunk in ordered for result in chunk]
+    summary = {
+        "workers": len(per_worker),
+        "chunks": len(chunks),
+        "per_worker": per_worker,
+    }
+    return flat, summary
+
+
+def fork_match_many(
+    matcher: "LHMM",
+    trajectories: "list[Trajectory]",
+    workers: int,
+    chunk_size: int | None = None,
+) -> "list[MatchResult] | None":
+    """Match ``trajectories`` over forked workers sharing ``matcher``.
+
+    Returns ``None`` when fork is unavailable (caller falls back to serial).
+    Aggregated per-worker cache counters are left on
+    ``matcher.last_parallel_stats``.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = min(workers, len(trajectories))
+    if chunk_size is None:
+        # ~4 chunks per worker balances load without oversized pickles.
+        chunk_size = max(1, -(-len(trajectories) // (workers * 4)))
+    _WORKER_STATE["matcher"] = matcher
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            results, stats = _dispatch(pool, trajectories, chunk_size)
+    finally:
+        _WORKER_STATE.pop("matcher", None)
+    matcher.last_parallel_stats = stats
+    return results
+
+
+def _init_worker_from_files(
+    model_path: str,
+    dataset_path: str,
+    router: str,
+    ubodt_delta_m: float,
+) -> None:
+    """Pool initialiser: load the saved model + map once per worker."""
+    from repro.core.matcher import LHMM
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset(dataset_path)
+    matcher = LHMM.load(model_path, dataset)
+    if router == "ubodt":
+        from repro.network.ubodt import Ubodt, UbodtRouter
+
+        table = Ubodt.build(dataset.network, ubodt_delta_m)
+        matcher.use_router(UbodtRouter(dataset.network, table, fallback=dataset.engine))
+    _WORKER_STATE["matcher"] = matcher
+
+
+class ParallelMatcher:
+    """A persistent matching pool over a saved model and dataset.
+
+    Workers initialise once (model + map load, optional UBODT build) and
+    then stream chunks, so amortised per-trajectory cost approaches the
+    serial matcher's inner loop divided by the worker count.
+
+    Use as a context manager::
+
+        with ParallelMatcher("model.npz", "city.json.gz", workers=4) as pool:
+            results = pool.match_many(trajectories)
+    """
+
+    def __init__(
+        self,
+        model_path: str | os.PathLike,
+        dataset_path: str | os.PathLike,
+        workers: int | None = None,
+        chunk_size: int = 8,
+        router: str = "dijkstra",
+        ubodt_delta_m: float = 3000.0,
+    ) -> None:
+        self.workers = workers or default_workers()
+        self.chunk_size = max(1, int(chunk_size))
+        self._stats: dict = {"workers": 0, "chunks": 0, "per_worker": {}}
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker_from_files,
+            initargs=(str(model_path), str(dataset_path), router, ubodt_delta_m),
+        )
+
+    def match_many(self, trajectories: "list[Trajectory]") -> "list[MatchResult]":
+        """Match a batch; results are in input order, identical to serial."""
+        if not trajectories:
+            return []
+        results, stats = _dispatch(self._pool, trajectories, self.chunk_size)
+        merged = dict(self._stats["per_worker"])
+        merged.update(stats["per_worker"])
+        self._stats = {
+            "workers": len(merged),
+            "chunks": self._stats["chunks"] + stats["chunks"],
+            "per_worker": merged,
+        }
+        return results
+
+    def stats(self) -> dict:
+        """Cumulative per-worker route-cache hit/miss counters."""
+        return dict(self._stats)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelMatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

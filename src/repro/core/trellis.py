@@ -24,7 +24,7 @@ from typing import Protocol
 
 from repro.cellular.trajectory import TrajectoryPoint
 from repro.network.road_network import RoadNetwork
-from repro.network.shortest_path import ShortestPathEngine
+from repro.network.router import Router
 
 UNREACHABLE_SCORE = -1e6
 
@@ -57,7 +57,7 @@ class Trellis:
         candidate_sets: list[list[int]],
         scorer: TrellisScorer,
         network: RoadNetwork,
-        engine: ShortestPathEngine,
+        engine: Router,
         points: list[TrajectoryPoint],
     ) -> None:
         if len(candidate_sets) != len(points):

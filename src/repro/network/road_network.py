@@ -15,6 +15,43 @@ import numpy as np
 from repro.geometry import GridIndex, Point, Polyline
 
 
+@dataclass(frozen=True)
+class CsrAdjacency:
+    """Compressed-sparse-row view of a network's node graph.
+
+    Parallel segments between the same node pair are resolved to the
+    shortest one, matching the per-pair Dijkstra semantics.  ``matrix`` is
+    suitable for :func:`scipy.sparse.csgraph.dijkstra`; ``edge_segments``
+    is aligned with ``matrix.data`` so the segment realising any (u, v)
+    edge can be recovered after predecessor-matrix route reconstruction.
+
+    Attributes:
+        node_ids: Node id of each matrix row/column index.
+        index: Inverse mapping, node id -> matrix index.
+        matrix: ``scipy.sparse.csr_matrix`` of edge lengths in metres.
+        edge_segments: Segment id for each stored matrix entry.
+    """
+
+    node_ids: np.ndarray
+    index: dict[int, int]
+    matrix: object  # scipy.sparse.csr_matrix (typed loosely to keep scipy lazy)
+    edge_segments: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes (matrix dimension)."""
+        return int(self.node_ids.shape[0])
+
+    def segment_between(self, u_index: int, v_index: int) -> int:
+        """Segment id of the stored ``u -> v`` edge (-1 when absent)."""
+        matrix = self.matrix
+        lo, hi = matrix.indptr[u_index], matrix.indptr[u_index + 1]
+        pos = lo + np.searchsorted(matrix.indices[lo:hi], v_index)
+        if pos < hi and matrix.indices[pos] == v_index:
+            return int(self.edge_segments[pos])
+        return -1
+
+
 @dataclass(slots=True)
 class RoadSegment:
     """One directed road segment.
@@ -76,6 +113,7 @@ class RoadNetwork:
     # segment id to its contiguous row range.
     _sub_geometry: "np.ndarray | None" = field(default=None, repr=False)
     _sub_rows: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
+    _csr: CsrAdjacency | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ build
     def add_node(self, node_id: int, location: Point) -> None:
@@ -85,6 +123,7 @@ class RoadNetwork:
         self.nodes[node_id] = location
         self._out.setdefault(node_id, [])
         self._in.setdefault(node_id, [])
+        self._csr = None  # invalidate adjacency
 
     def add_segment(self, segment: RoadSegment) -> None:
         """Register a directed segment; endpoints must already exist."""
@@ -96,6 +135,7 @@ class RoadNetwork:
         self._out[segment.start_node].append(segment.segment_id)
         self._in[segment.end_node].append(segment.segment_id)
         self._index = None  # invalidate spatial index
+        self._csr = None  # invalidate adjacency
 
     def freeze(self) -> "RoadNetwork":
         """Build the spatial index and geometry tables; returns ``self``."""
@@ -154,6 +194,60 @@ class RoadNetwork:
     def predecessors(self, segment_id: int) -> list[int]:
         """Segments from which ``segment_id`` is immediately reachable."""
         return self.in_segments(self.segments[segment_id].start_node)
+
+    def csr(self) -> CsrAdjacency:
+        """The (cached) CSR adjacency over nodes; built on first use.
+
+        Requires scipy.  Vectorised routing (:class:`ShortestPathEngine`,
+        :meth:`Ubodt.build`) runs on this representation instead of the
+        per-node Python dictionaries.
+        """
+        if self._csr is None:
+            from scipy.sparse import csr_matrix
+
+            node_ids = np.fromiter(self.nodes.keys(), dtype=np.int64, count=len(self.nodes))
+            index = {int(node): i for i, node in enumerate(node_ids)}
+            n = node_ids.shape[0]
+            m = len(self.segments)
+            rows = np.empty(m, dtype=np.int64)
+            cols = np.empty(m, dtype=np.int64)
+            weights = np.empty(m, dtype=np.float64)
+            seg_ids = np.empty(m, dtype=np.int64)
+            for k, seg in enumerate(self.segments.values()):
+                rows[k] = index[seg.start_node]
+                cols[k] = index[seg.end_node]
+                # Clamp to a tiny positive weight: csgraph drops explicit
+                # zeros, which would erase degenerate zero-length segments.
+                weights[k] = max(seg.length, 1e-9)
+                seg_ids[k] = seg.segment_id
+            # Resolve parallel edges to the shortest segment before building
+            # the matrix (csr_matrix would otherwise *sum* duplicates).
+            order = np.lexsort((weights, cols, rows))
+            rows, cols, weights, seg_ids = (
+                rows[order], cols[order], weights[order], seg_ids[order]
+            )
+            if m:
+                keep = np.ones(m, dtype=bool)
+                keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+                rows, cols, weights, seg_ids = (
+                    rows[keep], cols[keep], weights[keep], seg_ids[keep]
+                )
+            matrix = csr_matrix((weights, (rows, cols)), shape=(n, n))
+            matrix.sort_indices()
+            if np.array_equal(matrix.indices, cols):
+                # Deduped lexsorted COO input is already in canonical CSR
+                # order, so the segment ids carry over one-to-one.
+                aligned = seg_ids
+            else:  # pragma: no cover - defensive against scipy reordering
+                aligned = np.empty(matrix.nnz, dtype=np.int64)
+                lookup = {(int(r), int(c)): int(s) for r, c, s in zip(rows, cols, seg_ids)}
+                for u in range(n):
+                    for pos in range(matrix.indptr[u], matrix.indptr[u + 1]):
+                        aligned[pos] = lookup[(u, int(matrix.indices[pos]))]
+            self._csr = CsrAdjacency(
+                node_ids=node_ids, index=index, matrix=matrix, edge_segments=aligned
+            )
+        return self._csr
 
     def total_length(self) -> float:
         """Sum of all segment lengths in metres."""

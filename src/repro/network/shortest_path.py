@@ -5,16 +5,42 @@ neighbouring candidate roads, so routing dominates runtime.  Following the
 precomputation idea the paper borrows from FMM [11], the engine memoises a
 full single-source Dijkstra result per queried source node; repeated queries
 from the same candidate segment (the common case across a trajectory) then
-cost a dictionary lookup.
+cost an array lookup.
+
+Two backends share that contract:
+
+* a vectorised backend on :func:`scipy.sparse.csgraph.dijkstra` over the
+  network's CSR adjacency — one C-level multi-source call settles every
+  source of a trellis step at once (:meth:`ShortestPathEngine.route_many`,
+  :meth:`ShortestPathEngine.distances`);
+* a pure-Python heap backend, used when scipy is unavailable and kept as
+  the reference implementation the perf benchmarks compare against.
+
+Segment-level routes are additionally memoised in an LRU-bounded cache with
+hit/miss counters, sized for long-running matching workers.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.network.road_network import RoadNetwork
+
+try:  # pragma: no cover - import guard exercised only without scipy
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _csgraph_dijkstra = None
+    HAVE_SCIPY = False
+
+_MISS = object()  # route-cache sentinel (None is a valid cached value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,63 +64,165 @@ class Route:
         return len(self.segments)
 
 
-class ShortestPathEngine:
-    """Dijkstra routing with per-source memoisation over a road network."""
+class _ScipyBackend:
+    """Node-level Dijkstra on the CSR adjacency, batched across sources."""
 
-    def __init__(self, network: RoadNetwork, max_route_length: float = 30000.0) -> None:
-        """``max_route_length`` bounds the explored radius per source node."""
-        self.network = network
-        self.max_route_length = float(max_route_length)
-        self._dist_cache: dict[int, dict[int, float]] = {}
-        self._pred_cache: dict[int, dict[int, int]] = {}
+    def __init__(
+        self, network: RoadNetwork, max_route_length: float, cache_size: int
+    ) -> None:
+        self._network = network
+        self._limit = max_route_length
+        self._cache_size = cache_size
+        # source node id -> (distance row, predecessor row) over node indices
+        self._rows: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
 
-    # ------------------------------------------------------------- node level
-    def _run_dijkstra(self, source: int) -> None:
-        """Settle all nodes within ``max_route_length`` of ``source``.
+    def ensure(self, sources: Iterable[int]) -> None:
+        """Settle all missing sources with one multi-source Dijkstra call."""
+        csr = self._network.csr()
+        missing = [
+            s for s in dict.fromkeys(sources) if s not in self._rows and s in csr.index
+        ]
+        if not missing:
+            return
+        indices = np.array([csr.index[s] for s in missing], dtype=np.int64)
+        dist, pred = _csgraph_dijkstra(
+            csr.matrix,
+            directed=True,
+            indices=indices,
+            return_predecessors=True,
+            limit=self._limit,
+        )
+        for row, source in enumerate(missing):
+            self._rows[source] = (dist[row], pred[row])
+        while len(self._rows) > self._cache_size:
+            self._rows.popitem(last=False)
 
-        Edge cost between nodes is the length of the connecting segment;
-        parallel segments are resolved to the shortest one.
-        """
+    def _row(self, source: int) -> tuple[np.ndarray, np.ndarray] | None:
+        cached = self._rows.get(source)
+        if cached is None:
+            self.ensure([source])
+            cached = self._rows.get(source)
+        else:
+            self._rows.move_to_end(source)
+        return cached
+
+    def distance(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        j = self._network.csr().index.get(v)
+        row = self._row(u)
+        if j is None or row is None:
+            return math.inf
+        d = row[0][j]
+        return float(d) if np.isfinite(d) else math.inf
+
+    def path_segments(self, u: int, v: int) -> list[int] | None:
+        if u == v:
+            return []
+        csr = self._network.csr()
+        u_idx = csr.index.get(u)
+        v_idx = csr.index.get(v)
+        row = self._row(u) if u_idx is not None else None
+        if row is None or v_idx is None or not np.isfinite(row[0][v_idx]):
+            return None
+        pred = row[1]
+        path: list[int] = []
+        node = v_idx
+        while node != u_idx:
+            p = int(pred[node])
+            if p < 0:
+                return None
+            path.append(csr.segment_between(p, node))
+            node = p
+        path.reverse()
+        return path
+
+    def distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        csr = self._network.csr()
+        self.ensure(sources)
+        t_idx = np.array([csr.index.get(t, -1) for t in targets], dtype=np.int64)
+        known = t_idx >= 0
+        out = np.full((len(sources), len(targets)), np.inf)
+        for i, source in enumerate(sources):
+            cached = self._rows.get(source)
+            if cached is None and source in csr.index:  # evicted mid-call
+                self.ensure([source])
+                cached = self._rows.get(source)
+            if cached is None:  # node absent from the network
+                continue
+            out[i, known] = cached[0][t_idx[known]]
+        if len(sources) and len(targets):
+            src = np.asarray(sources).reshape(-1, 1)
+            out[src == np.asarray(targets).reshape(1, -1)] = 0.0
+        return out
+
+    @property
+    def cached_sources(self) -> int:
+        return len(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+
+class _HeapBackend:
+    """The original pure-Python heap Dijkstra (scipy-less fallback)."""
+
+    def __init__(
+        self, network: RoadNetwork, max_route_length: float, cache_size: int
+    ) -> None:
+        self._network = network
+        self._limit = max_route_length
+        self._cache_size = cache_size
+        self._dist: OrderedDict[int, dict[int, float]] = OrderedDict()
+        self._pred: dict[int, dict[int, int]] = {}  # node -> incoming segment id
+
+    def ensure(self, sources: Iterable[int]) -> None:
+        for source in sources:
+            if source not in self._dist:
+                self._run(source)
+
+    def _run(self, source: int) -> None:
         dist: dict[int, float] = {source: 0.0}
-        pred: dict[int, int] = {}  # node -> incoming segment id on best path
+        pred: dict[int, int] = {}
         heap: list[tuple[float, int]] = [(0.0, source)]
         settled: set[int] = set()
-        network = self.network
+        network = self._network
         while heap:
             d, node = heapq.heappop(heap)
             if node in settled:
                 continue
             settled.add(node)
-            if d > self.max_route_length:
-                break
             for seg_id in network.out_segments(node):
                 seg = network.segments[seg_id]
                 nd = d + seg.length
+                # Never record distances beyond the exploration bound, so
+                # node_distance stays consistent with route().
+                if nd > self._limit:
+                    continue
                 if nd < dist.get(seg.end_node, math.inf):
                     dist[seg.end_node] = nd
                     pred[seg.end_node] = seg_id
                     heapq.heappush(heap, (nd, seg.end_node))
-        self._dist_cache[source] = dist
-        self._pred_cache[source] = pred
+        self._dist[source] = dist
+        self._pred[source] = pred
+        while len(self._dist) > self._cache_size:
+            evicted, _ = self._dist.popitem(last=False)
+            self._pred.pop(evicted, None)
 
-    def node_distance(self, u: int, v: int) -> float:
-        """Network distance from node ``u`` to node ``v`` (inf if unreachable)."""
-        if u not in self._dist_cache:
-            self._run_dijkstra(u)
-        return self._dist_cache[u].get(v, math.inf)
+    def distance(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        self.ensure([u])
+        self._dist.move_to_end(u)
+        return self._dist[u].get(v, math.inf)
 
-    def node_path_segments(self, u: int, v: int) -> list[int] | None:
-        """Segment ids along the shortest ``u``→``v`` path (None if unreachable).
-
-        Returns an empty list when ``u == v``.
-        """
+    def path_segments(self, u: int, v: int) -> list[int] | None:
         if u == v:
             return []
-        if u not in self._dist_cache:
-            self._run_dijkstra(u)
-        pred = self._pred_cache[u]
-        if v not in self._dist_cache[u]:
+        self.ensure([u])
+        if v not in self._dist[u]:
             return None
+        pred = self._pred[u]
         path: list[int] = []
         node = v
         while node != u:
@@ -102,9 +230,86 @@ class ShortestPathEngine:
             if seg_id is None:
                 return None
             path.append(seg_id)
-            node = self.network.segments[seg_id].start_node
+            node = self._network.segments[seg_id].start_node
         path.reverse()
         return path
+
+    def distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        out = np.full((len(sources), len(targets)), np.inf)
+        for i, source in enumerate(sources):
+            for j, target in enumerate(targets):
+                out[i, j] = self.distance(source, target)
+        return out
+
+    @property
+    def cached_sources(self) -> int:
+        return len(self._dist)
+
+    def clear(self) -> None:
+        self._dist.clear()
+        self._pred.clear()
+
+
+class ShortestPathEngine:
+    """Dijkstra routing with per-source memoisation over a road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        max_route_length: float = 30000.0,
+        *,
+        use_scipy: bool | None = None,
+        route_cache_size: int = 100_000,
+        source_cache_size: int = 16384,
+    ) -> None:
+        """Create an engine over ``network``.
+
+        Args:
+            network: The road network to route on.
+            max_route_length: Bound on the explored radius per source node;
+                no reported distance or route ever exceeds it.
+            use_scipy: Force the vectorised (True) or pure-Python (False)
+                backend; ``None`` picks vectorised when scipy is importable.
+            route_cache_size: LRU bound on memoised segment-pair routes.
+            source_cache_size: LRU bound on memoised single-source results.
+        """
+        self.network = network
+        self.max_route_length = float(max_route_length)
+        self.use_scipy = HAVE_SCIPY if use_scipy is None else bool(use_scipy) and HAVE_SCIPY
+        backend_cls = _ScipyBackend if self.use_scipy else _HeapBackend
+        self._backend = backend_cls(network, self.max_route_length, source_cache_size)
+        self.route_cache_size = int(route_cache_size)
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self._route_cache: OrderedDict[tuple[int, int], Route | None] = OrderedDict()
+
+    # ------------------------------------------------------------- node level
+    def node_distance(self, u: int, v: int) -> float:
+        """Network distance from node ``u`` to node ``v`` (inf if unreachable).
+
+        Consistent with :meth:`route`: distances beyond ``max_route_length``
+        are reported as inf, never as over-bound values.
+        """
+        return self._backend.distance(u, v)
+
+    def node_path_segments(self, u: int, v: int) -> list[int] | None:
+        """Segment ids along the shortest ``u``→``v`` path (None if unreachable).
+
+        Returns an empty list when ``u == v``.
+        """
+        return self._backend.path_segments(u, v)
+
+    def prime_sources(self, sources: Iterable[int]) -> None:
+        """Settle many source nodes ahead of time (one batched query)."""
+        self._backend.ensure(sources)
+
+    def distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        """Node-distance matrix ``D[i, j] = d(sources[i] -> targets[j])``.
+
+        All uncached sources are settled by a single multi-source Dijkstra
+        call; unreachable or out-of-bound pairs are inf.
+        """
+        return self._backend.distances(sources, targets)
 
     # ---------------------------------------------------------- segment level
     def route(self, from_segment: int, to_segment: int) -> Route | None:
@@ -116,6 +321,20 @@ class ShortestPathEngine:
         exploration bound.  A self-transition yields a single-segment route
         of length 0.
         """
+        key = (from_segment, to_segment)
+        cached = self._route_cache.get(key, _MISS)
+        if cached is not _MISS:
+            self.route_cache_hits += 1
+            self._route_cache.move_to_end(key)
+            return cached
+        self.route_cache_misses += 1
+        routed = self._route_uncached(from_segment, to_segment)
+        self._route_cache[key] = routed
+        while len(self._route_cache) > self.route_cache_size:
+            self._route_cache.popitem(last=False)
+        return routed
+
+    def _route_uncached(self, from_segment: int, to_segment: int) -> Route | None:
         if from_segment == to_segment:
             return Route(segments=(from_segment,), length=0.0)
         src = self.network.segments[from_segment]
@@ -131,28 +350,83 @@ class ShortestPathEngine:
             return None
         return Route(segments=(from_segment, *mid, to_segment), length=length)
 
+    def route_many(self, pairs: Sequence[tuple[int, int]]) -> list[Route | None]:
+        """Route every ``(from, to)`` pair, e.g. one whole trellis step.
+
+        All source nodes the batch needs are settled with a single
+        multi-source Dijkstra call before per-pair reconstruction, replacing
+        one heap search per pair.
+        """
+        need: list[int] = []
+        segments = self.network.segments
+        for from_segment, to_segment in pairs:
+            if from_segment == to_segment:
+                continue
+            if (from_segment, to_segment) in self._route_cache:
+                continue
+            src = segments[from_segment]
+            if src.end_node != segments[to_segment].start_node:
+                need.append(src.end_node)
+        if need:
+            self._backend.ensure(need)
+        return [self.route(a, b) for a, b in pairs]
+
     def route_length(self, from_segment: int, to_segment: int) -> float:
         """Length of :meth:`route` (inf when unreachable)."""
         routed = self.route(from_segment, to_segment)
         return routed.length if routed is not None else math.inf
 
+    def route_length_matrix(
+        self, from_segments: Sequence[int], to_segments: Sequence[int]
+    ) -> np.ndarray:
+        """Segment-transition lengths ``L[i, j] = route_length(from[i], to[j])``.
+
+        Computed from one batched node-distance matrix plus vectorised
+        arithmetic; agrees with per-pair :meth:`route_length` everywhere.
+        """
+        segments = self.network.segments
+        ends = [segments[s].end_node for s in from_segments]
+        starts = [segments[s].start_node for s in to_segments]
+        node_d = self.distances(ends, starts)
+        matrix = node_d + np.array([segments[s].length for s in to_segments])
+        # route() only bounds the mid-path branch; direct continuations
+        # (node distance 0) are never capped, so mirror that here.
+        matrix[(matrix > self.max_route_length) & (node_d > 0)] = np.inf
+        if len(from_segments) and len(to_segments):
+            same = np.asarray(from_segments).reshape(-1, 1) == np.asarray(to_segments)
+            matrix[same] = 0.0
+        return matrix
+
+    # -------------------------------------------------------------- lifecycle
     def clear_cache(self) -> None:
         """Drop all memoised Dijkstra results (e.g. after editing the network)."""
-        self._dist_cache.clear()
-        self._pred_cache.clear()
+        self._backend.clear()
+        self._route_cache.clear()
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     @property
     def cached_sources(self) -> int:
         """Number of source nodes with a memoised Dijkstra result."""
-        return len(self._dist_cache)
+        return self._backend.cached_sources
+
+    def cache_stats(self) -> dict[str, int]:
+        """Route-cache hit/miss counters plus cache occupancy."""
+        return {
+            "route_cache_hits": self.route_cache_hits,
+            "route_cache_misses": self.route_cache_misses,
+            "route_cache_entries": len(self._route_cache),
+            "cached_sources": self.cached_sources,
+        }
 
 
-def stitch_segments(matched: list[int], engine: ShortestPathEngine) -> list[int]:
+def stitch_segments(matched: list[int], engine) -> list[int]:
     """Connect per-point matched segments into one consecutive path.
 
-    Consecutive duplicates collapse; gaps are filled with the shortest route
-    between the segments.  Unroutable gaps fall back to a hard break (the
-    later segment simply follows), which keeps the function total.
+    ``engine`` is any :class:`~repro.network.router.Router`.  Consecutive
+    duplicates collapse; gaps are filled with the shortest route between the
+    segments.  Unroutable gaps fall back to a hard break (the later segment
+    simply follows), which keeps the function total.
     """
     path: list[int] = []
     for seg_id in matched:

@@ -61,6 +61,27 @@ class TestNodeRouting:
         engine.clear_cache()
         assert engine.cached_sources == 0
 
+    @pytest.mark.parametrize("use_scipy", [True, False])
+    def test_node_distance_never_exceeds_bound(self, use_scipy):
+        net = line_network(30)
+        engine = ShortestPathEngine(net, max_route_length=500.0, use_scipy=use_scipy)
+        for v in net.nodes:
+            distance = engine.node_distance(0, v)
+            assert distance <= 500.0 or math.isinf(distance)
+
+    def test_distances_matrix_matches_scalar(self):
+        net = line_network(6)
+        engine = ShortestPathEngine(net)
+        nodes = sorted(net.nodes)
+        matrix = engine.distances(nodes, nodes)
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                scalar = engine.node_distance(u, v)
+                if math.isinf(scalar):
+                    assert math.isinf(matrix[i, j])
+                else:
+                    assert matrix[i, j] == pytest.approx(scalar)
+
 
 class TestSegmentRouting:
     def test_self_route(self):
@@ -100,6 +121,22 @@ class TestSegmentRouting:
     def test_max_route_length_bound(self):
         engine = ShortestPathEngine(line_network(30), max_route_length=500.0)
         assert engine.route(0, 2 * 20) is None
+
+    def test_route_cache_counters(self):
+        engine = ShortestPathEngine(line_network())
+        assert engine.route(0, 6) is not None
+        assert engine.route(0, 6) is not None
+        stats = engine.cache_stats()
+        assert stats["route_cache_hits"] == 1
+        assert stats["route_cache_misses"] == 1
+        engine.clear_cache()
+        assert engine.cache_stats()["route_cache_entries"] == 0
+
+    def test_route_cache_is_bounded(self):
+        engine = ShortestPathEngine(line_network(8), route_cache_size=4)
+        for target in range(0, 14, 2):
+            engine.route(0, target)
+        assert engine.cache_stats()["route_cache_entries"] <= 4
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 7), st.integers(0, 7))

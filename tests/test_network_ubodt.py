@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.network import ShortestPathEngine, Ubodt, UbodtRouter
@@ -16,7 +17,8 @@ class TestBuild:
     def test_rows_within_bound(self):
         net = line_network(6)
         table = Ubodt.build(net, delta_m=250.0)
-        for (source, target), (distance, _) in table._rows.items():
+        assert len(table) > 0
+        for (source, target), (distance, _) in table.rows():
             assert distance <= 250.0
             assert source != target
 
@@ -45,6 +47,41 @@ class TestBuild:
         assert checked > 10
 
 
+class TestLookupMany:
+    def test_matches_scalar_lookup(self, tiny_network):
+        table = Ubodt.build(tiny_network, delta_m=900.0)
+        nodes = sorted(tiny_network.nodes)[:20]
+        sources = np.repeat(nodes, len(nodes))
+        targets = np.tile(nodes, len(nodes))
+        distances, firsts = table.lookup_many(sources, targets)
+        for s, t, d, f in zip(sources, targets, distances, firsts):
+            scalar = table.lookup(int(s), int(t))
+            if scalar is None:
+                assert math.isinf(d) and f == -2
+            else:
+                assert d == pytest.approx(scalar[0])
+                assert f == scalar[1]
+
+    def test_self_pairs_are_zero(self):
+        table = Ubodt.build(line_network(4), delta_m=500.0)
+        distances, firsts = table.lookup_many(np.array([2, 0]), np.array([2, 0]))
+        assert distances.tolist() == [0.0, 0.0]
+        assert firsts.tolist() == [-1, -1]
+
+    def test_out_of_range_ids_miss(self):
+        table = Ubodt.build(line_network(4), delta_m=500.0)
+        distances, firsts = table.lookup_many(
+            np.array([0, 10_000]), np.array([10_000, 1])
+        )
+        assert np.isinf(distances).all()
+        assert firsts.tolist() == [-2, -2]
+
+    def test_empty_table(self):
+        table = Ubodt(100.0)
+        distances, _ = table.lookup_many(np.array([1]), np.array([2]))
+        assert math.isinf(distances[0])
+
+
 class TestPersistence:
     def test_round_trip(self, tiny_network, tmp_path):
         table = Ubodt.build(tiny_network, delta_m=800.0)
@@ -53,7 +90,7 @@ class TestPersistence:
         loaded = Ubodt.load(path)
         assert loaded.delta_m == table.delta_m
         assert len(loaded) == len(table)
-        sample_key = next(iter(table._rows))
+        sample_key = next(iter(table.rows()))[0]
         assert loaded.lookup(*sample_key) == pytest.approx(table.lookup(*sample_key))
 
     def test_empty_table_round_trip(self, tmp_path):

@@ -1,0 +1,79 @@
+"""Tests for repro.core.parallel (process-parallel batch matching)."""
+
+import pytest
+
+from repro.core import LHMM, ParallelMatcher
+from repro.datasets import save_dataset
+
+
+def assert_results_identical(serial, parallel) -> None:
+    assert len(serial) == len(parallel)
+    for expected, got in zip(serial, parallel):
+        assert got.path == expected.path
+        assert got.matched_sequence == expected.matched_sequence
+        assert got.candidate_sets == expected.candidate_sets
+        assert got.score == pytest.approx(expected.score, rel=1e-12)
+
+
+class TestForkMatchMany:
+    def test_parallel_equals_serial_trajectory_for_trajectory(
+        self, trained_lhmm, tiny_dataset
+    ):
+        trajectories = [sample.cellular for sample in tiny_dataset.test]
+        assert len(trajectories) >= 4
+        serial = trained_lhmm.match_many(trajectories)
+        parallel = trained_lhmm.match_many(trajectories, workers=2)
+        assert_results_identical(serial, parallel)
+
+    def test_parallel_reports_worker_cache_stats(self, trained_lhmm, tiny_dataset):
+        trajectories = [sample.cellular for sample in tiny_dataset.test][:4]
+        trained_lhmm.match_many(trajectories, workers=2)
+        stats = trained_lhmm.last_parallel_stats
+        assert stats is not None
+        assert 1 <= stats["workers"] <= 2
+        assert stats["chunks"] >= 1
+        for counters in stats["per_worker"].values():
+            assert counters["route_cache_hits"] + counters["route_cache_misses"] > 0
+
+    def test_single_worker_stays_serial(self, trained_lhmm, tiny_dataset):
+        trajectory = tiny_dataset.test[0].cellular
+        results = trained_lhmm.match_many([trajectory], workers=1)
+        assert len(results) == 1
+        assert results[0].path == trained_lhmm.match(trajectory).path
+
+    def test_explicit_chunk_size(self, trained_lhmm, tiny_dataset):
+        trajectories = [sample.cellular for sample in tiny_dataset.test][:5]
+        serial = trained_lhmm.match_many(trajectories)
+        parallel = trained_lhmm.match_many(trajectories, workers=2, chunk_size=1)
+        assert_results_identical(serial, parallel)
+        assert trained_lhmm.last_parallel_stats["chunks"] == 5
+
+
+class TestParallelMatcher:
+    @pytest.fixture(scope="class")
+    def saved_paths(self, tmp_path_factory, trained_lhmm, tiny_dataset):
+        root = tmp_path_factory.mktemp("parallel")
+        model_path = root / "model.npz"
+        dataset_path = root / "tiny.json.gz"
+        trained_lhmm.save(model_path)
+        save_dataset(tiny_dataset, dataset_path)
+        return model_path, dataset_path
+
+    def test_file_backed_pool_matches_serial_load(self, saved_paths, tiny_dataset):
+        from repro.datasets import load_dataset
+
+        model_path, dataset_path = saved_paths
+        reloaded = LHMM.load(model_path, load_dataset(dataset_path))
+        trajectories = [sample.cellular for sample in tiny_dataset.test][:4]
+        serial = reloaded.match_many(trajectories)
+        with ParallelMatcher(model_path, dataset_path, workers=2, chunk_size=2) as pool:
+            parallel = pool.match_many(trajectories)
+            stats = pool.stats()
+        assert_results_identical(serial, parallel)
+        assert stats["chunks"] == 2
+        assert stats["per_worker"]
+
+    def test_empty_batch(self, saved_paths):
+        model_path, dataset_path = saved_paths
+        with ParallelMatcher(model_path, dataset_path, workers=2) as pool:
+            assert pool.match_many([]) == []

@@ -1,0 +1,146 @@
+"""Property tests: every routing backend agrees on every network.
+
+Three implementations can answer the same segment-to-segment query — the
+vectorised scipy engine, the pure-Python heap engine, and the UBODT table
+router — and the matcher treats them interchangeably through the
+:class:`~repro.network.router.Router` protocol, so they must agree on
+route lengths, reachability, and path well-formedness everywhere.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Polyline
+from repro.network import (
+    RoadNetwork,
+    RoadSegment,
+    Router,
+    ShortestPathEngine,
+    Ubodt,
+    UbodtRouter,
+)
+
+
+def random_network(seed: int) -> RoadNetwork:
+    """A small random directed network: a chain plus random extra edges."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 12))
+    net = RoadNetwork()
+    points = []
+    for i in range(n):
+        p = Point(float(rng.uniform(0.0, 2000.0)), float(rng.uniform(0.0, 2000.0)))
+        net.add_node(i, p)
+        points.append(p)
+    edges: set[tuple[int, int]] = set()
+    order = rng.permutation(n)
+    for a, b in zip(order, order[1:]):
+        edges.add((int(a), int(b)))
+    for _ in range(int(rng.integers(n, 3 * n))):
+        a, b = (int(x) for x in rng.integers(0, n, size=2))
+        if a != b:
+            edges.add((a, b))
+    for seg_id, (a, b) in enumerate(sorted(edges)):
+        net.add_segment(RoadSegment(seg_id, a, b, Polyline([points[a], points[b]])))
+    return net.freeze()
+
+
+def assert_route_well_formed(net: RoadNetwork, route) -> None:
+    for a, b in zip(route.segments, route.segments[1:]):
+        assert net.segments[b].start_node == net.segments[a].end_node
+    driven = sum(net.segments[s].length for s in route.segments[1:])
+    assert route.length == pytest.approx(driven, abs=1e-6)
+
+
+class TestUbodtParity:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_router_matches_engine_on_random_networks(self, seed):
+        net = random_network(seed)
+        engine = ShortestPathEngine(net)
+        table = Ubodt.build(net, delta_m=20_000.0)
+        router = UbodtRouter(net, table, fallback=ShortestPathEngine(net))
+        assert isinstance(router, Router) and isinstance(engine, Router)
+        segs = sorted(net.segments)[:12]
+        for a in segs:
+            for b in segs:
+                via_engine = engine.route(a, b)
+                via_router = router.route(a, b)
+                if via_engine is None:
+                    assert via_router is None
+                    assert math.isinf(router.route_length(a, b))
+                    continue
+                assert via_router is not None
+                assert via_router.length == pytest.approx(via_engine.length)
+                assert router.route_length(a, b) == pytest.approx(via_engine.length)
+                assert_route_well_formed(net, via_router)
+                assert_route_well_formed(net, via_engine)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_small_delta_still_agrees_via_fallback(self, seed):
+        net = random_network(seed)
+        engine = ShortestPathEngine(net)
+        table = Ubodt.build(net, delta_m=400.0)
+        router = UbodtRouter(net, table, fallback=ShortestPathEngine(net))
+        segs = sorted(net.segments)[:8]
+        for a in segs:
+            for b in segs:
+                expected = engine.route_length(a, b)
+                got = router.route_length(a, b)
+                if math.isinf(expected):
+                    assert math.isinf(got)
+                else:
+                    assert got == pytest.approx(expected)
+
+
+class TestBackendParity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_scipy_and_python_backends_agree(self, seed):
+        net = random_network(seed)
+        fast = ShortestPathEngine(net)
+        slow = ShortestPathEngine(net, use_scipy=False)
+        if not fast.use_scipy:  # pragma: no cover - scipy-less environment
+            pytest.skip("scipy unavailable")
+        nodes = sorted(net.nodes)
+        matrix = fast.distances(nodes, nodes)
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                reference = slow.node_distance(u, v)
+                if math.isinf(reference):
+                    assert math.isinf(matrix[i, j])
+                else:
+                    assert matrix[i, j] == pytest.approx(reference)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_route_length_matrix_matches_per_pair(self, seed):
+        net = random_network(seed)
+        engine = ShortestPathEngine(net)
+        table = Ubodt.build(net, delta_m=20_000.0)
+        router = UbodtRouter(net, table, fallback=ShortestPathEngine(net))
+        segs = sorted(net.segments)[:8]
+        for backend in (engine, router):
+            matrix = backend.route_length_matrix(segs, segs)
+            for i, a in enumerate(segs):
+                for j, b in enumerate(segs):
+                    expected = engine.route_length(a, b)
+                    if math.isinf(expected):
+                        assert math.isinf(matrix[i, j])
+                    else:
+                        assert matrix[i, j] == pytest.approx(expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_route_many_matches_route(self, seed):
+        net = random_network(seed)
+        engine = ShortestPathEngine(net)
+        segs = sorted(net.segments)[:8]
+        pairs = [(a, b) for a in segs for b in segs]
+        batched = engine.route_many(pairs)
+        fresh = ShortestPathEngine(net)
+        for (a, b), route in zip(pairs, batched):
+            assert route == fresh.route(a, b)
