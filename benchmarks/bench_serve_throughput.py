@@ -1,0 +1,174 @@
+"""Perf smoke benchmark: repro.serve throughput and tail latency.
+
+Boots a real :class:`~repro.serve.MatchingServer` (in-process, ephemeral
+port) on a small smoke city and drives it over HTTP with concurrent
+:class:`~repro.serve.MatchingClient` threads::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -s -m perf
+
+It measures and writes to ``benchmarks/results/serve_throughput.txt``:
+
+* batch endpoint throughput (whole trajectories through ``/v1/match``,
+  micro-batched across concurrent clients) — req/s and p50/p95/p99;
+* streaming session throughput (per-point feeds through
+  ``/v1/sessions/{id}/points``) — points/s and per-feed p50/p95/p99;
+* served results verified identical to direct in-process matching.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from benchmarks.conftest import FAST, save_report
+from repro.cellular import SimulationConfig, TowerPlacementConfig
+from repro.core import LHMM, LHMMConfig, OnlineLHMM
+from repro.datasets import DatasetConfig, make_city_dataset
+from repro.network import CityConfig
+from repro.serve import MatchingClient, MatchingServer, ServeConfig
+from repro.utils import LatencyHistogram
+
+pytestmark = pytest.mark.perf
+
+SMOKE_CITY = CityConfig(
+    grid_rows=10,
+    grid_cols=10,
+    block_size_m=250.0,
+    density_gradient=0.5,
+    removal_prob=0.08,
+    one_way_prob=0.05,
+)
+SMOKE_SIMULATION = SimulationConfig(
+    min_trip_m=900.0,
+    max_trip_m=2200.0,
+    cellular_interval_mean_s=35.0,
+    cellular_interval_sigma_s=10.0,
+    cellular_interval_max_s=90.0,
+    gps_interval_s=12.0,
+)
+SMOKE_TOWERS = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
+
+CLIENT_THREADS = 2 if FAST else 4
+BATCH_REQUESTS = 12 if FAST else 48
+STREAM_SESSIONS = 4 if FAST else 12
+
+
+@pytest.fixture(scope="module")
+def smoke_matcher():
+    config = DatasetConfig(
+        name="serve-smoke-city",
+        city=SMOKE_CITY,
+        towers=SMOKE_TOWERS,
+        simulation=SMOKE_SIMULATION,
+        num_trajectories=50,
+        groundtruth="oracle",
+    )
+    dataset = make_city_dataset(config, rng=17)
+    matcher = LHMM(
+        LHMMConfig(
+            embedding_dim=12,
+            het_layers=1,
+            mlp_hidden=12,
+            candidate_k=10,
+            candidate_pool=50,
+            candidate_radius_m=1600.0,
+            epochs=2,
+            batch_size=4,
+            negatives_per_positive=3,
+        ),
+        rng=0,
+    ).fit(dataset)
+    return dataset, matcher
+
+
+def test_serve_throughput(smoke_matcher):
+    dataset, matcher = smoke_matcher
+    samples = dataset.samples
+    lines = [
+        f"serve smoke on {dataset.network.num_segments} segments, "
+        f"{CLIENT_THREADS} client threads"
+    ]
+
+    config = ServeConfig(port=0, batch_window_ms=10.0, batch_max=8, queue_limit=128)
+    with MatchingServer(matcher, config) as server:
+        client = MatchingClient(server.host, server.port, timeout=120.0)
+
+        # Warm the router cache so steady-state latency is measured.
+        client.match([samples[0].cellular])
+
+        # ---- 1. batch endpoint: whole trajectories, micro-batched ----
+        batch_latency = LatencyHistogram()
+        work = [samples[i % len(samples)] for i in range(BATCH_REQUESTS)]
+
+        def one_batch_request(sample):
+            local = MatchingClient(server.host, server.port, timeout=120.0)
+            start = time.perf_counter()
+            result = local.match_with_retry([sample.cellular])
+            batch_latency.record(time.perf_counter() - start)
+            return sample, result[0]["path"]
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+            served = list(pool.map(one_batch_request, work))
+        batch_wall_s = time.perf_counter() - start
+
+        expected = {
+            s.sample_id: matcher.match(s.cellular).path
+            for s in {sample.sample_id: sample for sample in work}.values()
+        }
+        assert all(path == expected[sample.sample_id] for sample, path in served)
+
+        snap = batch_latency.snapshot()
+        lines.append(
+            f"batch  /v1/match     {BATCH_REQUESTS:3d} requests  "
+            f"{BATCH_REQUESTS / batch_wall_s:7.1f} req/s   "
+            f"p50 {snap['p50_s'] * 1e3:7.1f} ms  p95 {snap['p95_s'] * 1e3:7.1f} ms  "
+            f"p99 {snap['p99_s'] * 1e3:7.1f} ms"
+        )
+
+        # ---- 2. streaming sessions: per-point feeds ----
+        feed_latency = LatencyHistogram()
+        stream_work = [samples[i % len(samples)] for i in range(STREAM_SESSIONS)]
+
+        def one_stream(sample):
+            local = MatchingClient(server.host, server.port, timeout=120.0)
+            session = local.create_session(lag=3)
+            for point in sample.cellular.points:
+                start = time.perf_counter()
+                session.feed(point)
+                feed_latency.record(time.perf_counter() - start)
+            return sample, session.close()
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+            streamed = list(pool.map(one_stream, stream_work))
+        stream_wall_s = time.perf_counter() - start
+
+        for sample, path in streamed:
+            assert path == OnlineLHMM(matcher, lag=3).match_stream(sample.cellular)
+
+        snap = feed_latency.snapshot()
+        total_points = sum(len(s.cellular) for s in stream_work)
+        lines.append(
+            f"stream /points feeds {total_points:3d} points    "
+            f"{total_points / stream_wall_s:7.1f} pts/s   "
+            f"p50 {snap['p50_s'] * 1e3:7.1f} ms  p95 {snap['p95_s'] * 1e3:7.1f} ms  "
+            f"p99 {snap['p99_s'] * 1e3:7.1f} ms"
+        )
+
+        metrics = client.metrics()
+        batching = metrics["batching"]
+        lines.append(
+            f"server side          {batching['batches_dispatched']} batches for "
+            f"{batching['items_dispatched']} items "
+            f"(mean batch {batching['mean_batch']:.2f}), "
+            f"{metrics['sessions']['recycled_total']} decoders recycled, "
+            f"{batching['rejected_total']} rejections"
+        )
+        lines.append(
+            "all served paths verified identical to direct LHMM / OnlineLHMM calls"
+        )
+
+    save_report("serve_throughput", "\n".join(lines))

@@ -7,34 +7,84 @@ result against the batch matcher and renders both as an ASCII map.
 
 Run with::
 
-    python examples/online_streaming.py
+    python examples/online_streaming.py           # in-process decoder
+    python examples/online_streaming.py --serve   # through the HTTP service
+
+With ``--serve`` the script boots a local :class:`repro.serve.MatchingServer`
+on a free port and drives the identical workload over HTTP with
+:class:`repro.serve.MatchingClient` — the streamed path and the batch path
+are byte-identical to the in-process ones; only the transport changes.
 """
+
+import argparse
 
 from repro import LHMM, LHMMConfig, make_city_dataset
 from repro.core import OnlineLHMM
 from repro.eval.metrics import corridor_mismatch_fraction
 from repro.viz import render_match_ascii
 
+LAG = 3
+
+
+def stream_in_process(matcher, sample):
+    """Feed the fixed-lag decoder directly, printing per-point progress."""
+    online = OnlineLHMM(matcher, lag=LAG)
+    for i, point in enumerate(sample.cellular.points):
+        online.add_point(point)
+        print(
+            f"  t={point.timestamp:6.0f}s  point {i + 1:>2}  "
+            f"committed {len(online.committed_path):>2} segments, "
+            f"{online.pending_points()} pending"
+        )
+    streamed_path = online.finish()
+    batch_path = matcher.match(sample.cellular).path
+    return streamed_path, batch_path
+
+
+def stream_over_http(matcher, sample):
+    """The same workload through the HTTP service on a free local port."""
+    from repro.serve import MatchingClient, MatchingServer, ServeConfig
+
+    with MatchingServer(matcher, ServeConfig(port=0)) as server:
+        print(f"  (serving on http://{server.host}:{server.port})")
+        client = MatchingClient(server.host, server.port)
+        with client.create_session(lag=LAG) as session:
+            for i, point in enumerate(sample.cellular.points):
+                state = session.feed(point)
+                print(
+                    f"  t={point.timestamp:6.0f}s  point {i + 1:>2}  "
+                    f"committed {len(state['committed']):>2} segments, "
+                    f"{state['pending']} pending"
+                )
+            streamed_path = session.close()
+        batch_path = client.match([sample.cellular])[0]["path"]
+    return streamed_path, batch_path
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="route the stream through a local repro.serve HTTP server",
+    )
+    args = parser.parse_args()
+
     print("Building city and training LHMM ...")
     dataset = make_city_dataset("hangzhou", num_trajectories=150, rng=4)
     matcher = LHMM(LHMMConfig(epochs=4), rng=0).fit(dataset)
 
     sample = dataset.test[0]
-    print(f"\nStreaming trajectory {sample.sample_id} ({len(sample.cellular)} points):")
-    online = OnlineLHMM(matcher, lag=3)
-    for i, point in enumerate(sample.cellular.points):
-        online.add_point(point)
-        committed = online.committed_path
-        print(
-            f"  t={point.timestamp:6.0f}s  point {i + 1:>2}  "
-            f"committed {len(committed):>2} segments, "
-            f"{online.pending_points()} pending"
-        )
-    streamed_path = online.finish()
+    mode = "over HTTP" if args.serve else "in process"
+    print(
+        f"\nStreaming trajectory {sample.sample_id} "
+        f"({len(sample.cellular)} points, {mode}):"
+    )
+    if args.serve:
+        streamed_path, batch_path = stream_over_http(matcher, sample)
+    else:
+        streamed_path, batch_path = stream_in_process(matcher, sample)
 
-    batch_path = matcher.match(sample.cellular).path
     streamed_cmf = corridor_mismatch_fraction(
         dataset.network, sample.truth_path, streamed_path
     )

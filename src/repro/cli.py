@@ -1,4 +1,4 @@
-"""Command-line interface: generate, inspect, train, evaluate, match.
+"""Command-line interface: generate, inspect, train, evaluate, match, serve.
 
 Usage::
 
@@ -11,9 +11,12 @@ Usage::
                              --router ubodt --ubodt-delta 3000 --workers 4
     python -m repro match    --dataset city.json.gz --model model.npz \
                              --sample-id 12 --svg match.svg --ascii
+    python -m repro serve    --dataset city.json.gz --model model.npz \
+                             --port 8080 --workers 4
 
 Every command takes ``--seed`` for reproducibility.  All heavy outputs are
-files; stdout carries human-readable summaries only.
+files; stdout carries human-readable summaries only.  ``serve`` runs until
+interrupted, then drains in-flight work before exiting (``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -24,9 +27,14 @@ from pathlib import Path
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LHMM cellular map matching (ICDE 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -75,6 +83,33 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--svg", default=None, help="write an SVG map here")
     match.add_argument("--ascii", action="store_true", help="print an ASCII map")
     _add_router_arguments(match)
+
+    serve = commands.add_parser(
+        "serve", help="run a long-lived map-matching HTTP service"
+    )
+    serve.add_argument("--dataset", required=True, help="map + towers the model serves")
+    serve.add_argument("--model", required=True, help="trained LHMM .npz")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = pick a free port)")
+    _add_router_arguments(serve)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batch-matching processes (1 = in-process serial)")
+    serve.add_argument("--batch-window-ms", type=float, default=25.0,
+                       help="micro-batch collection window")
+    serve.add_argument("--batch-max", type=int, default=16,
+                       help="max trajectories per micro-batch")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded request queue; beyond it the server sheds "
+                            "load with HTTP 429")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       help="concurrent streaming sessions")
+    serve.add_argument("--session-ttl", type=float, default=300.0,
+                       help="idle seconds before a session is evicted")
+    serve.add_argument("--lag", type=int, default=4,
+                       help="default fixed-lag commit distance for sessions")
+    serve.add_argument("--log-requests", action="store_true",
+                       help="log every HTTP request to stderr")
 
     return parser
 
@@ -217,11 +252,23 @@ def _cmd_match(args: argparse.Namespace) -> int:
     matcher = LHMM.load(args.model, dataset)
     matcher.use_router(_resolve_router(args, dataset))
     if args.sample_id is None:
+        if not dataset.test:
+            print(
+                f"error: dataset {args.dataset!r} has no test samples; "
+                "pass --sample-id to match a specific sample",
+                file=sys.stderr,
+            )
+            return 2
         sample = dataset.test[0]
     else:
         matching = [s for s in dataset.samples if s.sample_id == args.sample_id]
         if not matching:
-            print(f"error: no sample with id {args.sample_id}", file=sys.stderr)
+            known = sorted(s.sample_id for s in dataset.samples)
+            hint = f"valid ids: {known[0]}..{known[-1]}" if known else "dataset is empty"
+            print(
+                f"error: no sample with id {args.sample_id} ({hint})",
+                file=sys.stderr,
+            )
             return 2
         sample = matching[0]
     result = matcher.match(sample.cellular)
@@ -252,12 +299,71 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core import LHMM
+    from repro.datasets import load_dataset
+    from repro.serve import MatchingServer, ServeConfig
+
+    dataset = load_dataset(args.dataset)
+    matcher = LHMM.load(args.model, dataset)
+    matcher.use_router(_resolve_router(args, dataset))
+
+    batch_fn = None
+    pool = None
+    if args.workers > 1:
+        from repro.core.parallel import ParallelMatcher
+
+        pool = ParallelMatcher(
+            args.model,
+            args.dataset,
+            workers=args.workers,
+            router=args.router,
+            ubodt_delta_m=args.ubodt_delta,
+        )
+        ready = pool.warmup()
+        print(f"warmed {ready} batch workers")
+        batch_fn = pool.match_many
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        default_lag=args.lag,
+        max_sessions=args.max_sessions,
+        session_ttl_s=args.session_ttl,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        queue_limit=args.queue_limit,
+        log_requests=args.log_requests,
+    )
+    server = MatchingServer(matcher, config, batch_fn=batch_fn)
+    print(
+        f"serving {Path(args.model).name} over {dataset.name!r} at "
+        f"{server.address} (router={args.router}, workers={args.workers})"
+    )
+    print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
+          "DELETE /v1/sessions/<id>, POST /v1/match, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining ...")
+    finally:
+        summary = server.shutdown()
+        if pool is not None:
+            pool.close()
+        print(
+            f"drained; committed {len(summary['sessions'])} open sessions, "
+            f"served {server.metrics.snapshot()['counters']} events"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "match": _cmd_match,
+    "serve": _cmd_serve,
 }
 
 

@@ -94,19 +94,45 @@ class OnlineLHMM:
                 .numpy()[0]
             )
 
+    def _backtrack_step(self, i: int, current: int) -> int:
+        """One backward step; on a disconnected lattice restart from the
+        best-scoring state of the previous layer (mirrors the batch
+        :meth:`Trellis._backtrack` so fixed-lag and batch decoding agree)."""
+        previous = self._pre[i].get(current)
+        if previous is None:
+            layer = self._f[i - 1]
+            previous = max(layer, key=layer.get)  # type: ignore[arg-type]
+        return previous
+
     def _commit_ready_layers(self) -> None:
         """Fix candidates that have fallen ``lag`` behind the head."""
         while len(self._layers) - self._committed_through > self.lag:
             head = self._f[-1]
             current = max(head, key=head.get)  # type: ignore[arg-type]
             for i in range(len(self._layers) - 1, self._committed_through, -1):
-                current = self._pre[i].get(current, self._layers[i - 1][0])
+                current = self._backtrack_step(i, current)
             layer = self._committed_through
             self._layers[layer] = [current]
             self._emitted.append(current)
             self._committed_through += 1
 
     # ------------------------------------------------------------- interface
+    def reset(self) -> None:
+        """Discard all streaming state so the decoder can start a new
+        trajectory without rebuilding the (expensive) fitted matcher.
+
+        After ``reset()`` the instance is indistinguishable from a freshly
+        constructed one: replaying the same points yields the same commits.
+        The serving layer's session manager uses this to recycle decoder
+        objects across sessions.
+        """
+        self._points = []
+        self._layers = []
+        self._f = []
+        self._pre = []
+        self._committed_through = 0
+        self._emitted = []
+
     def add_point(self, point: TrajectoryPoint) -> None:
         """Feed the next cellular sample."""
         matcher = self.matcher
@@ -184,7 +210,7 @@ class OnlineLHMM:
         current = max(head, key=head.get)  # type: ignore[arg-type]
         tail = [current]
         for i in range(len(self._layers) - 1, self._committed_through, -1):
-            current = self._pre[i].get(current, self._layers[i - 1][0])
+            current = self._backtrack_step(i, current)
             tail.append(current)
         tail.reverse()
         full_sequence = self._emitted + tail

@@ -54,6 +54,14 @@ def _chunked(items: list, chunk_size: int) -> list[list]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
+def _warmup_task(hold_s: float) -> int:
+    """Occupy one worker briefly so every pool process gets initialised."""
+    import time
+
+    time.sleep(hold_s)
+    return os.getpid()
+
+
 def _dispatch(
     pool: ProcessPoolExecutor, trajectories: "list[Trajectory]", chunk_size: int
 ) -> tuple["list[MatchResult]", dict]:
@@ -165,6 +173,20 @@ class ParallelMatcher:
             initializer=_init_worker_from_files,
             initargs=(str(model_path), str(dataset_path), router, ubodt_delta_m),
         )
+
+    def warmup(self, hold_s: float = 0.05) -> int:
+        """Force every worker to initialise now instead of on first traffic.
+
+        ``ProcessPoolExecutor`` spawns workers lazily, so without a warmup
+        the first requests of a serving deployment pay the model + map load
+        (and any UBODT build) in-band.  Submits one short blocking task per
+        worker so the pool spins them all up; returns the number of distinct
+        worker processes that answered.
+        """
+        futures = [
+            self._pool.submit(_warmup_task, hold_s) for _ in range(self.workers)
+        ]
+        return len({future.result() for future in futures})
 
     def match_many(self, trajectories: "list[Trajectory]") -> "list[MatchResult]":
         """Match a batch; results are in input order, identical to serial."""

@@ -1,0 +1,54 @@
+"""repro.serve — run LHMM as a long-lived map-matching service.
+
+The first user-facing layer of the system: a daemon that keeps one fitted
+matcher hot and serves two workloads over stdlib HTTP/JSON —
+
+* **streaming sessions** — points arrive one at a time and fixed-lag
+  commits stream back (:mod:`repro.serve.sessions` over
+  :class:`~repro.core.online.OnlineLHMM`);
+* **batch matching** — whole trajectories, micro-batched through
+  ``match_many`` with bounded-queue backpressure
+  (:mod:`repro.serve.batching`).
+
+Start one in-process::
+
+    from repro.serve import MatchingClient, MatchingServer, ServeConfig
+
+    with MatchingServer(matcher, ServeConfig(port=0)) as server:
+        client = MatchingClient(server.host, server.port)
+        results = client.match([sample.cellular])
+
+or from the command line: ``python -m repro serve --dataset city.json.gz
+--model model.npz``.  Protocol and tuning guidance live in
+``docs/serving.md``.
+"""
+
+from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
+from repro.serve.client import (
+    MatchingClient,
+    ServeClientError,
+    ServerBusy,
+    StreamingSession,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import MatchingServer, ServeConfig
+from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
+
+__all__ = [
+    "Backpressure",
+    "MatchingClient",
+    "MatchingServer",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServerBusy",
+    "ServiceClosed",
+    "SessionLimitError",
+    "SessionManager",
+    "StreamingSession",
+    "UnknownSessionError",
+]

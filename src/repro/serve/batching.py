@@ -1,0 +1,209 @@
+"""Micro-batching with a bounded queue (the service's backpressure valve).
+
+Whole-trajectory match requests are cheap to batch: the matcher's
+``match_many`` amortises routing-cache warmup and, with a worker pool,
+spreads trajectories over processes.  The :class:`MicroBatcher` therefore
+collects individual requests for up to ``window_s`` seconds or
+``max_batch`` items — whichever comes first — dispatches them as one
+batch, and demultiplexes the results back onto per-request futures.
+
+Backpressure is explicit: the queue is bounded, and a full queue raises
+:class:`Backpressure` *immediately* (the server turns it into HTTP 429
+with ``Retry-After``) instead of letting latency grow without bound.
+Shedding load early is what keeps p99 sane when arrival rate exceeds
+service rate — the same reasoning as any bounded-queue admission control.
+
+Shutdown drains: requests admitted before :meth:`close` are always
+answered; requests arriving after are rejected with
+:class:`ServiceClosed`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+
+class Backpressure(RuntimeError):
+    """The request queue is full; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClosed(RuntimeError):
+    """The batcher is shutting down and no longer admits work."""
+
+
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Collects single requests into batches for a ``batch_fn``.
+
+    Args:
+        batch_fn: Called with a list of request payloads; must return one
+            result per payload, in order (e.g. ``LHMM.match_many`` or
+            ``ParallelMatcher.match_many``).
+        max_batch: Dispatch as soon as this many requests are collected.
+        window_s: Maximum time the first request of a batch waits for
+            company; the latency floor a batched request can pay.
+        queue_limit: Bound on requests admitted but not yet dispatched.
+        clock: Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[list], Sequence],
+        *,
+        max_batch: int = 16,
+        window_s: float = 0.02,
+        queue_limit: int = 64,
+        retry_after_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self._batch_fn = batch_fn
+        self.max_batch = max_batch
+        self.window_s = max(0.0, window_s)
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = False
+        self._lock = threading.Lock()
+        self.batches_dispatched = 0
+        self.items_dispatched = 0
+        self.largest_batch = 0
+        self.rejected_total = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # --------------------------------------------------------------- enqueue
+    def submit(self, item) -> Future:
+        """Admit one request; returns the future its result will land on.
+
+        Raises :class:`Backpressure` when the queue is full and
+        :class:`ServiceClosed` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("matching service is shutting down")
+            future: Future = Future()
+            try:
+                self._queue.put_nowait((item, future))
+            except queue.Full:
+                self.rejected_total += 1
+                raise Backpressure(
+                    "request queue full "
+                    f"({self._queue.maxsize} requests waiting)",
+                    self.retry_after_s,
+                ) from None
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched (approximate)."""
+        return self._queue.qsize()
+
+    # -------------------------------------------------------------- dispatch
+    def _run(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _SENTINEL:
+                return
+            batch = [entry]
+            deadline = self._clock() + self.window_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(entry)
+            self._dispatch(batch)
+            if stop:
+                return
+
+    def _dispatch(self, batch: list) -> None:
+        items = [item for item, _ in batch]
+        try:
+            results = self._batch_fn(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for {len(items)} items"
+                )
+        except BaseException as error:  # noqa: BLE001 - relayed to callers
+            for _, future in batch:
+                future.set_exception(error)
+        else:
+            for (_, future), result in zip(batch, results):
+                future.set_result(result)
+        self.batches_dispatched += 1
+        self.items_dispatched += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+
+    # -------------------------------------------------------------- shutdown
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting work; by default wait for admitted work to finish.
+
+        With ``drain=False`` queued requests are failed fast with
+        :class:`ServiceClosed` instead of being processed.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            # Fail queued work; the dispatcher drains what remains.
+            pending: list = []
+            while True:
+                try:
+                    pending.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            for entry in pending:
+                if entry is not _SENTINEL:
+                    entry[1].set_exception(
+                        ServiceClosed("matching service shut down before dispatch")
+                    )
+        # FIFO ordering guarantees everything admitted before the sentinel
+        # is dispatched before the worker thread exits.
+        self._queue.put(_SENTINEL)
+        self._thread.join()
+
+    def stats(self) -> dict:
+        """Batching counters for ``/metrics``."""
+        return {
+            "queue_depth": self.queue_depth,
+            "queue_limit": self._queue.maxsize,
+            "batches_dispatched": self.batches_dispatched,
+            "items_dispatched": self.items_dispatched,
+            "largest_batch": self.largest_batch,
+            "rejected_total": self.rejected_total,
+            "mean_batch": (
+                self.items_dispatched / self.batches_dispatched
+                if self.batches_dispatched
+                else 0.0
+            ),
+        }
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,181 @@
+"""A small stdlib HTTP client for the matching service.
+
+Mirrors the server's endpoints one method each, speaking the JSON
+protocol of :mod:`repro.serve.protocol`.  Errors map onto exceptions:
+HTTP 429 raises :class:`ServerBusy` (carrying ``Retry-After``), any other
+non-2xx raises :class:`ServeClientError`.  A convenience
+:meth:`MatchingClient.match_with_retry` backs off on 429 the way a
+well-behaved load source should — the load-generator benchmark uses it.
+
+The client opens one connection per request (simple, thread-safe); for a
+throughput-critical integration, pool connections externally.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+from typing import Iterable, Sequence
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.serve import protocol
+
+
+class ServeClientError(RuntimeError):
+    """Non-2xx response from the matching service."""
+
+    def __init__(self, status: int, message: str, payload: dict | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServerBusy(ServeClientError):
+    """HTTP 429 — the service is shedding load; retry after a delay."""
+
+    def __init__(self, status: int, message: str, payload: dict, retry_after_s: float) -> None:
+        super().__init__(status, message, payload)
+        self.retry_after_s = retry_after_s
+
+
+def _as_point_payload(point) -> dict:
+    if isinstance(point, TrajectoryPoint):
+        return protocol.encode_point(point)
+    if isinstance(point, dict):
+        return point
+    raise TypeError(f"cannot encode {type(point).__name__} as a trajectory point")
+
+
+def _as_trajectory_payload(trajectory) -> list[dict]:
+    if isinstance(trajectory, Trajectory):
+        return protocol.encode_trajectory(trajectory)
+    return [_as_point_payload(p) for p in trajectory]
+
+
+class StreamingSession:
+    """Client-side handle for one server session (context manager).
+
+    ``feed`` returns the server's committed state; ``close`` returns the
+    final path and invalidates the handle.
+    """
+
+    def __init__(self, client: "MatchingClient", session_id: str, lag: int) -> None:
+        self.client = client
+        self.session_id = session_id
+        self.lag = lag
+        self._final: dict | None = None
+
+    def feed(self, points: Iterable[TrajectoryPoint] | TrajectoryPoint) -> dict:
+        """Send one point or a list of points; returns committed state."""
+        if isinstance(points, (TrajectoryPoint, dict)):
+            points = [points]
+        return self.client.feed_points(self.session_id, list(points))
+
+    def close(self) -> list[int]:
+        """Finalise the session and return the complete matched path."""
+        if self._final is None:
+            self._final = self.client.close_session(self.session_id)
+        return self._final["path"]
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, exc_type, *exc_info: object) -> None:
+        if exc_type is None and self._final is None:
+            self.close()
+
+
+class MatchingClient:
+    """Talks to a :class:`~repro.serve.server.MatchingServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # --------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = protocol.dumps(payload) if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = protocol.loads(raw) if raw else {}
+            except protocol.ProtocolError:
+                parsed = {"error": raw.decode("utf-8", "replace")}
+            if 200 <= response.status < 300:
+                return parsed
+            message = parsed.get("error", response.reason)
+            if response.status == 429:
+                retry_after = parsed.get(
+                    "retry_after_s", float(response.headers.get("Retry-After") or 1.0)
+                )
+                raise ServerBusy(response.status, message, parsed, float(retry_after))
+            raise ServeClientError(response.status, message, parsed)
+        finally:
+            connection.close()
+
+    # -------------------------------------------------------------- streaming
+    def create_session(
+        self, lag: int | None = None, context_window: int | None = None
+    ) -> StreamingSession:
+        """Open a streaming session; returns a handle."""
+        payload: dict = {}
+        if lag is not None:
+            payload["lag"] = lag
+        if context_window is not None:
+            payload["context_window"] = context_window
+        response = self._request("POST", "/v1/sessions", payload)
+        return StreamingSession(self, response["session_id"], response["lag"])
+
+    def feed_points(self, session_id: str, points: Sequence) -> dict:
+        """Feed points into a session; returns committed state."""
+        payload = {"points": [_as_point_payload(p) for p in points]}
+        return self._request("POST", f"/v1/sessions/{session_id}/points", payload)
+
+    def close_session(self, session_id: str) -> dict:
+        """Finalise a session; returns ``{"path": [...], "points": n}``."""
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    # ------------------------------------------------------------------ batch
+    def match(self, trajectories) -> list[dict]:
+        """Match one trajectory or a list of them.
+
+        Accepts :class:`Trajectory` objects, point lists, or pre-encoded
+        payloads; always returns a list of result dicts (``path``,
+        ``matched_sequence``, ``score``) in input order.
+        """
+        single = isinstance(trajectories, Trajectory) or (
+            isinstance(trajectories, (list, tuple))
+            and trajectories
+            and isinstance(trajectories[0], (TrajectoryPoint, dict))
+        )
+        if single:
+            trajectories = [trajectories]
+        payload = {"trajectories": [_as_trajectory_payload(t) for t in trajectories]}
+        return self._request("POST", "/v1/match", payload)["results"]
+
+    def match_with_retry(
+        self, trajectories, max_attempts: int = 8, sleep=time.sleep
+    ) -> list[dict]:
+        """Like :meth:`match`, backing off on 429 via ``Retry-After``."""
+        for attempt in range(max_attempts):
+            try:
+                return self.match(trajectories)
+            except ServerBusy as busy:
+                if attempt == max_attempts - 1:
+                    raise
+                sleep(min(busy.retry_after_s, 5.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------ admin
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,65 @@
+"""Request counters and latency histograms for the ``/metrics`` endpoint.
+
+One :class:`ServeMetrics` instance lives on the server.  Handlers time
+themselves with :meth:`observe`; anything else that wants to count events
+(sessions, batches, matched trajectories) uses :meth:`increment`.  The
+snapshot is plain JSON so operators can scrape it with nothing fancier
+than ``curl``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.utils.timer import LatencyHistogram
+
+
+class ServeMetrics:
+    """Thread-safe request/latency accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._requests: dict[str, int] = {}
+        self._statuses: dict[int, int] = {}
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._counters: dict[str, int] = {}
+
+    def observe(self, endpoint: str, seconds: float, status: int) -> None:
+        """Record one handled request (latency + status code)."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            self._statuses[status] = self._statuses.get(status, 0) + 1
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Bump a named event counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def latency(self, endpoint: str) -> LatencyHistogram | None:
+        """The latency histogram of one endpoint (``None`` if unused)."""
+        with self._lock:
+            return self._latency.get(endpoint)
+
+    def snapshot(self) -> dict:
+        """All counters and per-endpoint latency summaries."""
+        with self._lock:
+            requests = dict(self._requests)
+            statuses = {str(k): v for k, v in sorted(self._statuses.items())}
+            counters = dict(self._counters)
+            histograms = dict(self._latency)
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "requests": requests,
+            "statuses": statuses,
+            "counters": counters,
+            "latency": {
+                endpoint: histogram.snapshot()
+                for endpoint, histogram in histograms.items()
+            },
+        }

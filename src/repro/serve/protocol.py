@@ -1,0 +1,107 @@
+"""JSON wire format of the matching service.
+
+The protocol is deliberately plain: every body is a JSON object, every
+coordinate is metres in the dataset's local frame (the same frame
+:class:`~repro.geometry.Point` uses), and every timestamp is seconds.  A
+trajectory point travels as::
+
+    {"x": 1250.0, "y": 830.5, "t": 42.0, "tower_id": 17}
+
+``tower_id`` may be ``null``/absent (e.g. GPS points).  A trajectory is a
+list of such points with non-decreasing ``t``.  Decoding failures raise
+:class:`ProtocolError`, which the server maps to HTTP 400 with the message
+in the body — malformed input must never take the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.geometry import Point
+
+#: Wire protocol version, reported by ``GET /healthz``.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """Malformed request payload (server answers 400)."""
+
+
+def _require_number(obj: dict, key: str, context: str) -> float:
+    value = obj.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{context}: field {key!r} must be a number")
+    return float(value)
+
+
+def encode_point(point: TrajectoryPoint) -> dict:
+    """One trajectory point as a JSON-ready dict."""
+    payload: dict[str, Any] = {
+        "x": point.position.x,
+        "y": point.position.y,
+        "t": point.timestamp,
+    }
+    if point.tower_id is not None:
+        payload["tower_id"] = point.tower_id
+    return payload
+
+
+def decode_point(obj: Any, context: str = "point") -> TrajectoryPoint:
+    """Parse one point object; raises :class:`ProtocolError` when invalid."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"{context}: expected an object, got {type(obj).__name__}")
+    x = _require_number(obj, "x", context)
+    y = _require_number(obj, "y", context)
+    t = _require_number(obj, "t", context)
+    tower_id = obj.get("tower_id")
+    if tower_id is not None and (isinstance(tower_id, bool) or not isinstance(tower_id, int)):
+        raise ProtocolError(f"{context}: field 'tower_id' must be an integer or null")
+    return TrajectoryPoint(position=Point(x, y), timestamp=t, tower_id=tower_id)
+
+
+def decode_points(obj: Any, context: str = "points") -> list[TrajectoryPoint]:
+    """Parse a list of point objects (must be non-empty)."""
+    if not isinstance(obj, list) or not obj:
+        raise ProtocolError(f"{context}: expected a non-empty list of points")
+    return [decode_point(item, f"{context}[{i}]") for i, item in enumerate(obj)]
+
+
+def encode_trajectory(trajectory: Trajectory | Iterable[TrajectoryPoint]) -> list[dict]:
+    """A trajectory (or plain point iterable) as a JSON-ready list."""
+    points = trajectory.points if isinstance(trajectory, Trajectory) else list(trajectory)
+    return [encode_point(p) for p in points]
+
+
+def decode_trajectory(obj: Any, trajectory_id: int = 0, context: str = "trajectory") -> Trajectory:
+    """Parse a trajectory from a list of point objects."""
+    points = decode_points(obj, context)
+    try:
+        return Trajectory(points=points, trajectory_id=trajectory_id)
+    except ValueError as error:  # non-decreasing timestamp check
+        raise ProtocolError(f"{context}: {error}") from error
+
+
+def encode_match_result(result) -> dict:
+    """A :class:`~repro.core.matcher.MatchResult` as a JSON-ready dict."""
+    return {
+        "path": list(result.path),
+        "matched_sequence": list(result.matched_sequence),
+        "score": result.score,
+    }
+
+
+def dumps(payload: Any) -> bytes:
+    """Serialise a response body (compact separators, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def loads(body: bytes, context: str = "request body") -> Any:
+    """Parse a request body; raises :class:`ProtocolError` on bad JSON."""
+    if not body:
+        return {}
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"{context}: invalid JSON ({error})") from error

@@ -1,0 +1,373 @@
+"""The map-matching daemon: stdlib HTTP on top of sessions + micro-batching.
+
+``MatchingServer`` wires the pieces together around one fitted
+:class:`~repro.core.matcher.LHMM`:
+
+* ``POST /v1/sessions`` → :class:`~repro.serve.sessions.SessionManager`
+  (streaming, fixed-lag commits per feed);
+* ``POST /v1/match`` → :class:`~repro.serve.batching.MicroBatcher`
+  (whole trajectories, micro-batched through ``match_many``);
+* ``GET /healthz`` / ``GET /metrics`` → liveness and observability.
+
+Everything is standard library (``http.server.ThreadingHTTPServer``); the
+repo's only runtime dependencies stay numpy/scipy/networkx.
+
+HTTP status mapping (see ``docs/serving.md`` for the full protocol):
+
+=========================  ======
+condition                  status
+=========================  ======
+malformed payload          400
+unknown session            404
+unknown route              404
+queue full / session cap   429 (+ ``Retry-After``)
+shutting down              503
+handler bug                500
+=========================  ======
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Sequence
+
+from repro.core.matcher import LHMM
+from repro.serve import protocol
+from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import ProtocolError
+from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Tunables of the matching service.
+
+    Micro-batching trades latency for throughput: a request never waits
+    more than ``batch_window_ms`` for companions, and a batch never
+    exceeds ``batch_max`` trajectories.  ``queue_limit`` bounds admitted
+    but undispatched requests — beyond it the server sheds load with 429.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    default_lag: int = 4
+    default_context_window: int = 12
+    max_sessions: int = 256
+    session_ttl_s: float = 300.0
+    batch_window_ms: float = 25.0
+    batch_max: int = 16
+    queue_limit: int = 64
+    retry_after_s: float = 1.0
+    request_timeout_s: float = 60.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    log_requests: bool = False
+    extra_metrics: dict = field(default_factory=dict)
+
+
+class _HttpError(Exception):
+    """Internal: carry an HTTP status + payload up to the dispatcher."""
+
+    def __init__(self, status: int, message: str, headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_ROUTES = (
+    ("POST", re.compile(r"^/v1/sessions$"), "create_session"),
+    ("POST", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)/points$"), "feed_session"),
+    ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
+    ("POST", re.compile(r"^/v1/match$"), "match"),
+    ("GET", re.compile(r"^/healthz$"), "healthz"),
+    ("GET", re.compile(r"^/metrics$"), "metrics"),
+)
+
+
+class MatchingServer:
+    """A long-lived map-matching service over one fitted matcher.
+
+    Args:
+        matcher: A fitted :class:`LHMM` (serves sessions and, by default,
+            batch matches).
+        config: Service tunables; ``port=0`` binds an ephemeral port
+            (read :attr:`port` after construction).
+        batch_fn: Optional replacement for the batch path, called with a
+            list of :class:`~repro.cellular.trajectory.Trajectory` and
+            returning one ``MatchResult``-shaped object per trajectory —
+            e.g. ``ParallelMatcher.match_many`` for multi-process serving.
+            The default runs ``matcher.match_many`` serially under the
+            shared inference lock.
+
+    Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        matcher: LHMM,
+        config: ServeConfig | None = None,
+        batch_fn: Callable[[list], Sequence] | None = None,
+    ) -> None:
+        matcher._require_fit()
+        self.matcher = matcher
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self._infer_lock = threading.RLock()
+        self._draining = False
+        self.sessions = SessionManager(
+            matcher,
+            default_lag=self.config.default_lag,
+            default_context_window=self.config.default_context_window,
+            max_sessions=self.config.max_sessions,
+            ttl_s=self.config.session_ttl_s,
+            infer_lock=self._infer_lock,
+        )
+        self.batcher = MicroBatcher(
+            batch_fn if batch_fn is not None else self._serial_batch,
+            max_batch=self.config.batch_max,
+            window_s=self.config.batch_window_ms / 1000.0,
+            queue_limit=self.config.queue_limit,
+            retry_after_s=self.config.retry_after_s,
+        )
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.config.host, self.config.port), handler)
+        self._thread: threading.Thread | None = None
+
+    # ----------------------------------------------------------------- batch
+    def _serial_batch(self, trajectories: list) -> Sequence:
+        with self._infer_lock:
+            return self.matcher.match_many(trajectories)
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral port)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MatchingServer":
+        """Serve requests on a background thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Graceful stop: reject new work, drain in-flight, close sessions.
+
+        Order matters: (1) flip the draining flag so new requests get 503,
+        (2) drain the micro-batch queue so every admitted ``/v1/match``
+        request is answered, (3) commit and close all open sessions,
+        (4) stop the HTTP listener.  Returns a summary with the finalised
+        session paths (``{"sessions": {id: path}, ...}``).
+        """
+        self._draining = True
+        self.batcher.close(drain=drain)
+        finished = self.sessions.close_all()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        return {"sessions": finished, "drained": drain}
+
+    def __enter__(self) -> "MatchingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- endpoints
+    def _check_draining(self) -> None:
+        if self._draining:
+            raise _HttpError(503, "server is shutting down")
+
+    def handle_create_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/sessions`` — admit a new streaming session."""
+        self._check_draining()
+        lag = payload.get("lag")
+        context_window = payload.get("context_window")
+        for name, value in (("lag", lag), ("context_window", context_window)):
+            if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+                raise ProtocolError(f"field {name!r} must be an integer")
+        try:
+            session = self.sessions.create(lag=lag, context_window=context_window)
+        except ValueError as error:  # e.g. lag < 1
+            raise ProtocolError(str(error)) from error
+        self.metrics.increment("sessions_created")
+        return 201, {
+            "session_id": session.session_id,
+            "lag": session.decoder.lag,
+            "context_window": session.decoder.context_window,
+        }
+
+    def handle_feed_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/sessions/{id}/points`` — advance the fixed-lag decoder."""
+        self._check_draining()
+        points = protocol.decode_points(payload.get("points"), "points")
+        state = self.sessions.feed(match.group("sid"), points)
+        self.metrics.increment("points_fed", len(points))
+        return 200, state
+
+    def handle_close_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``DELETE /v1/sessions/{id}`` — flush pending points, return the path."""
+        final = self.sessions.close(match.group("sid"))
+        self.metrics.increment("sessions_closed")
+        return 200, final
+
+    def handle_match(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/match`` — micro-batch whole trajectories through the matcher."""
+        self._check_draining()
+        body = payload.get("trajectories")
+        single = False
+        if body is None:
+            body = [payload.get("points")]
+            single = True
+        if not isinstance(body, list) or not body:
+            raise ProtocolError(
+                "expected 'trajectories' (list of point lists) or 'points'"
+            )
+        trajectories = [
+            protocol.decode_trajectory(item, trajectory_id=i, context=f"trajectories[{i}]")
+            for i, item in enumerate(body)
+        ]
+        # Each trajectory is admitted individually so one HTTP request's
+        # batch can merge with other requests' work in the same micro-batch.
+        futures = [self.batcher.submit(t) for t in trajectories]
+        results = [
+            future.result(timeout=self.config.request_timeout_s) for future in futures
+        ]
+        self.metrics.increment("trajectories_matched", len(results))
+        encoded = [protocol.encode_match_result(r) for r in results]
+        if single:
+            return 200, {"result": encoded[0]}
+        return 200, {"results": encoded}
+
+    def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``GET /healthz`` — liveness, protocol version, and load snapshot."""
+        return 200, {
+            "status": "draining" if self._draining else "ok",
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "active_sessions": len(self.sessions),
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``GET /metrics`` — counters, latency histograms, and cache stats."""
+        self.sessions.evict_idle()
+        snapshot = self.metrics.snapshot()
+        snapshot["sessions"] = self.sessions.stats()
+        snapshot["batching"] = self.batcher.stats()
+        engine = self.matcher.engine
+        cache_stats = getattr(engine, "cache_stats", None)
+        snapshot["router_cache"] = dict(cache_stats()) if callable(cache_stats) else {}
+        if self.config.extra_metrics:
+            snapshot["extra"] = dict(self.config.extra_metrics)
+        return 200, snapshot
+
+
+def _make_handler(server: "MatchingServer"):
+    """A request-handler class bound to one :class:`MatchingServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/" + str(protocol.PROTOCOL_VERSION)
+
+        # ----------------------------------------------------------- plumbing
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            if server.config.log_requests:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > server.config.max_body_bytes:
+                raise _HttpError(413, "request body too large")
+            return self.rfile.read(length) if length else b""
+
+        def _respond(self, status: int, payload: dict, headers: dict | None = None) -> None:
+            body = protocol.dumps(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, method: str) -> None:
+            started = time.perf_counter()
+            endpoint = "unknown"
+            status = 500
+            headers: dict = {}
+            try:
+                for route_method, pattern, name in _ROUTES:
+                    if route_method != method:
+                        continue
+                    match = pattern.match(self.path.split("?", 1)[0])
+                    if match is None:
+                        continue
+                    endpoint = name
+                    payload = protocol.loads(self._read_body())
+                    if payload is None or not isinstance(payload, dict):
+                        payload = {}
+                    handler = getattr(server, f"handle_{name}")
+                    status, response = handler(payload, match)
+                    break
+                else:
+                    raise _HttpError(404, f"no route for {method} {self.path}")
+            except ProtocolError as error:
+                status, response = 400, {"error": str(error)}
+            except UnknownSessionError as error:
+                status, response = 404, {"error": f"unknown session {error.args[0]!r}"}
+            except (Backpressure, SessionLimitError) as error:
+                retry_after = getattr(error, "retry_after_s", server.config.retry_after_s)
+                headers["Retry-After"] = str(max(1, round(retry_after)))
+                status, response = 429, {
+                    "error": str(error),
+                    "retry_after_s": retry_after,
+                }
+            except ServiceClosed as error:
+                status, response = 503, {"error": str(error)}
+            except _HttpError as error:
+                status, response = error.status, {"error": str(error)}
+                headers.update(error.headers)
+            except Exception as error:  # noqa: BLE001 - must not kill the daemon
+                status, response = 500, {"error": f"internal error: {error}"}
+            try:
+                self._respond(status, response, headers)
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                pass  # client went away; nothing to answer
+            server.metrics.observe(endpoint, time.perf_counter() - started, status)
+
+        # ------------------------------------------------------------- verbs
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("DELETE")
+
+    return Handler

@@ -1,6 +1,6 @@
 """Shared utilities: seeded randomness, timing, and lightweight logging."""
 
 from repro.utils.rng import derive_rng, ensure_rng
-from repro.utils.timer import Timer
+from repro.utils.timer import LatencyHistogram, Timer
 
-__all__ = ["derive_rng", "ensure_rng", "Timer"]
+__all__ = ["derive_rng", "ensure_rng", "LatencyHistogram", "Timer"]

@@ -1,7 +1,11 @@
-"""A tiny wall-clock timer used by the evaluation harness."""
+"""Wall-clock timing primitives: an accumulating stopwatch and a
+log-bucketed latency histogram (used by the serving layer's ``/metrics``
+endpoint and the throughput benchmarks)."""
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 
 
@@ -52,3 +56,104 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+class LatencyHistogram:
+    """Thread-safe latency histogram with geometric buckets.
+
+    Designed for long-lived services: memory is O(number of buckets)
+    regardless of how many observations are recorded, and quantiles are
+    answered by interpolating within the bucket that contains the requested
+    rank.  Bucket boundaries grow geometrically from ``least`` to ``most``
+    seconds, so relative resolution is constant (~``growth - 1``) across
+    the microsecond-to-minute range a matching service spans.
+    """
+
+    def __init__(
+        self,
+        least: float = 1e-4,
+        most: float = 120.0,
+        growth: float = 1.25,
+    ) -> None:
+        if not 0 < least < most:
+            raise ValueError("need 0 < least < most")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self._least = least
+        self._log_growth = math.log(growth)
+        num = int(math.ceil(math.log(most / least) / self._log_growth)) + 1
+        # bucket i spans [least * growth**(i-1), least * growth**i);
+        # bucket 0 is the underflow bucket [0, least).
+        self._bounds = [least * growth**i for i in range(num)]
+        self._counts = [0] * (num + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one observed duration (negative values clamp to 0)."""
+        seconds = max(0.0, float(seconds))
+        if seconds < self._least:
+            index = 0
+        else:
+            index = 1 + int(math.log(seconds / self._least) / self._log_growth)
+            index = min(index, len(self._counts) - 1)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]) in seconds.
+
+        Exact at the recorded min/max; elsewhere linearly interpolated
+        within the containing bucket, so the error is bounded by the bucket
+        width (~25% relative by default).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q / 100.0 * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    lower = 0.0 if index == 0 else self._bounds[index - 1]
+                    upper = (
+                        self._bounds[index]
+                        if index < len(self._bounds)
+                        else self.max
+                    )
+                    lower = max(lower, self.min)
+                    upper = max(lower, min(upper, self.max))
+                    fraction = (rank - cumulative) / bucket_count
+                    return lower + (upper - lower) * fraction
+                cumulative += bucket_count
+            return self.max
+
+    def snapshot(self) -> dict:
+        """Counters and headline percentiles as one JSON-friendly dict."""
+        with self._lock:
+            count, total = self.count, self.total
+        return {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count if count else 0.0,
+            "min_s": 0.0 if count == 0 else self.min,
+            "max_s": self.max,
+            "p50_s": self.percentile(50.0),
+            "p95_s": self.percentile(95.0),
+            "p99_s": self.percentile(99.0),
+        }

@@ -29,6 +29,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestGenerate:
     def test_generates_and_reports(self, tmp_path, capsys):
@@ -197,3 +205,41 @@ class TestMatch:
             ]
         )
         assert code == 2
+        err = capsys.readouterr().err
+        assert "no sample with id 999999" in err
+        assert "valid ids:" in err  # the error is actionable, not a traceback
+
+
+class TestServeParser:
+    def test_serve_requires_model_and_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--dataset", "city.json.gz"])  # missing --model
+
+    def test_serve_accepts_tuning_flags(self):
+        # Parses without touching the filesystem: unknown files only fail
+        # once the command body runs, so a bad flag is a parse error here.
+        parser_error = None
+        try:
+            from repro.cli import _build_parser
+
+            args = _build_parser().parse_args(
+                [
+                    "serve",
+                    "--dataset", "city.json.gz",
+                    "--model", "model.npz",
+                    "--port", "0",
+                    "--workers", "2",
+                    "--batch-window-ms", "10",
+                    "--batch-max", "8",
+                    "--queue-limit", "32",
+                    "--max-sessions", "16",
+                    "--session-ttl", "60",
+                    "--lag", "3",
+                ]
+            )
+        except SystemExit as error:  # pragma: no cover - parse failure
+            parser_error = error
+        assert parser_error is None
+        assert args.command == "serve"
+        assert args.queue_limit == 32
+        assert args.lag == 3

@@ -1,0 +1,155 @@
+"""Tests for the micro-batcher (batching, demux, backpressure, drain)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Backpressure, MicroBatcher, ServiceClosed
+
+
+def doubler(items):
+    return [item * 2 for item in items]
+
+
+class TestBatching:
+    def test_results_demultiplex_in_order(self):
+        with MicroBatcher(doubler, max_batch=4, window_s=0.02, queue_limit=64) as batcher:
+            futures = [batcher.submit(i) for i in range(10)]
+            assert [f.result(timeout=5) for f in futures] == [i * 2 for i in range(10)]
+
+    def test_requests_coalesce_into_batches(self):
+        sizes = []
+
+        def recording(items):
+            sizes.append(len(items))
+            return items
+
+        gate = threading.Event()
+
+        def gated(items):
+            gate.wait(5)
+            return recording(items)
+
+        with MicroBatcher(gated, max_batch=8, window_s=0.5, queue_limit=64) as batcher:
+            futures = [batcher.submit(i) for i in range(6)]
+            gate.set()
+            for future in futures:
+                future.result(timeout=5)
+        # All six arrived within one window: at most two dispatches
+        # (the first request may have been picked up alone before the rest).
+        assert sum(sizes) == 6
+        assert len(sizes) <= 2
+        assert max(sizes) >= 5
+
+    def test_max_batch_caps_dispatch_size(self):
+        sizes = []
+
+        def recording(items):
+            sizes.append(len(items))
+            return items
+
+        with MicroBatcher(recording, max_batch=3, window_s=0.2, queue_limit=64) as batcher:
+            futures = [batcher.submit(i) for i in range(7)]
+            for future in futures:
+                future.result(timeout=5)
+        assert max(sizes) <= 3
+        assert sum(sizes) == 7
+
+    def test_batch_fn_exception_propagates_to_all(self):
+        def broken(items):
+            raise RuntimeError("boom")
+
+        with MicroBatcher(broken, window_s=0.01, queue_limit=8) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=5)
+
+    def test_result_count_mismatch_is_an_error(self):
+        with MicroBatcher(lambda items: [], window_s=0.01, queue_limit=8) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="0 results for 1"):
+                future.result(timeout=5)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self):
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def slow(items):
+            entered.set()
+            gate.wait(10)
+            return items
+
+        batcher = MicroBatcher(
+            slow, max_batch=1, window_s=0.0, queue_limit=2, retry_after_s=3.0
+        )
+        try:
+            admitted = [batcher.submit(0)]
+            assert entered.wait(5)  # the dispatcher is now blocked in slow()
+            admitted += [batcher.submit(i) for i in (1, 2)]  # fills the queue
+            with pytest.raises(Backpressure) as excinfo:
+                batcher.submit(99)
+            assert excinfo.value.retry_after_s == 3.0
+            assert batcher.stats()["rejected_total"] >= 1
+        finally:
+            gate.set()
+            batcher.close()
+        # Everything admitted before the rejection still completes.
+        for future in admitted:
+            assert future.result(timeout=5) is not None
+
+
+class TestShutdown:
+    def test_close_drains_admitted_work(self):
+        release = threading.Event()
+        done = []
+
+        def slow(items):
+            release.wait(5)
+            done.extend(items)
+            return items
+
+        batcher = MicroBatcher(slow, max_batch=2, window_s=0.01, queue_limit=16)
+        futures = [batcher.submit(i) for i in range(5)]
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        assert sorted(done) == [0, 1, 2, 3, 4]
+        assert [f.result(0) for f in futures] == [0, 1, 2, 3, 4]
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(doubler, queue_limit=4)
+        batcher.close()
+        with pytest.raises(ServiceClosed):
+            batcher.submit(1)
+
+    def test_close_without_drain_fails_queued_work(self):
+        gate = threading.Event()
+
+        def slow(items):
+            gate.wait(5)
+            return items
+
+        batcher = MicroBatcher(slow, max_batch=1, window_s=0.0, queue_limit=8)
+        first = batcher.submit(1)  # occupies the dispatcher
+        time.sleep(0.05)
+        queued = [batcher.submit(i) for i in (2, 3)]
+        gate.set()
+        batcher.close(drain=False)
+        assert first.result(timeout=5) == 1
+        failed = 0
+        for future in queued:
+            try:
+                future.result(timeout=5)
+            except ServiceClosed:
+                failed += 1
+        assert failed >= 1
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(doubler, queue_limit=4)
+        batcher.close()
+        batcher.close()

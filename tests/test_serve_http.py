@@ -1,0 +1,271 @@
+"""End-to-end tests of the HTTP matching service.
+
+Boots a real :class:`MatchingServer` on an ephemeral port and drives it
+through :class:`MatchingClient` — concurrent streaming sessions, batch
+matches, saturation (429 + ``Retry-After``), and graceful drain — always
+asserting results are *identical* to calling the matcher directly.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import OnlineLHMM
+from repro.serve import (
+    MatchingClient,
+    MatchingServer,
+    ServeClientError,
+    ServeConfig,
+    ServerBusy,
+)
+
+
+@pytest.fixture()
+def server(trained_lhmm):
+    config = ServeConfig(port=0, batch_window_ms=5.0, default_lag=3)
+    with MatchingServer(trained_lhmm, config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return MatchingClient(server.host, server.port)
+
+
+class TestEndToEnd:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol_version"] == 1
+
+    def test_batch_matches_equal_direct_calls(self, client, trained_lhmm, tiny_dataset):
+        samples = tiny_dataset.test[:3]
+        results = client.match([s.cellular for s in samples])
+        direct = [trained_lhmm.match(s.cellular) for s in samples]
+        assert [r["path"] for r in results] == [d.path for d in direct]
+        assert [r["matched_sequence"] for r in results] == [
+            d.matched_sequence for d in direct
+        ]
+        for served, computed in zip(results, direct):
+            assert served["score"] == pytest.approx(computed.score)
+
+    def test_single_trajectory_shorthand(self, client, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        result = client._request(
+            "POST",
+            "/v1/match",
+            {"points": [{"x": p.position.x, "y": p.position.y, "t": p.timestamp,
+                         "tower_id": p.tower_id} for p in sample.cellular.points]},
+        )["result"]
+        assert result["path"] == trained_lhmm.match(sample.cellular).path
+
+    def test_streaming_session_equals_direct_decoder(
+        self, client, trained_lhmm, tiny_dataset
+    ):
+        sample = tiny_dataset.test[0]
+        reference = OnlineLHMM(trained_lhmm, lag=3)
+        with client.create_session(lag=3) as session:
+            for point in sample.cellular.points:
+                state = session.feed(point)
+                reference.add_point(point)
+                assert state["committed"] == reference.committed_path
+                assert state["pending"] == reference.pending_points()
+            path = session.close()
+        assert path == reference.finish()
+
+    def test_concurrent_streams_and_batches(self, client, trained_lhmm, tiny_dataset):
+        """Interleaved workloads on many threads stay isolated and exact."""
+        stream_samples = tiny_dataset.test[:2]
+        batch_samples = tiny_dataset.test[2:5]
+
+        def run_stream(sample):
+            session = client.create_session(lag=3)
+            for point in sample.cellular.points:
+                session.feed(point)
+            return session.close()
+
+        def run_batch(sample):
+            return client.match_with_retry([sample.cellular])[0]["path"]
+
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            stream_futures = [pool.submit(run_stream, s) for s in stream_samples]
+            batch_futures = [pool.submit(run_batch, s) for s in batch_samples]
+            stream_paths = [f.result(timeout=120) for f in stream_futures]
+            batch_paths = [f.result(timeout=120) for f in batch_futures]
+
+        for sample, path in zip(stream_samples, stream_paths):
+            assert path == OnlineLHMM(trained_lhmm, lag=3).match_stream(sample.cellular)
+        for sample, path in zip(batch_samples, batch_paths):
+            assert path == trained_lhmm.match(sample.cellular).path
+
+    def test_session_decoders_are_recycled_across_http_sessions(
+        self, client, server, tiny_dataset
+    ):
+        sample = tiny_dataset.test[0]
+        for _ in range(2):
+            session = client.create_session(lag=3)
+            session.feed(list(sample.cellular.points))
+            session.close()
+        assert client.metrics()["sessions"]["recycled_total"] >= 1
+
+
+class TestErrorHandling:
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_session_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.close_session("missing")
+        assert excinfo.value.status == 404
+
+    def test_malformed_points_is_400(self, client):
+        session = client.create_session()
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request(
+                "POST", f"/v1/sessions/{session.session_id}/points", {"points": [{"x": 1}]}
+            )
+        assert excinfo.value.status == 400
+        session.close()
+
+    def test_bad_json_is_400(self, client, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/v1/match", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_bad_lag_is_400(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.create_session(lag=0)
+        assert excinfo.value.status == 400
+
+    def test_session_limit_is_429(self, trained_lhmm):
+        config = ServeConfig(port=0, max_sessions=1)
+        with MatchingServer(trained_lhmm, config) as running:
+            client = MatchingClient(running.host, running.port)
+            client.create_session()
+            with pytest.raises(ServerBusy):
+                client.create_session()
+
+
+class TestBackpressureAndDrain:
+    def test_saturated_queue_answers_429_with_retry_after(self, trained_lhmm, tiny_dataset):
+        """queue_limit=1 + a gated batch_fn: the third request must shed."""
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def gated_batch(trajectories):
+            entered.set()
+            gate.wait(30)
+            return trained_lhmm.match_many(trajectories)
+
+        config = ServeConfig(
+            port=0, batch_window_ms=0.0, batch_max=1, queue_limit=1, retry_after_s=2.0
+        )
+        server = MatchingServer(trained_lhmm, config, batch_fn=gated_batch)
+        server.start()
+        try:
+            client = MatchingClient(server.host, server.port, timeout=60.0)
+            sample = tiny_dataset.test[0]
+            pool = ThreadPoolExecutor(max_workers=2)
+            admitted = [pool.submit(client.match, [sample.cellular])]
+            assert entered.wait(10)  # first request now occupies the dispatcher
+            admitted.append(pool.submit(client.match, [sample.cellular]))
+            deadline = time.time() + 10
+            while server.batcher.queue_depth < 1:  # second request now queued
+                assert time.time() < deadline
+                time.sleep(0.01)
+
+            with pytest.raises(ServerBusy) as excinfo:
+                client.match([sample.cellular])
+            assert excinfo.value.retry_after_s == 2.0
+            assert excinfo.value.payload["error"].startswith("request queue full")
+
+            # The admitted requests complete once the gate opens (drain).
+            gate.set()
+            expected = trained_lhmm.match(sample.cellular).path
+            for future in admitted:
+                assert future.result(timeout=60)[0]["path"] == expected
+            pool.shutdown()
+            metrics = client.metrics()
+            assert metrics["batching"]["rejected_total"] >= 1
+        finally:
+            gate.set()
+            server.shutdown()
+
+    def test_shutdown_drains_in_flight_and_commits_sessions(
+        self, trained_lhmm, tiny_dataset
+    ):
+        """In-flight batch work is answered and open sessions are committed."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_batch(trajectories):
+            entered.set()
+            release.wait(30)
+            return trained_lhmm.match_many(trajectories)
+
+        config = ServeConfig(port=0, batch_window_ms=0.0, queue_limit=8)
+        server = MatchingServer(trained_lhmm, config, batch_fn=slow_batch)
+        server.start()
+        client = MatchingClient(server.host, server.port, timeout=60.0)
+        sample = tiny_dataset.test[0]
+
+        # An open streaming session with a few points fed.
+        session = client.create_session(lag=3)
+        session.feed(sample.cellular.points[:4])
+
+        # An in-flight batch request, blocked inside batch_fn.
+        pool = ThreadPoolExecutor(max_workers=1)
+        in_flight = pool.submit(client.match, [sample.cellular])
+        assert entered.wait(10)  # the request is now inside batch_fn
+
+        shutdown_result = {}
+
+        def do_shutdown():
+            shutdown_result.update(server.shutdown())
+
+        closer = threading.Thread(target=do_shutdown)
+        closer.start()
+        time.sleep(0.1)
+        release.set()  # let the in-flight batch finish
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+
+        # The admitted request was answered correctly during the drain.
+        assert in_flight.result(timeout=30)[0]["path"] == trained_lhmm.match(
+            sample.cellular
+        ).path
+        pool.shutdown()
+
+        # The open session was committed: its fixed-lag path was flushed.
+        committed = shutdown_result["sessions"]
+        expected = OnlineLHMM(trained_lhmm, lag=3)
+        for point in sample.cellular.points[:4]:
+            expected.add_point(point)
+        assert committed == {session.session_id: expected.finish()}
+
+        # And the listener is really down.
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_requests_after_drain_start_are_rejected(self, trained_lhmm):
+        config = ServeConfig(port=0)
+        server = MatchingServer(trained_lhmm, config)
+        server.start()
+        client = MatchingClient(server.host, server.port)
+        server._draining = True  # simulate mid-drain state with listener up
+        with pytest.raises(ServeClientError) as excinfo:
+            client.create_session()
+        assert excinfo.value.status == 503
+        server.shutdown()

@@ -1,0 +1,83 @@
+"""Tests for the serving wire protocol (encode/decode round trips)."""
+
+import pytest
+
+from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.geometry import Point
+from repro.serve import ProtocolError
+from repro.serve import protocol
+
+
+def _point(x=1.0, y=2.0, t=3.0, tower=7):
+    return TrajectoryPoint(position=Point(x, y), timestamp=t, tower_id=tower)
+
+
+class TestPointCodec:
+    def test_round_trip(self):
+        point = _point()
+        again = protocol.decode_point(protocol.encode_point(point))
+        assert again == point
+
+    def test_gps_point_omits_tower(self):
+        payload = protocol.encode_point(_point(tower=None))
+        assert "tower_id" not in payload
+        assert protocol.decode_point(payload).tower_id is None
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="expected an object"):
+            protocol.decode_point([1, 2, 3])
+
+    def test_rejects_missing_coordinate(self):
+        with pytest.raises(ProtocolError, match="'y'"):
+            protocol.decode_point({"x": 1.0, "t": 0.0})
+
+    def test_rejects_boolean_coordinate(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_point({"x": True, "y": 0.0, "t": 0.0})
+
+    def test_rejects_non_integer_tower(self):
+        with pytest.raises(ProtocolError, match="tower_id"):
+            protocol.decode_point({"x": 0.0, "y": 0.0, "t": 0.0, "tower_id": "a"})
+
+
+class TestTrajectoryCodec:
+    def test_round_trip(self):
+        trajectory = Trajectory(points=[_point(t=0.0), _point(x=5.0, t=9.0)])
+        payload = protocol.encode_trajectory(trajectory)
+        again = protocol.decode_trajectory(payload, trajectory_id=4)
+        assert again.points == trajectory.points
+        assert again.trajectory_id == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            protocol.decode_trajectory([])
+
+    def test_rejects_decreasing_timestamps(self):
+        payload = [protocol.encode_point(_point(t=5.0)), protocol.encode_point(_point(t=1.0))]
+        with pytest.raises(ProtocolError, match="non-decreasing"):
+            protocol.decode_trajectory(payload)
+
+    def test_error_names_offending_index(self):
+        payload = [protocol.encode_point(_point()), {"x": 0.0}]
+        with pytest.raises(ProtocolError, match=r"points\[1\]"):
+            protocol.decode_points(payload)
+
+
+class TestBodyCodec:
+    def test_dumps_loads_round_trip(self):
+        payload = {"a": [1, 2], "b": None}
+        assert protocol.loads(protocol.dumps(payload)) == payload
+
+    def test_empty_body_is_empty_object(self):
+        assert protocol.loads(b"") == {}
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            protocol.loads(b"{nope")
+
+    def test_match_result_encoding(self, trained_lhmm, tiny_dataset):
+        result = trained_lhmm.match(tiny_dataset.test[0].cellular)
+        payload = protocol.encode_match_result(result)
+        assert payload["path"] == result.path
+        assert payload["matched_sequence"] == result.matched_sequence
+        assert payload["score"] == pytest.approx(result.score)

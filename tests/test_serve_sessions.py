@@ -1,0 +1,129 @@
+"""Tests for the session manager (lifecycle, eviction, decoder recycling)."""
+
+import pytest
+
+from repro.core import OnlineLHMM
+from repro.serve import SessionLimitError, SessionManager, UnknownSessionError
+
+
+class FakeClock:
+    """An injectable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def manager(trained_lhmm):
+    return SessionManager(trained_lhmm, default_lag=3, max_sessions=4, ttl_s=60.0)
+
+
+class TestLifecycle:
+    def test_requires_fitted_matcher(self, tiny_dataset):
+        from repro.core import LHMM
+        from tests.conftest import tiny_lhmm_config
+
+        with pytest.raises(RuntimeError):
+            SessionManager(LHMM(tiny_lhmm_config()))
+
+    def test_feed_matches_direct_decoder(self, manager, trained_lhmm, tiny_dataset):
+        sample = tiny_dataset.test[0]
+        reference = OnlineLHMM(trained_lhmm, lag=3)
+        session = manager.create(lag=3)
+        for point in sample.cellular.points:
+            state = manager.feed(session.session_id, [point])
+            reference.add_point(point)
+            assert state["committed"] == reference.committed_path
+            assert state["pending"] == reference.pending_points()
+        final = manager.close(session.session_id)
+        assert final["path"] == reference.finish()
+        assert final["points"] == len(sample.cellular)
+
+    def test_feed_reports_monotone_commits(self, manager, tiny_dataset):
+        sample = tiny_dataset.test[1]
+        session = manager.create()
+        lengths = []
+        for point in sample.cellular.points:
+            state = manager.feed(session.session_id, [point])
+            lengths.append(len(state["committed"]))
+            assert state["pending"] <= manager.default_lag + 1
+        assert lengths == sorted(lengths)
+        manager.close(session.session_id)
+
+    def test_unknown_session(self, manager, tiny_dataset):
+        with pytest.raises(UnknownSessionError):
+            manager.feed("nope", [tiny_dataset.test[0].cellular.points[0]])
+        with pytest.raises(UnknownSessionError):
+            manager.close("nope")
+
+    def test_closed_session_is_gone(self, manager, tiny_dataset):
+        session = manager.create()
+        manager.close(session.session_id)
+        with pytest.raises(UnknownSessionError):
+            manager.close(session.session_id)
+
+
+class TestAdmissionAndEviction:
+    def test_session_limit(self, trained_lhmm):
+        manager = SessionManager(trained_lhmm, max_sessions=2, ttl_s=60.0)
+        manager.create()
+        manager.create()
+        with pytest.raises(SessionLimitError):
+            manager.create()
+
+    def test_idle_sessions_evicted_by_ttl(self, trained_lhmm, tiny_dataset):
+        clock = FakeClock()
+        manager = SessionManager(trained_lhmm, ttl_s=30.0, clock=clock)
+        stale = manager.create()
+        clock.advance(20.0)
+        fresh = manager.create()
+        manager.feed(fresh.session_id, [tiny_dataset.test[0].cellular.points[0]])
+        clock.advance(15.0)  # stale idle 35s > ttl, fresh idle 15s
+        evicted = manager.evict_idle()
+        assert evicted == [stale.session_id]
+        assert len(manager) == 1
+        with pytest.raises(UnknownSessionError):
+            manager.feed(stale.session_id, [tiny_dataset.test[0].cellular.points[0]])
+        assert manager.stats()["evicted_total"] == 1
+
+    def test_create_sweeps_idle_sessions(self, trained_lhmm):
+        clock = FakeClock()
+        manager = SessionManager(trained_lhmm, max_sessions=1, ttl_s=30.0, clock=clock)
+        manager.create()
+        clock.advance(31.0)
+        # The idle session is evicted during create, freeing the slot.
+        manager.create()
+        assert manager.stats()["evicted_total"] == 1
+
+
+class TestRecycling:
+    def test_closed_decoder_is_recycled(self, trained_lhmm, tiny_dataset):
+        manager = SessionManager(trained_lhmm, default_lag=3)
+        first = manager.create()
+        decoder = first.decoder
+        sample = tiny_dataset.test[0]
+        manager.feed(first.session_id, list(sample.cellular.points))
+        manager.close(first.session_id)
+
+        second = manager.create()  # same (lag, context_window)
+        assert second.decoder is decoder
+        assert manager.stats()["recycled_total"] == 1
+        # The recycled decoder behaves exactly like a fresh one.
+        state = manager.feed(second.session_id, list(sample.cellular.points))
+        final = manager.close(second.session_id)
+        assert final["path"] == OnlineLHMM(trained_lhmm, lag=3).match_stream(sample.cellular)
+        assert state["points"] == len(sample.cellular)
+
+    def test_different_shape_not_recycled(self, trained_lhmm):
+        manager = SessionManager(trained_lhmm, default_lag=3)
+        first = manager.create(lag=2)
+        decoder = first.decoder
+        manager.close(first.session_id)
+        second = manager.create(lag=5)
+        assert second.decoder is not decoder

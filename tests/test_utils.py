@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.utils import Timer, derive_rng, ensure_rng
+from repro.utils import LatencyHistogram, Timer, derive_rng, ensure_rng
 
 
 class TestRng:
@@ -58,3 +58,65 @@ class TestTimer:
 
     def test_mean_before_any_interval(self):
         assert Timer().mean == 0.0
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_s"] == 0.0
+        assert snap["p99_s"] == 0.0
+
+    def test_tracks_count_mean_and_extremes(self):
+        histogram = LatencyHistogram()
+        for value in (0.01, 0.02, 0.03):
+            histogram.record(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean_s"] == pytest.approx(0.02)
+        assert snap["min_s"] == 0.01
+        assert snap["max_s"] == 0.03
+
+    def test_percentiles_are_order_of_magnitude_accurate(self):
+        histogram = LatencyHistogram()
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for value in values:
+            histogram.record(value)
+        # Geometric buckets with growth 1.25: estimates within ~25%.
+        assert histogram.percentile(50) == pytest.approx(0.5, rel=0.25)
+        assert histogram.percentile(99) == pytest.approx(0.99, rel=0.25)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.05)
+        assert histogram.percentile(0) == 0.05
+        assert histogram.percentile(100) == 0.05
+
+    def test_out_of_range_values_are_counted(self):
+        histogram = LatencyHistogram(least=1e-3, most=1.0)
+        histogram.record(1e-9)  # underflow bucket
+        histogram.record(50.0)  # overflow bucket
+        snap = histogram.snapshot()
+        assert snap["count"] == 2
+        assert snap["min_s"] == 1e-9
+        assert snap["max_s"] == 50.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(150)
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        histogram = LatencyHistogram()
+
+        def hammer():
+            for _ in range(500):
+                histogram.record(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.snapshot()["count"] == 2000
