@@ -17,6 +17,15 @@ comparison methods, :mod:`repro.datasets` for synthetic city generation, and
 
 from repro.core import LHMM, LHMMConfig
 from repro.datasets import MatchingDataset, compute_statistics, make_city_dataset, preset_config
+from repro.errors import (
+    InvalidTrajectoryInput,
+    MatchError,
+    MatchFailure,
+    PoolBroken,
+    ReproError,
+    RoutingFailure,
+    WorkerCrash,
+)
 from repro.eval import evaluate_matcher
 
 __version__ = "0.1.0"
@@ -24,6 +33,13 @@ __version__ = "0.1.0"
 __all__ = [
     "LHMM",
     "LHMMConfig",
+    "ReproError",
+    "InvalidTrajectoryInput",
+    "MatchFailure",
+    "RoutingFailure",
+    "WorkerCrash",
+    "PoolBroken",
+    "MatchError",
     "MatchingDataset",
     "make_city_dataset",
     "preset_config",

@@ -108,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="idle seconds before a session is evicted")
     serve.add_argument("--lag", type=int, default=4,
                        help="default fixed-lag commit distance for sessions")
+    serve.add_argument("--respawn-limit", type=int, default=3,
+                       help="times the worker pool may be rebuilt after a "
+                            "crash before remaining work is failed")
+    serve.add_argument("--chunk-timeout", type=float, default=None,
+                       help="seconds a batch chunk may run without the pool "
+                            "making progress before its workers are killed "
+                            "and respawned (default: no timeout)")
     serve.add_argument("--log-requests", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -308,7 +315,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     matcher = LHMM.load(args.model, dataset)
     matcher.use_router(_resolve_router(args, dataset))
 
-    batch_fn = None
     pool = None
     if args.workers > 1:
         from repro.core.parallel import ParallelMatcher
@@ -319,10 +325,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             router=args.router,
             ubodt_delta_m=args.ubodt_delta,
+            respawn_limit=args.respawn_limit,
+            chunk_timeout_s=args.chunk_timeout,
         )
         ready = pool.warmup()
         print(f"warmed {ready} batch workers")
-        batch_fn = pool.match_many
 
     config = ServeConfig(
         host=args.host,
@@ -335,7 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
     )
-    server = MatchingServer(matcher, config, batch_fn=batch_fn)
+    server = MatchingServer(matcher, config, pool=pool)
     print(
         f"serving {Path(args.model).name} over {dataset.name!r} at "
         f"{server.address} (router={args.router}, workers={args.workers})"

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cellular.trajectory import TrajectoryPoint
+from repro.errors import InvalidTrajectoryInput
 from repro.network.road_network import RoadNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -20,13 +21,22 @@ def spatial_candidate_pool(
     """Roads within ``radius_m`` of the sample, nearest first, capped at ``limit``.
 
     Falls back to the nearest roads when the radius search comes back empty
-    (points in network gaps must still receive candidates).  This pool is
-    what LHMM's learned observation probability re-ranks; distance-based
+    (points in network gaps must still receive candidates).  A point so far
+    from the network that even the expanded nearest-road search finds
+    nothing raises :class:`InvalidTrajectoryInput` — a structured rejection
+    instead of an empty pool crashing deep inside the trellis.  This pool
+    is what LHMM's learned observation probability re-ranks; distance-based
     baselines take their top-k directly from it.
     """
     pool = network.segments_near(point.position, radius_m)
     if not pool:
         pool = network.nearest_segments(point.position, count=limit)
+    if not pool:
+        raise InvalidTrajectoryInput(
+            f"no candidate road anywhere near point "
+            f"({point.position.x:.0f}, {point.position.y:.0f}) "
+            f"(searched {radius_m:.0f}m radius, then nearest-road fallback)"
+        )
     return pool[:limit]
 
 

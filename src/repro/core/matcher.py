@@ -9,11 +9,14 @@ batched learned ``P_O``/``P_T`` scoring, Viterbi, and shortcut optimisation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
+from repro.errors import InvalidTrajectoryInput, MatchError, MatchFailure, WorkerCrash
+from repro.testing import faults
 from repro.core.candidates import learned_candidate_pool
 from repro.core.config import LHMMConfig
 from repro.core.features import observation_feature_matrix, transition_features
@@ -41,12 +44,24 @@ class MatchResult:
             shortcut pass inserted (the hitting-ratio metric counts them,
             matching how the paper credits STM+S with a higher HR).
         score: The Viterbi path score (Eq. 14).
+        provenance: Which pipeline stage produced the result: ``"lhmm"``
+            (the full learned matcher), or a degradation-cascade fallback
+            — ``"heuristic_hmm"`` (classical HMM scoring) or
+            ``"nearest_road"`` (per-point projection, no routing at all).
+            Anything other than ``"lhmm"`` means the result is *degraded*:
+            usable, but produced without the learned components.
     """
 
     path: list[int]
     matched_sequence: list[int]
     candidate_sets: list[list[int]]
     score: float
+    provenance: str = "lhmm"
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback stage (not the learned matcher) answered."""
+        return self.provenance != "lhmm"
 
 
 class _LHMMScorer:
@@ -170,6 +185,13 @@ class LHMM:
         self.engine: Router | None = None
         self.report: TrainingReport | None = None
         self.last_parallel_stats: dict | None = None
+        # Degradation cascade (docs/robustness.md): on internal failure,
+        # fall back to heuristic HMM scoring, then nearest-road projection.
+        self.degradation_enabled: bool = True
+        self.degraded_counts: dict[str, int] = {}
+        self.last_degraded_cause: BaseException | None = None
+        self._fallback_hmm = None
+        self._bounds: tuple[float, float, float, float] | None = None
 
     # -------------------------------------------------------------------- fit
     def fit(
@@ -226,7 +248,48 @@ class LHMM:
 
     def _require_fit(self) -> None:
         if self.node_embeddings is None or self.graph is None:
-            raise RuntimeError("call fit() before matching")
+            raise MatchFailure("call fit() before matching")
+
+    # ------------------------------------------------------------- validation
+    #: How far outside the map's bounding box a point may sit before it is
+    #: rejected as out-of-bounds (covers towers ringing the served area).
+    BOUNDS_MARGIN_M = 10_000.0
+
+    def validate_trajectory(
+        self, trajectory: Trajectory, context: str = "trajectory"
+    ) -> None:
+        """Reject degenerate input with a field-level, structured error.
+
+        Raises :class:`InvalidTrajectoryInput` (HTTP 422 at the serving
+        layer) for empty trajectories, non-finite coordinates, and points
+        far outside the served map.  Tower ids absent from the relation
+        graph are *not* an error — matching normalises them to the nearest
+        known tower.
+        """
+        if len(trajectory) == 0:
+            raise InvalidTrajectoryInput(f"{context}: trajectory is empty")
+        if self._bounds is None and self.network is not None:
+            self._bounds = self.network.bounding_box()
+        min_x, min_y, max_x, max_y = self._bounds or (
+            -math.inf, -math.inf, math.inf, math.inf
+        )
+        margin = self.BOUNDS_MARGIN_M
+        for i, point in enumerate(trajectory.points):
+            x, y, t = point.position.x, point.position.y, point.timestamp
+            if not (math.isfinite(x) and math.isfinite(y) and math.isfinite(t)):
+                raise InvalidTrajectoryInput(
+                    f"{context}.points[{i}]: non-finite coordinate "
+                    f"(x={x!r}, y={y!r}, t={t!r})"
+                )
+            if not (
+                min_x - margin <= x <= max_x + margin
+                and min_y - margin <= y <= max_y + margin
+            ):
+                raise InvalidTrajectoryInput(
+                    f"{context}.points[{i}]: position ({x:.0f}, {y:.0f}) lies "
+                    f"more than {margin:.0f}m outside the served map bounds "
+                    f"({min_x:.0f}, {min_y:.0f})..({max_x:.0f}, {max_y:.0f})"
+                )
 
     # ------------------------------------------------------------- inference
     def _tower_node_for(self, point: TrajectoryPoint) -> int:
@@ -338,11 +401,40 @@ class LHMM:
         return candidate_sets, po_maps, context
 
     def match(self, trajectory: Trajectory) -> MatchResult:
-        """Map-match one cellular trajectory (Algorithms 1 + 2)."""
+        """Map-match one cellular trajectory (Algorithms 1 + 2).
+
+        Runs the degradation cascade: the full learned matcher first; on
+        an *internal* failure (never on bad input) the heuristic-HMM
+        fallback, then nearest-road projection.  Degraded results are
+        tagged via :attr:`MatchResult.provenance` and counted in
+        :attr:`degraded_counts`; set :attr:`degradation_enabled` to
+        ``False`` to re-raise instead (e.g. in parity tests).
+        """
         self._require_fit()
+        self.validate_trajectory(trajectory)
+        faults.fire("match", trajectory_id=trajectory.trajectory_id)
+        try:
+            faults.fire("match.learned", trajectory_id=trajectory.trajectory_id)
+            return self._match_learned(trajectory)
+        except InvalidTrajectoryInput:
+            raise
+        except Exception as error:  # noqa: BLE001 - cascade boundary
+            if not self.degradation_enabled:
+                raise
+            self.last_degraded_cause = error
+        try:
+            faults.fire("match.heuristic", trajectory_id=trajectory.trajectory_id)
+            result = self._match_heuristic(trajectory)
+        except Exception:  # noqa: BLE001 - fall through to last resort
+            result = self._match_nearest(trajectory)
+        self.degraded_counts[result.provenance] = (
+            self.degraded_counts.get(result.provenance, 0) + 1
+        )
+        return result
+
+    def _match_learned(self, trajectory: Trajectory) -> MatchResult:
+        """The full learned pipeline (§IV-E), no fallbacks."""
         assert self.transition_learner is not None
-        if len(trajectory) == 0:
-            raise ValueError("cannot match an empty trajectory")
         points = trajectory.points
         tower_nodes = self._tower_nodes_for(points)
         candidate_sets, po_maps, context = self.prepare_candidates(
@@ -372,6 +464,58 @@ class LHMM:
             score=trellis.best_score,
         )
 
+    # ------------------------------------------------------------ degradation
+    def _match_heuristic(self, trajectory: Trajectory) -> MatchResult:
+        """Cascade stage 2: classical HMM scoring over the same trellis.
+
+        Always available — needs only the road network and a router, none
+        of the learned components (the Zero-Shot CTMM argument: a
+        heuristic HMM can score where learned models cannot).
+        """
+        from types import SimpleNamespace
+
+        from repro.baselines.hmm_heuristic import HeuristicHmmMatcher
+
+        if self._fallback_hmm is None:
+            shim = SimpleNamespace(network=self.network, engine=self.engine)
+            self._fallback_hmm = HeuristicHmmMatcher(shim)
+        baseline = self._fallback_hmm.match(trajectory)
+        return MatchResult(
+            path=list(baseline.path),
+            matched_sequence=list(baseline.matched_sequence),
+            candidate_sets=[list(c) for c in baseline.candidate_sets],
+            score=0.0,
+            provenance="heuristic_hmm",
+        )
+
+    def _match_nearest(self, trajectory: Trajectory) -> MatchResult:
+        """Cascade stage 3 (last resort): per-point nearest-road projection.
+
+        Uses no routing at all, so it survives even a broken routing
+        backend; the "path" is the deduplicated projection sequence.
+        """
+        sequence: list[int] = []
+        for i, point in enumerate(trajectory.points):
+            nearest = self.network.nearest_segments(point.position, count=1)
+            if not nearest:
+                raise InvalidTrajectoryInput(
+                    f"trajectory.points[{i}]: no road within "
+                    f"{self.BOUNDS_MARGIN_M:.0f}m of ({point.position.x:.0f}, "
+                    f"{point.position.y:.0f})"
+                )
+            sequence.append(nearest[0])
+        path = [sequence[0]]
+        for segment in sequence[1:]:
+            if segment != path[-1]:
+                path.append(segment)
+        return MatchResult(
+            path=path,
+            matched_sequence=sequence,
+            candidate_sets=[[s] for s in sequence],
+            score=0.0,
+            provenance="nearest_road",
+        )
+
     def use_router(self, router: Router) -> "LHMM":
         """Route all matching through ``router`` (e.g. a ``UbodtRouter``).
 
@@ -387,6 +531,7 @@ class LHMM:
         trajectories: list[Trajectory],
         workers: int = 1,
         chunk_size: int | None = None,
+        return_errors: bool = False,
     ) -> list[MatchResult]:
         """Match a batch of trajectories, optionally across processes.
 
@@ -394,15 +539,35 @@ class LHMM:
         pool (forked workers share this fitted matcher read-only); results
         come back in input order and are identical to the serial path,
         trajectory for trajectory.  Falls back to serial matching when the
-        platform cannot fork or the batch is trivially small.
+        platform cannot fork, the batch is trivially small, or the forked
+        pool crashes (completed-or-not, every trajectory is re-answered
+        serially — the facade never loses a batch to a dead worker).
+
+        With ``return_errors=True``, trajectories that fail to match come
+        back as :class:`~repro.errors.MatchError` slots in their input
+        positions instead of raising — one poison trajectory cannot void
+        the rest of the batch.
         """
         if workers > 1 and len(trajectories) > 1:
             from repro.core.parallel import fork_match_many
 
-            results = fork_match_many(self, trajectories, workers, chunk_size)
+            try:
+                results = fork_match_many(
+                    self, trajectories, workers, chunk_size, return_errors=return_errors
+                )
+            except WorkerCrash:
+                results = None  # pool died: re-answer the batch serially
             if results is not None:
                 return results
-        return [self.match(t) for t in trajectories]
+        if not return_errors:
+            return [self.match(t) for t in trajectories]
+        slots: list = []
+        for index, trajectory in enumerate(trajectories):
+            try:
+                slots.append(self.match(trajectory))
+            except Exception as error:  # noqa: BLE001 - slotted, not raised
+                slots.append(MatchError.from_exception(error, index=index))
+        return slots
 
     # ------------------------------------------------------------ persistence
     def save(self, path) -> None:

@@ -22,6 +22,7 @@ from repro.core.candidates import learned_candidate_pool
 from repro.core.features import transition_features
 from repro.core.matcher import LHMM
 from repro.core.trellis import UNREACHABLE_SCORE
+from repro.errors import InvalidTrajectoryInput
 from repro.network.shortest_path import stitch_segments
 from repro.nn import Tensor, no_grad
 
@@ -40,7 +41,7 @@ class OnlineLHMM:
     def __init__(self, matcher: LHMM, lag: int = 4, context_window: int = 12) -> None:
         matcher._require_fit()
         if lag < 1:
-            raise ValueError("lag must be >= 1")
+            raise InvalidTrajectoryInput("lag must be >= 1")
         self.matcher = matcher
         self.lag = lag
         self.context_window = max(context_window, lag + 1)

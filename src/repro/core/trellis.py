@@ -23,6 +23,7 @@ import math
 from typing import Protocol
 
 from repro.cellular.trajectory import TrajectoryPoint
+from repro.errors import InvalidTrajectoryInput, MatchFailure
 from repro.network.road_network import RoadNetwork
 from repro.network.router import Router
 
@@ -61,9 +62,14 @@ class Trellis:
         points: list[TrajectoryPoint],
     ) -> None:
         if len(candidate_sets) != len(points):
-            raise ValueError("one candidate set per trajectory point required")
+            raise InvalidTrajectoryInput(
+                "one candidate set per trajectory point required"
+            )
         if any(not c for c in candidate_sets):
-            raise ValueError("every point needs at least one candidate")
+            raise InvalidTrajectoryInput(
+                "every point needs at least one candidate road "
+                "(a point may lie too far from the network)"
+            )
         self.candidate_sets = [list(c) for c in candidate_sets]
         self.scorer = scorer
         self.network = network
@@ -185,5 +191,5 @@ class Trellis:
     def best_score(self) -> float:
         """Score of the decoded path (valid after :meth:`run`)."""
         if not self._f:
-            raise RuntimeError("run() first")
+            raise MatchFailure("run() first")
         return max(self._f[-1].values())

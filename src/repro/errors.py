@@ -1,0 +1,135 @@
+"""Structured error taxonomy of the matching system.
+
+Every failure the pipeline can produce descends from :class:`ReproError`,
+split along the one distinction callers actually act on: *bad input*
+(:class:`InvalidTrajectoryInput` — the request can never succeed, HTTP
+422) versus *internal failure* (:class:`MatchFailure` and friends — the
+request might succeed on retry or via a degraded path, HTTP 500).  The
+classes double-inherit from the builtin exceptions they historically
+were (``ValueError`` / ``RuntimeError``) so existing ``except`` clauses
+keep working.
+
+Failures that must cross a process boundary (a worker crash cannot ship
+a live traceback) travel as :class:`MatchError` — a small picklable
+record that slots into a batch result list where the
+:class:`~repro.core.matcher.MatchResult` would have been.  See
+``docs/robustness.md`` for the full table and the degradation cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ReproError(Exception):
+    """Root of every structured error raised by this package.
+
+    Attributes:
+        code: A stable, machine-readable identifier (snake_case); wire
+            payloads and logs carry it so handlers do not parse messages.
+        http_status: The HTTP status the serving layer maps this class to.
+    """
+
+    code = "internal_error"
+    http_status = 500
+
+    def to_payload(self) -> dict:
+        """JSON-ready representation (used by the serving layer)."""
+        return {"code": self.code, "message": str(self)}
+
+
+class InvalidTrajectoryInput(ReproError, ValueError):
+    """The trajectory itself is unusable: empty, non-finite or
+    out-of-bounds coordinates, or no candidate roads anywhere near a
+    point.  Retrying the same input can never succeed (HTTP 422)."""
+
+    code = "invalid_trajectory"
+    http_status = 422
+
+
+class MatchFailure(ReproError, RuntimeError):
+    """Matching failed for an internal reason (learner, trellis, or
+    state error) on input that may be perfectly fine."""
+
+    code = "match_failure"
+
+
+class RoutingFailure(MatchFailure):
+    """The routing backend failed (engine error, broken table) — distinct
+    from a route simply not existing, which is a normal score outcome."""
+
+    code = "routing_failure"
+
+
+class WorkerCrash(MatchFailure):
+    """A pool worker died (OOM kill, segfault, SIGKILL) while holding a
+    chunk.  The pool self-heals; items that kept crashing carry this."""
+
+    code = "worker_crash"
+
+
+class PoolBroken(ReproError, RuntimeError):
+    """The worker pool is unusable and the respawn budget is exhausted,
+    or its workers cannot even initialise (bad model/dataset files)."""
+
+    code = "pool_broken"
+
+
+class DegradedResult(ReproError):
+    """Marker: a result was produced by a fallback stage, not the full
+    learned matcher.  Never raised across an API boundary — the cascade
+    catches it internally and tags ``MatchResult.provenance`` instead —
+    but fault injection raises it to exercise exactly that path."""
+
+    code = "degraded_result"
+
+
+@dataclass(slots=True)
+class MatchError:
+    """A per-trajectory failure slot in a batch result list.
+
+    Picklable and exception-free so it can cross process boundaries and
+    sit in the same list as successful results: batch callers check
+    ``isinstance(slot, MatchError)`` instead of losing the whole batch
+    to one poison trajectory.
+    """
+
+    code: str
+    message: str
+    index: int = -1
+    detail: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, error: BaseException, index: int = -1) -> "MatchError":
+        code = getattr(error, "code", None) or "match_failure"
+        return cls(code=code, message=str(error) or type(error).__name__, index=index)
+
+    @property
+    def http_status(self) -> int:
+        return 422 if self.code == InvalidTrajectoryInput.code else 500
+
+    def to_payload(self) -> dict:
+        """JSON-ready representation (the per-item wire form)."""
+        payload = {"code": self.code, "message": self.message}
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    def raise_(self) -> None:
+        """Re-raise as the taxonomy class matching :attr:`code`."""
+        for klass in (InvalidTrajectoryInput, RoutingFailure, WorkerCrash, PoolBroken):
+            if klass.code == self.code:
+                raise klass(self.message)
+        raise MatchFailure(self.message)
+
+
+__all__ = [
+    "ReproError",
+    "InvalidTrajectoryInput",
+    "MatchFailure",
+    "RoutingFailure",
+    "WorkerCrash",
+    "PoolBroken",
+    "DegradedResult",
+    "MatchError",
+]

@@ -14,6 +14,7 @@ throughput-critical integration, pool connections externally.
 from __future__ import annotations
 
 import http.client
+import random
 import time
 from typing import Iterable, Sequence
 
@@ -159,16 +160,42 @@ class MatchingClient:
         return self._request("POST", "/v1/match", payload)["results"]
 
     def match_with_retry(
-        self, trajectories, max_attempts: int = 8, sleep=time.sleep
+        self,
+        trajectories,
+        max_attempts: int = 8,
+        base_delay_s: float = 0.25,
+        max_delay_s: float = 5.0,
+        deadline_s: float = 60.0,
+        sleep=time.sleep,
+        clock=time.monotonic,
+        rng: random.Random | None = None,
     ) -> list[dict]:
-        """Like :meth:`match`, backing off on 429 via ``Retry-After``."""
+        """Like :meth:`match`, with capped exponential backoff on 429.
+
+        The wait before attempt *n* is ``base_delay_s * 2**n`` (never below
+        the server's ``Retry-After``, never above ``max_delay_s``) with
+        full jitter — a multiplier drawn from ``[0.5, 1.0]`` so a herd of
+        shed clients does not re-arrive in lockstep.  ``deadline_s`` caps
+        the *total* time spent retrying: unlike a bare attempt counter, it
+        bounds worst-case latency even when the server keeps answering 429
+        with large ``Retry-After`` values.  Raises the last
+        :class:`ServerBusy` when attempts or the deadline run out.
+        """
+        rng = rng or random.Random()
+        started = clock()
         for attempt in range(max_attempts):
             try:
                 return self.match(trajectories)
             except ServerBusy as busy:
                 if attempt == max_attempts - 1:
                     raise
-                sleep(min(busy.retry_after_s, 5.0))
+                delay = min(max_delay_s, base_delay_s * (2.0 ** attempt))
+                delay = max(delay, busy.retry_after_s)
+                delay = min(delay, max_delay_s)
+                delay *= 0.5 + 0.5 * rng.random()
+                if clock() - started + delay > deadline_s:
+                    raise
+                sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ admin

@@ -16,6 +16,7 @@ in the body — malformed input must never take the daemon down.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Iterable
 
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
@@ -33,6 +34,10 @@ def _require_number(obj: dict, key: str, context: str) -> float:
     value = obj.get(key)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(f"{context}: field {key!r} must be a number")
+    # Python's json parses the non-standard NaN/Infinity literals; a
+    # non-finite coordinate must be a 400 here, not a crash downstream.
+    if not math.isfinite(value):
+        raise ProtocolError(f"{context}: field {key!r} must be finite, got {value!r}")
     return float(value)
 
 
@@ -84,11 +89,17 @@ def decode_trajectory(obj: Any, trajectory_id: int = 0, context: str = "trajecto
 
 
 def encode_match_result(result) -> dict:
-    """A :class:`~repro.core.matcher.MatchResult` as a JSON-ready dict."""
+    """A :class:`~repro.core.matcher.MatchResult` as a JSON-ready dict.
+
+    ``provenance`` tells the caller which pipeline stage answered
+    (``"lhmm"``, or a degradation-cascade fallback — see
+    ``docs/robustness.md``).
+    """
     return {
         "path": list(result.path),
         "matched_sequence": list(result.matched_sequence),
         "score": result.score,
+        "provenance": getattr(result, "provenance", "lhmm"),
     }
 
 

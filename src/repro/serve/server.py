@@ -18,12 +18,20 @@ HTTP status mapping (see ``docs/serving.md`` for the full protocol):
 condition                  status
 =========================  ======
 malformed payload          400
+degenerate trajectory      422
 unknown session            404
 unknown route              404
 queue full / session cap   429 (+ ``Retry-After``)
 shutting down              503
+match/worker failure       500
 handler bug                500
 =========================  ======
+
+Fault tolerance (``docs/robustness.md``): the batch path returns
+*result-or-error slots*, so one failing trajectory in a micro-batch
+yields a per-item structured error while its batch-mates succeed;
+``/healthz`` reports ``degraded`` once the degradation cascade or a pool
+respawn has fired, and ``/metrics`` counts both.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Sequence
 
 from repro.core.matcher import LHMM
+from repro.errors import InvalidTrajectoryInput, MatchError, ReproError
 from repro.serve import protocol
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
 from repro.serve.metrics import ServeMetrics
@@ -72,10 +81,17 @@ class ServeConfig:
 class _HttpError(Exception):
     """Internal: carry an HTTP status + payload up to the dispatcher."""
 
-    def __init__(self, status: int, message: str, headers: dict | None = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict | None = None,
+        extra: dict | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.headers = headers or {}
+        self.extra = extra or {}
 
 
 _ROUTES = (
@@ -98,10 +114,16 @@ class MatchingServer:
             (read :attr:`port` after construction).
         batch_fn: Optional replacement for the batch path, called with a
             list of :class:`~repro.cellular.trajectory.Trajectory` and
-            returning one ``MatchResult``-shaped object per trajectory —
-            e.g. ``ParallelMatcher.match_many`` for multi-process serving.
-            The default runs ``matcher.match_many`` serially under the
-            shared inference lock.
+            returning one slot per trajectory — a ``MatchResult``-shaped
+            object or a :class:`~repro.errors.MatchError`.  The default
+            runs ``matcher.match_many`` serially under the shared
+            inference lock (with per-item fault isolation).
+        pool: Optional :class:`~repro.core.parallel.ParallelMatcher`.
+            When given (and no ``batch_fn``), batch matching dispatches to
+            the pool with fault-isolating error slots, and the pool's
+            respawn counter feeds ``/healthz`` + ``/metrics``.  The server
+            does not own the pool's lifecycle — close it after
+            :meth:`shutdown`.
 
     Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
     """
@@ -111,9 +133,13 @@ class MatchingServer:
         matcher: LHMM,
         config: ServeConfig | None = None,
         batch_fn: Callable[[list], Sequence] | None = None,
+        pool=None,
     ) -> None:
         matcher._require_fit()
         self.matcher = matcher
+        self.pool = pool
+        if batch_fn is None and pool is not None:
+            batch_fn = self._pool_batch
         self.config = config or ServeConfig()
         self.metrics = ServeMetrics()
         self._infer_lock = threading.RLock()
@@ -140,7 +166,23 @@ class MatchingServer:
     # ----------------------------------------------------------------- batch
     def _serial_batch(self, trajectories: list) -> Sequence:
         with self._infer_lock:
-            return self.matcher.match_many(trajectories)
+            return self.matcher.match_many(trajectories, return_errors=True)
+
+    def _pool_batch(self, trajectories: list) -> Sequence:
+        return self.pool.match_many(trajectories, return_errors=True)
+
+    def _worker_respawns(self) -> int:
+        """Pool rebuilds so far (0 without a pool)."""
+        return self.pool.worker_respawns if self.pool is not None else 0
+
+    def _degraded_events(self) -> dict:
+        """Fault-related counters surfaced by ``/healthz`` and ``/metrics``."""
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            "match_degraded_total": counters.get("match_degraded_total", 0),
+            "match_failed_total": counters.get("match_failed_total", 0),
+            "worker_respawns_total": self._worker_respawns(),
+        }
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -252,31 +294,77 @@ class MatchingServer:
             protocol.decode_trajectory(item, trajectory_id=i, context=f"trajectories[{i}]")
             for i, item in enumerate(body)
         ]
+        # Reject degenerate input up front with a field-level 422 — a bad
+        # trajectory must never reach the matcher as a deep stack trace.
+        for i, trajectory in enumerate(trajectories):
+            label = "trajectory" if single else f"trajectories[{i}]"
+            self.matcher.validate_trajectory(trajectory, context=label)
         # Each trajectory is admitted individually so one HTTP request's
         # batch can merge with other requests' work in the same micro-batch.
         futures = [self.batcher.submit(t) for t in trajectories]
-        results = [
+        slots = [
             future.result(timeout=self.config.request_timeout_s) for future in futures
         ]
-        self.metrics.increment("trajectories_matched", len(results))
-        encoded = [protocol.encode_match_result(r) for r in results]
+        encoded: list[dict] = []
+        matched = degraded = failed = 0
+        for slot in slots:
+            if isinstance(slot, MatchError):
+                failed += 1
+                encoded.append({"error": slot.to_payload()})
+            else:
+                matched += 1
+                if getattr(slot, "provenance", "lhmm") != "lhmm":
+                    degraded += 1
+                encoded.append(protocol.encode_match_result(slot))
+        if matched:
+            self.metrics.increment("trajectories_matched", matched)
+        if degraded:
+            self.metrics.increment("match_degraded_total", degraded)
+        if failed:
+            self.metrics.increment("match_failed_total", failed)
         if single:
+            slot = slots[0]
+            if isinstance(slot, MatchError):
+                raise _HttpError(
+                    slot.http_status, slot.message, extra={"code": slot.code}
+                )
             return 200, {"result": encoded[0]}
         return 200, {"results": encoded}
 
     def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
-        """``GET /healthz`` — liveness, protocol version, and load snapshot."""
+        """``GET /healthz`` — liveness, protocol version, and load snapshot.
+
+        ``status`` is ``"degraded"`` (not a lying ``"ok"``) once any
+        fallback-cascade match or worker-pool respawn has happened —
+        results are still being served, but not at full fidelity.
+        """
+        events = self._degraded_events()
+        if self._draining:
+            status = "draining"
+        elif any(events.values()):
+            status = "degraded"
+        else:
+            status = "ok"
         return 200, {
-            "status": "draining" if self._draining else "ok",
+            "status": status,
             "protocol_version": protocol.PROTOCOL_VERSION,
             "active_sessions": len(self.sessions),
             "queue_depth": self.batcher.queue_depth,
+            "degraded": events,
         }
 
     def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``GET /metrics`` — counters, latency histograms, and cache stats."""
         self.sessions.evict_idle()
         snapshot = self.metrics.snapshot()
+        # Fault counters are always present, even before the first event,
+        # so dashboards can alert on them without existence checks.
+        for name, value in self._degraded_events().items():
+            snapshot["counters"].setdefault(name, 0)
+            if name == "worker_respawns_total":
+                snapshot["counters"][name] = value
+        if self.pool is not None:
+            snapshot["pool"] = self.pool.stats()
         snapshot["sessions"] = self.sessions.stats()
         snapshot["batching"] = self.batcher.stats()
         engine = self.matcher.engine
@@ -338,6 +426,8 @@ def _make_handler(server: "MatchingServer"):
                     raise _HttpError(404, f"no route for {method} {self.path}")
             except ProtocolError as error:
                 status, response = 400, {"error": str(error)}
+            except InvalidTrajectoryInput as error:
+                status, response = 422, {"error": str(error), "code": error.code}
             except UnknownSessionError as error:
                 status, response = 404, {"error": f"unknown session {error.args[0]!r}"}
             except (Backpressure, SessionLimitError) as error:
@@ -350,8 +440,11 @@ def _make_handler(server: "MatchingServer"):
             except ServiceClosed as error:
                 status, response = 503, {"error": str(error)}
             except _HttpError as error:
-                status, response = error.status, {"error": str(error)}
+                status, response = error.status, {"error": str(error), **error.extra}
                 headers.update(error.headers)
+            except ReproError as error:
+                status = error.http_status
+                response = {"error": str(error), "code": error.code}
             except Exception as error:  # noqa: BLE001 - must not kill the daemon
                 status, response = 500, {"error": f"internal error: {error}"}
             try:

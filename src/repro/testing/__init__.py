@@ -1,0 +1,11 @@
+"""repro.testing — chaos-engineering utilities for the matching pipeline.
+
+:mod:`repro.testing.faults` provides named fault points the production
+code calls into (no-ops unless armed) so tests can crash a worker, hang
+a chunk, or fail a match at a precise moment.  Nothing in this package
+is imported by production code paths except the cheap ``fire`` hook.
+"""
+
+from repro.testing.faults import FaultSpec, arm, disarm_all, fire
+
+__all__ = ["FaultSpec", "arm", "disarm_all", "fire"]

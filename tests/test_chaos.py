@@ -1,0 +1,264 @@
+"""Chaos tests: real worker kills, hangs, and pool self-healing.
+
+Every test here injects faults via :mod:`repro.testing.faults` — SIGKILL
+inside pool workers, wedged chunks, broken model files — and asserts the
+guarantees ``docs/robustness.md`` promises: completed work is never
+discarded, surviving trajectories stay bit-identical to serial matching,
+failures come back as structured slots, and the same pool keeps serving.
+
+Excluded from the default suite (they kill processes and sleep); run
+with ``pytest -m chaos``.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import LHMM, ParallelMatcher
+from repro.datasets import load_dataset, save_dataset
+from repro.errors import MatchError, PoolBroken
+from repro.serve import MatchingClient, MatchingServer, ServeClientError, ServeConfig
+from repro.testing import faults
+
+pytestmark = pytest.mark.chaos
+
+
+def assert_results_identical(serial, parallel) -> None:
+    assert len(serial) == len(parallel)
+    for expected, got in zip(serial, parallel):
+        assert got.path == expected.path
+        assert got.matched_sequence == expected.matched_sequence
+        assert got.candidate_sets == expected.candidate_sets
+        assert got.score == pytest.approx(expected.score, rel=1e-12)
+
+
+@pytest.fixture(scope="module")
+def saved_paths(tmp_path_factory, trained_lhmm, tiny_dataset):
+    root = tmp_path_factory.mktemp("chaos")
+    model_path = root / "model.npz"
+    dataset_path = root / "tiny.json.gz"
+    trained_lhmm.save(model_path)
+    save_dataset(tiny_dataset, dataset_path)
+    return str(model_path), str(dataset_path)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(saved_paths, tiny_dataset):
+    """(trajectories, serial results) from a matcher reloaded off disk —
+    the exact computation the pool workers perform."""
+    model_path, dataset_path = saved_paths
+    reloaded = LHMM.load(model_path, load_dataset(dataset_path))
+    trajectories = [sample.cellular for sample in tiny_dataset.test][:8]
+    return trajectories, reloaded.match_many(trajectories)
+
+
+class TestPoolSelfHealing:
+    def test_sigkill_mid_batch_recovers_bit_identical(
+        self, saved_paths, serial_reference, monkeypatch, tmp_path
+    ):
+        """A worker SIGKILLed mid-batch (one-shot): the pool respawns,
+        resubmits only the lost chunks, and the full batch comes back
+        identical to serial — then the same pool serves another batch."""
+        model_path, dataset_path = saved_paths
+        trajectories, serial = serial_reference
+        token = tmp_path / "kill.token"
+        monkeypatch.setenv(
+            faults.ENV_VAR, f"worker.chunk:kill:chunk=1:once={token}"
+        )
+        with ParallelMatcher(
+            model_path, dataset_path, workers=2, chunk_size=2
+        ) as pool:
+            results = pool.match_many(trajectories, return_errors=True)
+            assert pool.worker_respawns >= 1
+            assert token.exists()  # the fault really fired
+            monkeypatch.delenv(faults.ENV_VAR)
+            again = pool.match_many(trajectories[:2])
+        assert_results_identical(serial, results)
+        assert_results_identical(serial[:2], again)
+        assert pool.stats()["failed_items_total"] == 0
+
+    def test_persistent_poison_chunk_is_surrendered_not_fatal(
+        self, saved_paths, serial_reference, monkeypatch
+    ):
+        """A chunk that kills every worker it touches: after
+        ``max_chunk_attempts`` it comes back as worker_crash slots while
+        every other trajectory is answered bit-identical to serial."""
+        model_path, dataset_path = saved_paths
+        trajectories, serial = serial_reference
+        monkeypatch.setenv(faults.ENV_VAR, "worker.chunk:kill:chunk=2")
+        with ParallelMatcher(
+            model_path,
+            dataset_path,
+            workers=1,
+            chunk_size=1,
+            respawn_limit=3,
+            max_chunk_attempts=3,
+        ) as pool:
+            results = pool.match_many(trajectories[:4], return_errors=True)
+            stats = pool.stats()
+        assert isinstance(results[2], MatchError)
+        assert results[2].code == "worker_crash"
+        assert results[2].index == 2
+        assert "3 times" in results[2].message
+        survivors = [results[i] for i in (0, 1, 3)]
+        assert_results_identical([serial[i] for i in (0, 1, 3)], survivors)
+        assert stats["failed_items_total"] == 1
+        assert stats["worker_respawns_total"] == 3
+
+    def test_exhausted_respawn_budget_raises_pool_broken(
+        self, saved_paths, serial_reference, monkeypatch
+    ):
+        model_path, dataset_path = saved_paths
+        trajectories, _ = serial_reference
+        monkeypatch.setenv(faults.ENV_VAR, "worker.chunk:kill:chunk=0")
+        with ParallelMatcher(
+            model_path, dataset_path, workers=1, chunk_size=2, respawn_limit=0
+        ) as pool:
+            with pytest.raises(PoolBroken, match="respawn budget exhausted"):
+                pool.match_many(trajectories[:4])
+
+    def test_hung_worker_is_killed_and_chunk_retried(
+        self, saved_paths, serial_reference, monkeypatch, tmp_path
+    ):
+        """The stall detector: a chunk wedged for 60s is killed after
+        ``chunk_timeout_s`` of no pool progress and retried successfully."""
+        model_path, dataset_path = saved_paths
+        trajectories, serial = serial_reference
+        token = tmp_path / "hang.token"
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            f"worker.chunk:hang:chunk=0:seconds=60:once={token}",
+        )
+        with ParallelMatcher(
+            model_path, dataset_path, workers=2, chunk_size=2, chunk_timeout_s=2.0
+        ) as pool:
+            pool.warmup()  # keep worker start-up out of the stall window
+            started = time.monotonic()
+            results = pool.match_many(trajectories, return_errors=True)
+            elapsed = time.monotonic() - started
+            assert pool.worker_respawns >= 1
+        assert elapsed < 40.0  # far below the 60s hang: the detector fired
+        assert_results_identical(serial, results)
+
+
+class TestWarmupDiagnostics:
+    def test_warmup_names_the_broken_model_file(self, saved_paths, tmp_path):
+        _, dataset_path = saved_paths
+        bad_model = tmp_path / "model.npz"
+        bad_model.write_bytes(b"this is not a numpy archive")
+        pool = ParallelMatcher(str(bad_model), dataset_path, workers=1)
+        try:
+            with pytest.raises(PoolBroken) as excinfo:
+                pool.warmup()
+        finally:
+            pool.close()
+        message = str(excinfo.value)
+        assert "worker initialisation failed" in message
+        assert "model.npz" in message
+
+
+class TestServeUnderFaults:
+    def _points(self, sample):
+        return [
+            {
+                "x": p.position.x,
+                "y": p.position.y,
+                "t": p.timestamp,
+                "tower_id": p.tower_id,
+            }
+            for p in sample.cellular.points
+        ]
+
+    def test_worker_crash_returns_500_and_server_survives(
+        self, saved_paths, trained_lhmm, tiny_dataset, monkeypatch, tmp_path
+    ):
+        model_path, dataset_path = saved_paths
+        token = tmp_path / "kill.token"
+        monkeypatch.setenv(
+            faults.ENV_VAR, f"worker.chunk:kill:chunk=0:once={token}"
+        )
+        pool = ParallelMatcher(
+            model_path, dataset_path, workers=1, chunk_size=4, respawn_limit=0
+        )
+        config = ServeConfig(port=0, batch_window_ms=5.0)
+        sample = tiny_dataset.test[0]
+        try:
+            with MatchingServer(trained_lhmm, config, pool=pool) as server:
+                client = MatchingClient(server.host, server.port, timeout=120.0)
+                with pytest.raises(ServeClientError) as excinfo:
+                    client._request(
+                        "POST", "/v1/match", {"points": self._points(sample)}
+                    )
+                assert excinfo.value.status == 500
+                assert excinfo.value.payload["code"] == "pool_broken"
+                health = client.health()
+                assert health["status"] == "degraded"
+                assert health["degraded"]["worker_respawns_total"] >= 1
+                assert health["degraded"]["match_failed_total"] >= 1
+                metrics = client.metrics()
+                assert metrics["counters"]["worker_respawns_total"] >= 1
+                assert metrics["pool"]["failed_items_total"] >= 1
+                # The pool was rebuilt and the one-shot fault is spent: the
+                # very same server answers the retry correctly.
+                retry = client._request(
+                    "POST", "/v1/match", {"points": self._points(sample)}
+                )["result"]
+                assert retry["path"] == trained_lhmm.match(sample.cellular).path
+        finally:
+            pool.close()
+
+    def test_pool_recovery_is_invisible_to_the_client(
+        self, saved_paths, serial_reference, trained_lhmm, monkeypatch, tmp_path
+    ):
+        """With respawn budget, a mid-batch worker kill costs latency only:
+        the client sees complete, non-degraded, serial-identical results."""
+        model_path, dataset_path = saved_paths
+        trajectories, serial = serial_reference
+        token = tmp_path / "kill.token"
+        monkeypatch.setenv(
+            faults.ENV_VAR, f"worker.chunk:kill:chunk=0:once={token}"
+        )
+        pool = ParallelMatcher(model_path, dataset_path, workers=1, chunk_size=2)
+        config = ServeConfig(port=0, batch_window_ms=5.0, request_timeout_s=120.0)
+        try:
+            with MatchingServer(trained_lhmm, config, pool=pool) as server:
+                client = MatchingClient(server.host, server.port, timeout=120.0)
+                results = client.match(trajectories[:4])
+                assert [r["path"] for r in results] == [s.path for s in serial[:4]]
+                assert all("error" not in r for r in results)
+                assert all(r["provenance"] == "lhmm" for r in results)
+                health = client.health()
+                assert health["status"] == "degraded"  # respawns are visible
+                assert health["degraded"]["worker_respawns_total"] >= 1
+                assert health["degraded"]["match_failed_total"] == 0
+                # Subsequent batch on the same pool.
+                again = client.match(trajectories[:2])
+                assert [r["path"] for r in again] == [s.path for s in serial[:2]]
+        finally:
+            pool.close()
+
+    def test_drain_waits_for_slow_pool_chunk(
+        self, saved_paths, serial_reference, trained_lhmm, monkeypatch, tmp_path
+    ):
+        """Graceful shutdown under a wedged-then-slow chunk: the admitted
+        request is still answered correctly, never dropped."""
+        model_path, dataset_path = saved_paths
+        trajectories, serial = serial_reference
+        token = tmp_path / "hang.token"
+        monkeypatch.setenv(
+            faults.ENV_VAR, f"worker.chunk:hang:chunk=0:seconds=2:once={token}"
+        )
+        pool = ParallelMatcher(model_path, dataset_path, workers=1, chunk_size=4)
+        config = ServeConfig(port=0, batch_window_ms=5.0, request_timeout_s=120.0)
+        server = MatchingServer(trained_lhmm, config, pool=pool).start()
+        client = MatchingClient(server.host, server.port, timeout=120.0)
+        try:
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                in_flight = executor.submit(client.match, trajectories[0])
+                time.sleep(0.5)  # request admitted + dispatched to the pool
+                server.shutdown()  # must drain, not drop, the slow chunk
+                results = in_flight.result(timeout=60)
+            assert results[0]["path"] == serial[0].path
+        finally:
+            pool.close()

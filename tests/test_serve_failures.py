@@ -1,0 +1,151 @@
+"""Serve-layer failure paths: status mapping, per-item error slots,
+degraded health.  All in-process — pool/worker-killing scenarios are in
+``test_chaos.py``."""
+
+import math
+
+import pytest
+
+from repro.serve import (
+    MatchingClient,
+    MatchingServer,
+    ServeClientError,
+    ServeConfig,
+)
+from repro.testing import faults
+
+
+@pytest.fixture()
+def server(trained_lhmm):
+    config = ServeConfig(port=0, batch_window_ms=5.0)
+    with MatchingServer(trained_lhmm, config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return MatchingClient(server.host, server.port)
+
+
+def _points(sample):
+    return [
+        {"x": p.position.x, "y": p.position.y, "t": p.timestamp, "tower_id": p.tower_id}
+        for p in sample.cellular.points
+    ]
+
+
+class TestStatusMapping:
+    def test_empty_points_is_400(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/v1/match", {"points": []})
+        assert excinfo.value.status == 400
+
+    def test_non_finite_coordinate_is_400(self, client):
+        # Python's json emits/parses bare NaN; the protocol layer must
+        # refuse it before it can poison a batch.
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request(
+                "POST", "/v1/match", {"points": [{"x": math.nan, "y": 0.0, "t": 0.0}]}
+            )
+        assert excinfo.value.status == 400
+        assert "finite" in excinfo.value.payload["error"]
+
+    def test_out_of_bounds_point_is_422_with_field(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request(
+                "POST",
+                "/v1/match",
+                {"points": [{"x": 1e7, "y": 1e7, "t": 0.0}]},
+            )
+        assert excinfo.value.status == 422
+        assert excinfo.value.payload["code"] == "invalid_trajectory"
+        assert "points[0]" in excinfo.value.payload["error"]
+
+    def test_bad_trajectory_in_batch_is_422_naming_its_index(
+        self, client, tiny_dataset
+    ):
+        good = _points(tiny_dataset.test[0])
+        bad = [{"x": 1e7, "y": 1e7, "t": 0.0}]
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/v1/match", {"trajectories": [good, bad]})
+        assert excinfo.value.status == 422
+        assert "trajectories[1]" in excinfo.value.payload["error"]
+
+
+class TestPerItemFaultIsolation:
+    def test_one_failing_trajectory_does_not_void_the_batch(
+        self, client, trained_lhmm, tiny_dataset
+    ):
+        samples = tiny_dataset.test[:3]
+        trained_lhmm.degradation_enabled = False
+        try:
+            # The "match" fault point sits outside the cascade, so
+            # trajectory 1 fails outright while 0 and 2 succeed.
+            with faults.armed("match", "raise", trajectory_id=1):
+                results = client._request(
+                    "POST",
+                    "/v1/match",
+                    {"trajectories": [_points(s) for s in samples]},
+                )["results"]
+        finally:
+            trained_lhmm.degradation_enabled = True
+        assert results[1]["error"]["code"] == "match_failure"
+        expected = [trained_lhmm.match(s.cellular).path for s in samples]
+        assert results[0]["path"] == expected[0]
+        assert results[2]["path"] == expected[2]
+        metrics = client.metrics()
+        assert metrics["counters"]["match_failed_total"] >= 1
+        assert metrics["counters"]["trajectories_matched"] >= 2
+
+    def test_single_trajectory_failure_is_500_and_server_survives(
+        self, client, trained_lhmm, tiny_dataset
+    ):
+        sample = tiny_dataset.test[0]
+        trained_lhmm.degradation_enabled = False
+        try:
+            with faults.armed("match", "raise", trajectory_id=0):
+                with pytest.raises(ServeClientError) as excinfo:
+                    client._request("POST", "/v1/match", {"points": _points(sample)})
+        finally:
+            trained_lhmm.degradation_enabled = True
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload["code"] == "match_failure"
+        # The daemon answered a failure, it did not die on it.
+        assert client._request("POST", "/v1/match", {"points": _points(sample)})[
+            "result"
+        ]["path"] == trained_lhmm.match(sample.cellular).path
+
+
+class TestDegradedHealth:
+    def test_healthy_server_reports_ok_with_zeroed_counters(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["degraded"] == {
+            "match_degraded_total": 0,
+            "match_failed_total": 0,
+            "worker_respawns_total": 0,
+        }
+        counters = client.metrics()["counters"]
+        assert counters["match_degraded_total"] == 0
+        assert counters["worker_respawns_total"] == 0
+
+    def test_degraded_match_flips_health_and_counts(
+        self, client, trained_lhmm, tiny_dataset
+    ):
+        sample = tiny_dataset.test[0]
+        with faults.armed("match.learned", "raise"):
+            result = client._request(
+                "POST", "/v1/match", {"points": _points(sample)}
+            )["result"]
+        assert result["provenance"] == "heuristic_hmm"
+        assert result["path"]
+        health = client.health()
+        assert health["status"] == "degraded"
+        assert health["degraded"]["match_degraded_total"] >= 1
+        assert client.metrics()["counters"]["match_degraded_total"] >= 1
+
+    def test_normal_results_carry_lhmm_provenance(self, client, tiny_dataset):
+        result = client._request(
+            "POST", "/v1/match", {"points": _points(tiny_dataset.test[0])}
+        )["result"]
+        assert result["provenance"] == "lhmm"
