@@ -1,0 +1,183 @@
+"""Perf smoke benchmark: vectorized trellis kernel vs the reference oracle.
+
+Self-contained (builds its own smoke city) so it runs in well under a
+minute::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_trellis.py -s -m perf
+
+It measures and writes to ``benchmarks/results/perf_trellis.txt``:
+
+* isolated layer-scoring wall-clock — candidate sets prebuilt, router
+  caches cleared per run, so the timed region is exactly the forward pass
+  (per-pair scalar loop vs one batched route call + matrix max-plus per
+  layer) — expected ≥ 3x on the smoke city;
+* the same comparison with the shortcut pass on (``shortcut_k=1``);
+* end-to-end ``LHMM.match`` wall-clock under both backends.
+
+Every comparison also asserts the decoded sequences are identical — the
+speed is only meaningful because the backends are interchangeable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import check_shape, save_report
+from repro.baselines.hmm_heuristic import (
+    HeuristicHmmConfig,
+    HeuristicHmmMatcher,
+    _HeuristicScorer,
+)
+from repro.cellular import SimulationConfig, TowerPlacementConfig
+from repro.core import LHMM, LHMMConfig
+from repro.core.trellis import make_trellis
+from repro.datasets import DatasetConfig, make_city_dataset
+
+pytestmark = pytest.mark.perf
+
+from repro.network import CityConfig
+
+SMOKE_CITY = CityConfig(
+    grid_rows=12,
+    grid_cols=12,
+    block_size_m=250.0,
+    density_gradient=0.5,
+    removal_prob=0.08,
+    one_way_prob=0.05,
+)
+SMOKE_SIMULATION = SimulationConfig(
+    min_trip_m=900.0,
+    max_trip_m=2400.0,
+    cellular_interval_mean_s=35.0,
+    cellular_interval_sigma_s=10.0,
+    cellular_interval_max_s=90.0,
+    gps_interval_s=12.0,
+)
+SMOKE_TOWERS = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
+
+
+@pytest.fixture(scope="module")
+def smoke_dataset():
+    config = DatasetConfig(
+        name="trellis-smoke",
+        city=SMOKE_CITY,
+        towers=SMOKE_TOWERS,
+        simulation=SMOKE_SIMULATION,
+        num_trajectories=40,
+        groundtruth="oracle",
+    )
+    return make_city_dataset(config, rng=13)
+
+
+def _time_forward_passes(dataset, shortcut_k: int):
+    """Layer-scoring wall-clock per backend over every smoke trajectory.
+
+    Candidate sets and scorers are prebuilt outside the timed region and
+    the router cache is cleared before every run, so both backends pay the
+    full (cold) routing cost inside the forward pass they own.
+    """
+    matcher = HeuristicHmmMatcher(dataset, HeuristicHmmConfig())
+    cases = []
+    for sample in dataset.samples:
+        trajectory = sample.cellular
+        points = list(trajectory.points)
+        if len(points) < 2:
+            continue
+        cases.append((matcher.candidate_sets(trajectory), points))
+
+    totals = {}
+    sequences = {}
+    for impl in ("reference", "vectorized"):
+        elapsed = 0.0
+        decoded = []
+        for candidate_sets, points in cases:
+            scorer = _HeuristicScorer(matcher, points)
+            trellis = make_trellis(
+                [list(c) for c in candidate_sets],
+                scorer,
+                matcher.network,
+                matcher.engine,
+                points,
+                impl=impl,
+            )
+            matcher.engine.clear_cache()
+            start = time.perf_counter()
+            decoded.append(trellis.run(shortcut_k=shortcut_k))
+            elapsed += time.perf_counter() - start
+        totals[impl] = elapsed
+        sequences[impl] = decoded
+    assert sequences["vectorized"] == sequences["reference"]
+    return totals, len(cases)
+
+
+def test_perf_trellis_kernel(smoke_dataset):
+    dataset = smoke_dataset
+    network = dataset.network
+    lines = [
+        f"trellis kernel smoke on {network.num_nodes} nodes / "
+        f"{network.num_segments} segments"
+    ]
+
+    # ---- 1. isolated forward pass, plain Viterbi ----
+    totals, n_cases = _time_forward_passes(dataset, shortcut_k=0)
+    speedup = totals["reference"] / max(totals["vectorized"], 1e-9)
+    lines.append(
+        f"forward pass k=0     {n_cases:3d} trajs   "
+        f"reference {totals['reference']:6.2f} s   "
+        f"vectorized {totals['vectorized']:6.2f} s   speedup {speedup:5.2f}x   "
+        f"(sequences identical)"
+    )
+    check_shape(speedup >= 3.0, "vectorized layer scoring >= 3x reference")
+
+    # ---- 2. forward pass + shortcut insertion (Alg. 2) ----
+    totals_k1, _ = _time_forward_passes(dataset, shortcut_k=1)
+    speedup_k1 = totals_k1["reference"] / max(totals_k1["vectorized"], 1e-9)
+    lines.append(
+        f"forward pass k=1     {n_cases:3d} trajs   "
+        f"reference {totals_k1['reference']:6.2f} s   "
+        f"vectorized {totals_k1['vectorized']:6.2f} s   speedup {speedup_k1:5.2f}x   "
+        f"(sequences identical)"
+    )
+    check_shape(speedup_k1 >= 1.0, "vectorized backend never loses with shortcuts on")
+
+    # ---- 3. end-to-end LHMM.match under both backends ----
+    matcher = LHMM(
+        LHMMConfig(
+            embedding_dim=12,
+            het_layers=1,
+            mlp_hidden=12,
+            candidate_k=10,
+            candidate_pool=50,
+            candidate_radius_m=1600.0,
+            epochs=2,
+            batch_size=4,
+            negatives_per_positive=3,
+        ),
+        rng=0,
+    ).fit(dataset)
+    matcher.degradation_enabled = False
+    trajectories = [s.cellular for s in dataset.samples]
+    results = {}
+    for impl in ("reference", "vectorized"):
+        matcher.config.trellis_impl = impl
+        matcher.engine.clear_cache()
+        start = time.perf_counter()
+        results[impl] = [matcher.match(t) for t in trajectories]
+        results[impl + "_s"] = time.perf_counter() - start
+    assert [r.matched_sequence for r in results["vectorized"]] == [
+        r.matched_sequence for r in results["reference"]
+    ]
+    assert [r.path for r in results["vectorized"]] == [
+        r.path for r in results["reference"]
+    ]
+    e2e_speedup = results["reference_s"] / max(results["vectorized_s"], 1e-9)
+    lines.append(
+        f"LHMM.match e2e       {len(trajectories):3d} trajs   "
+        f"reference {results['reference_s']:6.2f} s   "
+        f"vectorized {results['vectorized_s']:6.2f} s   speedup {e2e_speedup:5.2f}x   "
+        f"(paths bit-identical)"
+    )
+
+    save_report("perf_trellis", "\n".join(lines))

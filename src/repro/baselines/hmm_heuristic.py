@@ -21,9 +21,9 @@ import numpy as np
 from repro.baselines.base import BaselineResult
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
 from repro.core.candidates import spatial_candidate_pool
-from repro.core.trellis import UNREACHABLE_SCORE, Trellis
+from repro.core.trellis import TRELLIS_IMPLS, UNREACHABLE_SCORE, make_trellis
 from repro.datasets.dataset import MatchingDataset
-from repro.network.router import Router
+from repro.network.router import Router, route_pairs
 from repro.network.shortest_path import stitch_segments
 
 
@@ -45,6 +45,8 @@ class HeuristicHmmConfig:
         max_detour_factor: Prune transitions whose route exceeds this
             multiple of the straight-line distance plus slack.
         shortcut_k: Shortcut count (0 = plain Viterbi; STM+S sets 1).
+        trellis_impl: Forward-pass backend (``"vectorized"`` or
+            ``"reference"``); both decode identical sequences.
     """
 
     candidate_k: int = 30
@@ -53,10 +55,24 @@ class HeuristicHmmConfig:
     transition_beta_m: float = 400.0
     max_detour_factor: float = 6.0
     shortcut_k: int = 0
+    trellis_impl: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.trellis_impl not in TRELLIS_IMPLS:
+            raise ValueError(
+                f"trellis_impl must be one of {list(TRELLIS_IMPLS)}, "
+                f"got {self.trellis_impl!r}"
+            )
 
 
 class _HeuristicScorer:
-    """Trellis scorer delegating to a matcher's probability hooks."""
+    """Trellis scorer delegating to a matcher's probability hooks.
+
+    Also implements the batched :class:`~repro.core.trellis.BatchTrellisScorer`
+    extension by delegating to the matcher's ``*_batch`` hooks, which keep
+    per-pair arithmetic in the scalar hooks (so subclasses that override
+    only the scalar probabilities stay bit-exact under either trellis).
+    """
 
     def __init__(self, matcher: "HeuristicHmmMatcher", points: list[TrajectoryPoint]) -> None:
         self._matcher = matcher
@@ -68,6 +84,18 @@ class _HeuristicScorer:
     def transition(self, index: int, prev_segment_id: int, segment_id: int) -> float:
         return self._matcher.transition_probability(
             self._points, index, prev_segment_id, segment_id
+        )
+
+    def observation_batch(self, index: int, segment_ids: list[int]) -> np.ndarray:
+        return self._matcher.observation_probability_batch(
+            self._points, index, segment_ids
+        )
+
+    def transition_batch(
+        self, index: int, prev_segment_ids: list[int], segment_ids: list[int]
+    ) -> np.ndarray:
+        return self._matcher.transition_probability_batch(
+            self._points, index, prev_segment_ids, segment_ids
         )
 
 
@@ -116,6 +144,62 @@ class HeuristicHmmMatcher:
             return UNREACHABLE_SCORE
         return math.exp(-abs(straight - route_length) / self.config.transition_beta_m)
 
+    def observation_probability_batch(
+        self, points: list[TrajectoryPoint], index: int, segment_ids: list[int]
+    ) -> np.ndarray:
+        """Batched :meth:`observation_probability` (same floats, one array)."""
+        return np.array(
+            [self.observation_probability(points, index, seg) for seg in segment_ids],
+            dtype=np.float64,
+        )
+
+    def transition_probability_batch(
+        self,
+        points: list[TrajectoryPoint],
+        index: int,
+        prev_segments: list[int],
+        segments: list[int],
+    ) -> np.ndarray:
+        """Batched ``P_T`` matrix for one trellis step.
+
+        The fast path fetches every pair's route length from one
+        ``route_length_matrix`` call (a single multi-source Dijkstra /
+        table probe, *without* materialising per-pair ``Route`` objects —
+        Eq. 3 only needs lengths) and then replicates the scalar hook's
+        arithmetic element by element, so the floats are bit-identical to
+        :meth:`transition_probability`.
+
+        Subclasses that override the scalar hook automatically fall back
+        to one cache-warming :func:`~repro.network.router.route_pairs`
+        call followed by their own per-pair scalar arithmetic — batched
+        fetching, inherited exactness.  Routers without a
+        ``route_length_matrix`` take the same fallback.
+        """
+        base_transition = HeuristicHmmMatcher.transition_probability
+        length_matrix = getattr(self.engine, "route_length_matrix", None)
+        if type(self).transition_probability is not base_transition or length_matrix is None:
+            pairs = [(a, b) for a in prev_segments for b in segments]
+            route_pairs(self.engine, pairs)
+            out = np.empty((len(prev_segments), len(segments)), dtype=np.float64)
+            for j, prev in enumerate(prev_segments):
+                for k, seg in enumerate(segments):
+                    out[j, k] = self.transition_probability(points, index, prev, seg)
+            return out
+        lengths = length_matrix(prev_segments, segments)
+        straight = points[index - 1].position.distance_to(points[index].position)
+        cutoff = self.config.max_detour_factor * straight + 1500.0
+        beta = self.config.transition_beta_m
+        out = np.empty((len(prev_segments), len(segments)), dtype=np.float64)
+        for j in range(len(prev_segments)):
+            row = lengths[j]
+            for k in range(len(segments)):
+                route_length = row[k]
+                if math.isinf(route_length) or route_length > cutoff:
+                    out[j, k] = UNREACHABLE_SCORE
+                else:
+                    out[j, k] = math.exp(-abs(straight - route_length) / beta)
+        return out
+
     # ------------------------------------------------------------- interface
     def preprocess(self, trajectory: Trajectory) -> Trajectory:
         """Hook for method-specific trajectory pre-processing."""
@@ -133,7 +217,14 @@ class HeuristicHmmMatcher:
             return BaselineResult(path=[best], candidate_sets=candidate_sets,
                                   matched_sequence=[best])
         scorer = _HeuristicScorer(self, points)
-        trellis = Trellis(candidate_sets, scorer, self.network, self.engine, points)
+        trellis = make_trellis(
+            candidate_sets,
+            scorer,
+            self.network,
+            self.engine,
+            points,
+            impl=self.config.trellis_impl,
+        )
         sequence = trellis.run(shortcut_k=self.config.shortcut_k)
         path = stitch_segments(sequence, self.engine)
         return BaselineResult(

@@ -13,6 +13,8 @@ Usage::
                              --sample-id 12 --svg match.svg --ascii
     python -m repro serve    --dataset city.json.gz --model model.npz \
                              --port 8080 --workers 4
+    python -m repro golden              # check the golden match corpus
+    python -m repro golden --regen      # rewrite it after a reviewed change
 
 Every command takes ``--seed`` for reproducibility.  All heavy outputs are
 files; stdout carries human-readable summaries only.  ``serve`` runs until
@@ -83,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--svg", default=None, help="write an SVG map here")
     match.add_argument("--ascii", action="store_true", help="print an ASCII map")
     _add_router_arguments(match)
+
+    golden = commands.add_parser(
+        "golden",
+        help="check (or --regen) the golden regression corpus of matches",
+    )
+    golden.add_argument(
+        "--regen", action="store_true",
+        help="rewrite the corpus from the frozen configuration instead of "
+             "checking against it (review the JSON diff before committing)",
+    )
+    golden.add_argument(
+        "--path", default=None,
+        help="corpus JSON (default: tests/golden/golden_matches.json)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run a long-lived map-matching HTTP service"
@@ -306,6 +322,33 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.testing import golden
+
+    path = Path(args.path) if args.path else golden.default_corpus_path()
+    dataset = golden.build_golden_dataset()
+    matcher = golden.build_golden_matcher(dataset)
+    records = golden.compute_golden_records(matcher, dataset)
+    if args.regen:
+        golden.write_corpus(path, records)
+        print(f"wrote {path} ({len(records)} pinned trajectories)")
+        return 0
+    if not path.exists():
+        print(f"no corpus at {path}; run `python -m repro golden --regen` first")
+        return 1
+    expected = golden.load_corpus(path)
+    problems = golden.diff_records(records, expected["records"])
+    if problems:
+        print(f"golden corpus mismatch ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  {problem}")
+        print("if the change is intentional, regenerate with --regen and "
+              "review the diff")
+        return 1
+    print(f"golden corpus ok ({len(records)} trajectories match {path})")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LHMM
     from repro.datasets import load_dataset
@@ -370,6 +413,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "match": _cmd_match,
+    "golden": _cmd_golden,
     "serve": _cmd_serve,
 }
 

@@ -9,8 +9,11 @@ Public entry points:
 * :class:`HetGraphEncoder` — relational message-passing encoder (Eq. 4–5).
 * :class:`ObservationLearner` / :class:`TransitionLearner` — learned
   probabilities (§IV-C / §IV-D).
-* :class:`Trellis` — candidate-graph Viterbi with shortcut optimisation
-  (Algorithms 1 and 2), reusable by baseline HMMs (STM+S).
+* :class:`Trellis` / :class:`VectorizedTrellis` — candidate-graph Viterbi
+  with shortcut optimisation (Algorithms 1 and 2), reusable by baseline
+  HMMs (STM+S).  :func:`make_trellis` selects the backend
+  (``trellis_impl`` in the configs); the reference is kept as the oracle
+  the differential tests compare the vectorized kernel against.
 """
 
 from repro.core.config import LHMMConfig
@@ -18,7 +21,13 @@ from repro.core.relation_graph import RelationGraph
 from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
 from repro.core.observation import ObservationLearner
 from repro.core.transition import TransitionLearner
-from repro.core.trellis import Trellis, TrellisScorer
+from repro.core.trellis import (
+    BatchTrellisScorer,
+    Trellis,
+    TrellisScorer,
+    VectorizedTrellis,
+    make_trellis,
+)
 from repro.core.matcher import LHMM
 from repro.core.online import OnlineLHMM
 from repro.core.parallel import ParallelMatcher
@@ -35,4 +44,7 @@ __all__ = [
     "TransitionLearner",
     "Trellis",
     "TrellisScorer",
+    "BatchTrellisScorer",
+    "VectorizedTrellis",
+    "make_trellis",
 ]

@@ -25,6 +25,10 @@ class LHMMConfig:
             observation probability re-ranks.
         candidate_radius_m: Spatial pre-filter radius around each sample.
         shortcut_k: Number of shortcut predecessors ``K`` (paper: 1).
+        trellis_impl: Forward-pass backend — ``"vectorized"`` (batched
+            numpy max-plus kernel, the default) or ``"reference"`` (the
+            dict-based oracle).  Both decode identical sequences; the
+            differential suite (``tests/test_trellis_parity.py``) pins it.
 
     Training:
         epochs: Passes over the training trajectories per stage.
@@ -50,6 +54,7 @@ class LHMMConfig:
     candidate_pool: int = 120
     candidate_radius_m: float = 2500.0
     shortcut_k: int = 1
+    trellis_impl: str = "vectorized"
 
     epochs: int = 6
     batch_size: int = 8
@@ -96,6 +101,13 @@ class LHMMConfig:
             raise ValueError("need candidate_pool >= candidate_k >= 1")
         if self.shortcut_k < 0:
             raise ValueError("shortcut_k must be >= 0")
+        from repro.core.trellis import TRELLIS_IMPLS
+
+        if self.trellis_impl not in TRELLIS_IMPLS:
+            raise ValueError(
+                f"trellis_impl must be one of {list(TRELLIS_IMPLS)}, "
+                f"got {self.trellis_impl!r}"
+            )
         if self.epochs < 0 or self.batch_size < 1:
             raise ValueError("invalid training settings")
         if not 0.0 <= self.label_smoothing < 1.0:

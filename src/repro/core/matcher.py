@@ -25,7 +25,7 @@ from repro.core.observation import ObservationLearner
 from repro.core.relation_graph import RelationGraph
 from repro.core.training import LHMMTrainer, TrainingReport
 from repro.core.transition import TransitionLearner
-from repro.core.trellis import UNREACHABLE_SCORE, Trellis
+from repro.core.trellis import UNREACHABLE_SCORE, make_trellis
 from repro.datasets.dataset import MatchingDataset, MatchingSample
 from repro.nn import Tensor, no_grad
 from repro.network.router import Router, route_pairs
@@ -65,7 +65,13 @@ class MatchResult:
 
 
 class _LHMMScorer:
-    """Trellis scorer backed by the trained learners (batched, cached)."""
+    """Trellis scorer backed by the trained learners (batched, cached).
+
+    Implements both the scalar :class:`~repro.core.trellis.TrellisScorer`
+    hooks and the batched :class:`~repro.core.trellis.BatchTrellisScorer`
+    extension the vectorized trellis drives; both paths share the same
+    per-step batched MLP call, so they return identical floats.
+    """
 
     def __init__(
         self,
@@ -99,6 +105,12 @@ class _LHMMScorer:
         self._po[index][segment_id] = float(value)
         return float(value)
 
+    def observation_batch(self, index: int, segment_ids: list[int]) -> np.ndarray:
+        """Batched ``P_O`` over one point's candidates (same floats as scalar)."""
+        return np.array(
+            [self.observation(index, seg) for seg in segment_ids], dtype=np.float64
+        )
+
     # ------------------------------------------------------------- transition
     def transition(self, index: int, prev_segment_id: int, segment_id: int) -> float:
         key = (index, prev_segment_id, segment_id)
@@ -127,6 +139,24 @@ class _LHMMScorer:
         values = self._compute_transitions(index, pairs)
         for pair, value in zip(pairs, values):
             self._pt_cache[(index, pair[0], pair[1])] = value
+
+    def transition_batch(
+        self, index: int, prev_segment_ids: list[int], segment_ids: list[int]
+    ) -> np.ndarray:
+        """Batched ``P_T`` matrix for one trellis step.
+
+        Pairs are enumerated in the same (prev-major) product order the
+        scalar path's :meth:`_batch_step` uses, so the stacked MLP input —
+        and therefore every probability — is bit-identical to it.
+        """
+        pairs = [(a, b) for a in prev_segment_ids for b in segment_ids]
+        values = self._compute_transitions(index, pairs)
+        for pair, value in zip(pairs, values):
+            self._pt_cache[(index, pair[0], pair[1])] = value
+        self._steps_done.add(index)
+        return np.array(values, dtype=np.float64).reshape(
+            len(prev_segment_ids), len(segment_ids)
+        )
 
     def _compute_transitions(
         self, index: int, pairs: list[tuple[int, int]]
@@ -452,7 +482,14 @@ class LHMM:
                     self._relevance_scope(trajectory),
                 )
         scorer = _LHMMScorer(self, points, candidate_sets, po_maps, context, relevance)
-        trellis = Trellis(candidate_sets, scorer, self.network, self.engine, points)
+        trellis = make_trellis(
+            candidate_sets,
+            scorer,
+            self.network,
+            self.engine,
+            points,
+            impl=self.config.trellis_impl,
+        )
         shortcut_k = self.config.shortcut_k if self.config.use_shortcuts else 0
         sequence = trellis.run(shortcut_k=shortcut_k)
         path = stitch_segments(sequence, self.engine)

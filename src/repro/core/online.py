@@ -23,6 +23,7 @@ from repro.core.features import transition_features
 from repro.core.matcher import LHMM
 from repro.core.trellis import UNREACHABLE_SCORE
 from repro.errors import InvalidTrajectoryInput
+from repro.network.router import route_pairs
 from repro.network.shortest_path import stitch_segments
 from repro.nn import Tensor, no_grad
 
@@ -158,41 +159,101 @@ class OnlineLHMM:
             self._pre.append({})
             return
 
-        # Route every (previous candidate -> new candidate) pair once, then
-        # score road relevance for exactly the segments those routes touch.
-        routes = {
-            (prev, nxt): self.matcher.engine.route(prev, nxt)
-            for prev in self._layers[-1]
-            for nxt in candidates
-        }
+        # Route every (previous candidate -> new candidate) pair with one
+        # batched multi-source query, then score road relevance for exactly
+        # the segments those routes touch.
+        prev_layer = self._layers[-1]
+        pairs = [(prev, nxt) for prev in prev_layer for nxt in candidates]
+        route_list = route_pairs(self.matcher.engine, pairs)
+        routes = dict(zip(pairs, route_list))
         touched = sorted(
-            {s for route in routes.values() if route is not None for s in route.segments}
+            {s for route in route_list if route is not None for s in route.segments}
         )
         relevance = self._relevance(touched)
 
         prev_point = self._points[-2]
         prev_f = self._f[-1]
-        new_f: dict[int, float] = {}
-        new_pre: dict[int, int] = {}
-        for seg in candidates:
-            best_score = -math.inf
-            best_prev = None
-            for prev_seg in self._layers[-1]:
-                trans = self._transition_for_route(
-                    relevance, routes[(prev_seg, seg)], prev_point, point
-                )
-                w = trans * po[seg] if trans > UNREACHABLE_SCORE else UNREACHABLE_SCORE
-                score = prev_f[prev_seg] + w
-                if score > best_score:
-                    best_score = score
-                    best_prev = prev_seg
-            new_f[seg] = best_score
-            if best_prev is not None:
-                new_pre[seg] = best_prev
+        if self.matcher.config.trellis_impl == "vectorized":
+            new_f, new_pre = self._vectorized_layer(
+                relevance, pairs, route_list, prev_point, point, candidates, po
+            )
+        else:
+            new_f = {}
+            new_pre = {}
+            for seg in candidates:
+                best_score = -math.inf
+                best_prev = None
+                for prev_seg in prev_layer:
+                    trans = self._transition_for_route(
+                        relevance, routes[(prev_seg, seg)], prev_point, point
+                    )
+                    w = trans * po[seg] if trans > UNREACHABLE_SCORE else UNREACHABLE_SCORE
+                    score = prev_f[prev_seg] + w
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_seg
+                new_f[seg] = best_score
+                if best_prev is not None:
+                    new_pre[seg] = best_prev
         self._layers.append(candidates)
         self._f.append(new_f)
         self._pre.append(new_pre)
         self._commit_ready_layers()
+
+    def _vectorized_layer(
+        self, relevance, pairs, route_list, prev_point, point, candidates, po
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """One streaming Viterbi layer as a batched MLP call + numpy max-plus.
+
+        Feature rows for every reachable pair are stacked into a single
+        ``fusion_mlp`` forward (the same stacking the batch matcher's
+        scorer performs per step), and the layer update is an ``argmax``
+        over the score matrix — first previous candidate wins ties, exactly
+        like the scalar scan.
+        """
+        matcher = self.matcher
+        prev_layer = self._layers[-1]
+        rows: list[np.ndarray] = []
+        row_positions: list[int] = []
+        for pos, route in enumerate(route_list):
+            if route is None:
+                continue
+            explicit = transition_features(matcher.network, route, prev_point, point)
+            if matcher.transition_learner.use_implicit:
+                implicit = float(
+                    np.mean([relevance.get(s, 0.5) for s in route.segments])
+                )
+                rows.append(np.concatenate([[implicit], explicit]))
+            else:
+                rows.append(explicit)
+            row_positions.append(pos)
+        trans = np.full(len(pairs), UNREACHABLE_SCORE)
+        if rows:
+            with no_grad():
+                probs = (
+                    matcher.transition_learner.fusion_mlp(Tensor(np.stack(rows)))
+                    .reshape(len(rows))
+                    .sigmoid()
+                    .numpy()
+                )
+            trans[row_positions] = probs
+        trans = trans.reshape(len(prev_layer), len(candidates))
+        po_row = np.array([po[seg] for seg in candidates], dtype=np.float64)
+        w = np.where(
+            trans > UNREACHABLE_SCORE, trans * po_row[np.newaxis, :], UNREACHABLE_SCORE
+        )
+        f_prev = np.array([self._f[-1][seg] for seg in prev_layer], dtype=np.float64)
+        scores = f_prev[:, np.newaxis] + w
+        best_rows = scores.argmax(axis=0)
+        best = scores[best_rows, np.arange(len(candidates))]
+        new_f: dict[int, float] = {}
+        new_pre: dict[int, int] = {}
+        for k, seg in enumerate(candidates):
+            value = float(best[k])
+            new_f[seg] = value if value > -math.inf else -math.inf
+            if value > -math.inf:
+                new_pre[seg] = prev_layer[int(best_rows[k])]
+        return new_f, new_pre
 
     @property
     def committed_path(self) -> list[int]:

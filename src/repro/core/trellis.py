@@ -11,16 +11,35 @@ scores are *sums* of step scores (Eq. 14), and unreachable transitions are
 assigned a large negative penalty so they are chosen only when no
 alternative exists.
 
-Shortcut caveat: Algorithm 2 redirects ``pre[c_{i-1}^u]`` in place (line 10),
-which can alter backtracks of other states passing through ``c_{i-1}^u``.
-We reproduce the paper's behaviour verbatim; because updates apply only on
-score improvement this is benign in practice.
+Two interchangeable backends implement the forward pass:
+
+* :class:`Trellis` — the reference dict-based implementation, kept as the
+  oracle the differential tests (``tests/test_trellis_parity.py``) compare
+  against;
+* :class:`VectorizedTrellis` — assembles each step's ``W`` as a numpy
+  matrix (one batched router/MLP call per layer when the scorer supports
+  :class:`BatchTrellisScorer`) and runs the forward pass as log-domain
+  max-plus updates with integer backpointers.
+
+Both must decode the *same* sequence with the same tie-breaking (first
+candidate in set order wins ties) and the same disconnected-lattice restart
+behaviour; :func:`make_trellis` selects one by name.
+
+Shortcut caveat: Algorithm 2 redirects ``pre[c_{i-1}^u]`` (line 10), which
+the paper applies verbatim.  Applied unconditionally it can corrupt the
+backtracks of *other* layer-``i`` states routed through ``c_{i-1}^u`` (a
+later, weaker shortcut re-pointing the shared predecessor), so we redirect
+only when the shortcut also improves ``f[i-1][u]`` — any state backtracking
+through ``u`` then follows a predecessor at least as good as the one its
+score was computed with.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.cellular.trajectory import TrajectoryPoint
 from repro.errors import InvalidTrajectoryInput, MatchFailure
@@ -28,6 +47,9 @@ from repro.network.road_network import RoadNetwork
 from repro.network.router import Router
 
 UNREACHABLE_SCORE = -1e6
+
+#: Valid ``trellis_impl`` configuration values.
+TRELLIS_IMPLS = ("reference", "vectorized")
 
 
 class TrellisScorer(Protocol):
@@ -50,8 +72,28 @@ class TrellisScorer(Protocol):
         ...
 
 
+@runtime_checkable
+class BatchTrellisScorer(Protocol):
+    """Optional batched extension of :class:`TrellisScorer`.
+
+    Implementations must return exactly the floats the scalar callbacks
+    would — the vectorized backend's bit-parity with the reference depends
+    on it (batch the *fetching*, keep the arithmetic identical).
+    """
+
+    def observation_batch(self, index: int, segment_ids: list[int]) -> np.ndarray:
+        """``P_O`` for every segment of one point, aligned with the input."""
+        ...
+
+    def transition_batch(
+        self, index: int, prev_segment_ids: list[int], segment_ids: list[int]
+    ) -> np.ndarray:
+        """``P_T`` matrix of shape ``(|prev|, |cur|)`` for one step."""
+        ...
+
+
 class Trellis:
-    """One map-matching instance over fixed candidate sets."""
+    """One map-matching instance over fixed candidate sets (reference)."""
 
     def __init__(
         self,
@@ -156,11 +198,15 @@ class Trellis:
                     if shortcut_score > self._f[i][seg]:
                         self._f[i][seg] = shortcut_score
                         self._pre[i][seg] = u_seg
-                        self._pre[i - 1][u_seg] = j_seg
-                        # Keep layer i-1 self-consistent for later backtracks.
+                        # Redirect the shared predecessor only on score
+                        # improvement: an unconditional redirect (the paper's
+                        # literal line 10) lets a weaker shortcut re-point
+                        # ``u``'s backtrack under states whose scores were
+                        # computed through a better predecessor.
                         projected = self._f[i - 2][j_seg] + w_in
                         if projected > self._f[i - 1].get(u_seg, -math.inf):
                             self._f[i - 1][u_seg] = projected
+                            self._pre[i - 1][u_seg] = j_seg
                         if u_seg not in self.candidate_sets[i - 1]:
                             self.candidate_sets[i - 1].append(u_seg)
 
@@ -193,3 +239,122 @@ class Trellis:
         if not self._f:
             raise MatchFailure("run() first")
         return max(self._f[-1].values())
+
+
+class VectorizedTrellis(Trellis):
+    """Log-domain matrix forward pass over batched per-step score matrices.
+
+    Per layer it gathers every ``(prev, cur)`` candidate pair, fetches the
+    whole transition matrix in one batched scorer call (one multi-source
+    router query / one MLP batch, when the scorer implements
+    :class:`BatchTrellisScorer`), and replaces the Python ``|prev|×|cur|``
+    loop with a numpy max-plus update and integer backpointers.
+
+    Decoding is bit-identical to :class:`Trellis`: ``W`` entries are the
+    same floats, ``argmax`` keeps the reference's first-wins tie-breaking,
+    all-unreachable columns leave no backpointer (the disconnected-lattice
+    restart), and the shortcut pass reuses the reference implementation,
+    ranking predecessors from the batched step matrices via the shared
+    ``W`` cache.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._seed_w_cache = False
+
+    # ---------------------------------------------------------------- scoring
+    def _observation_batch(self, index: int, segments: list[int]) -> np.ndarray:
+        if isinstance(self.scorer, BatchTrellisScorer):
+            return np.asarray(
+                self.scorer.observation_batch(index, segments), dtype=np.float64
+            )
+        return np.array(
+            [self.scorer.observation(index, seg) for seg in segments],
+            dtype=np.float64,
+        )
+
+    def _step_matrix(self, index: int, prev: list[int], cur: list[int]) -> np.ndarray:
+        """The step-score matrix ``W[j, k]`` (Eq. 13) for one trellis layer."""
+        if isinstance(self.scorer, BatchTrellisScorer):
+            trans = np.asarray(
+                self.scorer.transition_batch(index, prev, cur), dtype=np.float64
+            )
+        else:
+            trans = np.array(
+                [[self.scorer.transition(index, p, c) for c in cur] for p in prev],
+                dtype=np.float64,
+            )
+        obs = self._observation_batch(index, cur)
+        reachable = trans > UNREACHABLE_SCORE
+        w = np.where(reachable, trans * obs[np.newaxis, :], UNREACHABLE_SCORE)
+        if self._seed_w_cache:
+            # Expose the batched scores to the (shared) shortcut pass, which
+            # ranks predecessors through the scalar ``_w`` cache.
+            cache = self._w_cache
+            for j, p in enumerate(prev):
+                row = w[j]
+                for k, c in enumerate(cur):
+                    cache[(index, p, c)] = float(row[k])
+        return w
+
+    # ---------------------------------------------------------------- viterbi
+    def _forward(self) -> None:
+        """Matrix max-plus forward pass, exactly mirroring the reference."""
+        n = len(self.points)
+        self._f = [dict() for _ in range(n)]
+        self._pre = [dict() for _ in range(n)]
+        first = self.candidate_sets[0]
+        f_prev = self._observation_batch(0, first)
+        self._f[0] = {seg: float(v) for seg, v in zip(first, f_prev)}
+        for i in range(1, n):
+            prev = self.candidate_sets[i - 1]
+            cur = self.candidate_sets[i]
+            w = self._step_matrix(i, prev, cur)
+            scores = f_prev[:, np.newaxis] + w
+            # argmax returns the first maximum, matching the reference's
+            # strictly-greater scan over candidates in set order.
+            best_rows = scores.argmax(axis=0)
+            f_cur = scores[best_rows, np.arange(len(cur))]
+            layer_f = self._f[i]
+            layer_pre = self._pre[i]
+            for k, seg in enumerate(cur):
+                value = float(f_cur[k])
+                layer_f[seg] = value
+                # A column with no finite entry means every predecessor
+                # scored -inf: the reference records no backpointer there
+                # and the backtrack restarts from the best previous state.
+                if value > -math.inf:
+                    layer_pre[seg] = prev[int(best_rows[k])]
+                else:
+                    layer_f[seg] = -math.inf
+            f_cur = np.array([layer_f[seg] for seg in cur], dtype=np.float64)
+            f_prev = f_cur
+
+    def run(self, shortcut_k: int = 0) -> list[int]:
+        """Best candidate per point (Alg. 1 with optional Alg. 2 shortcuts)."""
+        # Seed the scalar W cache from the batched matrices only when the
+        # shortcut pass will read it; the plain Viterbi skips that work.
+        self._seed_w_cache = shortcut_k > 0 and len(self.points) >= 3
+        return super().run(shortcut_k)
+
+
+def make_trellis(
+    candidate_sets: list[list[int]],
+    scorer: TrellisScorer,
+    network: RoadNetwork,
+    engine: Router,
+    points: list[TrajectoryPoint],
+    impl: str = "vectorized",
+) -> Trellis:
+    """Build the trellis backend named by ``impl``.
+
+    ``"vectorized"`` (the default) runs the batched matrix kernel;
+    ``"reference"`` runs the dict-based oracle.  Both decode identical
+    sequences — the differential suite enforces it.
+    """
+    if impl not in TRELLIS_IMPLS:
+        raise ValueError(
+            f"unknown trellis impl {impl!r}; choose from {list(TRELLIS_IMPLS)}"
+        )
+    cls = VectorizedTrellis if impl == "vectorized" else Trellis
+    return cls(candidate_sets, scorer, network, engine, points)

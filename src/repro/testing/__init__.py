@@ -1,9 +1,13 @@
-"""repro.testing — chaos-engineering utilities for the matching pipeline.
+"""repro.testing — test-support utilities for the matching pipeline.
 
 :mod:`repro.testing.faults` provides named fault points the production
 code calls into (no-ops unless armed) so tests can crash a worker, hang
 a chunk, or fail a match at a precise moment.  Nothing in this package
 is imported by production code paths except the cheap ``fire`` hook.
+
+:mod:`repro.testing.golden` holds the golden regression corpus — the
+frozen city/model configuration and the record computation behind
+``tests/golden/golden_matches.json`` and ``python -m repro golden``.
 """
 
 from repro.testing.faults import FaultSpec, arm, disarm_all, fire

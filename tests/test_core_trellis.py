@@ -239,6 +239,60 @@ class TestShortcuts:
         trellis.run(shortcut_k=1)
         assert 1 in trellis.candidate_sets[1]
 
+    @pytest.mark.parametrize("impl", ["reference", "vectorized"])
+    def test_shared_inserted_predecessor_stays_consistent(self, impl):
+        """A weaker later shortcut must not re-point a shared inserted
+        predecessor (Alg. 2 line 10 applied literally would).
+
+        Both layer-2 candidates win a shortcut through the same inserted
+        segment 2: first seg 4 via j=0 (projected f[1][2] = 1.3), then the
+        weaker seg 5 via j=1 (projected 0.9).  An unconditional redirect
+        would set pre[1][2] = 1, so backtracking the *winning* state 4 —
+        whose score 2.11 was computed through j=0 — would emit [1, 2, 4]
+        with a layer-1 table (f[1][2] = 0.9) that no longer explains
+        f[2][4].  The guarded redirect keeps the tables self-consistent.
+        """
+        from repro.core.trellis import make_trellis
+
+        net = chain_network()
+        engine = ShortestPathEngine(net)
+        obs = {
+            (0, 0): 0.9, (0, 1): 0.8,
+            (1, 6): 0.01, (1, 7): 0.01, (1, 2): 0.5,
+            (2, 4): 0.9, (2, 5): 0.8,
+        }
+        trans = {
+            # Layer-1 transitions: j=0 pairs with 6, j=1 with 7 ...
+            (1, 0, 6): 0.9, (1, 0, 7): 0.1, (1, 1, 6): 0.1, (1, 1, 7): 0.9,
+            # ... and layer-2 couples 6 with 4, 7 with 5, so seg 4 ranks
+            # j=0 first while seg 5 ranks j=1 first (Eq. 20).
+            (2, 6, 4): 0.9, (2, 7, 4): 0.1, (2, 6, 5): 0.1, (2, 7, 5): 0.3,
+            # Scores through the shared inserted segment 2.
+            (1, 0, 2): 0.8, (1, 1, 2): 0.2, (2, 2, 4): 0.9, (2, 2, 5): 0.8,
+        }
+        pts = [
+            TrajectoryPoint(Point(50.0, 10.0), 0.0),
+            TrajectoryPoint(Point(250.0, 10.0), 10.0),
+            TrajectoryPoint(Point(450.0, 10.0), 20.0),
+        ]
+        trellis = make_trellis(
+            [[0, 1], [6, 7], [4, 5]], TableScorer(obs, trans), net, engine, pts,
+            impl=impl,
+        )
+        sequence = trellis.run(shortcut_k=1)
+
+        assert sequence == [0, 2, 4]
+        # Both shortcuts won (both layer-2 states point at the insert) ...
+        assert trellis._pre[2][4] == 2 and trellis._pre[2][5] == 2
+        assert 2 in trellis.candidate_sets[1]
+        # ... but the shared predecessor keeps the *stronger* projection,
+        # so the winner's score is still explained by the tables.
+        assert trellis._pre[1][2] == 0
+        assert trellis._f[1][2] == pytest.approx(1.3)
+        assert trellis._f[2][4] == pytest.approx(
+            trellis._f[1][2] + 0.9 * 0.9  # w(2, 2->4) = P_T * P_O
+        )
+
     def test_shortcut_requires_three_points(self):
         net = chain_network()
         engine = ShortestPathEngine(net)

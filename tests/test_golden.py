@@ -1,0 +1,61 @@
+"""Golden regression test: ``LHMM.match`` pinned against a committed corpus.
+
+The expectations live in ``tests/golden/golden_matches.json`` and cover the
+whole pipeline — synthesis, training, candidate generation, decoding.  A
+failure here means matcher behaviour *changed*; if the change is intended,
+regenerate with ``python -m repro golden --regen`` and review the JSON diff
+(``src/repro/testing/golden.py`` documents the frozen configuration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trellis import TRELLIS_IMPLS
+from repro.testing import golden
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    path = golden.default_corpus_path()
+    assert path.exists(), (
+        f"missing {path}; generate it with `python -m repro golden --regen`"
+    )
+    return golden.load_corpus(path)
+
+
+@pytest.fixture(scope="module")
+def golden_matcher():
+    dataset = golden.build_golden_dataset()
+    return dataset, golden.build_golden_matcher(dataset)
+
+
+class TestGoldenCorpus:
+    def test_corpus_metadata_is_current(self, golden_corpus):
+        """A corpus built from older frozen settings must not pass silently."""
+        assert golden_corpus["version"] == golden.CORPUS_VERSION
+        assert golden_corpus["dataset_seed"] == golden.GOLDEN_DATASET_SEED
+        assert golden_corpus["model_seed"] == golden.GOLDEN_MODEL_SEED
+        assert golden_corpus["num_trajectories"] == golden.GOLDEN_NUM_TRAJECTORIES
+        assert golden_corpus["match_count"] == golden.GOLDEN_MATCH_COUNT
+        assert len(golden_corpus["records"]) == golden.GOLDEN_MATCH_COUNT
+
+    @pytest.mark.parametrize("impl", TRELLIS_IMPLS)
+    def test_match_output_pinned_exactly(self, golden_matcher, golden_corpus, impl):
+        dataset, matcher = golden_matcher
+        saved = matcher.config.trellis_impl
+        matcher.config.trellis_impl = impl
+        try:
+            records = golden.compute_golden_records(matcher, dataset)
+        finally:
+            matcher.config.trellis_impl = saved
+        problems = golden.diff_records(records, golden_corpus["records"])
+        assert problems == []
+
+    def test_records_are_nontrivial(self, golden_corpus):
+        """Guard against an accidentally-degenerate corpus (empty matches)."""
+        for record in golden_corpus["records"]:
+            assert len(record["matched_sequence"]) >= 2
+            # Stitching may collapse repeated candidates, so the path can be
+            # shorter than the sequence — but never empty.
+            assert len(record["path"]) >= 1

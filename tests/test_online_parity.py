@@ -19,15 +19,18 @@ online/batch differences, not drift:
 
 With those off, the two decoders walk mathematically identical lattices,
 so ``lag >= len(trajectory)`` must reproduce ``LHMM.match`` exactly, on
-every trajectory.  Conversely a small lag may legitimately commit early
-and diverge — that trade-off is asserted as "documented" by the bounded
-CMF test in ``test_core_online.py``.
+every trajectory — under *both* trellis backends (the streaming decoder
+has a vectorized layer update mirroring :class:`VectorizedTrellis`, and
+parity must survive it).  Conversely a small lag may legitimately commit
+early and diverge — that trade-off is asserted as "documented" by the
+bounded CMF test in ``test_core_online.py``.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import LHMM, LHMMConfig, OnlineLHMM
+from repro.core.trellis import TRELLIS_IMPLS
 
 
 @pytest.fixture(scope="module")
@@ -45,18 +48,20 @@ def parity_lhmm(tiny_dataset):
         negatives_per_positive=3,
         use_implicit_observation=False,
         use_implicit_transition=False,
+        shortcut_k=1,  # requested but inert: use_shortcuts=False gates it
         use_shortcuts=False,
     )
     return LHMM(config, rng=5).fit(tiny_dataset)
 
 
+@pytest.mark.parametrize("impl", TRELLIS_IMPLS)
 @settings(
     max_examples=12,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 @given(data=st.data())
-def test_full_lag_streaming_equals_batch(data, parity_lhmm, tiny_dataset):
+def test_full_lag_streaming_equals_batch(data, impl, parity_lhmm, tiny_dataset):
     """For random trajectory slices, lag >= n commits == batch segments."""
     samples = tiny_dataset.samples
     sample = samples[data.draw(st.integers(0, len(samples) - 1), label="sample")]
@@ -71,17 +76,24 @@ def test_full_lag_streaming_equals_batch(data, parity_lhmm, tiny_dataset):
         points=points[start : start + length], trajectory_id=sample.sample_id
     ).subsampled(keep_every)
 
-    batch = parity_lhmm.match(trajectory)
-    online = OnlineLHMM(parity_lhmm, lag=len(trajectory), context_window=len(trajectory))
+    saved_impl = parity_lhmm.config.trellis_impl
+    parity_lhmm.config.trellis_impl = impl
+    try:
+        batch = parity_lhmm.match(trajectory)
+        online = OnlineLHMM(
+            parity_lhmm, lag=len(trajectory), context_window=len(trajectory)
+        )
+        for point in trajectory.points:
+            online.add_point(point)
+        # With lag >= n nothing may commit before finish: the whole
+        # trajectory is still pending (the latency cost of full-batch
+        # accuracy).
+        assert online.pending_points() == len(trajectory)
+        assert online.committed_path == []
 
-    for point in trajectory.points:
-        online.add_point(point)
-    # With lag >= n nothing may commit before finish: the whole trajectory
-    # is still pending (the latency cost of full-batch accuracy).
-    assert online.pending_points() == len(trajectory)
-    assert online.committed_path == []
-
-    assert online.finish() == batch.path
+        assert online.finish() == batch.path
+    finally:
+        parity_lhmm.config.trellis_impl = saved_impl
 
 
 @settings(

@@ -1,0 +1,262 @@
+"""Differential suite: the vectorized trellis must equal the reference.
+
+The reference dict-based :class:`~repro.core.trellis.Trellis` is the oracle;
+:class:`~repro.core.trellis.VectorizedTrellis` must decode the *same*
+sequence with the same tie-breaking, the same forward tables, the same
+shortcut insertions, and the same disconnected-lattice restart behaviour —
+on randomized lattices, on router-backed heuristic matchers (both the
+Dijkstra engine and the UBODT table router), and through the full LHMM.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.hmm_heuristic import HeuristicHmmConfig, HeuristicHmmMatcher
+from repro.core.trellis import (
+    TRELLIS_IMPLS,
+    UNREACHABLE_SCORE,
+    Trellis,
+    VectorizedTrellis,
+    make_trellis,
+)
+from repro.network import ShortestPathEngine, Ubodt, UbodtRouter
+from tests.test_core_trellis import TableScorer, chain_network, points
+
+N_SEGMENTS = 8
+SHORTCUT_KS = (0, 1, 2)
+
+
+class BatchTableScorer(TableScorer):
+    """Table scorer that also implements the batched protocol.
+
+    The batch methods return exactly the scalar floats, which is the
+    contract :class:`~repro.core.trellis.BatchTrellisScorer` demands.
+    """
+
+    def observation_batch(self, index, segment_ids):
+        return np.array(
+            [self.observation(index, seg) for seg in segment_ids], dtype=np.float64
+        )
+
+    def transition_batch(self, index, prev_segment_ids, segment_ids):
+        return np.array(
+            [
+                [self.transition(index, prev, seg) for seg in segment_ids]
+                for prev in prev_segment_ids
+            ],
+            dtype=np.float64,
+        )
+
+
+def random_lattice(seed: int):
+    """A randomized trellis instance over the chain network.
+
+    Scores come from a small discrete set so ties are common; some cases
+    sever a whole layer (every transition unreachable) to exercise the
+    restart path; candidate-set sizes vary from 1 up, and trajectories may
+    be a single point.
+    """
+    rng = np.random.default_rng(seed)
+    n_points = int(rng.integers(1, 7))
+    candidate_sets = [
+        sorted(
+            rng.choice(N_SEGMENTS, size=int(rng.integers(1, 5)), replace=False).tolist()
+        )
+        for _ in range(n_points)
+    ]
+    levels = np.array([0.1, 0.25, 0.25, 0.5, 0.5, 0.5, 0.9])
+    obs = {
+        (i, s): float(rng.choice(levels))
+        for i in range(n_points)
+        for s in range(N_SEGMENTS)
+    }
+    trans = {
+        (i, a, b): float(rng.choice(levels))
+        for i in range(1, n_points)
+        for a in range(N_SEGMENTS)
+        for b in range(N_SEGMENTS)
+    }
+    if n_points >= 2 and rng.random() < 0.4:
+        # Sever one layer entirely: the forward pass then rides on the
+        # UNREACHABLE penalty and both backends must degrade identically.
+        cut = int(rng.integers(1, n_points))
+        for a in range(N_SEGMENTS):
+            for b in range(N_SEGMENTS):
+                trans[(cut, a, b)] = UNREACHABLE_SCORE
+    return n_points, candidate_sets, obs, trans
+
+
+def run_impl(impl, candidate_sets, scorer, shortcut_k, net, engine, pts):
+    trellis = make_trellis(
+        [list(c) for c in candidate_sets], scorer, net, engine, pts, impl=impl
+    )
+    sequence = trellis.run(shortcut_k=shortcut_k)
+    return trellis, sequence
+
+
+def assert_trellis_equal(ref: Trellis, vec: Trellis, ref_seq, vec_seq):
+    """Full-state equality: decode, scores, tables, candidate sets."""
+    assert vec_seq == ref_seq
+    assert vec.best_score == ref.best_score
+    assert vec.candidate_sets == ref.candidate_sets
+    assert vec._f == ref._f
+    assert vec._pre == ref._pre
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("shortcut_k", SHORTCUT_KS)
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_lattices(self, seed, shortcut_k):
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        n_points, candidate_sets, obs, trans = random_lattice(seed)
+        pts = points(n_points)
+        ref, ref_seq = run_impl(
+            "reference", candidate_sets, TableScorer(obs, trans), shortcut_k,
+            net, engine, pts,
+        )
+        vec, vec_seq = run_impl(
+            "vectorized", candidate_sets, TableScorer(obs, trans), shortcut_k,
+            net, engine, pts,
+        )
+        assert_trellis_equal(ref, vec, ref_seq, vec_seq)
+
+    @pytest.mark.parametrize("shortcut_k", SHORTCUT_KS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_lattices_batched_scorer(self, seed, shortcut_k):
+        """The batched-scorer fast path must also match the scalar oracle."""
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        n_points, candidate_sets, obs, trans = random_lattice(seed)
+        pts = points(n_points)
+        ref, ref_seq = run_impl(
+            "reference", candidate_sets, TableScorer(obs, trans), shortcut_k,
+            net, engine, pts,
+        )
+        vec, vec_seq = run_impl(
+            "vectorized", candidate_sets, BatchTableScorer(obs, trans), shortcut_k,
+            net, engine, pts,
+        )
+        assert_trellis_equal(ref, vec, ref_seq, vec_seq)
+
+    def test_all_tied_scores_pick_first_candidate(self):
+        """Uniform scores: both backends must break every tie the same way
+        (first candidate in set order wins)."""
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        candidate_sets = [[3, 1, 5], [2, 6, 0], [4, 7, 1]]
+        scorer = TableScorer(default_obs=0.5, default_trans=0.5)
+        pts = points(3)
+        for k in SHORTCUT_KS:
+            ref, ref_seq = run_impl(
+                "reference", candidate_sets, TableScorer(default_obs=0.5, default_trans=0.5),
+                k, net, engine, pts,
+            )
+            vec, vec_seq = run_impl(
+                "vectorized", candidate_sets, TableScorer(default_obs=0.5, default_trans=0.5),
+                k, net, engine, pts,
+            )
+            assert_trellis_equal(ref, vec, ref_seq, vec_seq)
+            assert ref_seq[0] == candidate_sets[0][0]
+
+    def test_single_point_trajectory(self):
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        obs = {(0, 2): 0.9, (0, 5): 0.4}
+        for impl in TRELLIS_IMPLS:
+            trellis, seq = run_impl(
+                impl, [[5, 2]], TableScorer(obs), 1, net, engine, points(1)
+            )
+            assert seq == [2]
+
+    def test_single_candidate_layers(self):
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        candidate_sets = [[1], [3], [6]]
+        pts = points(3)
+        for k in SHORTCUT_KS:
+            ref, ref_seq = run_impl(
+                "reference", candidate_sets, TableScorer(), k, net, engine, pts
+            )
+            vec, vec_seq = run_impl(
+                "vectorized", candidate_sets, TableScorer(), k, net, engine, pts
+            )
+            assert_trellis_equal(ref, vec, ref_seq, vec_seq)
+
+    def test_make_trellis_selects_backend(self):
+        net = chain_network(N_SEGMENTS)
+        engine = ShortestPathEngine(net)
+        ref = make_trellis([[0]], TableScorer(), net, engine, points(1), impl="reference")
+        vec = make_trellis([[0]], TableScorer(), net, engine, points(1), impl="vectorized")
+        assert type(ref) is Trellis
+        assert type(vec) is VectorizedTrellis
+        with pytest.raises(ValueError):
+            make_trellis([[0]], TableScorer(), net, engine, points(1), impl="numpy")
+
+
+class TestRouterBackedParity:
+    """Heuristic-HMM matching: both backends, both routers, k in {0, 1, 2}."""
+
+    @pytest.fixture(scope="class")
+    def ubodt_router(self, tiny_dataset):
+        network = tiny_dataset.network
+        table = Ubodt.build(network, delta_m=2000.0)
+        return UbodtRouter(network, table, fallback=ShortestPathEngine(network))
+
+    def _match_all(self, dataset, router, impl, shortcut_k, trajectories):
+        config = HeuristicHmmConfig(shortcut_k=shortcut_k, trellis_impl=impl)
+        matcher = HeuristicHmmMatcher(dataset, config, router=router)
+        return [matcher.match(t) for t in trajectories]
+
+    @pytest.mark.parametrize("shortcut_k", SHORTCUT_KS)
+    def test_dijkstra_router_parity(self, tiny_dataset, shortcut_k):
+        trajectories = [s.cellular for s in tiny_dataset.samples[:8]]
+        router = ShortestPathEngine(tiny_dataset.network)
+        ref = self._match_all(tiny_dataset, router, "reference", shortcut_k, trajectories)
+        vec = self._match_all(tiny_dataset, router, "vectorized", shortcut_k, trajectories)
+        for a, b in zip(ref, vec):
+            assert b.matched_sequence == a.matched_sequence
+            assert b.path == a.path
+            assert b.candidate_sets == a.candidate_sets
+
+    @pytest.mark.parametrize("shortcut_k", SHORTCUT_KS)
+    def test_ubodt_router_parity(self, tiny_dataset, ubodt_router, shortcut_k):
+        trajectories = [s.cellular for s in tiny_dataset.samples[:8]]
+        ref = self._match_all(
+            tiny_dataset, ubodt_router, "reference", shortcut_k, trajectories
+        )
+        vec = self._match_all(
+            tiny_dataset, ubodt_router, "vectorized", shortcut_k, trajectories
+        )
+        for a, b in zip(ref, vec):
+            assert b.matched_sequence == a.matched_sequence
+            assert b.path == a.path
+            assert b.candidate_sets == a.candidate_sets
+
+
+class TestLHMMParity:
+    """Full-matcher differential test on the fitted session LHMM."""
+
+    def test_match_identical_across_backends(self, trained_lhmm, tiny_dataset):
+        matcher = trained_lhmm
+        trajectories = [s.cellular for s in tiny_dataset.test[:6]]
+        saved_impl = matcher.config.trellis_impl
+        saved_degradation = matcher.degradation_enabled
+        results: dict[str, list] = {}
+        try:
+            matcher.degradation_enabled = False
+            for impl in TRELLIS_IMPLS:
+                matcher.config.trellis_impl = impl
+                results[impl] = [matcher.match(t) for t in trajectories]
+        finally:
+            matcher.config.trellis_impl = saved_impl
+            matcher.degradation_enabled = saved_degradation
+        for ref, vec in zip(results["reference"], results["vectorized"]):
+            assert vec.matched_sequence == ref.matched_sequence
+            assert vec.path == ref.path
+            assert vec.score == ref.score
+            assert vec.candidate_sets == ref.candidate_sets
