@@ -59,6 +59,15 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--candidates", type=int, default=12, help="candidate count k")
     train.add_argument("--variant", default="LHMM",
                        help="ablation variant (LHMM, LHMM-E, LHMM-H, LHMM-O, LHMM-T, LHMM-S)")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="durably checkpoint training state here after every "
+                            "epoch (survives SIGKILL; see --resume)")
+    train.add_argument("--resume", action="store_true",
+                       help="continue from the newest intact checkpoint in "
+                            "--checkpoint-dir instead of starting over; the "
+                            "resumed run is bit-identical to an uninterrupted one")
+    train.add_argument("--keep-checkpoints", type=int, default=3,
+                       help="newest checkpoints to retain in --checkpoint-dir")
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = commands.add_parser("evaluate", help="evaluate a model or baseline")
@@ -202,6 +211,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import LHMM, LHMMConfig
     from repro.datasets import load_dataset
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset)
     config = LHMMConfig(
         embedding_dim=args.dim,
@@ -209,7 +221,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         candidate_k=args.candidates,
         epochs=args.epochs,
     ).ablated(args.variant)
-    matcher = LHMM(config, rng=args.seed).fit(dataset)
+    matcher = LHMM(config, rng=args.seed).fit(
+        dataset,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        keep_checkpoints=args.keep_checkpoints,
+    )
     matcher.save(args.output)
     report = matcher.report
     print(
@@ -349,6 +366,33 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_reload_signal(server) -> None:
+    """SIGHUP → hot-reload the model, off the signal handler's thread.
+
+    The reload itself (artifact load + canary) runs on a worker thread so
+    the handler returns immediately; a failed reload logs and leaves the
+    old model serving — exactly like the HTTP endpoint.
+    """
+    import signal
+    import threading
+
+    def _reload_async(*_signal_args) -> None:
+        def _run() -> None:
+            try:
+                info = server.reload_model()
+                print(f"SIGHUP: reloaded model (generation {info['generation']})")
+            except Exception as error:  # noqa: BLE001 - keep serving
+                print(f"SIGHUP: model reload failed, keeping old model: {error}",
+                      file=sys.stderr)
+
+        threading.Thread(target=_run, name="repro-serve-reload", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGHUP, _reload_async)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LHMM
     from repro.datasets import load_dataset
@@ -385,13 +429,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
     )
-    server = MatchingServer(matcher, config, pool=pool)
+    server = MatchingServer(
+        matcher, config, pool=pool, model_path=args.model, dataset=dataset
+    )
+    _install_reload_signal(server)
     print(
         f"serving {Path(args.model).name} over {dataset.name!r} at "
         f"{server.address} (router={args.router}, workers={args.workers})"
     )
     print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
-          "DELETE /v1/sessions/<id>, POST /v1/match, GET /healthz, GET /metrics")
+          "DELETE /v1/sessions/<id>, POST /v1/match, "
+          "POST /v1/admin/reload-model, GET /healthz, GET /metrics")
+    print("hot reload: POST /v1/admin/reload-model or send SIGHUP after "
+          "replacing the model file")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -419,9 +469,30 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Operator-facing failures — a missing, corrupt, or incompatible model
+    artifact, a diverged training run — exit with code 2 and a one-line
+    structured error (``error [<code>]: ...`` plus a remediation hint),
+    never a traceback.  Genuine bugs still traceback.
+    """
+    from repro.errors import ReproError
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as error:
+        filename = getattr(error, "filename", None) or error
+        print(f"error [not_found]: {filename}", file=sys.stderr)
+        print("hint: check the path; train a model with `python -m repro train` "
+              "or generate a dataset with `python -m repro generate`",
+              file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

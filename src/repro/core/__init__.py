@@ -16,6 +16,7 @@ Public entry points:
   the differential tests compare the vectorized kernel against.
 """
 
+from repro.core.checkpoint import CheckpointManager
 from repro.core.config import LHMMConfig
 from repro.core.relation_graph import RelationGraph
 from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
@@ -36,6 +37,7 @@ __all__ = [
     "LHMM",
     "OnlineLHMM",
     "ParallelMatcher",
+    "CheckpointManager",
     "LHMMConfig",
     "RelationGraph",
     "HetGraphEncoder",

@@ -1,0 +1,136 @@
+"""Durable training checkpoints: atomic writes, retention, corruption skip.
+
+A :class:`CheckpointManager` owns one directory of numbered checkpoint
+artifacts (``ckpt-00000042.npz``).  Each checkpoint is a versioned,
+checksummed envelope (:mod:`repro.nn.serialization`) holding arbitrary
+arrays plus a JSON ``meta`` mapping — the trainer stores stage/epoch
+cursors, weights, optimizer state, RNG state, and loss history there.
+
+Guarantees:
+
+* **Atomicity** — a checkpoint either exists completely or not at all
+  (write-to-temp + fsync + ``os.replace``); a SIGKILL mid-save cannot
+  leave a half-written newest checkpoint.
+* **Retention** — only the newest ``keep`` checkpoints are kept; older
+  ones are pruned after each successful save.
+* **Corruption skip** — :meth:`load_latest` verifies checksums and falls
+  back to the previous good checkpoint (with a ``UserWarning``) when the
+  newest one is damaged on disk.
+* **Compatibility** — a manager constructed with a config fingerprint
+  refuses (``ArtifactIncompatible``) to resume checkpoints written under
+  a different configuration, instead of silently continuing a different
+  training run.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ArtifactCorrupt, ArtifactIncompatible
+from repro.nn.serialization import read_artifact, write_artifact
+
+CHECKPOINT_KIND = "lhmm-checkpoint"
+
+_NAME_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointManager:
+    """Numbered, validated checkpoints in one directory.
+
+    Args:
+        directory: Where checkpoints live; created if missing.
+        keep: How many of the newest checkpoints to retain (>= 1).
+        config_fingerprint: When given, stored in every checkpoint and
+            required to match on load — a mismatch raises
+            :class:`~repro.errors.ArtifactIncompatible`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 3,
+        config_fingerprint: str | None = None,
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.config_fingerprint = config_fingerprint
+        self._counter = max(
+            (number for number, _ in self._numbered()), default=-1
+        )
+
+    # ------------------------------------------------------------------ paths
+    def _numbered(self) -> list[tuple[int, Path]]:
+        """``(number, path)`` of every checkpoint file, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            match = _NAME_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def checkpoints(self) -> list[Path]:
+        """Checkpoint paths, oldest first."""
+        return [path for _, path in self._numbered()]
+
+    # ------------------------------------------------------------------- save
+    def save(self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]) -> Path:
+        """Atomically write the next checkpoint; prunes beyond ``keep``."""
+        meta = dict(meta)
+        if self.config_fingerprint is not None:
+            meta["config_fingerprint"] = self.config_fingerprint
+        self._counter += 1
+        path = self.directory / f"ckpt-{self._counter:08d}.npz"
+        write_artifact(path, arrays, kind=CHECKPOINT_KIND, meta=meta)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        numbered = self._numbered()
+        for _, path in numbered[: max(0, len(numbered) - self.keep)]:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------- load
+    def load_latest(self) -> tuple[dict[str, np.ndarray], dict[str, Any]] | None:
+        """The newest *intact* checkpoint as ``(arrays, meta)``.
+
+        A corrupt newest checkpoint is skipped with a warning and the
+        previous good one is returned; ``None`` when no usable checkpoint
+        exists.  A checkpoint written under a different configuration
+        fingerprint raises ``ArtifactIncompatible`` — that is operator
+        error, not corruption, and must not be silently skipped.
+        """
+        for _, path in reversed(self._numbered()):
+            try:
+                artifact = read_artifact(path, kind=CHECKPOINT_KIND)
+            except ArtifactCorrupt as error:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {path.name}: {error}",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                continue
+            meta = artifact.meta
+            stored = meta.get("config_fingerprint")
+            if (
+                self.config_fingerprint is not None
+                and stored is not None
+                and stored != self.config_fingerprint
+            ):
+                raise ArtifactIncompatible(
+                    f"checkpoint {path} was written under config fingerprint "
+                    f"{stored} but this run uses {self.config_fingerprint}; "
+                    "use a fresh --checkpoint-dir or matching settings"
+                )
+            return artifact.arrays, meta
+        return None
+
+
+__all__ = ["CheckpointManager", "CHECKPOINT_KIND"]

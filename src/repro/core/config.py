@@ -38,6 +38,17 @@ class LHMMConfig:
         negatives_per_positive: Negative roads sampled per positive in the
             observation classification stage (under-sampling balance).
 
+    Divergence handling (``docs/robustness.md``):
+        max_rollbacks: How many times a diverged run may roll back to its
+            last good checkpoint before :class:`~repro.errors.TrainingDiverged`
+            propagates to the caller.
+        rollback_lr_factor: Learning-rate multiplier applied on every
+            rollback (must be in (0, 1]).
+        divergence_grad_norm: Gradient-norm ceiling per step; a step whose
+            global L2 gradient norm exceeds it (or is non-finite) counts
+            as divergence.  ``0`` disables the magnitude check — the
+            NaN/inf checks always stay on.
+
     Ablations (Table III):
         use_graph_encoder: ``False`` gives LHMM-E (plain MLP embedding).
         heterogeneous: ``False`` gives LHMM-H (relation-blind GCN).
@@ -62,6 +73,10 @@ class LHMMConfig:
     weight_decay: float = 1e-4
     label_smoothing: float = 0.1
     negatives_per_positive: int = 8
+
+    max_rollbacks: int = 2
+    rollback_lr_factor: float = 0.5
+    divergence_grad_norm: float = 1e6
 
     use_graph_encoder: bool = True
     heterogeneous: bool = True
@@ -112,6 +127,12 @@ class LHMMConfig:
             raise ValueError("invalid training settings")
         if not 0.0 <= self.label_smoothing < 1.0:
             raise ValueError("label_smoothing must be in [0, 1)")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if not 0.0 < self.rollback_lr_factor <= 1.0:
+            raise ValueError("rollback_lr_factor must be in (0, 1]")
+        if self.divergence_grad_norm < 0:
+            raise ValueError("divergence_grad_norm must be >= 0 (0 disables)")
 
     def ablated(self, variant: str) -> "LHMMConfig":
         """The Table III variant named ``variant``.

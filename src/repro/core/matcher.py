@@ -15,9 +15,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
-from repro.errors import InvalidTrajectoryInput, MatchError, MatchFailure, WorkerCrash
+from repro.errors import (
+    ArtifactIncompatible,
+    InvalidTrajectoryInput,
+    MatchError,
+    MatchFailure,
+    WorkerCrash,
+)
 from repro.testing import faults
 from repro.core.candidates import learned_candidate_pool
+from repro.core.checkpoint import CheckpointManager
 from repro.core.config import LHMMConfig
 from repro.core.features import observation_feature_matrix, transition_features
 from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
@@ -27,7 +34,8 @@ from repro.core.training import LHMMTrainer, TrainingReport
 from repro.core.transition import TransitionLearner
 from repro.core.trellis import UNREACHABLE_SCORE, make_trellis
 from repro.datasets.dataset import MatchingDataset, MatchingSample
-from repro.nn import Tensor, no_grad
+from repro.nn import StateDictMismatch, Tensor, no_grad
+from repro.nn.serialization import config_fingerprint, read_artifact, write_artifact
 from repro.network.router import Router, route_pairs
 from repro.network.shortest_path import stitch_segments
 from repro.utils import derive_rng, ensure_rng
@@ -228,8 +236,20 @@ class LHMM:
         self,
         dataset: MatchingDataset,
         train_samples: list[MatchingSample] | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        keep_checkpoints: int = 3,
     ) -> "LHMM":
-        """Train on ``dataset`` (``train_samples`` overrides the train split)."""
+        """Train on ``dataset`` (``train_samples`` overrides the train split).
+
+        With ``checkpoint_dir``, training state is durably checkpointed
+        after every epoch and — when ``resume`` is true — a killed run
+        continues from the newest intact checkpoint, producing weights
+        bit-identical to an uninterrupted run (``docs/robustness.md``).
+        The checkpoints carry this config's fingerprint; resuming under a
+        different configuration raises
+        :class:`~repro.errors.ArtifactIncompatible`.
+        """
         cfg = self.config
         samples = train_samples if train_samples is not None else dataset.train
         self.network = dataset.network
@@ -269,7 +289,16 @@ class LHMM:
             self.engine,
             rng=derive_rng(self._rng, "training"),
         )
-        self.report = trainer.train(samples)
+        checkpoint = None
+        if checkpoint_dir is not None:
+            import dataclasses
+
+            checkpoint = CheckpointManager(
+                checkpoint_dir,
+                keep=keep_checkpoints,
+                config_fingerprint=config_fingerprint(dataclasses.asdict(cfg)),
+            )
+        self.report = trainer.train(samples, checkpoint=checkpoint, resume=resume)
         self.node_embeddings = trainer.node_embeddings
         self.encoder.eval()
         self.observation_learner.eval()
@@ -607,8 +636,11 @@ class LHMM:
         return slots
 
     # ------------------------------------------------------------ persistence
+    #: Envelope kind tag of serialised LHMM models.
+    MODEL_KIND = "lhmm-model"
+
     def save(self, path) -> None:
-        """Persist a fitted matcher to one ``.npz`` archive.
+        """Persist a fitted matcher as a validated ``.npz`` artifact.
 
         Stores the cached node embeddings, both learners' weights, the
         mined relation-graph counts (needed for explicit features and
@@ -616,18 +648,17 @@ class LHMM:
         towers are *not* stored — :meth:`load` takes the dataset they live
         in, matching how a deployment would keep the (large, static) map
         separate from the (small, trained) model.
+
+        The archive is a versioned envelope (``repro.nn.serialization``):
+        every array is checksummed in an embedded manifest, the write is
+        atomic, and the bytes are deterministic — saving the same fitted
+        matcher twice yields identical files.
         """
         import dataclasses
-        import json
 
         self._require_fit()
         assert self.graph is not None
-        payload: dict[str, np.ndarray] = {
-            "node_embeddings": self.node_embeddings,
-            "config_json": np.frombuffer(
-                json.dumps(dataclasses.asdict(self.config)).encode(), dtype=np.uint8
-            ),
-        }
+        payload: dict[str, np.ndarray] = {"node_embeddings": self.node_embeddings}
         payload.update(
             {f"graph.{k}": v for k, v in self.graph.mining_state().items()}
         )
@@ -637,27 +668,66 @@ class LHMM:
         payload.update(
             {f"trans.{k}": v for k, v in self.transition_learner.state_dict().items()}
         )
-        np.savez(path, **payload)
+        write_artifact(
+            path,
+            payload,
+            kind=self.MODEL_KIND,
+            meta={"config": dataclasses.asdict(self.config)},
+        )
 
     @classmethod
     def load(cls, path, dataset: MatchingDataset) -> "LHMM":
-        """Restore a matcher saved by :meth:`save` onto ``dataset``'s map."""
+        """Restore a matcher saved by :meth:`save` onto ``dataset``'s map.
+
+        Raises:
+            FileNotFoundError: no file at ``path``.
+            ArtifactCorrupt: the archive is damaged (truncated, flipped
+                byte, checksum/shape/dtype disagreement).
+            ArtifactIncompatible: intact but unusable here — wrong
+                artifact kind, unsupported format version, or a model
+                trained for a different map/configuration than
+                ``dataset`` provides.
+
+        Legacy archives written by older builds (bare ``np.savez`` with a
+        ``config_json`` array) still load, behind a ``UserWarning``.
+        """
         import json
 
-        with np.load(path) as archive:
-            config_dict = json.loads(bytes(archive["config_json"].tobytes()).decode())
+        artifact = read_artifact(path, kind=cls.MODEL_KIND, allow_legacy=True)
+        arrays = artifact.arrays
+        if artifact.manifest is not None:
+            config_dict = artifact.meta.get("config")
+            if not isinstance(config_dict, dict):
+                raise ArtifactIncompatible(
+                    f"{path}: artifact manifest carries no model configuration"
+                )
+        else:  # legacy bare .npz: config travels as a uint8 JSON array
+            if "config_json" not in arrays:
+                raise ArtifactIncompatible(
+                    f"{path}: archive has neither a manifest nor a legacy "
+                    "config_json entry — not an LHMM model"
+                )
+            config_dict = json.loads(bytes(arrays["config_json"].tobytes()).decode())
+        try:
             config = LHMMConfig(**config_dict)
-            matcher = cls(config)
-            matcher.network = dataset.network
-            matcher.engine = dataset.engine
-            matcher.graph = RelationGraph(dataset.network, dataset.towers)
+            config.validate()
+        except (TypeError, ValueError) as error:
+            raise ArtifactIncompatible(
+                f"{path}: stored configuration is not usable by this build "
+                f"({error})"
+            ) from error
+        matcher = cls(config)
+        matcher.network = dataset.network
+        matcher.engine = dataset.engine
+        matcher.graph = RelationGraph(dataset.network, dataset.towers)
+        try:
             matcher.graph.load_mining_state(
                 {
-                    "co_counts": archive["graph.co_counts"],
-                    "sq_counts": archive["graph.sq_counts"],
+                    "co_counts": arrays["graph.co_counts"],
+                    "sq_counts": arrays["graph.sq_counts"],
                 }
             )
-            matcher.node_embeddings = archive["node_embeddings"]
+            matcher.node_embeddings = arrays["node_embeddings"]
             matcher.observation_learner = ObservationLearner(
                 dim=config.embedding_dim,
                 hidden=config.mlp_hidden,
@@ -666,8 +736,8 @@ class LHMM:
             )
             matcher.observation_learner.load_state_dict(
                 {
-                    k[len("obs.") :]: archive[k]
-                    for k in archive.files
+                    k[len("obs.") :]: arrays[k]
+                    for k in arrays
                     if k.startswith("obs.")
                 }
             )
@@ -678,11 +748,17 @@ class LHMM:
             )
             matcher.transition_learner.load_state_dict(
                 {
-                    k[len("trans.") :]: archive[k]
-                    for k in archive.files
+                    k[len("trans.") :]: arrays[k]
+                    for k in arrays
                     if k.startswith("trans.")
                 }
             )
+        except (StateDictMismatch, KeyError, ValueError) as error:
+            raise ArtifactIncompatible(
+                f"{path}: model does not fit this build or map "
+                f"({type(error).__name__}: {error}); was it trained on a "
+                "different dataset or package version?"
+            ) from error
         matcher.observation_learner.eval()
         matcher.transition_learner.eval()
         return matcher

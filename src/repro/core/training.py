@@ -12,25 +12,41 @@ The paper trains each learner in two stages:
   the trajectory (binary cross-entropy) on top of the *frozen* embeddings;
   (2) fine-tuning of the fusion MLP to predict the ratio of traveled roads
   in sampled moving paths.
+
+Durability (``docs/robustness.md``): the four stages run under a single
+epoch-cursor driver.  With a :class:`~repro.core.checkpoint.CheckpointManager`
+attached, the driver persists per-stage state after every epoch — stage
+and epoch cursors, all module weights, optimizer slots, the RNG state,
+the loss history, and any per-stage training data — so a killed run
+resumed from its checkpoint directory produces a final model
+*bit-identical* to an uninterrupted one.  A divergence guard around every
+gradient step (non-finite loss, non-finite/exploding gradient norm)
+rolls training back to the last good checkpoint with a reduced learning
+rate, bounded by ``LHMMConfig.max_rollbacks``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.candidates import learned_candidate_pool, spatial_candidate_pool
+from repro.core.checkpoint import CheckpointManager
 from repro.core.config import LHMMConfig
 from repro.core.features import observation_feature_matrix, transition_features
 from repro.core.observation import ObservationLearner
 from repro.core.relation_graph import RelationGraph
 from repro.core.transition import TransitionLearner
 from repro.datasets.dataset import MatchingSample
+from repro.errors import TrainingDiverged
 from repro.nn import Adam, Module, Tensor, no_grad
 from repro.nn.functional import stack
 from repro.nn.loss import binary_cross_entropy_with_logits, cross_entropy_with_label_smoothing
 from repro.network.shortest_path import ShortestPathEngine
+from repro.testing import faults
 from repro.utils import ensure_rng
 
 
@@ -65,6 +81,33 @@ def _point_positive_roads(
     return pairs
 
 
+@dataclass(slots=True)
+class _StageRuntime:
+    """Live per-stage state: the optimizer and checkpoint-persisted data."""
+
+    optimizer: Adam
+    data: dict[str, np.ndarray]
+
+
+@dataclass(slots=True)
+class _StageSpec:
+    """One training stage under the epoch-cursor driver.
+
+    ``prepare`` builds the optimizer (RNG-free; ``None`` skips the
+    stage), ``collect`` gathers per-stage training data (may consume
+    RNG; ``None`` skips the stage), ``epoch`` runs one epoch and returns
+    its step losses, ``finish`` runs once when the stage completes.
+    """
+
+    name: str
+    report_field: str
+    epochs: int
+    prepare: Callable[[], Adam | None]
+    collect: Callable[[], dict[str, np.ndarray] | None]
+    epoch: Callable[[_StageRuntime, int], list[float]]
+    finish: Callable[[], None] | None = None
+
+
 class LHMMTrainer:
     """Runs the four-stage training procedure and caches final embeddings."""
 
@@ -89,20 +132,346 @@ class LHMMTrainer:
         # Candidate pools are repeatedly needed for the same points across
         # epochs and stages; cache them per (sample, point).
         self._pool_cache: dict[tuple[int, int], list[int]] = {}
+        # Divergence-rollback bookkeeping (persisted in checkpoints).
+        self._rollbacks = 0
+        self._lr_scale = 1.0
 
     # ----------------------------------------------------------------- driver
-    def train(self, samples: list[MatchingSample]) -> TrainingReport:
-        """Run all stages on ``samples``; returns the loss report."""
+    def train(
+        self,
+        samples: list[MatchingSample],
+        checkpoint: CheckpointManager | None = None,
+        resume: bool = True,
+    ) -> TrainingReport:
+        """Run all stages on ``samples``; returns the loss report.
+
+        With ``checkpoint`` attached, state is persisted after every
+        epoch and — when ``resume`` is true and the directory holds a
+        usable checkpoint — training continues mid-stage from it instead
+        of starting over.  A resumed run is bit-identical to an
+        uninterrupted one: the RNG state travels in the checkpoint.
+        """
         samples = [s for s in samples if len(s.cellular) >= 2 and s.truth_path]
         if not samples:
             raise ValueError("no usable training samples")
         report = TrainingReport()
-        report.observation_pretrain = self._train_observation_pretrain(samples)
-        self._freeze_embeddings()
-        report.observation_finetune = self._train_observation_finetune(samples)
-        report.transition_pretrain = self._train_transition_pretrain(samples)
-        report.transition_finetune = self._train_transition_finetune(samples)
+        specs = self._stage_specs(samples)
+        stage_idx, epoch_idx = 0, 0
+        runtime: _StageRuntime | None = None
+        resumed = False
+        if checkpoint is not None and resume:
+            loaded = checkpoint.load_latest()
+            if loaded is not None:
+                stage_idx, epoch_idx, runtime = self._restore(
+                    loaded[0], loaded[1], specs, report
+                )
+                resumed = True
+        if checkpoint is not None and not resumed:
+            # An epoch-0 anchor so the very first epoch has a rollback target.
+            checkpoint.save(
+                self._snapshot_arrays(None), self._snapshot_meta(0, 0, None, report)
+            )
+        while stage_idx < len(specs):
+            spec = specs[stage_idx]
+            if runtime is None:
+                optimizer = spec.prepare()
+                data = spec.collect() if optimizer is not None else None
+                if optimizer is None or data is None:
+                    # Nothing to train in this stage (ablated learner or
+                    # no usable data): its report list stays empty.
+                    if spec.finish is not None:
+                        spec.finish()
+                    stage_idx += 1
+                    epoch_idx = 0
+                    continue
+                if self._lr_scale != 1.0:
+                    optimizer.lr *= self._lr_scale
+                runtime = _StageRuntime(optimizer=optimizer, data=data)
+            if epoch_idx >= spec.epochs:
+                if spec.finish is not None:
+                    spec.finish()
+                stage_idx += 1
+                epoch_idx = 0
+                runtime = None
+                continue
+            faults.fire("train.epoch", stage=spec.name, epoch=epoch_idx)
+            try:
+                losses = spec.epoch(runtime, epoch_idx)
+            except TrainingDiverged as error:
+                stage_idx, epoch_idx, runtime = self._roll_back(
+                    checkpoint, specs, report, error
+                )
+                continue
+            getattr(report, spec.report_field).extend(losses)
+            epoch_idx += 1
+            if checkpoint is not None:
+                checkpoint.save(
+                    self._snapshot_arrays(runtime),
+                    self._snapshot_meta(stage_idx, epoch_idx, runtime, report),
+                )
         return report
+
+    def _roll_back(
+        self,
+        checkpoint: CheckpointManager | None,
+        specs: list[_StageSpec],
+        report: TrainingReport,
+        error: TrainingDiverged,
+    ) -> tuple[int, int, _StageRuntime | None]:
+        """Restore the last good checkpoint with a reduced learning rate."""
+        if checkpoint is None:
+            raise TrainingDiverged(
+                f"{error} (no checkpoint directory attached — cannot roll back)"
+            ) from error
+        if self._rollbacks >= self.config.max_rollbacks:
+            raise TrainingDiverged(
+                f"{error}; rollback budget exhausted "
+                f"({self.config.max_rollbacks} rollbacks)"
+            ) from error
+        loaded = checkpoint.load_latest()
+        if loaded is None:
+            raise TrainingDiverged(
+                f"{error} (no checkpoint on disk to roll back to)"
+            ) from error
+        stage_idx, epoch_idx, runtime = self._restore(
+            loaded[0], loaded[1], specs, report
+        )
+        self._rollbacks += 1
+        self._lr_scale *= self.config.rollback_lr_factor
+        if runtime is not None:
+            runtime.optimizer.lr *= self.config.rollback_lr_factor
+        return stage_idx, epoch_idx, runtime
+
+    # --------------------------------------------------------------- snapshot
+    def _snapshot_arrays(self, runtime: _StageRuntime | None) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for prefix, module in (
+            ("weights.encoder", self.encoder),
+            ("weights.obs", self.observation),
+            ("weights.trans", self.transition),
+        ):
+            for key, value in module.state_dict().items():
+                arrays[f"{prefix}.{key}"] = value
+        if self.node_embeddings is not None:
+            arrays["embeddings"] = self.node_embeddings
+        if runtime is not None:
+            for key, value in runtime.optimizer.state_dict().items():
+                arrays[f"opt.{key}"] = value
+            for key, value in runtime.data.items():
+                arrays[f"data.{key}"] = value
+        return arrays
+
+    def _snapshot_meta(
+        self,
+        stage_idx: int,
+        epoch_idx: int,
+        runtime: _StageRuntime | None,
+        report: TrainingReport,
+    ) -> dict:
+        return {
+            "stage": stage_idx,
+            "epochs_done": epoch_idx,
+            "has_runtime": runtime is not None,
+            "rollbacks": self._rollbacks,
+            "lr_scale": self._lr_scale,
+            "rng_state": self._rng.bit_generator.state,
+            "report": {
+                "observation_pretrain": report.observation_pretrain,
+                "observation_finetune": report.observation_finetune,
+                "transition_pretrain": report.transition_pretrain,
+                "transition_finetune": report.transition_finetune,
+            },
+        }
+
+    def _restore(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+        specs: list[_StageSpec],
+        report: TrainingReport,
+    ) -> tuple[int, int, _StageRuntime | None]:
+        """Load checkpoint state into the trainer; returns the cursor."""
+        for prefix, module in (
+            ("weights.encoder.", self.encoder),
+            ("weights.obs.", self.observation),
+            ("weights.trans.", self.transition),
+        ):
+            module.load_state_dict(
+                {
+                    key[len(prefix):]: value
+                    for key, value in arrays.items()
+                    if key.startswith(prefix)
+                }
+            )
+        self.node_embeddings = (
+            arrays["embeddings"].copy() if "embeddings" in arrays else None
+        )
+        self._rng.bit_generator.state = meta["rng_state"]
+        self._rollbacks = int(meta.get("rollbacks", 0))
+        self._lr_scale = float(meta.get("lr_scale", 1.0))
+        saved = meta.get("report", {})
+        for field_name in (
+            "observation_pretrain",
+            "observation_finetune",
+            "transition_pretrain",
+            "transition_finetune",
+        ):
+            target = getattr(report, field_name)
+            target.clear()
+            target.extend(float(x) for x in saved.get(field_name, []))
+        stage_idx = int(meta["stage"])
+        epoch_idx = int(meta["epochs_done"])
+        runtime: _StageRuntime | None = None
+        if meta.get("has_runtime"):
+            optimizer = specs[stage_idx].prepare()
+            if optimizer is None:  # pragma: no cover - checkpoint/config skew
+                raise TrainingDiverged(
+                    f"checkpoint resumes stage {specs[stage_idx].name!r} which "
+                    "this configuration skips"
+                )
+            optimizer.load_state_dict(
+                {
+                    key[len("opt."):]: value
+                    for key, value in arrays.items()
+                    if key.startswith("opt.")
+                }
+            )
+            data = {
+                key[len("data."):]: value.copy()
+                for key, value in arrays.items()
+                if key.startswith("data.")
+            }
+            runtime = _StageRuntime(optimizer=optimizer, data=data)
+        return stage_idx, epoch_idx, runtime
+
+    # ------------------------------------------------------------ stage specs
+    def _stage_specs(self, samples: list[MatchingSample]) -> list[_StageSpec]:
+        cfg = self.config
+        return [
+            _StageSpec(
+                name="observation_pretrain",
+                report_field="observation_pretrain",
+                epochs=cfg.epochs,
+                prepare=self._prepare_observation_pretrain,
+                collect=lambda: {"order": np.arange(len(samples))},
+                epoch=lambda rt, e: self._observation_pretrain_epoch(rt, samples, e),
+                finish=self._freeze_embeddings,
+            ),
+            _StageSpec(
+                name="observation_finetune",
+                report_field="observation_finetune",
+                epochs=max(1, cfg.epochs),
+                prepare=lambda: Adam(
+                    self.observation.fusion_mlp.parameters(),
+                    lr=cfg.learning_rate,
+                    weight_decay=cfg.weight_decay,
+                ),
+                collect=lambda: self._collect_stage_data(
+                    self._collect_observation_fusion_data, samples, "labels"
+                ),
+                epoch=lambda rt, e: self._fusion_epoch(
+                    rt,
+                    self.observation.fusion_mlp,
+                    "labels",
+                    cfg.label_smoothing,
+                    "observation_finetune",
+                    e,
+                ),
+            ),
+            _StageSpec(
+                name="transition_pretrain",
+                report_field="transition_pretrain",
+                epochs=cfg.epochs,
+                prepare=self._prepare_transition_pretrain,
+                collect=lambda: {"order": np.arange(len(samples))},
+                epoch=lambda rt, e: self._transition_pretrain_epoch(rt, samples, e),
+            ),
+            _StageSpec(
+                name="transition_finetune",
+                report_field="transition_finetune",
+                epochs=max(1, cfg.epochs),
+                prepare=lambda: Adam(
+                    self.transition.fusion_mlp.parameters(),
+                    lr=cfg.learning_rate,
+                    weight_decay=cfg.weight_decay,
+                ),
+                collect=lambda: self._collect_stage_data(
+                    self._collect_transition_fusion_data, samples, "targets"
+                ),
+                epoch=lambda rt, e: self._fusion_epoch(
+                    rt,
+                    self.transition.fusion_mlp,
+                    "targets",
+                    0.0,
+                    "transition_finetune",
+                    e,
+                ),
+            ),
+        ]
+
+    def _prepare_observation_pretrain(self) -> Adam:
+        params = self.encoder.parameters() + list(
+            self.observation.context_attention.parameters()
+        ) + list(self.observation.correlation_mlp.parameters())
+        # Note: this stage runs even under the LHMM-O ablation — it is the
+        # representation-learning task that trains the encoder, which the
+        # transition learner still depends on.  LHMM-O only removes the
+        # implicit score from the fusion input (Eq. 8).
+        return Adam(
+            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+
+    def _prepare_transition_pretrain(self) -> Adam | None:
+        if not self.transition.use_implicit:
+            return None
+        params = list(self.transition.road_attention.parameters()) + list(
+            self.transition.relevance_mlp.parameters()
+        )
+        return Adam(
+            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
+        )
+
+    def _collect_stage_data(
+        self, collector, samples: list[MatchingSample], label_key: str
+    ) -> dict[str, np.ndarray] | None:
+        features, labels = collector(samples)
+        if features is None:
+            return None
+        return {"features": features, label_key: np.asarray(labels)}
+
+    # ------------------------------------------------------- divergence guard
+    def _guarded_step(
+        self, optimizer: Adam, loss: Tensor, stage: str, epoch: int, step: int
+    ) -> float:
+        """Backward + step with NaN/inf and gradient-norm detection.
+
+        Raises :class:`~repro.errors.TrainingDiverged` on a non-finite
+        loss, a non-finite gradient norm, or a norm beyond
+        ``LHMMConfig.divergence_grad_norm`` — the driver rolls back to
+        the last good checkpoint with a reduced learning rate.
+        """
+        value = loss.item()
+        faults.fire("train.step", stage=stage, epoch=epoch, step=step)
+        if not math.isfinite(value):
+            raise TrainingDiverged(
+                f"non-finite loss {value!r} at stage {stage!r} epoch {epoch} "
+                f"step {step}"
+            )
+        optimizer.zero_grad()
+        loss.backward()
+        total = 0.0
+        for param in optimizer.parameters:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = math.sqrt(total) if math.isfinite(total) else float("inf")
+        limit = self.config.divergence_grad_norm
+        if not math.isfinite(norm) or (limit > 0 and norm > limit):
+            raise TrainingDiverged(
+                f"gradient norm {norm!r} at stage {stage!r} epoch {epoch} "
+                f"step {step} (limit {limit})"
+            )
+        optimizer.step()
+        return value
 
     def _freeze_embeddings(self) -> None:
         """Cache encoder output; later stages and inference reuse it."""
@@ -159,30 +528,27 @@ class LHMMTrainer:
             negatives = [negatives[int(p)] for p in picks]
         return negatives
 
-    def _train_observation_pretrain(self, samples: list[MatchingSample]) -> list[float]:
-        params = self.encoder.parameters() + list(
-            self.observation.context_attention.parameters()
-        ) + list(self.observation.correlation_mlp.parameters())
-        optimizer = Adam(
-            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
-        )
-        # Note: this stage runs even under the LHMM-O ablation — it is the
-        # representation-learning task that trains the encoder, which the
-        # transition learner still depends on.  LHMM-O only removes the
-        # implicit score from the fusion input (Eq. 8).
+    def _observation_pretrain_epoch(
+        self, runtime: _StageRuntime, samples: list[MatchingSample], epoch: int
+    ) -> list[float]:
+        # The order array lives in the stage runtime (and checkpoints):
+        # each epoch shuffles it *in place*, so epoch k sees the
+        # composition of k shuffles, exactly as the original loop did.
+        order = runtime.data["order"]
+        self._rng.shuffle(order)
         losses: list[float] = []
-        order = np.arange(len(samples))
-        for _ in range(self.config.epochs):
-            self._rng.shuffle(order)
-            for start in range(0, len(order), self.config.batch_size):
-                batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
-                loss = self._observation_pretrain_loss(batch)
-                if loss is None:
-                    continue
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
+        step = 0
+        for start in range(0, len(order), self.config.batch_size):
+            batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
+            loss = self._observation_pretrain_loss(batch)
+            if loss is None:
+                continue
+            losses.append(
+                self._guarded_step(
+                    runtime.optimizer, loss, "observation_pretrain", epoch, step
+                )
+            )
+            step += 1
         return losses
 
     def _observation_pretrain_loss(self, batch: list[MatchingSample]) -> Tensor | None:
@@ -217,31 +583,31 @@ class LHMMTrainer:
             return None
         return stack(per_point_losses).mean()
 
-    # -------------------------------------------------- stage 2: obs finetune
-    def _train_observation_finetune(self, samples: list[MatchingSample]) -> list[float]:
-        features, labels = self._collect_observation_fusion_data(samples)
-        if features is None:
-            return []
-        optimizer = Adam(
-            self.observation.fusion_mlp.parameters(),
-            lr=self.config.learning_rate,
-            weight_decay=self.config.weight_decay,
-        )
-        losses: list[float] = []
+    # ------------------------------------------- stages 2+4: fusion fine-tune
+    def _fusion_epoch(
+        self,
+        runtime: _StageRuntime,
+        fusion_mlp: Module,
+        label_key: str,
+        smoothing: float,
+        stage: str,
+        epoch: int,
+    ) -> list[float]:
+        features = runtime.data["features"]
+        labels = runtime.data[label_key]
         n = features.shape[0]
         batch = max(64, self.config.batch_size * 16)
-        for _ in range(max(1, self.config.epochs)):
-            order = self._rng.permutation(n)
-            for start in range(0, n, batch):
-                idx = order[start : start + batch]
-                logits = self.observation.fusion_mlp(Tensor(features[idx]))
-                loss = binary_cross_entropy_with_logits(
-                    logits.reshape(len(idx)), labels[idx], self.config.label_smoothing
-                )
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
+        order = self._rng.permutation(n)
+        losses: list[float] = []
+        for step, start in enumerate(range(0, n, batch)):
+            idx = order[start : start + batch]
+            logits = fusion_mlp(Tensor(features[idx]))
+            loss = binary_cross_entropy_with_logits(
+                logits.reshape(len(idx)), labels[idx], smoothing
+            )
+            losses.append(
+                self._guarded_step(runtime.optimizer, loss, stage, epoch, step)
+            )
         return losses
 
     def _collect_observation_fusion_data(
@@ -301,29 +667,25 @@ class LHMMTrainer:
         return np.concatenate(rows, axis=0), np.asarray(labels)
 
     # ------------------------------------------------ stage 3: trans pretrain
-    def _train_transition_pretrain(self, samples: list[MatchingSample]) -> list[float]:
-        if not self.transition.use_implicit:
-            return []
+    def _transition_pretrain_epoch(
+        self, runtime: _StageRuntime, samples: list[MatchingSample], epoch: int
+    ) -> list[float]:
         h = self._embeddings_tensor()
-        params = list(self.transition.road_attention.parameters()) + list(
-            self.transition.relevance_mlp.parameters()
-        )
-        optimizer = Adam(
-            params, lr=self.config.learning_rate, weight_decay=self.config.weight_decay
-        )
+        order = runtime.data["order"]
+        self._rng.shuffle(order)
         losses: list[float] = []
-        order = np.arange(len(samples))
-        for _ in range(self.config.epochs):
-            self._rng.shuffle(order)
-            for start in range(0, len(order), self.config.batch_size):
-                batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
-                loss = self._transition_pretrain_loss(batch, h)
-                if loss is None:
-                    continue
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
+        step = 0
+        for start in range(0, len(order), self.config.batch_size):
+            batch = [samples[int(i)] for i in order[start : start + self.config.batch_size]]
+            loss = self._transition_pretrain_loss(batch, h)
+            if loss is None:
+                continue
+            losses.append(
+                self._guarded_step(
+                    runtime.optimizer, loss, "transition_pretrain", epoch, step
+                )
+            )
+            step += 1
         return losses
 
     def _transition_pretrain_loss(
@@ -371,32 +733,6 @@ class LHMMTrainer:
         return negatives
 
     # ------------------------------------------------ stage 4: trans finetune
-    def _train_transition_finetune(self, samples: list[MatchingSample]) -> list[float]:
-        features, targets = self._collect_transition_fusion_data(samples)
-        if features is None:
-            return []
-        optimizer = Adam(
-            self.transition.fusion_mlp.parameters(),
-            lr=self.config.learning_rate,
-            weight_decay=self.config.weight_decay,
-        )
-        losses: list[float] = []
-        n = features.shape[0]
-        batch = max(64, self.config.batch_size * 16)
-        for _ in range(max(1, self.config.epochs)):
-            order = self._rng.permutation(n)
-            for start in range(0, n, batch):
-                idx = order[start : start + batch]
-                logits = self.transition.fusion_mlp(Tensor(features[idx]))
-                loss = binary_cross_entropy_with_logits(
-                    logits.reshape(len(idx)), targets[idx], smoothing=0.0
-                )
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-        return losses
-
     def _collect_transition_fusion_data(
         self, samples: list[MatchingSample]
     ) -> tuple[np.ndarray | None, np.ndarray | None]:

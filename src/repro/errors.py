@@ -28,10 +28,13 @@ class ReproError(Exception):
         code: A stable, machine-readable identifier (snake_case); wire
             payloads and logs carry it so handlers do not parse messages.
         http_status: The HTTP status the serving layer maps this class to.
+        hint: A one-line remediation suggestion the CLI prints alongside
+            the error (empty when no generic remediation exists).
     """
 
     code = "internal_error"
     http_status = 500
+    hint = ""
 
     def to_payload(self) -> dict:
         """JSON-ready representation (used by the serving layer)."""
@@ -75,6 +78,57 @@ class PoolBroken(ReproError, RuntimeError):
     code = "pool_broken"
 
 
+class ArtifactCorrupt(ReproError, RuntimeError):
+    """A model/checkpoint file failed an integrity check: truncated
+    archive, checksum mismatch, or an array that disagrees with its own
+    manifest.  The bytes on disk cannot be trusted (HTTP 500)."""
+
+    code = "artifact_corrupt"
+    hint = (
+        "the file is damaged or truncated — restore it from a backup, "
+        "re-download it, or retrain with `python -m repro train`"
+    )
+
+
+class ArtifactIncompatible(ReproError, ValueError):
+    """A model/checkpoint file is intact but cannot be used here: wrong
+    artifact kind, unsupported format version, a configuration
+    fingerprint that disagrees with the running one, or weights trained
+    for a different map.  Retrying with the same file can never succeed
+    (HTTP 422)."""
+
+    code = "artifact_incompatible"
+    http_status = 422
+    hint = (
+        "the artifact does not fit this configuration/dataset — check "
+        "that the model was trained with the same config and map"
+    )
+
+
+class TrainingDiverged(ReproError, RuntimeError):
+    """Training hit a non-finite loss or an exploding gradient norm and
+    the rollback budget (``LHMMConfig.max_rollbacks``) is exhausted."""
+
+    code = "training_diverged"
+    hint = (
+        "lower the learning rate, raise max_rollbacks, or train with "
+        "--checkpoint-dir so divergence can roll back to a good epoch"
+    )
+
+
+class ModelReloadFailed(ReproError, RuntimeError):
+    """A serve hot-reload was rejected: the server has no reloadable
+    model configured, the artifact file is missing, or the candidate
+    loaded but failed its canary run.  The previous model keeps
+    serving."""
+
+    code = "model_reload_failed"
+    hint = (
+        "the previous model is still serving; fix the artifact (or its "
+        "path) and POST /v1/admin/reload-model again"
+    )
+
+
 class DegradedResult(ReproError):
     """Marker: a result was produced by a fallback stage, not the full
     learned matcher.  Never raised across an API boundary — the cascade
@@ -106,7 +160,9 @@ class MatchError:
 
     @property
     def http_status(self) -> int:
-        return 422 if self.code == InvalidTrajectoryInput.code else 500
+        if self.code in (InvalidTrajectoryInput.code, ArtifactIncompatible.code):
+            return 422
+        return 500
 
     def to_payload(self) -> dict:
         """JSON-ready representation (the per-item wire form)."""
@@ -117,7 +173,15 @@ class MatchError:
 
     def raise_(self) -> None:
         """Re-raise as the taxonomy class matching :attr:`code`."""
-        for klass in (InvalidTrajectoryInput, RoutingFailure, WorkerCrash, PoolBroken):
+        for klass in (
+            InvalidTrajectoryInput,
+            RoutingFailure,
+            WorkerCrash,
+            PoolBroken,
+            ArtifactCorrupt,
+            ArtifactIncompatible,
+            TrainingDiverged,
+        ):
             if klass.code == self.code:
                 raise klass(self.message)
         raise MatchFailure(self.message)
@@ -130,6 +194,10 @@ __all__ = [
     "RoutingFailure",
     "WorkerCrash",
     "PoolBroken",
+    "ArtifactCorrupt",
+    "ArtifactIncompatible",
+    "TrainingDiverged",
+    "ModelReloadFailed",
     "DegradedResult",
     "MatchError",
 ]

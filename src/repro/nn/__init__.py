@@ -12,7 +12,7 @@ Everything differentiable flows through :class:`Tensor`; models subclass
 
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn import functional
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, StateDictMismatch
 from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
 from repro.nn.attention import AdditiveAttention, ScaledDotProductSelfAttention
 from repro.nn.rnn import GRU, GRUCell
@@ -24,7 +24,14 @@ from repro.nn.loss import (
     mse_loss,
 )
 from repro.nn.init import xavier_uniform
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import (
+    Artifact,
+    config_fingerprint,
+    load_state,
+    read_artifact,
+    save_state,
+    write_artifact,
+)
 
 __all__ = [
     "Tensor",
@@ -32,6 +39,7 @@ __all__ = [
     "functional",
     "Module",
     "Parameter",
+    "StateDictMismatch",
     "Linear",
     "MLP",
     "Embedding",
@@ -52,4 +60,8 @@ __all__ = [
     "xavier_uniform",
     "save_state",
     "load_state",
+    "Artifact",
+    "read_artifact",
+    "write_artifact",
+    "config_fingerprint",
 ]

@@ -16,6 +16,14 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=True)
 
 
+class StateDictMismatch(ValueError):
+    """A state dict does not fit the module it was loaded into.
+
+    One actionable error listing every offender (missing keys, unknown
+    keys, shape mismatches) — not just the first ``KeyError``.
+    """
+
+
 class Module:
     """Base class for neural components.
 
@@ -71,17 +79,45 @@ class Module:
         """Copy of all parameters keyed by dotted name."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters saved by :meth:`state_dict` (strict matching)."""
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], strict: bool = True
+    ) -> tuple[list[str], list[str]]:
+        """Load parameters saved by :meth:`state_dict`.
+
+        With ``strict=True`` (the default) any disagreement raises one
+        :class:`StateDictMismatch` listing *every* offender — missing
+        keys, unknown keys, and shape mismatches together — instead of
+        failing on the first.  With ``strict=False``, matching keys load
+        and the rest are reported in the ``(missing, unexpected)``
+        return value (shape-mismatched keys count as missing).
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        mismatched = [
+            name
+            for name in sorted(set(own) & set(state))
+            if own[name].data.shape != np.asarray(state[name]).shape
+        ]
+        if strict and (missing or unexpected or mismatched):
+            problems = []
+            if missing:
+                problems.append(f"missing keys: {missing}")
+            if unexpected:
+                problems.append(f"unexpected keys: {unexpected}")
+            for name in mismatched:
+                problems.append(
+                    f"shape mismatch for {name!r}: module has "
+                    f"{own[name].data.shape}, state has "
+                    f"{np.asarray(state[name]).shape}"
+                )
+            raise StateDictMismatch(
+                "state dict does not fit this module:\n  " + "\n  ".join(problems)
+            )
         for name, param in own.items():
-            if param.data.shape != state[name].shape:
-                raise ValueError(f"shape mismatch for {name}")
-            param.data = state[name].astype(np.float64).copy()
+            if name in state and name not in mismatched:
+                param.data = np.asarray(state[name]).astype(np.float64).copy()
+        return missing + mismatched, unexpected
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -46,6 +46,18 @@ class Optimizer:
         """Apply one update; subclasses must override."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Internal optimiser state as arrays (for checkpointing).
+
+        Scalars travel as 0-d arrays so the whole dict fits one ``.npz``
+        archive.  Subclasses extend this with their slot buffers.
+        """
+        return {"lr": np.asarray(self.lr, dtype=np.float64)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict` (same parameter list)."""
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -67,6 +79,19 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.lr * param.grad
             param.data += velocity
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, velocity in enumerate(self._velocity):
+            state[f"velocity.{i}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._velocity = [
+            np.asarray(state[f"velocity.{i}"]).copy()
+            for i in range(len(self.parameters))
+        ]
 
 
 class Adam(Optimizer):
@@ -107,3 +132,21 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self._m = [
+            np.asarray(state[f"m.{i}"]).copy() for i in range(len(self.parameters))
+        ]
+        self._v = [
+            np.asarray(state[f"v.{i}"]).copy() for i in range(len(self.parameters))
+        ]

@@ -1,20 +1,292 @@
-"""Save/load module state dicts as ``.npz`` archives."""
+"""Validated model artifacts: a versioned, checksummed ``.npz`` envelope.
+
+A *versioned artifact* is a plain ``.npz`` archive (readable with
+``numpy.load``) that additionally carries an embedded manifest entry,
+``__manifest__.json``::
+
+    {
+      "format_version": 1,
+      "kind": "lhmm-model",
+      "meta": {...},                      # caller metadata (e.g. config)
+      "arrays": {
+        "node_embeddings": {"sha256": "...", "shape": [410, 12],
+                            "dtype": "float64"},
+        ...
+      }
+    }
+
+:func:`read_artifact` verifies every array against the manifest — SHA-256
+of the raw ``.npy`` bytes, shape, and dtype — and raises a structured
+:class:`~repro.errors.ArtifactCorrupt` on any disagreement (a flipped
+byte anywhere in the file is caught) or :class:`ArtifactIncompatible`
+for intact files of the wrong kind or an unsupported format version.
+Legacy bare ``.npz`` archives (no manifest) still load behind a
+``UserWarning`` when the caller opts in.
+
+Writes are atomic and byte-deterministic: arrays are serialised into an
+uncompressed zip with pinned timestamps, written to a sibling temp file,
+fsynced, and ``os.replace``d into place — the same arrays always produce
+the same bytes (resume-parity tests compare artifacts with ``filecmp``),
+and a crashed writer can never leave a half-written archive under the
+final name.
+
+``save_state``/``load_state`` are the module-level convenience wrappers.
+They write *exactly* the path they are given: the historical
+``np.savez`` behaviour of silently appending ``.npz`` to suffixless
+paths (``save_state("model")`` wrote ``model.npz`` while callers kept
+asking for ``model``) is gone.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import io
+import json
+import os
+import warnings
+import zipfile
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro.errors import ArtifactCorrupt, ArtifactIncompatible
 from repro.nn.module import Module
 
+#: Bump when the envelope layout changes incompatibly.
+FORMAT_VERSION = 1
 
-def save_state(module: Module, path: str | Path) -> None:
-    """Write ``module``'s parameters to ``path`` (npz)."""
-    np.savez(Path(path), **module.state_dict())
+_MANIFEST_NAME = "__manifest__.json"
+#: Pinned zip timestamp (the zip epoch) — keeps artifact bytes
+#: independent of the wall clock.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
-def load_state(module: Module, path: str | Path) -> None:
-    """Load parameters written by :func:`save_state` into ``module``."""
-    with np.load(Path(path)) as archive:
-        module.load_state_dict({key: archive[key] for key in archive.files})
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """A short stable digest of a configuration mapping.
+
+    Canonical-JSON SHA-256, truncated to 16 hex chars — enough to detect
+    a mismatched config, short enough to read in error messages.
+    """
+    canonical = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass(slots=True)
+class Artifact:
+    """A verified (or legacy) archive: arrays plus its manifest."""
+
+    arrays: dict[str, np.ndarray]
+    manifest: dict[str, Any] | None
+    path: Path
+
+    @property
+    def kind(self) -> str | None:
+        return None if self.manifest is None else self.manifest.get("kind")
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return {} if self.manifest is None else dict(self.manifest.get("meta", {}))
+
+
+def atomic_write_bytes(path: str | Path, writer: Callable[[io.BufferedWriter], None]) -> Path:
+    """Write a file atomically: temp sibling + flush + fsync + ``os.replace``."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink(missing_ok=True)
+    return path
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    """The canonical ``.npy`` serialisation of ``array``."""
+    buffer = io.BytesIO()
+    # np.asarray(order="C") rather than ascontiguousarray: the latter
+    # promotes 0-d arrays to 1-d, which would contradict the manifest.
+    np.lib.format.write_array(
+        buffer, np.asarray(array, order="C"), allow_pickle=False
+    )
+    return buffer.getvalue()
+
+
+def write_artifact(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    kind: str,
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Atomically write a versioned, checksummed artifact to ``path``.
+
+    ``arrays`` are stored uncompressed in sorted name order with pinned
+    zip timestamps, so identical inputs yield identical bytes.
+    """
+    entries: dict[str, bytes] = {}
+    table: dict[str, dict[str, Any]] = {}
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        raw = _array_bytes(array)
+        entries[name] = raw
+        table[name] = {
+            "sha256": hashlib.sha256(raw).hexdigest(),
+            "shape": list(array.shape),
+            "dtype": str(array.dtype),
+        }
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "meta": dict(meta or {}),
+        "arrays": table,
+    }
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode()
+
+    def _write(fh) -> None:
+        with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
+            zf.writestr(zipfile.ZipInfo(_MANIFEST_NAME, _ZIP_EPOCH), manifest_bytes)
+            for name, raw in entries.items():
+                zf.writestr(zipfile.ZipInfo(f"{name}.npy", _ZIP_EPOCH), raw)
+
+    return atomic_write_bytes(path, _write)
+
+
+def read_artifact(
+    path: str | Path,
+    *,
+    kind: str | None = None,
+    allow_legacy: bool = False,
+) -> Artifact:
+    """Read and verify an artifact written by :func:`write_artifact`.
+
+    Raises:
+        FileNotFoundError: ``path`` does not exist.
+        ArtifactCorrupt: the archive is truncated/unreadable, an array's
+            checksum, shape, or dtype disagrees with the manifest, or the
+            archive carries arrays the manifest does not list.
+        ArtifactIncompatible: intact but unusable — unsupported
+            ``format_version`` or a ``kind`` other than the expected one.
+
+    Legacy bare ``.npz`` archives (no manifest) load with a
+    ``UserWarning`` when ``allow_legacy=True`` — unverified, since there
+    is nothing to verify against — and fail with ``ArtifactIncompatible``
+    otherwise.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no artifact at {path}")
+    try:
+        with zipfile.ZipFile(path) as zf:
+            names = zf.namelist()
+            if _MANIFEST_NAME not in names:
+                if not allow_legacy:
+                    raise ArtifactIncompatible(
+                        f"{path} has no artifact manifest (legacy bare .npz?); "
+                        "re-save it as a versioned artifact"
+                    )
+                return _read_legacy(path)
+            try:
+                manifest = json.loads(zf.read(_MANIFEST_NAME))
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise ArtifactCorrupt(
+                    f"{path}: manifest is unreadable ({error})"
+                ) from error
+            _check_manifest(path, manifest, kind)
+            arrays = _read_verified(path, zf, manifest)
+    except (zipfile.BadZipFile, NotImplementedError) as error:
+        # zipfile raises NotImplementedError for entries whose corrupted
+        # headers claim an unsupported version or compression method.
+        raise ArtifactCorrupt(f"{path}: not a readable archive ({error})") from error
+    return Artifact(arrays=arrays, manifest=manifest, path=path)
+
+
+def _check_manifest(path: Path, manifest: dict, kind: str | None) -> None:
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version < 1 or version > FORMAT_VERSION:
+        raise ArtifactIncompatible(
+            f"{path}: format_version {version!r} is not supported by this "
+            f"build (max {FORMAT_VERSION}) — upgrade the package or re-save "
+            "the artifact"
+        )
+    if kind is not None and manifest.get("kind") != kind:
+        raise ArtifactIncompatible(
+            f"{path}: artifact kind {manifest.get('kind')!r} where {kind!r} "
+            "was expected"
+        )
+    if not isinstance(manifest.get("arrays"), dict):
+        raise ArtifactCorrupt(f"{path}: manifest has no array table")
+
+
+def _read_verified(path: Path, zf: zipfile.ZipFile, manifest: dict) -> dict[str, np.ndarray]:
+    table: dict[str, dict] = manifest["arrays"]
+    stored = {n[: -len(".npy")] for n in zf.namelist() if n.endswith(".npy")}
+    extra = stored - set(table)
+    missing = set(table) - stored
+    if extra or missing:
+        raise ArtifactCorrupt(
+            f"{path}: archive/manifest disagree "
+            f"(missing={sorted(missing)} unmanifested={sorted(extra)})"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    for name, entry in table.items():
+        try:
+            raw = zf.read(f"{name}.npy")
+        except Exception as error:  # zipfile raises BadZipFile on bad CRC
+            raise ArtifactCorrupt(
+                f"{path}: array {name!r} is unreadable ({error})"
+            ) from error
+        digest = hashlib.sha256(raw).hexdigest()
+        if digest != entry.get("sha256"):
+            raise ArtifactCorrupt(
+                f"{path}: checksum mismatch on array {name!r} — the file "
+                "was modified or truncated after it was written"
+            )
+        try:
+            array = np.lib.format.read_array(io.BytesIO(raw), allow_pickle=False)
+        except ValueError as error:
+            raise ArtifactCorrupt(
+                f"{path}: array {name!r} fails to parse ({error})"
+            ) from error
+        if list(array.shape) != entry.get("shape") or str(array.dtype) != entry.get("dtype"):
+            raise ArtifactCorrupt(
+                f"{path}: array {name!r} is {array.dtype}{array.shape} but "
+                f"the manifest says {entry.get('dtype')}{tuple(entry.get('shape', ()))}"
+            )
+        arrays[name] = array
+    return arrays
+
+
+def _read_legacy(path: Path) -> Artifact:
+    warnings.warn(
+        f"{path} is a legacy unversioned archive: loading without "
+        "integrity checks; re-save it to get a validated artifact",
+        UserWarning,
+        stacklevel=3,
+    )
+    try:
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
+        raise ArtifactCorrupt(f"{path}: not a readable archive ({error})") from error
+    return Artifact(arrays=arrays, manifest=None, path=path)
+
+
+def save_state(module: Module, path: str | Path) -> Path:
+    """Write ``module``'s parameters to exactly ``path`` (versioned npz)."""
+    return write_artifact(path, module.state_dict(), kind="module-state")
+
+
+def load_state(module: Module, path: str | Path, strict: bool = True) -> None:
+    """Load parameters written by :func:`save_state` into ``module``.
+
+    The artifact is checksum-verified first; key/shape agreement with the
+    module is enforced by :meth:`Module.load_state_dict` (``strict``).
+    """
+    artifact = read_artifact(path, kind="module-state", allow_legacy=True)
+    module.load_state_dict(artifact.arrays, strict=strict)

@@ -199,6 +199,18 @@ class MatchingClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ admin
+    def reload_model(self, model: str | None = None) -> dict:
+        """``POST /v1/admin/reload-model`` — hot-swap the serving model.
+
+        Pass ``model`` to point the server at a different artifact path.
+        Returns the reload summary (``generation``, ``model_path``);
+        raises :class:`ServeClientError` when the reload was refused
+        (corrupt/incompatible artifact, failed canary) — the old model
+        keeps serving in that case.
+        """
+        payload = {} if model is None else {"model": model}
+        return self._request("POST", "/v1/admin/reload-model", payload)
+
     def health(self) -> dict:
         """``GET /healthz``."""
         return self._request("GET", "/healthz")

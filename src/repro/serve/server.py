@@ -44,7 +44,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Sequence
 
 from repro.core.matcher import LHMM
-from repro.errors import InvalidTrajectoryInput, MatchError, ReproError
+from repro.errors import (
+    InvalidTrajectoryInput,
+    MatchError,
+    ModelReloadFailed,
+    ReproError,
+)
 from repro.serve import protocol
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
 from repro.serve.metrics import ServeMetrics
@@ -99,6 +104,7 @@ _ROUTES = (
     ("POST", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)/points$"), "feed_session"),
     ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
     ("POST", re.compile(r"^/v1/match$"), "match"),
+    ("POST", re.compile(r"^/v1/admin/reload-model$"), "reload_model"),
     ("GET", re.compile(r"^/healthz$"), "healthz"),
     ("GET", re.compile(r"^/metrics$"), "metrics"),
 )
@@ -124,9 +130,22 @@ class MatchingServer:
             respawn counter feeds ``/healthz`` + ``/metrics``.  The server
             does not own the pool's lifecycle — close it after
             :meth:`shutdown`.
+        model_path: Where the served model artifact lives on disk;
+            enables ``POST /v1/admin/reload-model`` (and the CLI's
+            SIGHUP handler) to hot-reload it.  Requires ``dataset``.
+        dataset: The :class:`~repro.datasets.dataset.MatchingDataset`
+            whose map the model serves — needed to reconstruct a matcher
+            from a reloaded artifact.
+        canary_trajectories: Trajectories a candidate model must match
+            (non-degraded, non-empty) before it replaces the serving one.
+            Defaults to the first few dataset samples when ``dataset`` is
+            given; pass an empty list to skip the canary entirely.
 
     Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
     """
+
+    #: How many dataset samples the default canary set uses.
+    DEFAULT_CANARY_COUNT = 5
 
     def __init__(
         self,
@@ -134,6 +153,9 @@ class MatchingServer:
         config: ServeConfig | None = None,
         batch_fn: Callable[[list], Sequence] | None = None,
         pool=None,
+        model_path=None,
+        dataset=None,
+        canary_trajectories: list | None = None,
     ) -> None:
         matcher._require_fit()
         self.matcher = matcher
@@ -144,6 +166,17 @@ class MatchingServer:
         self.metrics = ServeMetrics()
         self._infer_lock = threading.RLock()
         self._draining = False
+        self.model_path = model_path
+        self.dataset = dataset
+        if canary_trajectories is None and dataset is not None:
+            canary_trajectories = [
+                s.cellular for s in dataset.samples[: self.DEFAULT_CANARY_COUNT]
+            ]
+        self.canary_trajectories = list(canary_trajectories or [])
+        #: Monotonic counter of the model currently serving; bumped on
+        #: every successful hot reload.
+        self.model_generation = 1
+        self._reload_lock = threading.Lock()
         self.sessions = SessionManager(
             matcher,
             default_lag=self.config.default_lag,
@@ -182,6 +215,81 @@ class MatchingServer:
             "match_degraded_total": counters.get("match_degraded_total", 0),
             "match_failed_total": counters.get("match_failed_total", 0),
             "worker_respawns_total": self._worker_respawns(),
+        }
+
+    # ------------------------------------------------------------ hot reload
+    def reload_model(self, path=None) -> dict:
+        """Load, canary, and atomically swap in a new model artifact.
+
+        The candidate loads *aside* the serving model, must pass the
+        canary (every canary trajectory matched, non-degraded, with a
+        non-empty path), and only then replaces :attr:`matcher` — under
+        the shared inference lock, so no request ever sees a half-swapped
+        model.  On any failure the old model keeps serving untouched and
+        ``model_reload_failures_total`` is incremented.
+
+        Raises:
+            ArtifactCorrupt: the file is damaged (HTTP 500).
+            ArtifactIncompatible: intact but wrong kind/version/map (422).
+            ModelReloadFailed: no reloadable model configured, the file
+                is missing, or the canary failed (500).
+
+        Notes: a :class:`~repro.core.parallel.ParallelMatcher` pool keeps
+        its forked workers' weights — batch matching through a pool stays
+        on the old model until the pool is rebuilt; streaming sessions
+        opened before the swap finish on the model they started with.
+        """
+        with self._reload_lock:
+            path = path if path is not None else self.model_path
+            if path is None or self.dataset is None:
+                raise ModelReloadFailed(
+                    "server has no reloadable model (start it with "
+                    "model_path= and dataset=, e.g. via the serve CLI)"
+                )
+            try:
+                candidate = LHMM.load(path, self.dataset)
+            except FileNotFoundError as error:
+                self.metrics.increment("model_reload_failures_total")
+                raise ModelReloadFailed(
+                    f"no model artifact at {path}; is the path right?"
+                ) from error
+            except ReproError:
+                self.metrics.increment("model_reload_failures_total")
+                raise
+            problems = []
+            if self.canary_trajectories:
+                from repro.testing.golden import run_canary
+
+                problems = run_canary(candidate, self.canary_trajectories)
+            if problems:
+                self.metrics.increment("model_reload_failures_total")
+                raise ModelReloadFailed(
+                    f"candidate model at {path} failed the canary "
+                    f"({len(problems)} problem(s)): " + "; ".join(problems[:3])
+                )
+            candidate.degradation_enabled = self.matcher.degradation_enabled
+            with self._infer_lock:
+                self.matcher = candidate
+                self.sessions.matcher = candidate
+                self.model_path = path
+                self.model_generation += 1
+                generation = self.model_generation
+            self.metrics.increment("model_reloads_total")
+            return {
+                "generation": generation,
+                "model_path": str(path),
+                "canary_trajectories": len(self.canary_trajectories),
+            }
+
+    def _model_status(self) -> dict:
+        """Model-lifecycle counters for ``/healthz`` and ``/metrics``."""
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            "model_generation": self.model_generation,
+            "model_reloads_total": counters.get("model_reloads_total", 0),
+            "model_reload_failures_total": counters.get(
+                "model_reload_failures_total", 0
+            ),
         }
 
     # ------------------------------------------------------------- lifecycle
@@ -331,6 +439,19 @@ class MatchingServer:
             return 200, {"result": encoded[0]}
         return 200, {"results": encoded}
 
+    def handle_reload_model(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/reload-model`` — hot-swap the serving model.
+
+        Optional ``{"model": "path"}`` overrides the configured artifact
+        path for this reload (and becomes the new default on success).
+        """
+        self._check_draining()
+        path = payload.get("model")
+        if path is not None and not isinstance(path, str):
+            raise ProtocolError("field 'model' must be a string path")
+        info = self.reload_model(path)
+        return 200, {"status": "reloaded", **info}
+
     def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``GET /healthz`` — liveness, protocol version, and load snapshot.
 
@@ -351,6 +472,7 @@ class MatchingServer:
             "active_sessions": len(self.sessions),
             "queue_depth": self.batcher.queue_depth,
             "degraded": events,
+            "model": self._model_status(),
         }
 
     def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
@@ -363,6 +485,8 @@ class MatchingServer:
             snapshot["counters"].setdefault(name, 0)
             if name == "worker_respawns_total":
                 snapshot["counters"][name] = value
+        for name, value in self._model_status().items():
+            snapshot["counters"][name] = value
         if self.pool is not None:
             snapshot["pool"] = self.pool.stats()
         snapshot["sessions"] = self.sessions.stats()

@@ -39,6 +39,12 @@ point              where it fires
 ``match.learned``  inside the learned path of ``LHMM.match``, *inside*
                    the cascade — failures here degrade, not fail
 ``match.heuristic``  inside the heuristic-HMM fallback stage
+``train.epoch``    top of every training epoch, after the previous
+                   epoch's checkpoint was saved (context: ``stage``,
+                   ``epoch``) — the SIGKILL point for resume tests
+``train.step``     inside every gradient step, before backward
+                   (context: ``stage``, ``epoch``, ``step``); arm with
+                   ``error=diverged`` to exercise rollback
 =================  ==========================================================
 """
 
@@ -55,6 +61,7 @@ from repro.errors import (
     InvalidTrajectoryInput,
     MatchFailure,
     RoutingFailure,
+    TrainingDiverged,
 )
 
 ENV_VAR = "REPRO_FAULTS"
@@ -64,6 +71,7 @@ _ERROR_CLASSES = {
     "invalid": InvalidTrajectoryInput,
     "routing": RoutingFailure,
     "degraded": DegradedResult,
+    "diverged": TrainingDiverged,
 }
 
 

@@ -151,6 +151,36 @@ def load_corpus(path: Path) -> dict[str, Any]:
     return json.loads(path.read_text())
 
 
+def run_canary(matcher: LHMM, trajectories: list) -> list[str]:
+    """Smoke-check a candidate matcher before it starts serving.
+
+    Matches every canary trajectory with the degradation cascade *off* —
+    a model that can only answer through fallbacks must not pass the
+    canary — and returns a list of human-readable problems (empty means
+    the candidate is fit to serve).  Used by the serve hot-reload path:
+    a non-empty return keeps the old model in place.
+    """
+    problems: list[str] = []
+    saved = matcher.degradation_enabled
+    matcher.degradation_enabled = False
+    try:
+        for i, trajectory in enumerate(trajectories):
+            label = getattr(trajectory, "trajectory_id", None)
+            label = i if label is None else label
+            try:
+                result = matcher.match(trajectory)
+            except Exception as error:  # noqa: BLE001 - report, don't raise
+                problems.append(
+                    f"canary trajectory {label}: {type(error).__name__}: {error}"
+                )
+                continue
+            if not result.path:
+                problems.append(f"canary trajectory {label}: empty matched path")
+    finally:
+        matcher.degradation_enabled = saved
+    return problems
+
+
 def diff_records(
     actual: list[dict[str, Any]],
     expected: list[dict[str, Any]],

@@ -10,8 +10,14 @@ Excluded from the default suite (they kill processes and sleep); run
 with ``pytest -m chaos``.
 """
 
+import filecmp
+import os
+import signal
+import subprocess
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import pytest
 
@@ -140,6 +146,122 @@ class TestPoolSelfHealing:
             assert pool.worker_respawns >= 1
         assert elapsed < 40.0  # far below the 60s hang: the detector fired
         assert_results_identical(serial, results)
+
+
+class TestTrainingKillResume:
+    """SIGKILL mid-training, then ``--resume``: the final model artifact
+    must be byte-identical to an uninterrupted run (the acceptance
+    property of ``docs/robustness.md``'s training-resilience section)."""
+
+    @pytest.fixture(scope="class")
+    def micro_dataset_file(self, tmp_path_factory):
+        from repro.cellular import SimulationConfig, TowerPlacementConfig
+        from repro.datasets import DatasetConfig, make_city_dataset
+        from repro.network import CityConfig
+
+        config = DatasetConfig(
+            name="micro",
+            city=CityConfig(grid_rows=7, grid_cols=7, block_size_m=250.0),
+            towers=TowerPlacementConfig(base_spacing_m=400.0),
+            simulation=SimulationConfig(min_trip_m=800.0, max_trip_m=2000.0),
+            num_trajectories=40,
+            groundtruth="oracle",
+        )
+        path = tmp_path_factory.mktemp("train-chaos") / "micro.json.gz"
+        save_dataset(make_city_dataset(config, rng=7), path)
+        return path
+
+    def _train(self, dataset_file, out, extra=(), env_extra=None):
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + [p for p in [env.get("PYTHONPATH")] if p]
+        )
+        env.pop(faults.ENV_VAR, None)
+        if env_extra:
+            env.update(env_extra)
+        cmd = [
+            sys.executable, "-m", "repro", "train",
+            "--dataset", str(dataset_file),
+            "-o", str(out),
+            "--epochs", "2",
+            "--dim", "12",
+            "--candidates", "8",
+            "--seed", "0",
+            *extra,
+        ]
+        return subprocess.run(cmd, env=env, capture_output=True, text=True)
+
+    @pytest.fixture(scope="class")
+    def uninterrupted_model(self, micro_dataset_file, tmp_path_factory):
+        out = tmp_path_factory.mktemp("train-chaos") / "reference.npz"
+        proc = self._train(micro_dataset_file, out)
+        assert proc.returncode == 0, proc.stderr
+        return out
+
+    def test_sigkill_then_resume_is_bit_identical(
+        self, micro_dataset_file, uninterrupted_model, tmp_path
+    ):
+        out = tmp_path / "model.npz"
+        ckpts = tmp_path / "ckpts"
+        token = tmp_path / "kill.token"
+        killed = self._train(
+            micro_dataset_file,
+            out,
+            extra=["--checkpoint-dir", str(ckpts), "--keep-checkpoints", "3"],
+            env_extra={
+                faults.ENV_VAR: (
+                    "train.epoch:kill:stage=transition_pretrain"
+                    f":epoch=1:once={token}"
+                )
+            },
+        )
+        assert killed.returncode == -signal.SIGKILL
+        assert token.exists()
+        assert not out.exists()  # died before the final save
+        assert any(p.name.startswith("ckpt-") for p in ckpts.iterdir())
+        resumed = self._train(
+            micro_dataset_file,
+            out,
+            extra=["--checkpoint-dir", str(ckpts), "--resume"],
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert filecmp.cmp(uninterrupted_model, out, shallow=False)
+
+    def test_corrupt_newest_checkpoint_falls_back_to_previous(
+        self, micro_dataset_file, uninterrupted_model, tmp_path
+    ):
+        """Kill the run, damage the newest checkpoint on disk, resume:
+        training restarts from the previous good epoch, warns, and still
+        converges to the byte-identical model."""
+        out = tmp_path / "model.npz"
+        ckpts = tmp_path / "ckpts"
+        token = tmp_path / "kill.token"
+        killed = self._train(
+            micro_dataset_file,
+            out,
+            extra=["--checkpoint-dir", str(ckpts), "--keep-checkpoints", "3"],
+            env_extra={
+                faults.ENV_VAR: (
+                    "train.epoch:kill:stage=observation_finetune"
+                    f":epoch=1:once={token}"
+                )
+            },
+        )
+        assert killed.returncode == -signal.SIGKILL
+        files = sorted(ckpts.iterdir())
+        assert len(files) >= 2
+        blob = bytearray(files[-1].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        files[-1].write_bytes(bytes(blob))
+        resumed = self._train(
+            micro_dataset_file,
+            out,
+            extra=["--checkpoint-dir", str(ckpts), "--resume"],
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "corrupt checkpoint" in resumed.stderr
+        assert filecmp.cmp(uninterrupted_model, out, shallow=False)
 
 
 class TestWarmupDiagnostics:

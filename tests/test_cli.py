@@ -115,6 +115,99 @@ class TestTrain:
         restored = LHMM.load(out, load_dataset(dataset_file))
         assert restored.config.use_shortcuts is False
 
+    def test_resume_requires_checkpoint_dir(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                str(dataset_file),
+                "-o",
+                str(tmp_path / "m.npz"),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_train_writes_checkpoints(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "trained.npz"
+        ckpts = tmp_path / "ckpts"
+        code = main(
+            [
+                "train",
+                "--dataset", str(dataset_file),
+                "-o", str(out),
+                "--epochs", "1",
+                "--dim", "8",
+                "--candidates", "4",
+                "--seed", "1",
+                "--checkpoint-dir", str(ckpts),
+            ]
+        )
+        assert code == 0
+        assert any(p.name.startswith("ckpt-") for p in ckpts.iterdir())
+
+
+class TestStructuredErrorExits:
+    """Operator mistakes exit 2 with `error [<code>]` + hint, no traceback."""
+
+    def test_missing_model_file(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "match",
+                "--dataset", str(dataset_file),
+                "--model", str(tmp_path / "nope.npz"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [not_found]" in err
+        assert "nope.npz" in err
+        assert "hint:" in err
+
+    def test_missing_dataset_file(self, tmp_path, capsys):
+        code = main(["stats", "--dataset", str(tmp_path / "nope.json.gz")])
+        assert code == 2
+        assert "error [not_found]" in capsys.readouterr().err
+
+    def test_corrupt_model_file(self, dataset_file, model_file, tmp_path, capsys):
+        blob = bytearray(model_file.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(bytes(blob))
+        code = main(
+            [
+                "evaluate",
+                "--dataset", str(dataset_file),
+                "--model", str(corrupt),
+                "--limit", "1",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [artifact_corrupt]" in err
+        assert "hint:" in err
+        assert "Traceback" not in err
+
+    def test_incompatible_model_file(self, dataset_file, tmp_path, capsys):
+        import numpy as np
+
+        from repro.nn.serialization import write_artifact
+
+        wrong = tmp_path / "wrong.npz"
+        write_artifact(wrong, {"w": np.zeros(3)}, kind="module-state")
+        code = main(
+            [
+                "match",
+                "--dataset", str(dataset_file),
+                "--model", str(wrong),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [artifact_incompatible]" in err
+        assert "hint:" in err
+
 
 class TestEvaluate:
     def test_evaluate_baseline(self, dataset_file, capsys):

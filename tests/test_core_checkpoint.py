@@ -1,0 +1,260 @@
+"""Durable training: checkpoint manager, resume parity, divergence rollback.
+
+The headline property — *a resumed run is bit-identical to an
+uninterrupted one* — is asserted with ``filecmp`` on the final model
+artifact, which the byte-deterministic envelope makes meaningful.  The
+manager-level tests cover retention, corruption skip, and the config
+fingerprint guard in isolation.
+"""
+
+import filecmp
+import shutil
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cellular import SimulationConfig, TowerPlacementConfig
+from repro.core import LHMM, CheckpointManager, LHMMConfig
+from repro.datasets import DatasetConfig, make_city_dataset
+from repro.errors import ArtifactIncompatible, TrainingDiverged
+from repro.network import CityConfig
+from repro.testing import faults
+
+from .conftest import tiny_lhmm_config
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    """Smaller than ``tiny_dataset``: resume parity needs several full
+    training runs, so the substrate has to be cheap."""
+    config = DatasetConfig(
+        name="micro",
+        city=CityConfig(grid_rows=7, grid_cols=7, block_size_m=250.0),
+        towers=TowerPlacementConfig(base_spacing_m=400.0),
+        simulation=SimulationConfig(min_trip_m=800.0, max_trip_m=2000.0),
+        num_trajectories=40,
+        groundtruth="oracle",
+    )
+    return make_city_dataset(config, rng=7)
+
+
+def _fit_and_save(dataset, model_path, checkpoint_dir=None, **fit_kwargs):
+    matcher = LHMM(tiny_lhmm_config(), rng=3)
+    matcher.fit(
+        dataset,
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        **fit_kwargs,
+    )
+    matcher.save(model_path)
+    return matcher
+
+
+class TestCheckpointManager:
+    def _arrays(self, value=0.0):
+        return {"w": np.full((2, 2), value), "step": np.asarray(7)}
+
+    def test_save_load_round_trip_with_meta(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._arrays(1.5), {"stage": 2, "epoch": 4})
+        arrays, meta = manager.load_latest()
+        np.testing.assert_array_equal(arrays["w"], np.full((2, 2), 1.5))
+        assert arrays["step"].shape == ()
+        assert meta["stage"] == 2 and meta["epoch"] == 4
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for i in range(5):
+            manager.save(self._arrays(float(i)), {"i": i})
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
+        _, meta = manager.load_latest()
+        assert meta["i"] == 4
+
+    def test_numbering_continues_across_instances(self, tmp_path):
+        CheckpointManager(tmp_path).save(self._arrays(), {"i": 0})
+        reopened = CheckpointManager(tmp_path)
+        path = reopened.save(self._arrays(), {"i": 1})
+        assert path.name == "ckpt-00000001.npz"
+
+    def test_corrupt_newest_is_skipped_with_warning(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._arrays(1.0), {"i": 0})
+        newest = manager.save(self._arrays(2.0), {"i": 1})
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            arrays, meta = manager.load_latest()
+        assert meta["i"] == 0
+        np.testing.assert_array_equal(arrays["w"], np.full((2, 2), 1.0))
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(self._arrays(), {"i": 0})
+        path.write_bytes(b"garbage")
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            assert manager.load_latest() is None
+
+    def test_fingerprint_mismatch_is_incompatible_not_skipped(self, tmp_path):
+        CheckpointManager(tmp_path, config_fingerprint="aaaa").save(
+            self._arrays(), {"i": 0}
+        )
+        other = CheckpointManager(tmp_path, config_fingerprint="bbbb")
+        with pytest.raises(ArtifactIncompatible, match="fingerprint"):
+            other.load_latest()
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestResumeParity:
+    @pytest.fixture(scope="class")
+    def reference(self, micro_dataset, tmp_path_factory):
+        """One checkpointed training run retained in full: the baseline
+        model plus every per-epoch checkpoint file."""
+        root = tmp_path_factory.mktemp("reference")
+        ckpt_dir = root / "ckpts"
+        model = root / "model.npz"
+        _fit_and_save(
+            micro_dataset, model, checkpoint_dir=ckpt_dir, keep_checkpoints=100
+        )
+        files = sorted(ckpt_dir.iterdir())
+        assert len(files) > 4  # anchor + one per epoch across the stages
+        return model, files
+
+    def test_checkpointing_does_not_perturb_training(
+        self, micro_dataset, reference, tmp_path
+    ):
+        model, _ = reference
+        plain = tmp_path / "plain.npz"
+        _fit_and_save(micro_dataset, plain)  # no checkpointing at all
+        assert filecmp.cmp(model, plain, shallow=False)
+
+    @pytest.mark.parametrize("fraction", [0.25, 0.75])
+    def test_resume_mid_training_is_bit_identical(
+        self, micro_dataset, reference, tmp_path, fraction
+    ):
+        """Keep only the first ``fraction`` of the checkpoints — as if the
+        process died there — and resume: the final artifact must equal the
+        uninterrupted run byte for byte."""
+        model, files = reference
+        truncated = tmp_path / "ckpts"
+        truncated.mkdir()
+        cut = max(1, int(len(files) * fraction))
+        for path in files[:cut]:
+            shutil.copy2(path, truncated / path.name)
+        resumed = tmp_path / "resumed.npz"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no silent corrupt-skip allowed
+            _fit_and_save(micro_dataset, resumed, checkpoint_dir=truncated)
+        assert filecmp.cmp(model, resumed, shallow=False)
+
+    def test_corrupt_newest_checkpoint_resumes_from_previous_good(
+        self, micro_dataset, reference, tmp_path
+    ):
+        model, files = reference
+        damaged = tmp_path / "ckpts"
+        damaged.mkdir()
+        cut = max(2, len(files) // 2)
+        for path in files[:cut]:
+            shutil.copy2(path, damaged / path.name)
+        newest = sorted(damaged.iterdir())[-1]
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        resumed = tmp_path / "resumed.npz"
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            _fit_and_save(micro_dataset, resumed, checkpoint_dir=damaged)
+        assert filecmp.cmp(model, resumed, shallow=False)
+
+    def test_mismatched_config_refuses_to_resume(
+        self, micro_dataset, reference, tmp_path
+    ):
+        _, files = reference
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        shutil.copy2(files[0], ckpt_dir / files[0].name)
+        other = tiny_lhmm_config()
+        other.embedding_dim += 4
+        with pytest.raises(ArtifactIncompatible, match="fingerprint"):
+            LHMM(other, rng=3).fit(micro_dataset, checkpoint_dir=str(ckpt_dir))
+
+
+class TestDivergenceHandling:
+    def test_single_divergence_rolls_back_and_completes(
+        self, micro_dataset, tmp_path
+    ):
+        """A one-shot injected divergence mid-stage: training rolls back
+        to the last good epoch with a reduced LR and still finishes."""
+        token = tmp_path / "fault.token"
+        matcher = LHMM(tiny_lhmm_config(), rng=3)
+        with faults.armed(
+            "train.step",
+            "raise",
+            error="diverged",
+            stage="transition_pretrain",
+            epoch=1,
+            step=0,
+            once_path=str(token),
+        ):
+            matcher.fit(micro_dataset, checkpoint_dir=str(tmp_path / "ckpts"))
+        assert token.exists()  # the fault really fired
+        report = matcher.report
+        assert report is not None
+        assert len(report.transition_pretrain) > 0
+        # The recovered model is usable end to end.
+        result = matcher.match(micro_dataset.test[0].cellular)
+        assert result.path
+
+    def test_divergence_without_checkpoints_raises(self, micro_dataset):
+        with faults.armed(
+            "train.step",
+            "raise",
+            error="diverged",
+            stage="observation_pretrain",
+            epoch=0,
+            step=0,
+        ):
+            with pytest.raises(TrainingDiverged, match="checkpoint"):
+                LHMM(tiny_lhmm_config(), rng=3).fit(micro_dataset)
+
+    def test_exhausted_rollback_budget_raises(self, micro_dataset, tmp_path):
+        config = tiny_lhmm_config()
+        config.max_rollbacks = 0
+        with faults.armed(
+            "train.step",
+            "raise",
+            error="diverged",
+            stage="observation_pretrain",
+            epoch=1,
+            step=0,
+        ):
+            with pytest.raises(TrainingDiverged, match="budget exhausted"):
+                LHMM(config, rng=3).fit(
+                    micro_dataset, checkpoint_dir=str(tmp_path / "ckpts")
+                )
+
+
+class TestDivergenceConfigGuards:
+    def test_new_fields_validate(self):
+        for field, bad in [
+            ("max_rollbacks", -1),
+            ("rollback_lr_factor", 0.0),
+            ("rollback_lr_factor", 1.5),
+            ("divergence_grad_norm", -1.0),
+        ]:
+            config = LHMMConfig()
+            setattr(config, field, bad)
+            with pytest.raises(ValueError, match=field):
+                config.validate()
+
+    def test_defaults_validate(self):
+        config = LHMMConfig()
+        config.validate()
+        assert config.max_rollbacks == 2
+        assert 0.0 < config.rollback_lr_factor <= 1.0

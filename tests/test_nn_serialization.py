@@ -1,0 +1,301 @@
+"""Validated artifact envelope: checksums, manifests, fuzzing, legacy.
+
+Covers the guarantees ``repro.nn.serialization`` makes: exact-path
+writes (the ``np.savez`` silent-``.npz``-suffix bug stays fixed),
+byte-determinism, detection of any single flipped byte or truncation as
+:class:`ArtifactCorrupt`, wrong-kind/wrong-version as
+:class:`ArtifactIncompatible`, and legacy bare ``.npz`` archives loading
+only behind an explicit opt-in plus ``UserWarning``.
+"""
+
+import io
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactCorrupt, ArtifactIncompatible
+from repro.nn import Adam, Linear, StateDictMismatch
+from repro.nn.serialization import (
+    FORMAT_VERSION,
+    config_fingerprint,
+    load_state,
+    read_artifact,
+    save_state,
+    write_artifact,
+)
+
+
+def sample_arrays() -> dict[str, np.ndarray]:
+    return {
+        "weights": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "scalar": np.asarray(0.05),  # 0-d arrays must round-trip as 0-d
+        "counts": np.array([1, 2, 3], dtype=np.int64),
+    }
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test", meta={"note": "hi"})
+        artifact = read_artifact(path, kind="test")
+        assert artifact.kind == "test"
+        assert artifact.meta == {"note": "hi"}
+        for name, expected in sample_arrays().items():
+            got = artifact.arrays[name]
+            assert got.shape == expected.shape
+            assert got.dtype == expected.dtype
+            np.testing.assert_array_equal(got, expected)
+
+    def test_zero_d_array_keeps_its_shape(self, tmp_path):
+        # Regression: an over-eager contiguity copy used to promote 0-d
+        # arrays to shape (1,), making every archive carrying one
+        # self-contradictory (manifest said () while bytes said (1,)).
+        path = tmp_path / "scalar.npz"
+        write_artifact(path, {"lr": np.asarray(0.01)}, kind="test")
+        artifact = read_artifact(path, kind="test")
+        assert artifact.arrays["lr"].shape == ()
+        assert artifact.arrays["lr"] == pytest.approx(0.01)
+
+    def test_writes_are_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        write_artifact(a, sample_arrays(), kind="test", meta={"k": 1})
+        write_artifact(b, sample_arrays(), kind="test", meta={"k": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_artifact_is_still_a_loadable_npz(self, tmp_path):
+        # The envelope must stay a plain .npz: plotting/debugging scripts
+        # that np.load model files keep working.
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(
+                archive["weights"], sample_arrays()["weights"]
+            )
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_artifact(tmp_path / "nope.npz")
+
+
+class TestExactPathWrites:
+    def test_save_state_writes_exactly_the_given_path(self, tmp_path):
+        # Regression: np.savez appended ".npz" to suffixless paths, so
+        # save_state(module, "model") wrote "model.npz" while callers
+        # kept asking for "model".
+        module = Linear(3, 2, rng=0)
+        target = tmp_path / "model"  # no suffix on purpose
+        save_state(module, target)
+        assert target.exists()
+        assert not (tmp_path / "model.npz").exists()
+        reloaded = Linear(3, 2, rng=1)
+        load_state(reloaded, target)
+        np.testing.assert_array_equal(
+            reloaded.weight.data, module.weight.data
+        )
+
+    def test_failed_write_leaves_no_file_behind(self, tmp_path):
+        class Hostile:
+            shape = (2,)
+            dtype = np.float64
+
+            def __array__(self, dtype=None, copy=None):
+                raise ValueError("boom")
+
+        target = tmp_path / "model.npz"
+        with pytest.raises(ValueError):
+            write_artifact(target, {"bad": Hostile()}, kind="test")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCorruptionDetection:
+    def test_every_flipped_byte_is_detected_or_harmless(self, tmp_path):
+        """Fuzz: flip one byte at a stride of positions across the whole
+        file.  Every mutation must either surface as a structured error
+        (ArtifactCorrupt, or ArtifactIncompatible for bytes encoding the
+        manifest's version/kind fields) or leave the decoded arrays
+        bit-identical (zip metadata the reader never consults) — never
+        load silently different weights."""
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        pristine = path.read_bytes()
+        expected = sample_arrays()
+        raised = 0
+        for offset in range(0, len(pristine), 37):
+            mutated = bytearray(pristine)
+            mutated[offset] ^= 0xFF
+            target = tmp_path / "mutated.npz"
+            target.write_bytes(bytes(mutated))
+            try:
+                artifact = read_artifact(target, kind="test")
+            except (ArtifactCorrupt, ArtifactIncompatible):
+                raised += 1
+                continue
+            for name, array in expected.items():
+                np.testing.assert_array_equal(artifact.arrays[name], array)
+        # The overwhelming majority of positions hold payload, not inert
+        # zip metadata — the checksums must actually be doing the work.
+        assert raised > (len(pristine) // 37) * 3 // 4
+
+    def test_flipped_payload_byte_is_always_corrupt(self, tmp_path):
+        """Every byte of every stored ``.npy`` payload is covered by a
+        manifest checksum: flipping any one of them must raise."""
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        pristine = path.read_bytes()
+        probe = np.arange(12, dtype=np.float64).reshape(3, 4).tobytes()
+        start = pristine.index(probe)
+        for offset in range(start, start + len(probe), 11):
+            mutated = bytearray(pristine)
+            mutated[offset] ^= 0xFF
+            target = tmp_path / "mutated.npz"
+            target.write_bytes(bytes(mutated))
+            with pytest.raises(ArtifactCorrupt, match="checksum|unreadable"):
+                read_artifact(target, kind="test")
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        data = path.read_bytes()
+        for keep in (0, 10, len(data) // 2, len(data) - 1):
+            (tmp_path / "cut.npz").write_bytes(data[:keep])
+            with pytest.raises(ArtifactCorrupt):
+                read_artifact(tmp_path / "cut.npz", kind="test")
+
+    def test_extra_unmanifested_array_is_corrupt(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        with zipfile.ZipFile(path, "a") as zf:
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, np.zeros(3))
+            zf.writestr("smuggled.npy", buffer.getvalue())
+        with pytest.raises(ArtifactCorrupt, match="smuggled"):
+            read_artifact(path, kind="test")
+
+    def test_not_an_archive_is_corrupt(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(ArtifactCorrupt):
+            read_artifact(path, kind="test")
+
+
+class TestCompatibilityChecks:
+    def _rewrite_manifest(self, path, mutate):
+        import json
+
+        with zipfile.ZipFile(path) as zf:
+            entries = {n: zf.read(n) for n in zf.namelist()}
+        manifest = json.loads(entries["__manifest__.json"])
+        mutate(manifest)
+        entries["__manifest__.json"] = json.dumps(manifest).encode()
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, raw in entries.items():
+                zf.writestr(name, raw)
+
+    def test_wrong_kind_is_incompatible(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="checkpoint")
+        with pytest.raises(ArtifactIncompatible, match="'checkpoint'"):
+            read_artifact(path, kind="model")
+        # Without an expected kind, any kind is acceptable.
+        assert read_artifact(path).kind == "checkpoint"
+
+    def test_future_format_version_is_incompatible(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        self._rewrite_manifest(
+            path, lambda m: m.update(format_version=FORMAT_VERSION + 1)
+        )
+        with pytest.raises(ArtifactIncompatible, match="format_version"):
+            read_artifact(path, kind="test")
+
+    def test_garbage_format_version_is_incompatible(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, sample_arrays(), kind="test")
+        self._rewrite_manifest(
+            path, lambda m: m.update(format_version="one")
+        )
+        with pytest.raises(ArtifactIncompatible):
+            read_artifact(path, kind="test")
+
+
+class TestLegacyArchives:
+    def make_legacy(self, tmp_path):
+        path = tmp_path / "legacy"
+        np.savez(path, **sample_arrays())  # appends .npz itself
+        return tmp_path / "legacy.npz"
+
+    def test_legacy_refused_without_opt_in(self, tmp_path):
+        path = self.make_legacy(tmp_path)
+        with pytest.raises(ArtifactIncompatible, match="manifest"):
+            read_artifact(path, kind="test")
+
+    def test_legacy_loads_with_warning_when_allowed(self, tmp_path):
+        path = self.make_legacy(tmp_path)
+        with pytest.warns(UserWarning, match="legacy"):
+            artifact = read_artifact(path, kind="test", allow_legacy=True)
+        assert artifact.manifest is None
+        assert artifact.kind is None
+        np.testing.assert_array_equal(
+            artifact.arrays["weights"], sample_arrays()["weights"]
+        )
+
+
+class TestStrictStateDicts:
+    def test_strict_load_lists_every_offender_at_once(self):
+        module = Linear(3, 2, rng=0)
+        state = module.state_dict()
+        del state["bias"]  # missing
+        state["weight"] = np.zeros((5, 5))  # shape mismatch
+        state["ghost"] = np.zeros(2)  # unexpected
+        with pytest.raises(StateDictMismatch) as excinfo:
+            module.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "missing keys: ['bias']" in message
+        assert "unexpected keys: ['ghost']" in message
+        assert "shape mismatch for 'weight'" in message
+
+    def test_non_strict_loads_what_fits_and_reports_the_rest(self):
+        module = Linear(3, 2, rng=0)
+        donor = Linear(3, 2, rng=1)
+        state = donor.state_dict()
+        del state["bias"]
+        state["ghost"] = np.zeros(2)
+        before_bias = module.bias.data.copy()
+        missing, unexpected = module.load_state_dict(state, strict=False)
+        assert missing == ["bias"]
+        assert unexpected == ["ghost"]
+        np.testing.assert_array_equal(module.weight.data, donor.weight.data)
+        np.testing.assert_array_equal(module.bias.data, before_bias)
+
+    def test_optimizer_state_round_trips_through_artifact(self, tmp_path):
+        module = Linear(3, 2, rng=0)
+        optimizer = Adam(module.parameters(), lr=0.02)
+        for param in module.parameters():
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+        path = tmp_path / "opt.npz"
+        write_artifact(path, optimizer.state_dict(), kind="test")
+        restored = Adam(Linear(3, 2, rng=1).parameters(), lr=0.5)
+        restored.load_state_dict(read_artifact(path, kind="test").arrays)
+        assert restored.lr == pytest.approx(0.02)
+        assert restored._t == optimizer._t
+        for mine, theirs in zip(restored._m, optimizer._m):
+            np.testing.assert_array_equal(mine, theirs)
+        for mine, theirs in zip(restored._v, optimizer._v):
+            np.testing.assert_array_equal(mine, theirs)
+
+
+class TestConfigFingerprint:
+    def test_stable_across_key_order(self):
+        assert config_fingerprint({"a": 1, "b": 2.5}) == config_fingerprint(
+            {"b": 2.5, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_short_hex(self):
+        digest = config_fingerprint({"a": 1})
+        assert len(digest) == 16
+        int(digest, 16)  # raises if not hex

@@ -1,11 +1,12 @@
 """Serve-layer failure paths: status mapping, per-item error slots,
-degraded health.  All in-process — pool/worker-killing scenarios are in
-``test_chaos.py``."""
+degraded health, hot-reload canary rollback.  All in-process —
+pool/worker-killing scenarios are in ``test_chaos.py``."""
 
 import math
 
 import pytest
 
+from repro.nn.serialization import write_artifact
 from repro.serve import (
     MatchingClient,
     MatchingServer,
@@ -149,3 +150,134 @@ class TestDegradedHealth:
             "POST", "/v1/match", {"points": _points(tiny_dataset.test[0])}
         )["result"]
         assert result["provenance"] == "lhmm"
+
+
+@pytest.fixture(scope="module")
+def model_artifact(tmp_path_factory, trained_lhmm):
+    path = tmp_path_factory.mktemp("reload") / "model.npz"
+    trained_lhmm.save(path)
+    return path
+
+
+@pytest.fixture()
+def reload_server(trained_lhmm, tiny_dataset, model_artifact):
+    config = ServeConfig(port=0, batch_window_ms=5.0)
+    with MatchingServer(
+        trained_lhmm,
+        config,
+        model_path=str(model_artifact),
+        dataset=tiny_dataset,
+    ) as running:
+        yield running
+
+
+@pytest.fixture()
+def reload_client(reload_server):
+    return MatchingClient(reload_server.host, reload_server.port)
+
+
+class TestModelReload:
+    def _model_counters(self, client):
+        counters = client.metrics()["counters"]
+        return {k: v for k, v in counters.items() if k.startswith("model_")}
+
+    def test_successful_reload_bumps_generation(
+        self, reload_server, reload_client, model_artifact, tiny_dataset
+    ):
+        info = reload_client.reload_model()
+        assert info["status"] == "reloaded"
+        assert info["generation"] == 2
+        assert info["model_path"] == str(model_artifact)
+        assert info["canary_trajectories"] == reload_server.DEFAULT_CANARY_COUNT
+        assert self._model_counters(reload_client) == {
+            "model_generation": 2,
+            "model_reloads_total": 1,
+            "model_reload_failures_total": 0,
+        }
+        # The swapped-in model answers requests.
+        result = reload_client.match([tiny_dataset.test[0].cellular])[0]
+        assert result["path"]
+
+    def test_healthz_reports_the_model_section(self, reload_client):
+        health = reload_client.health()
+        assert health["model"] == {
+            "model_generation": 1,
+            "model_reloads_total": 0,
+            "model_reload_failures_total": 0,
+        }
+
+    def test_missing_artifact_is_refused_and_old_model_serves(
+        self, reload_server, reload_client, tmp_path, tiny_dataset, trained_lhmm
+    ):
+        with pytest.raises(ServeClientError) as excinfo:
+            reload_client.reload_model(str(tmp_path / "nope.npz"))
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload["code"] == "model_reload_failed"
+        assert reload_server.matcher is trained_lhmm
+        assert self._model_counters(reload_client) == {
+            "model_generation": 1,
+            "model_reloads_total": 0,
+            "model_reload_failures_total": 1,
+        }
+        sample = tiny_dataset.test[0]
+        result = reload_client.match([sample.cellular])[0]
+        assert result["path"] == trained_lhmm.match(sample.cellular).path
+
+    def test_corrupt_artifact_is_500_artifact_corrupt(
+        self, reload_server, reload_client, tmp_path, model_artifact
+    ):
+        blob = bytearray(model_artifact.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(ServeClientError) as excinfo:
+            reload_client.reload_model(str(bad))
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload["code"] == "artifact_corrupt"
+        assert self._model_counters(reload_client)[
+            "model_reload_failures_total"
+        ] == 1
+        assert reload_server.model_generation == 1
+
+    def test_incompatible_artifact_is_422(
+        self, reload_server, reload_client, tmp_path
+    ):
+        import numpy as np
+
+        wrong = tmp_path / "wrong-kind.npz"
+        write_artifact(wrong, {"w": np.zeros(3)}, kind="module-state")
+        with pytest.raises(ServeClientError) as excinfo:
+            reload_client.reload_model(str(wrong))
+        assert excinfo.value.status == 422
+        assert excinfo.value.payload["code"] == "artifact_incompatible"
+        assert reload_server.model_generation == 1
+
+    def test_failed_canary_keeps_the_old_model_serving(
+        self, reload_server, reload_client, trained_lhmm, tiny_dataset
+    ):
+        """The candidate loads fine but cannot match the canary corpus:
+        the swap is refused, the failure is counted, and the resident
+        model keeps answering."""
+        with faults.armed("match", "raise"):
+            with pytest.raises(ServeClientError) as excinfo:
+                reload_client.reload_model()
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload["code"] == "model_reload_failed"
+        assert "canary" in excinfo.value.payload["error"]
+        assert reload_server.matcher is trained_lhmm
+        assert reload_server.model_generation == 1
+        assert self._model_counters(reload_client) == {
+            "model_generation": 1,
+            "model_reloads_total": 0,
+            "model_reload_failures_total": 1,
+        }
+        sample = tiny_dataset.test[0]
+        result = reload_client.match([sample.cellular])[0]
+        assert result["path"] == trained_lhmm.match(sample.cellular).path
+
+    def test_server_without_model_path_refuses_reload(self, client):
+        # The plain `server` fixture has no model_path/dataset wired in.
+        with pytest.raises(ServeClientError) as excinfo:
+            client.reload_model()
+        assert excinfo.value.status == 500
+        assert excinfo.value.payload["code"] == "model_reload_failed"
