@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from benchmarks.bench_util import metric, write_bench_json
 from benchmarks.conftest import check_shape, save_report
 from repro.baselines.hmm_heuristic import (
     HeuristicHmmConfig,
@@ -180,4 +181,22 @@ def test_perf_trellis_kernel(smoke_dataset):
         f"(paths bit-identical)"
     )
 
+    write_bench_json(
+        "trellis",
+        config=dict(
+            city="trellis-smoke 12x12 rng=13",
+            num_trajectories=len(trajectories),
+            shortcut_ks=[0, 1],
+        ),
+        metrics={
+            "forward_k0_reference_s": metric(totals["reference"], "s", "lower"),
+            "forward_k0_vectorized_s": metric(totals["vectorized"], "s", "lower"),
+            "forward_k0_speedup": metric(speedup, "x", "higher"),
+            "forward_k1_speedup": metric(speedup_k1, "x", "higher"),
+            "e2e_reference_s": metric(results["reference_s"], "s", "lower"),
+            "e2e_vectorized_s": metric(results["vectorized_s"], "s", "lower"),
+        },
+        notes="vectorized trellis kernel vs reference oracle; decoded "
+        "sequences asserted identical on every timed run",
+    )
     save_report("perf_trellis", "\n".join(lines))

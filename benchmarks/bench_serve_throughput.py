@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from benchmarks.bench_util import metric, write_bench_json
 from benchmarks.conftest import FAST, save_report
 from repro.cellular import SimulationConfig, TowerPlacementConfig
 from repro.core import LHMM, LHMMConfig, OnlineLHMM
@@ -171,4 +172,27 @@ def test_serve_throughput(smoke_matcher):
             "all served paths verified identical to direct LHMM / OnlineLHMM calls"
         )
 
+    batch_snap = batch_latency.snapshot()
+    feed_snap = feed_latency.snapshot()
+    write_bench_json(
+        "serve",
+        config=dict(
+            city="serve-smoke-city 10x10 rng=17",
+            client_threads=CLIENT_THREADS,
+            batch_requests=BATCH_REQUESTS,
+            stream_sessions=STREAM_SESSIONS,
+        ),
+        metrics={
+            "batch_req_per_s": metric(
+                BATCH_REQUESTS / batch_wall_s, "req/s", "higher"
+            ),
+            "batch_p95_ms": metric(batch_snap["p95_s"] * 1e3, "ms", "lower"),
+            "stream_points_per_s": metric(
+                total_points / stream_wall_s, "pts/s", "higher"
+            ),
+            "stream_feed_p95_ms": metric(feed_snap["p95_s"] * 1e3, "ms", "lower"),
+        },
+        notes="in-process MatchingServer over HTTP; served paths verified "
+        "identical to direct LHMM / OnlineLHMM calls",
+    )
     save_report("serve_throughput", "\n".join(lines))

@@ -1,0 +1,87 @@
+"""Shared machine-readable benchmark reporting.
+
+Every perf smoke benchmark writes, next to its human-readable
+``benchmarks/results/*.txt`` report, a ``BENCH_<name>.json`` file at the
+repository root.  The JSON carries everything a regression checker needs
+to decide whether two runs are comparable and whether a metric moved:
+
+* machine specs (platform, CPU count, python/numpy versions),
+* the benchmark configuration plus a stable fingerprint of it,
+* whether the run was in fast mode (``REPRO_BENCH_FAST=1`` shrinks the
+  workload, so fast and full runs are never compared to each other),
+* per-metric values with units and an improvement direction.
+
+``scripts/check_bench_regression.py`` consumes these files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+
+
+def machine_specs() -> dict[str, Any]:
+    """The hardware/software facts that make timings (in)comparable."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """A stable hash of the benchmark configuration.
+
+    Runs with different fingerprints measured different workloads and must
+    not be compared; the checker treats a fingerprint change as "baseline
+    reset", not as a regression.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=repr)
+    return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def metric(value: float, unit: str, direction: str) -> dict[str, Any]:
+    """One measured value.  ``direction`` is ``"lower"`` or ``"higher"``
+    — the side on which *better* lies, so the checker knows which way a
+    10% move is a regression."""
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be 'lower' or 'higher', got {direction!r}")
+    return {"value": float(value), "unit": unit, "direction": direction}
+
+
+def write_bench_json(
+    name: str,
+    config: Mapping[str, Any],
+    metrics: Mapping[str, Mapping[str, Any]],
+    notes: str = "",
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    fast = os.environ.get("REPRO_BENCH_FAST") == "1"
+    payload = {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "fast_mode": fast,
+        "created_unix": int(time.time()),
+        "machine": machine_specs(),
+        "config": dict(config),
+        "config_fingerprint": config_fingerprint(config),
+        "metrics": {key: dict(value) for key, value in metrics.items()},
+    }
+    if notes:
+        payload["notes"] = notes
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

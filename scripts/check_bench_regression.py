@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Flag >10% regressions between fresh and committed BENCH_*.json files.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--baseline-ref HEAD]
+        [--threshold 0.10] [files...]
+
+For every ``BENCH_<name>.json`` at the repository root (or the files given
+on the command line), the committed version at ``--baseline-ref`` is the
+baseline and the working-tree version is the candidate.  A metric regresses
+when it moves more than ``--threshold`` (default 10%) in its *worse*
+direction — slower for ``direction: lower`` metrics, smaller for
+``direction: higher`` ones.
+
+Runs are skipped (never flagged) when they are not comparable:
+
+* no committed baseline exists yet (a brand-new benchmark),
+* the config fingerprints differ (the workload changed), or
+* exactly one of the two runs was in fast mode (``REPRO_BENCH_FAST=1``).
+
+Exit code 1 when any regression is flagged, 0 otherwise.  The CI perf
+smoke job runs this non-blocking; locally it is a pre-commit sanity check
+after re-running the full-scale benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_baseline(ref: str, rel_path: str) -> dict | None:
+    """The committed JSON at ``ref``, or None when it does not exist there."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel_path}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(name: str, baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Human-readable regression lines (empty = clean)."""
+    problems: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    for key, cur in current.get("metrics", {}).items():
+        base = base_metrics.get(key)
+        if base is None:
+            continue  # new metric: no baseline to regress against
+        base_value = float(base["value"])
+        cur_value = float(cur["value"])
+        direction = cur.get("direction", "lower")
+        if base_value == 0.0:
+            continue
+        change = (cur_value - base_value) / abs(base_value)
+        regressed = (
+            change > threshold if direction == "lower" else change < -threshold
+        )
+        if regressed:
+            problems.append(
+                f"  {name}:{key}  {base_value:.4g} -> {cur_value:.4g} "
+                f"{cur.get('unit', '')} ({change:+.1%}, worse-direction "
+                f"threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files to check "
+                        "(default: all at the repo root)")
+    parser.add_argument("--baseline-ref", default="HEAD",
+                        help="git ref holding the baseline JSONs (default HEAD)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative worse-direction change that counts as "
+                             "a regression (default 0.10)")
+    args = parser.parse_args(argv)
+
+    paths = (
+        [Path(f) for f in args.files]
+        if args.files
+        else sorted(REPO_ROOT.glob("BENCH_*.json"))
+    )
+    if not paths:
+        print("no BENCH_*.json files found; nothing to check")
+        return 0
+
+    regressions: list[str] = []
+    for path in paths:
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            # Outside the repo (tests, ad-hoc files): no committed
+            # baseline can exist, so the git probe below returns None.
+            rel = path.as_posix()
+        current = json.loads(path.read_text())
+        baseline = load_baseline(args.baseline_ref, rel)
+        name = current.get("bench", path.stem)
+        if baseline is None:
+            print(f"{rel}: no baseline at {args.baseline_ref} -- skipped")
+            continue
+        if baseline.get("config_fingerprint") != current.get("config_fingerprint"):
+            print(f"{rel}: config fingerprint changed -- baseline reset, skipped")
+            continue
+        if bool(baseline.get("fast_mode")) != bool(current.get("fast_mode")):
+            print(f"{rel}: fast/full mode mismatch vs baseline -- skipped")
+            continue
+        problems = compare(name, baseline, current, args.threshold)
+        if problems:
+            regressions.extend(problems)
+            print(f"{rel}: REGRESSION")
+        else:
+            print(f"{rel}: ok ({len(current.get('metrics', {}))} metrics)")
+
+    if regressions:
+        print("\nbenchmark regressions (>10% in the worse direction):")
+        for line in regressions:
+            print(line)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Usage::
                              --port 8080 --workers 4
     python -m repro golden              # check the golden match corpus
     python -m repro golden --regen      # rewrite it after a reviewed change
+    python -m repro profile             # profile the matching pipeline
+    python -m repro profile --pipeline scalar --json profile.json
 
 Every command takes ``--seed`` for reproducibility.  All heavy outputs are
 files; stdout carries human-readable summaries only.  ``serve`` runs until
@@ -108,6 +110,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--path", default=None,
         help="corpus JSON (default: tests/golden/golden_matches.json)",
     )
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile end-to-end matching: cProfile hotspots plus "
+             "per-stage wall-clock over a smoke city",
+    )
+    profile.add_argument("--dataset", default=None,
+                         help="dataset .json.gz to profile on (default: "
+                              "generate a small smoke city in-process)")
+    profile.add_argument("--trajectories", type=int, default=30,
+                         help="trajectories to match in the profiled loop")
+    profile.add_argument("--scale", type=float, default=0.4,
+                         help="smoke-city size multiplier when generating")
+    profile.add_argument("--pipeline", choices=["batched", "scalar"],
+                         default="batched",
+                         help="candidate/feature pipeline to profile")
+    profile.add_argument("--epochs", type=int, default=1,
+                         help="training epochs for the profiled model")
+    profile.add_argument("--top", type=int, default=15,
+                         help="cProfile rows to print (sorted by tottime)")
+    profile.add_argument("--json", default=None,
+                         help="write the per-stage summary as JSON here")
+    profile.add_argument("--seed", type=int, default=0)
 
     serve = commands.add_parser(
         "serve", help="run a long-lived map-matching HTTP service"
@@ -366,6 +391,136 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile end-to-end matching: per-stage wall-clock + cProfile.
+
+    The per-stage table wraps the pipeline's own entry points, so the
+    times are *cumulative per stage* and nest: ``trellis.run`` contains
+    the transition scoring, which contains routing.  The cProfile listing
+    underneath is the flat-hotspot view of the same loop.  All matching
+    caches are cleared first so the run reflects cold-cache behaviour —
+    the same convention as the perf smoke benchmarks.
+    """
+    import cProfile
+    import functools
+    import io
+    import json
+    import pstats
+    import time
+
+    from repro.core import LHMM, LHMMConfig
+    from repro.core.matcher import _LHMMScorer
+    from repro.core.trellis import Trellis, VectorizedTrellis
+    from repro.datasets import load_dataset, make_city_dataset, preset_config
+
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        config = preset_config(
+            "xiamen", num_trajectories=args.trajectories, scale=args.scale
+        )
+        dataset = make_city_dataset(config, rng=args.seed)
+        print(
+            f"generated smoke city: {dataset.network.num_segments} segments, "
+            f"{len(dataset)} trajectories"
+        )
+    matcher = LHMM(
+        LHMMConfig(
+            embedding_dim=12,
+            het_layers=1,
+            mlp_hidden=12,
+            candidate_k=10,
+            candidate_pool=50,
+            epochs=args.epochs,
+            batch_size=4,
+            negatives_per_positive=3,
+        ),
+        rng=args.seed,
+    ).fit(dataset)
+    matcher.config.pipeline_impl = args.pipeline
+    matcher.config.trellis_impl = (
+        "vectorized" if args.pipeline == "batched" else "reference"
+    )
+    trajectories = [s.cellular for s in dataset.samples][: args.trajectories]
+
+    stage_s: dict[str, float] = {}
+    wrapped: list[tuple[type, str, object]] = []
+
+    def instrument(cls: type, attr: str, label: str) -> None:
+        original = cls.__dict__.get(attr)
+        if original is None:
+            return
+
+        @functools.wraps(original)
+        def timed(*call_args, **call_kwargs):
+            start = time.perf_counter()
+            try:
+                return original(*call_args, **call_kwargs)
+            finally:
+                stage_s[label] = (
+                    stage_s.get(label, 0.0) + time.perf_counter() - start
+                )
+
+        setattr(cls, attr, timed)
+        wrapped.append((cls, attr, original))
+
+    instrument(LHMM, "prepare_candidates", "prepare_candidates")
+    instrument(LHMM, "_relevance_scope", "relevance_scope")
+    instrument(LHMM, "_segment_relevance", "segment_relevance")
+    instrument(_LHMMScorer, "transition_batch", "transitions")
+    # Instrument only the backend this pipeline actually runs: the
+    # vectorized trellis chains into the base class, so wrapping both
+    # would double-count the forward pass.
+    trellis_cls = VectorizedTrellis if args.pipeline == "batched" else Trellis
+    instrument(trellis_cls, "run", "trellis.run")
+    instrument(trellis_cls, "_apply_shortcuts", "shortcuts")
+
+    matcher.engine.clear_cache()
+    network = matcher.network
+    network._near_memo.clear()
+    network._route_turns.clear()
+    network._index._box_cache.clear()
+    matcher._pool_cache_obj = None
+
+    profiler = cProfile.Profile()
+    try:
+        start = time.perf_counter()
+        profiler.enable()
+        for trajectory in trajectories:
+            matcher.match(trajectory)
+        profiler.disable()
+        total_s = time.perf_counter() - start
+    finally:
+        for cls, attr, original in wrapped:
+            setattr(cls, attr, original)
+
+    print(
+        f"\nmatched {len(trajectories)} trajectories with the "
+        f"{args.pipeline!r} pipeline in {total_s:.3f} s (cold caches)"
+    )
+    print("\nper-stage wall-clock (cumulative; stages nest, see --help):")
+    for label, seconds in sorted(stage_s.items(), key=lambda kv: -kv[1]):
+        print(f"  {label.ljust(20)} {seconds:7.3f} s  ({seconds / total_s:5.1%})")
+
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("tottime").print_stats(
+        args.top
+    )
+    print("\ncProfile hotspots (tottime):")
+    print(stream.getvalue())
+
+    if args.json:
+        payload = {
+            "pipeline": args.pipeline,
+            "trajectories": len(trajectories),
+            "total_s": total_s,
+            "stages_s": stage_s,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _install_reload_signal(server) -> None:
     """SIGHUP → hot-reload the model, off the signal handler's thread.
 
@@ -464,6 +619,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "match": _cmd_match,
     "golden": _cmd_golden,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
 }
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.cellular.trajectory import TrajectoryPoint
 from repro.errors import InvalidTrajectoryInput
@@ -58,7 +60,168 @@ def learned_candidate_pool(
     """
     pool = spatial_candidate_pool(graph.network, point, radius_m, limit)
     if include_cooccurrence and point.tower_id is not None:
-        known = graph.roads_seen_with(point.tower_id)
+        # The per-tower extension tuple is cached on the graph; deriving it
+        # from the co-occurrence set once per tower (instead of once per
+        # point) preserves the set's enumeration order exactly.
+        known = graph.cooccurrence_extension(point.tower_id)
         pool_set = set(pool)
         pool.extend(seg for seg in known if seg not in pool_set)
     return pool
+
+
+class CandidatePoolCache:
+    """Memoised learned candidate pools for the batched pipeline.
+
+    Cellular points at the same tower (and simulated points share their
+    tower's exact location) ask the same spatial question over and over;
+    this cache answers each distinct ``(tower_id, x, y)`` key once.  Misses
+    are resolved in bulk through the network's stacked spatial kernel
+    (:meth:`RoadNetwork.segments_near_many`), so a cold trajectory costs one
+    vectorised pass rather than one index round-trip per point.  Pools are
+    returned as fresh lists, and equal exactly what
+    :func:`learned_candidate_pool` returns for the same point — including
+    the nearest-road fallback and the :class:`InvalidTrajectoryInput`
+    raised at the *first* failing point in input order.
+    """
+
+    def __init__(
+        self,
+        graph: "RelationGraph",
+        radius_m: float,
+        limit: int,
+        include_cooccurrence: bool = True,
+        max_entries: int = 100_000,
+    ) -> None:
+        self.graph = graph
+        self.radius_m = float(radius_m)
+        self.limit = int(limit)
+        self.include_cooccurrence = bool(include_cooccurrence)
+        self.max_entries = int(max_entries)
+        self._pools: dict[tuple[int | None, float, float], tuple[int, ...]] = {}
+        # Per-key explicit observation features and graph-node index arrays.
+        # Both depend only on the cache key (position, tower mining state),
+        # so they are memoised next to the pool; keyed additionally by
+        # ``include_ranks`` because ablations flip it per matcher config.
+        self._features: dict[
+            tuple[int | None, float, float, bool], np.ndarray
+        ] = {}
+        self._nodes: dict[tuple[int | None, float, float], np.ndarray] = {}
+
+    def _key(self, point: TrajectoryPoint) -> tuple[int | None, float, float]:
+        # Keyed by position *and* tower id: the protocol layer accepts
+        # arbitrary (x, y) per tower, and the co-occurrence extension
+        # depends on the tower alone.
+        return (point.tower_id, point.position.x, point.position.y)
+
+    def pools(self, points: Sequence[TrajectoryPoint]) -> list[list[int]]:
+        """Candidate pools for all points, batch-resolving cache misses."""
+        keys = [self._key(p) for p in points]
+        miss_order: list[int] = []
+        seen_miss: set[tuple[int | None, float, float]] = set()
+        for i, key in enumerate(keys):
+            if key not in self._pools and key not in seen_miss:
+                seen_miss.add(key)
+                miss_order.append(i)
+        if miss_order:
+            self._resolve_misses([points[i] for i in miss_order])
+        return [list(self._pools[key]) for key in keys]
+
+    def pool(self, point: TrajectoryPoint) -> list[int]:
+        """Candidate pool for one point (streaming entry point)."""
+        return self.pools([point])[0]
+
+    def pools_features(
+        self, points: Sequence[TrajectoryPoint], include_ranks: bool = True
+    ) -> tuple[list[list[int]], np.ndarray, np.ndarray, np.ndarray]:
+        """Pools plus the stacked explicit ``D_O`` block and node indices.
+
+        Returns ``(pools, features, counts, node_idx)`` where ``features``
+        row-stacks each point's explicit observation-feature block
+        (distance, frequency and — when ``include_ranks`` — the pool-rank
+        columns), ``counts[i] = len(pools[i])`` and ``node_idx`` holds the
+        graph-node index of every stacked candidate (the embedding gather).
+        The explicit block and node indices depend only on the cache key,
+        so both are memoised per key: repeat towers skip the distance
+        kernel, the frequency lookups and the rank argsorts entirely.
+        Cached blocks are slices of a stacked computation whose per-pair
+        values are bit-identical to per-point scalar calls, so assembling
+        them per trajectory reproduces
+        :func:`~repro.core.features.stacked_observation_features` exactly.
+        """
+        from repro.core.features import stacked_observation_features
+
+        pools = self.pools(points)
+        keys = [self._key(p) for p in points]
+        miss_idx: list[int] = []
+        seen: set[tuple[int | None, float, float, bool]] = set()
+        for i, key in enumerate(keys):
+            fkey = (*key, include_ranks)
+            if fkey not in self._features and fkey not in seen:
+                seen.add(fkey)
+                miss_idx.append(i)
+        if miss_idx:
+            block, block_counts = stacked_observation_features(
+                self.graph,
+                [points[i] for i in miss_idx],
+                [pools[i] for i in miss_idx],
+                include_ranks=include_ranks,
+            )
+            offset = 0
+            for i, count in zip(miss_idx, block_counts):
+                m = int(count)
+                if len(self._features) >= self.max_entries:
+                    self._features.clear()
+                self._features[(*keys[i], include_ranks)] = block[offset : offset + m]
+                offset += m
+        for i, key in enumerate(keys):
+            if key not in self._nodes:
+                if len(self._nodes) >= self.max_entries:
+                    self._nodes.clear()
+                self._nodes[key] = self.graph.segment_nodes(pools[i])
+        counts = np.fromiter(
+            (len(pool) for pool in pools), dtype=np.int64, count=len(pools)
+        )
+        blocks = [self._features[(*key, include_ranks)] for key in keys]
+        node_parts = [self._nodes[key] for key in keys]
+        if blocks:
+            features = np.concatenate(blocks, axis=0)
+            node_idx = np.concatenate(node_parts)
+        else:
+            from repro.core.features import (
+                NUM_BASE_OBSERVATION_FEATURES,
+                NUM_OBSERVATION_FEATURES,
+            )
+
+            width = (
+                NUM_OBSERVATION_FEATURES
+                if include_ranks
+                else NUM_BASE_OBSERVATION_FEATURES
+            )
+            features = np.empty((0, width), dtype=np.float64)
+            node_idx = np.empty(0, dtype=np.int64)
+        return pools, features, counts, node_idx
+
+    def _resolve_misses(self, points: list[TrajectoryPoint]) -> None:
+        network = self.graph.network
+        spatial = network.segments_near_many(
+            [p.position for p in points], self.radius_m
+        )
+        for point, near in zip(points, spatial):
+            pool = list(near)
+            if not pool:
+                pool = network.nearest_segments(point.position, count=self.limit)
+            if not pool:
+                raise InvalidTrajectoryInput(
+                    f"no candidate road anywhere near point "
+                    f"({point.position.x:.0f}, {point.position.y:.0f}) "
+                    f"(searched {self.radius_m:.0f}m radius, then "
+                    f"nearest-road fallback)"
+                )
+            pool = pool[: self.limit]
+            if self.include_cooccurrence and point.tower_id is not None:
+                known = self.graph.cooccurrence_extension(point.tower_id)
+                pool_set = set(pool)
+                pool.extend(seg for seg in known if seg not in pool_set)
+            if len(self._pools) >= self.max_entries:
+                self._pools.clear()
+            self._pools[self._key(point)] = tuple(pool)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+PIPELINE_IMPLS = ("scalar", "batched")
+
 
 @dataclass(slots=True)
 class LHMMConfig:
@@ -29,6 +31,11 @@ class LHMMConfig:
             numpy max-plus kernel, the default) or ``"reference"`` (the
             dict-based oracle).  Both decode identical sequences; the
             differential suite (``tests/test_trellis_parity.py``) pins it.
+        pipeline_impl: Candidate/feature pipeline backend — ``"batched"``
+            (stacked candidate retrieval, fused observation forward, and
+            vectorised transition rows; the default) or ``"scalar"`` (the
+            original per-point loops).  Both produce bit-identical matches;
+            ``docs/performance.md`` documents the layout and invariants.
 
     Training:
         epochs: Passes over the training trajectories per stage.
@@ -66,6 +73,7 @@ class LHMMConfig:
     candidate_radius_m: float = 2500.0
     shortcut_k: int = 1
     trellis_impl: str = "vectorized"
+    pipeline_impl: str = "batched"
 
     epochs: int = 6
     batch_size: int = 8
@@ -122,6 +130,11 @@ class LHMMConfig:
             raise ValueError(
                 f"trellis_impl must be one of {list(TRELLIS_IMPLS)}, "
                 f"got {self.trellis_impl!r}"
+            )
+        if self.pipeline_impl not in PIPELINE_IMPLS:
+            raise ValueError(
+                f"pipeline_impl must be one of {list(PIPELINE_IMPLS)}, "
+                f"got {self.pipeline_impl!r}"
             )
         if self.epochs < 0 or self.batch_size < 1:
             raise ValueError("invalid training settings")

@@ -79,6 +79,63 @@ def observation_feature_matrix(
     return np.column_stack(columns)
 
 
+def stacked_observation_features(
+    graph: RelationGraph,
+    points: list[TrajectoryPoint],
+    pools: list[list[int]],
+    include_ranks: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``D_O`` for every (point, candidate) pair of a trajectory at once.
+
+    Returns ``(features, counts)`` where ``features`` stacks the per-point
+    :func:`observation_feature_matrix` blocks row-wise (shape
+    ``(sum(len(pool)), 4 or 2)``) and ``counts[i] = len(pools[i])`` gives the
+    ragged layout.  Distances come from the network's vectorised
+    exact-projection kernel and are bit-identical to per-pool scalar calls;
+    the rank columns are computed per pool slice with the same stable
+    argsort, so every row equals its scalar counterpart.
+    """
+    counts = np.fromiter((len(pool) for pool in pools), dtype=np.int64, count=len(pools))
+    total = int(counts.sum())
+    if total == 0:
+        width = (
+            NUM_OBSERVATION_FEATURES if include_ranks else NUM_BASE_OBSERVATION_FEATURES
+        )
+        return np.empty((0, width), dtype=np.float64), counts
+    flat_ids: list[int] = []
+    for pool in pools:
+        flat_ids.extend(pool)
+    xs = np.fromiter((p.position.x for p in points), dtype=np.float64, count=len(points))
+    ys = np.fromiter((p.position.y for p in points), dtype=np.float64, count=len(points))
+    px = np.repeat(xs, counts)
+    py = np.repeat(ys, counts)
+    distances = graph.network.point_segment_distances(px, py, flat_ids)
+    frequencies = np.empty(total, dtype=np.float64)
+    offset = 0
+    for point, pool in zip(points, pools):
+        m = len(pool)
+        if point.tower_id is not None:
+            frequencies[offset : offset + m] = graph.co_occurrence_frequencies(
+                point.tower_id, pool
+            )
+        else:
+            frequencies[offset : offset + m] = 0.0
+        offset += m
+    columns = [distances / _DISTANCE_SCALE_M, frequencies]
+    if include_ranks:
+        distance_ranks = np.empty(total, dtype=np.float64)
+        frequency_ranks = np.empty(total, dtype=np.float64)
+        offset = 0
+        for count in counts:
+            sl = slice(offset, offset + int(count))
+            distance_ranks[sl] = _normalised_ranks(distances[sl])
+            frequency_ranks[sl] = _normalised_ranks(frequencies[sl], descending=True)
+            offset += int(count)
+        columns.append(distance_ranks)
+        columns.append(frequency_ranks)
+    return np.column_stack(columns), counts
+
+
 def route_turn_sum_deg(network: RoadNetwork, route: Route) -> float:
     """Total turning along a route: inter-segment plus in-segment angles."""
     total = 0.0
@@ -88,6 +145,64 @@ def route_turn_sum_deg(network: RoadNetwork, route: Route) -> float:
     for earlier, later in zip(segments, segments[1:]):
         total += heading_difference_deg(earlier.heading_deg(), later.heading_deg())
     return total
+
+
+def route_turn_sum_cached(network: RoadNetwork, segments: tuple[int, ...]) -> float:
+    """:func:`route_turn_sum_deg` memoised by the route's segment tuple.
+
+    The first visit accumulates cached per-segment turn sums and headings
+    in exactly the scalar order (all in-segment angles first, then the
+    inter-segment heading differences), so the float is bit-identical to
+    :func:`route_turn_sum_deg`; repeat visits — the common case, since the
+    same routes recur across trellis steps and trajectories — are a dict
+    probe.
+    """
+    memo = network.route_turns()
+    value = memo.get(segments)
+    if value is None:
+        turn_sums, headings = network.turn_geometry()
+        value = 0.0
+        for s in segments:
+            value += turn_sums[s]
+        for earlier, later in zip(segments, segments[1:]):
+            value += heading_difference_deg(headings[earlier], headings[later])
+        memo[segments] = value
+    return value
+
+
+def fill_route_turn_memo(network: RoadNetwork, missing: list[tuple[int, ...]]) -> None:
+    """Compute and memoise turn sums for many routes at once.
+
+    Routes are grouped by segment count; within a group the accumulation
+    runs column by column — elementwise sequential adds in exactly the
+    scalar order (all in-segment turn sums first, then the heading
+    differences), and the vectorised heading difference uses ``np.mod`` /
+    ``np.where``, which match Python's ``%`` and branch bit for bit on
+    the non-negative operands involved.  The memoised floats therefore
+    equal :func:`route_turn_sum_cached` / :func:`route_turn_sum_deg`.
+    """
+    memo = network.route_turns()
+    turn_arr, heading_arr = network.turn_geometry_dense()
+    by_len: dict[int, list[tuple[int, ...]]] = {}
+    for segments in missing:
+        by_len.setdefault(len(segments), []).append(segments)
+    for seg_count, group in by_len.items():
+        if seg_count == 0:
+            for segments in group:
+                memo[segments] = 0.0
+            continue
+        ids = np.array(group, dtype=np.int64)  # (G, seg_count)
+        turns = turn_arr[ids]
+        acc = 0.0 + turns[:, 0]
+        for k in range(1, seg_count):
+            acc = acc + turns[:, k]
+        if seg_count > 1:
+            headings = heading_arr[ids]
+            for k in range(seg_count - 1):
+                diff = np.abs(headings[:, k] - headings[:, k + 1]) % 360.0
+                acc = acc + np.where(diff > 180.0, 360.0 - diff, diff)
+        for segments, value in zip(group, acc.tolist()):
+            memo[segments] = value
 
 
 def transition_features(
@@ -112,3 +227,75 @@ def transition_features(
     detour_ratio = min(5.0, route.length / denominator)
     turning = min(3.0, route_turn_sum_deg(network, route) / 180.0)
     return np.array([length_gap, detour_ratio, turning], dtype=np.float64)
+
+
+def dense_relevance(network: RoadNetwork, relevance: dict[int, float]) -> np.ndarray:
+    """The per-segment relevance dict as a dense array (default 0.5).
+
+    Indexing this array by segment id yields exactly
+    ``relevance.get(segment_id, 0.5)``, which lets the batched transition
+    builder average a route's relevance with one gather + mean.
+    """
+    size = (max(network.segments) + 1) if network.segments else 0
+    dense = np.full(size, 0.5, dtype=np.float64)
+    for seg_id, value in relevance.items():
+        dense[seg_id] = value
+    return dense
+
+
+def transition_feature_rows(
+    network: RoadNetwork,
+    routes: list[Route | None],
+    prev_point: TrajectoryPoint,
+    point: TrajectoryPoint,
+    relevance_dense: np.ndarray | None = None,
+) -> tuple[np.ndarray, list[int]]:
+    """Stacked transition rows for one trellis step.
+
+    Returns ``(rows, positions)``: ``rows[r]`` is the feature row for
+    ``routes[positions[r]]`` (``None`` routes are skipped, order preserved).
+    Without ``relevance_dense`` the rows are the 3 explicit ``D_T`` columns,
+    bit-identical to per-route :func:`transition_features`.  With it, a
+    leading implicit column carries the mean learned relevance over the
+    route's segments, matching the scalar
+    ``float(np.mean([relevance.get(s, 0.5) for s in route.segments]))``
+    (same-length routes are grouped so ``np.mean(axis=1)`` reproduces the
+    per-route reduction exactly).
+    """
+    positions = [i for i, route in enumerate(routes) if route is not None]
+    n = len(positions)
+    width = NUM_TRANSITION_FEATURES + (1 if relevance_dense is not None else 0)
+    if n == 0:
+        return np.empty((0, width), dtype=np.float64), positions
+    kept = [routes[i] for i in positions]
+    lengths = np.fromiter((r.length for r in kept), dtype=np.float64, count=n)
+    memo = network.route_turns()
+    missing = [r.segments for r in kept if r.segments not in memo]
+    if missing:
+        fill_route_turn_memo(network, list(dict.fromkeys(missing)))
+    turns = np.fromiter(
+        (memo[r.segments] for r in kept), dtype=np.float64, count=n
+    )
+    straight = prev_point.position.distance_to(point.position)
+    denominator = straight + 100.0
+    length_gap = np.abs(straight - lengths) / denominator
+    detour_ratio = np.minimum(5.0, lengths / denominator)
+    turning = np.minimum(3.0, turns / 180.0)
+    explicit = np.column_stack([length_gap, detour_ratio, turning])
+    if relevance_dense is None:
+        return explicit, positions
+    implicit = np.empty(n, dtype=np.float64)
+    # Group routes by segment count: np.mean over the rows of a same-length
+    # stack is bitwise identical to the scalar per-route np.mean.
+    by_len: dict[int, list[int]] = {}
+    for r, route in enumerate(kept):
+        by_len.setdefault(len(route.segments), []).append(r)
+    for seg_count, members in by_len.items():
+        if seg_count == 0:
+            implicit[members] = 0.5
+            continue
+        ids = np.array(
+            [kept[r].segments for r in members], dtype=np.int64
+        )  # (len(members), seg_count)
+        implicit[members] = np.mean(relevance_dense[ids], axis=1)
+    return np.column_stack([implicit, explicit]), positions

@@ -52,9 +52,18 @@ class HetGraphEncoder(Module):
         ]
 
     def _relation_edges(self):
+        # Rebuilt only when the graph's edge dict is replaced (build()):
+        # merged_edges() concatenates every relation, which is pure waste
+        # re-done per forward during training otherwise.
+        cache = getattr(self, "_edges_cache", None)
+        if cache is not None and cache[0] is self.graph.edges:
+            return cache[1]
         if self.heterogeneous:
-            return {rel: self.graph.edges[rel] for rel in RELATIONS}
-        return {"ALL": self.graph.merged_edges()}
+            edges = {rel: self.graph.edges[rel] for rel in RELATIONS}
+        else:
+            edges = {"ALL": self.graph.merged_edges()}
+        self._edges_cache = (self.graph.edges, edges)
+        return edges
 
     def forward(self) -> Tensor:
         """Embeddings for every graph node, shape ``(num_nodes, dim)``."""

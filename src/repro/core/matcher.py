@@ -23,10 +23,15 @@ from repro.errors import (
     WorkerCrash,
 )
 from repro.testing import faults
-from repro.core.candidates import learned_candidate_pool
+from repro.core.candidates import CandidatePoolCache, learned_candidate_pool
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import LHMMConfig
-from repro.core.features import observation_feature_matrix, transition_features
+from repro.core.features import (
+    dense_relevance,
+    observation_feature_matrix,
+    transition_feature_rows,
+    transition_features,
+)
 from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
 from repro.core.observation import ObservationLearner
 from repro.core.relation_graph import RelationGraph
@@ -96,6 +101,7 @@ class _LHMMScorer:
         self._po = po_maps
         self._context = context
         self._relevance = relevance  # segment id -> P(e|X), or None
+        self._relevance_dense: np.ndarray | None = None  # lazy dense gather view
         self._pt_cache: dict[tuple[int, int, int], float] = {}
         self._steps_done: set[int] = set()
 
@@ -175,6 +181,33 @@ class _LHMMScorer:
         values = [UNREACHABLE_SCORE] * len(pairs)
         # One batched multi-source query answers the whole trellis step.
         routes = route_pairs(matcher.engine, pairs)
+        if matcher.config.pipeline_impl == "batched":
+            dense = None
+            if matcher.transition_learner.use_implicit:
+                assert self._relevance is not None
+                if self._relevance_dense is None:
+                    self._relevance_dense = dense_relevance(
+                        matcher.network, self._relevance
+                    )
+                dense = self._relevance_dense
+            row_matrix, batched_positions = transition_feature_rows(
+                matcher.network,
+                routes,
+                self._points[index - 1],
+                self._points[index],
+                relevance_dense=dense,
+            )
+            if row_matrix.shape[0]:
+                with no_grad():
+                    probs = (
+                        matcher.transition_learner.fusion_mlp(Tensor(row_matrix))
+                        .reshape(row_matrix.shape[0])
+                        .sigmoid()
+                        .numpy()
+                    )
+                for pos, prob in zip(batched_positions, probs):
+                    values[pos] = float(prob)
+            return values
         for pos, route in enumerate(routes):
             if route is None:
                 continue
@@ -230,6 +263,10 @@ class LHMM:
         self.last_degraded_cause: BaseException | None = None
         self._fallback_hmm = None
         self._bounds: tuple[float, float, float, float] | None = None
+        # Batched-pipeline candidate-pool cache (lazy; rebuilt when the
+        # graph or the pool-shaping config fields change).
+        self._pool_cache_obj: CandidatePoolCache | None = None
+        self._pool_cache_key: tuple | None = None
 
     # -------------------------------------------------------------------- fit
     def fit(
@@ -407,12 +444,28 @@ class LHMM:
 
     def _relevance_scope(self, trajectory: Trajectory) -> list[int]:
         """Segments any transition route of this trajectory could traverse."""
+        radius = self.config.candidate_radius_m + 1500.0
+        if self.config.pipeline_impl == "batched":
+            near_lists = self.network.segments_near_many(
+                [p.position for p in trajectory.points], radius
+            )
+            if not near_lists:
+                return []
+            flat = np.concatenate(
+                [np.asarray(near, dtype=np.int64) for near in near_lists]
+            )
+            # First-occurrence dedupe, identical to the scalar loop below.
+            _, first = np.unique(flat, return_index=True)
+            first.sort()
+            return [int(s) for s in flat[first]]
+        near_lists = [
+            self.network.segments_near(p.position, radius)
+            for p in trajectory.points
+        ]
         scope: list[int] = []
         seen: set[int] = set()
-        for point in trajectory.points:
-            for seg in self.network.segments_near(
-                point.position, self.config.candidate_radius_m + 1500.0
-            ):
+        for near in near_lists:
+            for seg in near:
                 if seg not in seen:
                     seen.add(seg)
                     scope.append(seg)
@@ -421,6 +474,67 @@ class LHMM:
     def _tower_nodes_for(self, points: list[TrajectoryPoint]) -> np.ndarray:
         """Graph node index of the interacting tower, per trajectory point."""
         return np.array([self._tower_node_for(p) for p in points])
+
+    def _pool_cache(self) -> CandidatePoolCache:
+        """The per-tower candidate-pool cache for the batched pipeline."""
+        assert self.graph is not None
+        cfg = self.config
+        key = (
+            id(self.graph),
+            self.graph.mining_version,
+            cfg.candidate_radius_m,
+            cfg.candidate_pool,
+            cfg.extend_pool_with_cooccurrence,
+        )
+        if self._pool_cache_obj is None or self._pool_cache_key != key:
+            self._pool_cache_obj = CandidatePoolCache(
+                self.graph,
+                cfg.candidate_radius_m,
+                cfg.candidate_pool,
+                include_cooccurrence=cfg.extend_pool_with_cooccurrence,
+            )
+            self._pool_cache_key = key
+        return self._pool_cache_obj
+
+    def _prepare_candidates_batched(
+        self, points: list[TrajectoryPoint], context: np.ndarray
+    ) -> tuple[list[list[int]], list[dict[int, float]]]:
+        """Whole-trajectory candidate preparation: one fused pass.
+
+        Candidate pools come from the per-tower cache (cold misses resolved
+        through the stacked spatial kernel), explicit features from the
+        ragged-stacked builder, and the implicit correlation + fusion MLPs
+        run once over all (point, candidate) pairs — embeddings and context
+        rows gathered with single ``np.take``/``np.repeat`` calls instead
+        of one forward per point.
+        """
+        assert self.graph is not None and self.observation_learner is not None
+        assert self.node_embeddings is not None
+        cfg = self.config
+        pools, explicit, counts, node_idx = self._pool_cache().pools_features(
+            points, include_ranks=cfg.use_rank_features
+        )
+        learner = self.observation_learner
+        with no_grad():
+            implicit = None
+            if learner.use_implicit:
+                embeddings = Tensor(np.take(self.node_embeddings, node_idx, axis=0))
+                context_rows = Tensor(np.repeat(context, counts, axis=0))
+                implicit = learner.implicit_logits(embeddings, context_rows).sigmoid()
+            scores = learner.fuse(implicit, explicit).numpy()
+        candidate_sets: list[list[int]] = []
+        po_maps: list[dict[int, float]] = []
+        offset = 0
+        for pool in pools:
+            m = len(pool)
+            pool_scores = scores[offset : offset + m]
+            order = np.argsort(-pool_scores)
+            candidate_sets.append([pool[int(j)] for j in order[: cfg.candidate_k]])
+            po_maps.append(
+                {seg: float(s) for seg, s in zip(pool, pool_scores)}
+            )
+            offset += m
+        return candidate_sets, po_maps
 
     def prepare_candidates(
         self, trajectory: Trajectory, tower_nodes: np.ndarray | None = None
@@ -442,8 +556,11 @@ class LHMM:
         with no_grad():
             x = Tensor(self.node_embeddings[tower_nodes])  # type: ignore[index]
             context = self.observation_learner.context(x).numpy()
-        candidate_sets: list[list[int]] = []
-        po_maps: list[dict[int, float]] = []
+        if cfg.pipeline_impl == "batched":
+            candidate_sets, po_maps = self._prepare_candidates_batched(points, context)
+            return candidate_sets, po_maps, context
+        candidate_sets = []
+        po_maps = []
         for i, point in enumerate(points):
             pool = learned_candidate_pool(
                 self.graph,

@@ -19,7 +19,11 @@ import numpy as np
 
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
 from repro.core.candidates import learned_candidate_pool
-from repro.core.features import transition_features
+from repro.core.features import (
+    dense_relevance,
+    transition_feature_rows,
+    transition_features,
+)
 from repro.core.matcher import LHMM
 from repro.core.trellis import UNREACHABLE_SCORE
 from repro.errors import InvalidTrajectoryInput
@@ -141,13 +145,19 @@ class OnlineLHMM:
         cfg = matcher.config
         self._points.append(point)
         context = self._context_vector()
-        pool = learned_candidate_pool(
-            matcher.graph,
-            point,
-            cfg.candidate_radius_m,
-            cfg.candidate_pool,
-            include_cooccurrence=cfg.extend_pool_with_cooccurrence,
-        )
+        if cfg.pipeline_impl == "batched":
+            # The matcher's per-tower pool cache answers repeat towers in
+            # O(1); a miss runs the stacked spatial kernel. Same pool as
+            # the scalar builder below, point for point.
+            pool = matcher._pool_cache().pool(point)
+        else:
+            pool = learned_candidate_pool(
+                matcher.graph,
+                point,
+                cfg.candidate_radius_m,
+                cfg.candidate_pool,
+                include_cooccurrence=cfg.extend_pool_with_cooccurrence,
+            )
         scores = matcher._score_observations(point, pool, context)
         order = np.argsort(-scores)
         candidates = [pool[int(j)] for j in order[: cfg.candidate_k]]
@@ -213,26 +223,45 @@ class OnlineLHMM:
         """
         matcher = self.matcher
         prev_layer = self._layers[-1]
-        rows: list[np.ndarray] = []
-        row_positions: list[int] = []
-        for pos, route in enumerate(route_list):
-            if route is None:
-                continue
-            explicit = transition_features(matcher.network, route, prev_point, point)
+        if matcher.config.pipeline_impl == "batched":
+            dense = None
             if matcher.transition_learner.use_implicit:
-                implicit = float(
-                    np.mean([relevance.get(s, 0.5) for s in route.segments])
+                dense = dense_relevance(matcher.network, relevance)
+            row_matrix, row_positions = transition_feature_rows(
+                matcher.network,
+                route_list,
+                prev_point,
+                point,
+                relevance_dense=dense,
+            )
+        else:
+            rows: list[np.ndarray] = []
+            row_positions = []
+            for pos, route in enumerate(route_list):
+                if route is None:
+                    continue
+                explicit = transition_features(
+                    matcher.network, route, prev_point, point
                 )
-                rows.append(np.concatenate([[implicit], explicit]))
-            else:
-                rows.append(explicit)
-            row_positions.append(pos)
+                if matcher.transition_learner.use_implicit:
+                    implicit = float(
+                        np.mean([relevance.get(s, 0.5) for s in route.segments])
+                    )
+                    rows.append(np.concatenate([[implicit], explicit]))
+                else:
+                    rows.append(explicit)
+                row_positions.append(pos)
+            row_matrix = (
+                np.stack(rows)
+                if rows
+                else np.empty((0, 0), dtype=np.float64)
+            )
         trans = np.full(len(pairs), UNREACHABLE_SCORE)
-        if rows:
+        if row_matrix.shape[0]:
             with no_grad():
                 probs = (
-                    matcher.transition_learner.fusion_mlp(Tensor(np.stack(rows)))
-                    .reshape(len(rows))
+                    matcher.transition_learner.fusion_mlp(Tensor(row_matrix))
+                    .reshape(row_matrix.shape[0])
                     .sigmoid()
                     .numpy()
                 )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -63,6 +64,15 @@ class RelationGraph:
         self._tower_totals: Counter[int] = Counter()
         self._tower_roads: dict[int, set[int]] = defaultdict(set)
         self.edges: dict[str, RelationEdges] = {}
+        # Per-tower co-occurrence extension tuples (see cooccurrence_extension)
+        # and dense id -> node-index lookup arrays for np.take gathers; both
+        # derived lazily, invalidated when mining state changes.
+        self._extension_cache: dict[int, tuple[int, ...]] = {}
+        self._tower_node_lookup: np.ndarray | None = None
+        self._segment_node_lookup: np.ndarray | None = None
+        # Bumped whenever mined state changes, so downstream caches (the
+        # matcher's candidate-pool cache) know to invalidate.
+        self.mining_version = 0
 
     # ---------------------------------------------------------------- indices
     def tower_node(self, tower_id: int) -> int:
@@ -73,13 +83,43 @@ class RelationGraph:
         """Graph node index of a road segment."""
         return self._segment_index[segment_id]
 
+    @staticmethod
+    def _dense_lookup(index: dict[int, int]) -> np.ndarray:
+        """Dense id -> node-index array (-1 marks unknown ids)."""
+        size = (max(index) + 1) if index else 0
+        lookup = np.full(size, -1, dtype=np.int64)
+        for item_id, node in index.items():
+            lookup[item_id] = node
+        return lookup
+
+    def _gather_nodes(
+        self, lookup: np.ndarray, index: dict[int, int], ids: list[int]
+    ) -> np.ndarray:
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        if ids_arr.size == 0:
+            return ids_arr
+        if ids_arr.min() < 0 or ids_arr.max() >= lookup.size:
+            # Out-of-range id: fall back to the dict for the exact KeyError.
+            return np.array([index[i] for i in ids], dtype=np.int64)
+        out = lookup.take(ids_arr)
+        if (out < 0).any():
+            missing = ids_arr[out < 0][0]
+            raise KeyError(int(missing))
+        return out
+
     def tower_nodes(self, tower_ids: list[int]) -> np.ndarray:
-        """Vectorised :meth:`tower_node`."""
-        return np.array([self._tower_index[t] for t in tower_ids], dtype=np.int64)
+        """Vectorised :meth:`tower_node` (one ``np.take`` gather)."""
+        if self._tower_node_lookup is None:
+            self._tower_node_lookup = self._dense_lookup(self._tower_index)
+        return self._gather_nodes(self._tower_node_lookup, self._tower_index, tower_ids)
 
     def segment_nodes(self, segment_ids: list[int]) -> np.ndarray:
-        """Vectorised :meth:`segment_node`."""
-        return np.array([self._segment_index[s] for s in segment_ids], dtype=np.int64)
+        """Vectorised :meth:`segment_node` (one ``np.take`` gather)."""
+        if self._segment_node_lookup is None:
+            self._segment_node_lookup = self._dense_lookup(self._segment_index)
+        return self._gather_nodes(
+            self._segment_node_lookup, self._segment_index, segment_ids
+        )
 
     # ----------------------------------------------------------------- mining
     def add_trajectory(self, sample: MatchingSample) -> None:
@@ -92,6 +132,8 @@ class RelationGraph:
         towers_seq = [p.tower_id for p in sample.cellular.points if p.tower_id is not None]
         if not towers_seq:
             return
+        self._extension_cache.clear()  # mined roads change the pool extensions
+        self.mining_version += 1
         for earlier, later in zip(towers_seq, towers_seq[1:]):
             if earlier != later:
                 self._sq_counts[(earlier, later)] += 1
@@ -163,6 +205,41 @@ class RelationGraph:
         """Road segments that historically co-occur with ``tower_id``."""
         return self._tower_roads.get(tower_id, set())
 
+    def cooccurrence_extension(self, tower_id: int) -> tuple[int, ...]:
+        """:meth:`roads_seen_with` as a cached, iteration-order-stable tuple.
+
+        Candidate-pool construction appends these roads to every point's
+        spatial pool; hoisting the set iteration into a per-tower tuple
+        (computed once, invalidated when mining changes) removes that
+        per-point re-derivation while preserving the exact enumeration
+        order of the underlying set.
+        """
+        cached = self._extension_cache.get(tower_id)
+        if cached is None:
+            cached = tuple(self._tower_roads.get(tower_id, ()))
+            self._extension_cache[tower_id] = cached
+        return cached
+
+    def co_occurrence_frequencies(
+        self, tower_id: int, segment_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Vectorised :meth:`co_occurrence_frequency` over one tower's pool.
+
+        Same per-element division as the scalar call (counts and totals are
+        exactly representable, so the float quotients are identical).
+        """
+        total = self._tower_totals.get(tower_id, 0)
+        n = len(segment_ids)
+        if not total:
+            return np.zeros(n)
+        co = self._co_counts
+        counts = np.fromiter(
+            (co.get((tower_id, s), 0) for s in segment_ids),
+            dtype=np.float64,
+            count=n,
+        )
+        return counts / total
+
     # ------------------------------------------------------------ persistence
     def mining_state(self) -> dict[str, np.ndarray]:
         """The mined counts as arrays (for persisting a trained matcher)."""
@@ -180,6 +257,8 @@ class RelationGraph:
         self._sq_counts.clear()
         self._tower_totals.clear()
         self._tower_roads.clear()
+        self._extension_cache.clear()
+        self.mining_version += 1
         for tower_id, seg_id, count in np.asarray(state["co_counts"]).reshape(-1, 3):
             self._co_counts[(int(tower_id), int(seg_id))] = int(count)
             self._tower_totals[int(tower_id)] += int(count)

@@ -253,14 +253,59 @@ class VectorizedTrellis(Trellis):
     Decoding is bit-identical to :class:`Trellis`: ``W`` entries are the
     same floats, ``argmax`` keeps the reference's first-wins tie-breaking,
     all-unreachable columns leave no backpointer (the disconnected-lattice
-    restart), and the shortcut pass reuses the reference implementation,
-    ranking predecessors from the batched step matrices via the shared
-    ``W`` cache.
+    restart), and the shortcut pass ranks two-step predecessors directly
+    off the retained per-step ``W`` matrices (one broadcast max instead of
+    a triple Python loop), falling back to scalar ``W`` lookups only for
+    candidates the shortcut pass itself inserted after the forward pass.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._seed_w_cache = False
+        self._capture_w = False
+        # step index -> (prev seg -> row, cur seg -> col, W matrix), the
+        # forward pass's own matrices retained for the shortcut pass.
+        self._w_steps: dict[
+            int, tuple[dict[int, int], dict[int, int], np.ndarray]
+        ] = {}
+
+    def _w(self, index: int, prev_segment: int, segment: int) -> float:
+        """Step score served from the retained forward matrices when possible."""
+        cached = self._w_cache.get((index, prev_segment, segment))
+        if cached is not None:
+            return cached
+        step = self._w_steps.get(index)
+        if step is not None:
+            prev_pos, cur_pos, w = step
+            j = prev_pos.get(prev_segment)
+            k = cur_pos.get(segment)
+            if j is not None and k is not None:
+                return float(w[j, k])
+        return super()._w(index, prev_segment, segment)
+
+    def _closest_route_segment(
+        self, route_segments: tuple[int, ...], index: int
+    ) -> int:
+        """Alg. 2 line 5 with one stacked distance pass.
+
+        ``argmin`` returns the first minimum and the distances are the
+        exact scalar ``distance_to`` floats, so the winner matches the
+        reference's first-minimum ``min`` scan segment for segment.  Short
+        routes (the common case) take the scalar scan directly — numpy
+        setup costs more than a handful of ``distance_to`` calls — which
+        is interchangeable because both compute identical distances.
+        """
+        n = len(route_segments)
+        if n == 1:
+            return route_segments[0]
+        if n <= 16:
+            return super()._closest_route_segment(route_segments, index)
+        position = self.points[index].position
+        distances = self.network.point_segment_distances(
+            np.full(n, position.x),
+            np.full(n, position.y),
+            route_segments,
+        )
+        return route_segments[int(np.argmin(distances))]
 
     # ---------------------------------------------------------------- scoring
     def _observation_batch(self, index: int, segments: list[int]) -> np.ndarray:
@@ -287,14 +332,14 @@ class VectorizedTrellis(Trellis):
         obs = self._observation_batch(index, cur)
         reachable = trans > UNREACHABLE_SCORE
         w = np.where(reachable, trans * obs[np.newaxis, :], UNREACHABLE_SCORE)
-        if self._seed_w_cache:
-            # Expose the batched scores to the (shared) shortcut pass, which
-            # ranks predecessors through the scalar ``_w`` cache.
-            cache = self._w_cache
-            for j, p in enumerate(prev):
-                row = w[j]
-                for k, c in enumerate(cur):
-                    cache[(index, p, c)] = float(row[k])
+        if self._capture_w:
+            # Retain the matrix (plus id -> index maps) for the shortcut
+            # pass; entries are the exact floats the scalar ``_w`` yields.
+            self._w_steps[index] = (
+                {p: j for j, p in enumerate(prev)},
+                {c: k for k, c in enumerate(cur)},
+                w,
+            )
         return w
 
     # ---------------------------------------------------------------- viterbi
@@ -330,11 +375,76 @@ class VectorizedTrellis(Trellis):
             f_cur = np.array([layer_f[seg] for seg in cur], dtype=np.float64)
             f_prev = f_cur
 
+    # -------------------------------------------------------------- shortcuts
+    def _apply_shortcuts(self, shortcut_k: int) -> None:
+        """Alg. 2 with the Eq. 20 ranking done as one broadcast max per layer.
+
+        At layer ``i`` the one-hop candidates (``candidate_sets[i-1]``) are
+        always the forward pass's originals — shortcut insertion appends to
+        layer ``i-1`` only *while* processing layer ``i`` — so the stored
+        ``W`` matrices of steps ``i-1`` and ``i`` cover every (j, l, seg)
+        triple except two-hop predecessors ``j`` inserted during layer
+        ``i-1``; those few get a scalar ``_w`` row.  The ranked list is
+        assembled in candidate order and sorted exactly like the reference,
+        and the shortcut application itself is the inherited loop body.
+        """
+        if any(i not in self._w_steps for i in range(1, len(self.points))):
+            super()._apply_shortcuts(shortcut_k)
+            return
+        n = len(self.points)
+        for i in range(2, n):
+            prev_candidates = list(self.candidate_sets[i - 1])
+            prev2_candidates = list(self.candidate_sets[i - 2])
+            prev2_pos, prev1_pos, w1 = self._w_steps[i - 1]
+            _, cur_pos, w2 = self._w_steps[i]
+            # w1 columns and w2 rows are both indexed by the original layer
+            # i-1 candidates, in the same order, so the two-step score of
+            # (j, l, seg) is w1[j, l] + w2[l, seg].
+            best_two_all = np.max(w1[:, :, None] + w2[None, :, :], axis=1)
+            extra_rows: dict[int, np.ndarray] = {}
+            for seg in list(self.candidate_sets[i]):
+                s_col = cur_pos[seg]
+                ranked: list[tuple[float, int]] = []
+                for j_seg in prev2_candidates:
+                    j_row = prev2_pos.get(j_seg)
+                    if j_row is not None:
+                        best_two_step = float(best_two_all[j_row, s_col])
+                    else:
+                        row = extra_rows.get(j_seg)
+                        if row is None:
+                            row = np.array(
+                                [self._w(i - 1, j_seg, l) for l in prev_candidates],
+                                dtype=np.float64,
+                            )
+                            extra_rows[j_seg] = row
+                        best_two_step = float(np.max(row + w2[:, s_col]))
+                    ranked.append((best_two_step, j_seg))
+                ranked.sort(reverse=True)
+                for _, j_seg in ranked[:shortcut_k]:
+                    route = self.engine.route(j_seg, seg)
+                    if route is None or len(route.segments) == 0:
+                        continue
+                    u_seg = self._closest_route_segment(route.segments, i - 1)
+                    w_in = self._w(i - 1, j_seg, u_seg)
+                    w_out = self._w(i, u_seg, seg)
+                    if w_in <= UNREACHABLE_SCORE or w_out <= UNREACHABLE_SCORE:
+                        continue
+                    shortcut_score = self._f[i - 2][j_seg] + w_in + w_out
+                    if shortcut_score > self._f[i][seg]:
+                        self._f[i][seg] = shortcut_score
+                        self._pre[i][seg] = u_seg
+                        projected = self._f[i - 2][j_seg] + w_in
+                        if projected > self._f[i - 1].get(u_seg, -math.inf):
+                            self._f[i - 1][u_seg] = projected
+                            self._pre[i - 1][u_seg] = j_seg
+                        if u_seg not in self.candidate_sets[i - 1]:
+                            self.candidate_sets[i - 1].append(u_seg)
+
     def run(self, shortcut_k: int = 0) -> list[int]:
         """Best candidate per point (Alg. 1 with optional Alg. 2 shortcuts)."""
-        # Seed the scalar W cache from the batched matrices only when the
-        # shortcut pass will read it; the plain Viterbi skips that work.
-        self._seed_w_cache = shortcut_k > 0 and len(self.points) >= 3
+        # Retain the step matrices only when the shortcut pass will read
+        # them; the plain Viterbi skips that bookkeeping.
+        self._capture_w = shortcut_k > 0 and len(self.points) >= 3
         return super().run(shortcut_k)
 
 

@@ -8,11 +8,30 @@ with a uniform-grid spatial index for "segments near this point" queries
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.geometry import GridIndex, Point, Polyline
+
+
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + count)`` per element, loop-free.
+
+    Every count must be >= 1 (sub-segment spans always are: a polyline has
+    at least one sub-segment).
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if counts.shape[0] > 1:
+        boundaries = np.cumsum(counts)[:-1]
+        out[boundaries] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
 
 
 @dataclass(frozen=True)
@@ -36,6 +55,9 @@ class CsrAdjacency:
     index: dict[int, int]
     matrix: object  # scipy.sparse.csr_matrix (typed loosely to keep scipy lazy)
     edge_segments: np.ndarray
+    _edge_lookup_cache: dict[tuple[int, int], int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_nodes(self) -> int:
@@ -43,13 +65,27 @@ class CsrAdjacency:
         return int(self.node_ids.shape[0])
 
     def segment_between(self, u_index: int, v_index: int) -> int:
-        """Segment id of the stored ``u -> v`` edge (-1 when absent)."""
-        matrix = self.matrix
-        lo, hi = matrix.indptr[u_index], matrix.indptr[u_index + 1]
-        pos = lo + np.searchsorted(matrix.indices[lo:hi], v_index)
-        if pos < hi and matrix.indices[pos] == v_index:
-            return int(self.edge_segments[pos])
-        return -1
+        """Segment id of the stored ``u -> v`` edge (-1 when absent).
+
+        Answered from a one-time ``(u, v) -> segment`` dictionary: route
+        reconstruction calls this once per edge of every decoded path, and
+        a dict probe beats a per-call ``searchsorted`` by an order of
+        magnitude at that volume.
+        """
+        lookup = self._edge_lookup()
+        return lookup.get((u_index, v_index), -1)
+
+    def _edge_lookup(self) -> dict[tuple[int, int], int]:
+        if self._edge_lookup_cache is None:
+            matrix = self.matrix
+            lookup: dict[tuple[int, int], int] = {}
+            indptr, indices = matrix.indptr, matrix.indices
+            segments = self.edge_segments
+            for u in range(self.num_nodes):
+                for pos in range(int(indptr[u]), int(indptr[u + 1])):
+                    lookup[(u, int(indices[pos]))] = int(segments[pos])
+            object.__setattr__(self, "_edge_lookup_cache", lookup)
+        return self._edge_lookup_cache
 
 
 @dataclass(slots=True)
@@ -110,10 +146,27 @@ class RoadNetwork:
     _index_sample_step: float = field(default=150.0, repr=False)
     # Flattened sub-segment geometry for vectorised distance queries:
     # _sub_geometry rows are (ax, ay, dx, dy, len_sq); _sub_rows maps each
-    # segment id to its contiguous row range.
+    # segment id to its contiguous row range.  _sub_raw_len_sq keeps the
+    # *unclamped* squared lengths so exact-projection distances can divide
+    # by the same value the scalar Polyline.project does.
     _sub_geometry: "np.ndarray | None" = field(default=None, repr=False)
     _sub_rows: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
+    _sub_raw_len_sq: "np.ndarray | None" = field(default=None, repr=False)
+    # Dense (start, count) tables indexed by segment id so span lookups are
+    # two np.take gathers instead of a Python dict loop.
+    _span_starts: "np.ndarray | None" = field(default=None, repr=False)
+    _span_counts: "np.ndarray | None" = field(default=None, repr=False)
     _csr: CsrAdjacency | None = field(default=None, repr=False)
+    # Per-segment turn-angle sums and headings (lazy; feeds the batched
+    # transition-feature builder) plus a per-route turn-sum memo keyed by
+    # the route's segment tuple.
+    _turn_sums: dict[int, float] | None = field(default=None, repr=False)
+    _headings: dict[int, float] | None = field(default=None, repr=False)
+    _turn_dense: "tuple[np.ndarray, np.ndarray] | None" = field(default=None, repr=False)
+    _route_turns: dict[tuple[int, ...], float] = field(default_factory=dict, repr=False)
+    _near_memo: dict[tuple[float, float, float], tuple[int, ...]] = field(
+        default_factory=dict, repr=False
+    )
 
     # ------------------------------------------------------------------ build
     def add_node(self, node_id: int, location: Point) -> None:
@@ -136,11 +189,19 @@ class RoadNetwork:
         self._in[segment.end_node].append(segment.segment_id)
         self._index = None  # invalidate spatial index
         self._csr = None  # invalidate adjacency
+        self._span_starts = None  # invalidate dense span tables
+        self._span_counts = None
+        self._turn_sums = None  # invalidate per-segment turn geometry
+        self._headings = None
+        self._turn_dense = None
+        self._route_turns.clear()
+        self._near_memo.clear()
 
     def freeze(self) -> "RoadNetwork":
         """Build the spatial index and geometry tables; returns ``self``."""
         index: GridIndex[int] = GridIndex(cell_size=max(self._index_sample_step, 100.0))
         rows: list[tuple[float, float, float, float, float]] = []
+        raw_len_sq: list[float] = []
         self._sub_rows = {}
         for seg in self.segments.values():
             index.insert_many(seg.segment_id, self._sample_points(seg))
@@ -148,9 +209,18 @@ class RoadNetwork:
             points = seg.polyline.points
             for a, b in zip(points, points[1:]):
                 dx, dy = b.x - a.x, b.y - a.y
-                rows.append((a.x, a.y, dx, dy, max(dx * dx + dy * dy, 1e-12)))
+                len_sq = dx * dx + dy * dy
+                rows.append((a.x, a.y, dx, dy, max(len_sq, 1e-12)))
+                raw_len_sq.append(len_sq)
             self._sub_rows[seg.segment_id] = (start, len(rows))
         self._sub_geometry = np.asarray(rows, dtype=np.float64)
+        self._sub_raw_len_sq = np.asarray(raw_len_sq, dtype=np.float64)
+        size = (max(self.segments) + 1) if self.segments else 0
+        self._span_starts = np.zeros(size, dtype=np.int64)
+        self._span_counts = np.zeros(size, dtype=np.int64)
+        for sid, (lo, hi) in self._sub_rows.items():
+            self._span_starts[sid] = lo
+            self._span_counts[sid] = hi - lo
         self._index = index
         return self
 
@@ -314,3 +384,220 @@ class RoadNetwork:
             if len(found) >= count or radius >= max_radius:
                 return found[:count]
             radius = min(radius * 2.0, max_radius)
+
+    # --------------------------------------------------------- batched spatial
+    def _segment_spans(self, segment_ids: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Sub-geometry row (start, count) arrays for the given segments."""
+        if self._span_starts is not None:
+            ids = np.asarray(segment_ids, dtype=np.int64)
+            return self._span_starts.take(ids), self._span_counts.take(ids)
+        spans = self._sub_rows
+        n = len(segment_ids)
+        starts = np.empty(n, dtype=np.int64)
+        counts = np.empty(n, dtype=np.int64)
+        for i, s in enumerate(segment_ids):
+            lo, hi = spans[s]
+            starts[i] = lo
+            counts[i] = hi - lo
+        return starts, counts
+
+    def segments_near_many(
+        self, points: Sequence[Point], radius: float
+    ) -> list[list[int]]:
+        """:meth:`segments_near` for every point in one stacked distance pass.
+
+        Returns exactly ``[self.segments_near(p, radius) for p in points]``
+        — same rough-candidate enumeration order, same clamped-projection
+        distances, same stable nearest-first sort — while deduplicating
+        repeated query positions (consecutive cellular samples often share
+        a tower location) and refining every rough set in a single
+        vectorised computation instead of one numpy round-trip per point.
+        Refined answers are memoised per ``(x, y, radius)`` across calls
+        (cellular workloads re-ask the same tower positions trajectory
+        after trajectory); the memo is invalidated when the network gains
+        segments and capped at :data:`NEAR_MEMO_MAX` entries.
+        """
+        index = self._require_index()
+        assert self._sub_geometry is not None
+        memo = self._near_memo
+        if len(memo) > self.NEAR_MEMO_MAX:
+            memo.clear()
+        unique: dict[tuple[float, float], int] = {}
+        point_to_unique: list[int] = []
+        uniq_points: list[Point] = []
+        for p in points:
+            key = (p.x, p.y)
+            slot = unique.setdefault(key, len(unique))
+            if slot == len(uniq_points):
+                uniq_points.append(p)
+            point_to_unique.append(slot)
+        results: list[tuple[int, ...] | None] = [
+            memo.get((p.x, p.y, radius)) for p in uniq_points
+        ]
+        pending = [u for u, r in enumerate(results) if r is None]
+        if pending:
+            boxes = index.items_in_boxes(
+                [uniq_points[u] for u in pending], radius + self._index_sample_step
+            )
+            rough_lists = [list(box) for box in boxes]
+            for slot, u in enumerate(pending):
+                if not rough_lists[slot]:
+                    results[u] = ()
+                    memo[(uniq_points[u].x, uniq_points[u].y, radius)] = ()
+            active = [
+                (slot, u)
+                for slot, u in enumerate(pending)
+                if rough_lists[slot]
+            ]
+            if active:
+                pair_ids = [s for slot, _ in active for s in rough_lists[slot]]
+                pair_counts = np.array(
+                    [len(rough_lists[slot]) for slot, _ in active], dtype=np.int64
+                )
+                starts, counts = self._segment_spans(pair_ids)
+                rows = _ragged_ranges(starts, counts)
+                sub = self._sub_geometry[rows]
+                px = np.repeat(
+                    np.repeat(
+                        [uniq_points[u].x for _, u in active], pair_counts
+                    ),
+                    counts,
+                )
+                py = np.repeat(
+                    np.repeat(
+                        [uniq_points[u].y for _, u in active], pair_counts
+                    ),
+                    counts,
+                )
+                rel_x = px - sub[:, 0]
+                rel_y = py - sub[:, 1]
+                t = np.clip(
+                    (rel_x * sub[:, 2] + rel_y * sub[:, 3]) / sub[:, 4], 0.0, 1.0
+                )
+                dist_sq = (rel_x - t * sub[:, 2]) ** 2 + (rel_y - t * sub[:, 3]) ** 2
+                offsets = np.zeros(len(pair_ids), dtype=np.int64)
+                np.cumsum(counts[:-1], out=offsets[1:])
+                distances = np.sqrt(np.minimum.reduceat(dist_sq, offsets))
+                cursor = 0
+                for (slot, u), m in zip(active, pair_counts):
+                    d = distances[cursor : cursor + m]
+                    cursor += m
+                    keep = d <= radius
+                    order = np.argsort(d[keep], kind="stable")
+                    kept_ids = np.asarray(rough_lists[slot])[keep]
+                    refined = tuple(kept_ids[order].tolist())
+                    results[u] = refined
+                    memo[(uniq_points[u].x, uniq_points[u].y, radius)] = refined
+        return [list(results[u]) for u in point_to_unique]  # type: ignore[arg-type]
+
+    def nearest_segments_many(
+        self, points: Sequence[Point], count: int = 1, max_radius: float = 8000.0
+    ) -> list[list[int]]:
+        """:meth:`nearest_segments` per point, deduplicating repeated positions.
+
+        The doubling radius differs per point, so each unique position runs
+        the scalar expansion; repeated positions reuse the answer.
+        """
+        cache: dict[tuple[float, float], list[int]] = {}
+        out: list[list[int]] = []
+        for p in points:
+            key = (p.x, p.y)
+            found = cache.get(key)
+            if found is None:
+                found = self.nearest_segments(p, count=count, max_radius=max_radius)
+                cache[key] = found
+            out.append(list(found))
+        return out
+
+    def point_segment_distances(
+        self, px: np.ndarray, py: np.ndarray, segment_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Exact :meth:`RoadSegment.distance_to` for aligned (point, segment) pairs.
+
+        Replicates :meth:`~repro.geometry.segment.Polyline.project` bit for
+        bit — the *raw* (unclamped) squared sub-segment lengths, the
+        zero-length special case, and per-element ``math.hypot`` — so
+        feature code can mix values from here with scalar ``distance_to``
+        calls without a single ulp of drift.  ``px``/``py`` are aligned
+        with ``segment_ids``; one distance per pair comes back.
+        """
+        self._require_index()
+        assert self._sub_geometry is not None and self._sub_raw_len_sq is not None
+        n = len(segment_ids)
+        if n == 0:
+            return np.empty(0)
+        starts, counts = self._segment_spans(segment_ids)
+        rows = _ragged_ranges(starts, counts)
+        sub = self._sub_geometry[rows]
+        raw = self._sub_raw_len_sq[rows]
+        ppx = np.repeat(np.asarray(px, dtype=np.float64), counts)
+        ppy = np.repeat(np.asarray(py, dtype=np.float64), counts)
+        rel_x = ppx - sub[:, 0]
+        rel_y = ppy - sub[:, 1]
+        t = np.divide(
+            rel_x * sub[:, 2] + rel_y * sub[:, 3],
+            raw,
+            out=np.zeros(rows.shape[0]),
+            where=raw != 0.0,
+        )
+        t = np.clip(t, 0.0, 1.0)
+        comp_x = (ppx - (sub[:, 0] + t * sub[:, 2])).tolist()
+        comp_y = (ppy - (sub[:, 1] + t * sub[:, 3])).tolist()
+        hypot = math.hypot
+        dist = np.fromiter(
+            (hypot(a, b) for a, b in zip(comp_x, comp_y)),
+            dtype=np.float64,
+            count=rows.shape[0],
+        )
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        return np.minimum.reduceat(dist, offsets)
+
+    # ---------------------------------------------------------- turn geometry
+    def turn_geometry(self) -> tuple[dict[int, float], dict[int, float]]:
+        """Per-segment ``(turn_angle_sum_deg, heading_deg)`` caches (lazy).
+
+        The values are exactly what ``seg.polyline.turn_angle_sum_deg()``
+        and ``seg.heading_deg()`` return; caching them lets the transition
+        feature builder sum a route's turning without re-deriving bearings
+        for every (pair, segment) visit.
+        """
+        if self._turn_sums is None or self._headings is None:
+            self._turn_sums = {
+                sid: seg.polyline.turn_angle_sum_deg()
+                for sid, seg in self.segments.items()
+            }
+            self._headings = {
+                sid: seg.heading_deg() for sid, seg in self.segments.items()
+            }
+        return self._turn_sums, self._headings
+
+    def turn_geometry_dense(self) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`turn_geometry` as dense segment-id-indexed arrays.
+
+        Same floats as the dict caches; lets the batched route-turn filler
+        gather a whole group of routes with one fancy-index.
+        """
+        if self._turn_dense is None:
+            turn_sums, headings = self.turn_geometry()
+            size = (max(self.segments) + 1) if self.segments else 0
+            ts = np.zeros(size, dtype=np.float64)
+            hd = np.zeros(size, dtype=np.float64)
+            for sid, value in turn_sums.items():
+                ts[sid] = value
+            for sid, value in headings.items():
+                hd[sid] = value
+            self._turn_dense = (ts, hd)
+        return self._turn_dense
+
+    #: Bound on memoised per-route turn sums (cleared wholesale when hit).
+    ROUTE_TURN_CACHE_MAX = 200_000
+
+    #: Entry cap of the per-position near-segments memo.
+    NEAR_MEMO_MAX = 200_000
+
+    def route_turns(self) -> dict[tuple[int, ...], float]:
+        """The per-route turn-sum memo (segment tuple -> degrees)."""
+        if len(self._route_turns) > self.ROUTE_TURN_CACHE_MAX:
+            self._route_turns.clear()
+        return self._route_turns

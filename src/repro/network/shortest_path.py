@@ -137,6 +137,31 @@ class _ScipyBackend:
         path.reverse()
         return path
 
+    def path_and_distance(self, u: int, v: int) -> tuple[list[int] | None, float]:
+        """Path segments and distance with a single cached-row access."""
+        if u == v:
+            return [], 0.0
+        csr = self._network.csr()
+        u_idx = csr.index.get(u)
+        v_idx = csr.index.get(v)
+        row = self._row(u) if u_idx is not None else None
+        if row is None or v_idx is None:
+            return None, math.inf
+        d = row[0][v_idx]
+        if not np.isfinite(d):
+            return None, math.inf
+        pred = row[1]
+        path: list[int] = []
+        node = v_idx
+        while node != u_idx:
+            p = int(pred[node])
+            if p < 0:
+                return None, math.inf
+            path.append(csr.segment_between(p, node))
+            node = p
+        path.reverse()
+        return path, float(d)
+
     def distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
         csr = self._network.csr()
         self.ensure(sources)
@@ -234,6 +259,18 @@ class _HeapBackend:
         path.reverse()
         return path
 
+    def path_and_distance(self, u: int, v: int) -> tuple[list[int] | None, float]:
+        """Path segments and distance from one settled-source lookup."""
+        if u == v:
+            return [], 0.0
+        d = self.distance(u, v)
+        if d == math.inf:
+            return None, math.inf
+        path = self.path_segments(u, v)
+        if path is None:
+            return None, math.inf
+        return path, d
+
     def distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
         out = np.full((len(sources), len(targets)), np.inf)
         for i, source in enumerate(sources):
@@ -282,6 +319,10 @@ class ShortestPathEngine:
         self.route_cache_hits = 0
         self.route_cache_misses = 0
         self._route_cache: OrderedDict[tuple[int, int], Route | None] = OrderedDict()
+        # Node-pair -> (mid segments, node distance) memo: many distinct
+        # segment pairs route over the same (end_node, start_node) pair, so
+        # the predecessor walk is shared across them.
+        self._node_path_cache: dict[tuple[int, int], tuple[tuple[int, ...] | None, float]] = {}
 
     # ------------------------------------------------------------- node level
     def node_distance(self, u: int, v: int) -> float:
@@ -342,10 +383,19 @@ class ShortestPathEngine:
         # Direct continuation: dst leaves the node src enters.
         if src.end_node == dst.start_node:
             return Route(segments=(from_segment, to_segment), length=dst.length)
-        mid = self.node_path_segments(src.end_node, dst.start_node)
+        node_key = (src.end_node, dst.start_node)
+        cached_path = self._node_path_cache.get(node_key)
+        if cached_path is None:
+            mid_list, node_dist = self._backend.path_and_distance(*node_key)
+            mid = tuple(mid_list) if mid_list is not None else None
+            if len(self._node_path_cache) > self.route_cache_size:
+                self._node_path_cache.clear()
+            self._node_path_cache[node_key] = (mid, node_dist)
+        else:
+            mid, node_dist = cached_path
         if mid is None:
             return None
-        length = self.node_distance(src.end_node, dst.start_node) + dst.length
+        length = node_dist + dst.length
         if length > self.max_route_length:
             return None
         return Route(segments=(from_segment, *mid, to_segment), length=length)
@@ -369,6 +419,20 @@ class ShortestPathEngine:
                 need.append(src.end_node)
         if need:
             self._backend.ensure(need)
+        cache = self._route_cache
+        if len(cache) <= self.route_cache_size // 2:
+            # Far from eviction pressure: serve bulk hits with a plain dict
+            # probe, skipping the per-hit LRU reordering.  Values are
+            # deterministic, so recency order only affects eviction choice.
+            out: list[Route | None] = []
+            for a, b in pairs:
+                cached = cache.get((a, b), _MISS)
+                if cached is not _MISS:
+                    self.route_cache_hits += 1
+                    out.append(cached)
+                else:
+                    out.append(self.route(a, b))
+            return out
         return [self.route(a, b) for a, b in pairs]
 
     def route_length(self, from_segment: int, to_segment: int) -> float:
@@ -402,6 +466,7 @@ class ShortestPathEngine:
         """Drop all memoised Dijkstra results (e.g. after editing the network)."""
         self._backend.clear()
         self._route_cache.clear()
+        self._node_path_cache.clear()
         self.route_cache_hits = 0
         self.route_cache_misses = 0
 

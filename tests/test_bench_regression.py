@@ -1,0 +1,118 @@
+"""Tests for the BENCH_*.json writer and the regression checker."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression",
+        REPO_ROOT / "scripts" / "check_bench_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _load_bench_util():
+    spec = importlib.util.spec_from_file_location(
+        "bench_util", REPO_ROOT / "benchmarks" / "bench_util.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchUtil:
+    def test_metric_validates_direction(self):
+        util = _load_bench_util()
+        assert util.metric(1.5, "s", "lower")["value"] == 1.5
+        with pytest.raises(ValueError):
+            util.metric(1.0, "s", "sideways")
+
+    def test_fingerprint_stable_and_order_independent(self):
+        util = _load_bench_util()
+        a = util.config_fingerprint({"x": 1, "y": [2, 3]})
+        b = util.config_fingerprint({"y": [2, 3], "x": 1})
+        c = util.config_fingerprint({"x": 2, "y": [2, 3]})
+        assert a == b
+        assert a != c
+        assert a.startswith("sha256:")
+
+    def test_machine_specs_fields(self):
+        specs = _load_bench_util().machine_specs()
+        assert specs["cpu_count"] >= 1
+        assert specs["python"] and specs["numpy"] and specs["platform"]
+
+
+class TestCompare:
+    def _payload(self, **metrics):
+        return {
+            "config_fingerprint": "sha256:abc",
+            "fast_mode": False,
+            "metrics": metrics,
+        }
+
+    def test_clean_when_within_threshold(self):
+        checker = _load_checker()
+        base = self._payload(t={"value": 1.0, "unit": "s", "direction": "lower"})
+        cur = self._payload(t={"value": 1.05, "unit": "s", "direction": "lower"})
+        assert checker.compare("b", base, cur, 0.10) == []
+
+    def test_flags_lower_direction_slowdown(self):
+        checker = _load_checker()
+        base = self._payload(t={"value": 1.0, "unit": "s", "direction": "lower"})
+        cur = self._payload(t={"value": 1.2, "unit": "s", "direction": "lower"})
+        problems = checker.compare("b", base, cur, 0.10)
+        assert len(problems) == 1 and "b:t" in problems[0]
+
+    def test_flags_higher_direction_drop(self):
+        checker = _load_checker()
+        base = self._payload(s={"value": 4.0, "unit": "x", "direction": "higher"})
+        cur = self._payload(s={"value": 3.0, "unit": "x", "direction": "higher"})
+        assert len(checker.compare("b", base, cur, 0.10)) == 1
+
+    def test_improvements_never_flagged(self):
+        checker = _load_checker()
+        base = self._payload(
+            t={"value": 1.0, "unit": "s", "direction": "lower"},
+            s={"value": 3.0, "unit": "x", "direction": "higher"},
+        )
+        cur = self._payload(
+            t={"value": 0.5, "unit": "s", "direction": "lower"},
+            s={"value": 9.0, "unit": "x", "direction": "higher"},
+        )
+        assert checker.compare("b", base, cur, 0.10) == []
+
+    def test_new_metric_skipped(self):
+        checker = _load_checker()
+        base = self._payload()
+        cur = self._payload(t={"value": 9.9, "unit": "s", "direction": "lower"})
+        assert checker.compare("b", base, cur, 0.10) == []
+
+
+class TestMain:
+    def test_missing_baseline_skipped(self, tmp_path, capsys):
+        checker = _load_checker()
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"bench": "x", "metrics": {}}))
+        # tmp_path is outside the repo; `git show HEAD:` cannot resolve it,
+        # so the run must skip, not crash.
+        assert checker.main([str(path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_repo_bench_files_parse(self):
+        # The committed BENCH files must stay loadable by the checker.
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            payload = json.loads(path.read_text())
+            assert payload["bench"]
+            assert payload["config_fingerprint"].startswith("sha256:")
+            for name, entry in payload["metrics"].items():
+                assert entry["direction"] in ("lower", "higher"), name

@@ -336,3 +336,46 @@ class TestServeParser:
         assert args.command == "serve"
         assert args.queue_limit == 32
         assert args.lag == 3
+
+
+class TestProfile:
+    def test_profiles_dataset_and_writes_json(self, dataset_file, tmp_path, capsys):
+        out_json = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--dataset", str(dataset_file),
+                "--trajectories", "3",
+                "--epochs", "1",
+                "--top", "5",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall-clock" in out
+        assert "cProfile hotspots" in out
+        assert "'batched' pipeline" in out
+
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["pipeline"] == "batched"
+        assert payload["trajectories"] == 3
+        assert payload["total_s"] > 0
+        assert "trellis.run" in payload["stages_s"]
+        assert "transitions" in payload["stages_s"]
+
+    def test_scalar_pipeline_uses_reference_trellis(self, dataset_file, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", str(dataset_file),
+                "--trajectories", "2",
+                "--epochs", "1",
+                "--top", "3",
+                "--pipeline", "scalar",
+            ]
+        )
+        assert code == 0
+        assert "'scalar' pipeline" in capsys.readouterr().out
