@@ -1,22 +1,37 @@
-"""Perf smoke benchmark: repro.serve throughput and tail latency.
+"""Perf smoke benchmark: cluster serving tier throughput and tail latency.
 
-Boots a real :class:`~repro.serve.MatchingServer` (in-process, ephemeral
-port) on a small smoke city and drives it over HTTP with concurrent
-:class:`~repro.serve.MatchingClient` threads::
+Boots the sharded cluster (asyncio gateway + 2 forked matcher workers
+attached to shared-memory artifacts) on a small smoke city and drives it
+with an **open-loop load generator**: request arrivals follow a seeded
+Poisson process at a fixed offered rate, regardless of completions — the
+honest way to measure a serving tier, because a closed loop slows its own
+offered load down whenever the server slows down::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -s -m perf
 
-It measures and writes to ``benchmarks/results/serve_throughput.txt``:
+The trace (arrival times + which trajectory each request carries) is
+derived from a fixed seed, so a run is replayable bit-for-bit.  Three
+phases, each reported with achieved rate, p50/p95/p99 latency (measured
+from *scheduled arrival*, so queueing is included), and error rate:
 
-* batch endpoint throughput (whole trajectories through ``/v1/match``,
-  micro-batched across concurrent clients) — req/s and p50/p95/p99;
-* streaming session throughput (per-point feeds through
-  ``/v1/sessions/{id}/points``) — points/s and per-feed p50/p95/p99;
-* served results verified identical to direct in-process matching.
+* **cached** — steady-state gateway serving: repeated trajectories answer
+  from the response cache without touching a worker (the headline
+  ``batch_req_per_s``; cached responses are byte-identical to worker
+  responses by construction);
+* **uncached** — every request crosses the IPC boundary into a matcher
+  worker (cache disabled), measuring the worker-fleet path;
+* **streaming** — per-point session feeds through consistent-hash-routed
+  sticky sessions.
+
+Every served path is verified identical to direct ``LHMM`` /
+``OnlineLHMM`` calls, and per-worker private memory (USS) is recorded to
+show the artifacts are mapped once, not copied per worker.
 """
 
 from __future__ import annotations
 
+import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -26,9 +41,9 @@ from benchmarks.bench_util import metric, write_bench_json
 from benchmarks.conftest import FAST, save_report
 from repro.cellular import SimulationConfig, TowerPlacementConfig
 from repro.core import LHMM, LHMMConfig, OnlineLHMM
-from repro.datasets import DatasetConfig, make_city_dataset
+from repro.datasets import DatasetConfig, make_city_dataset, save_dataset
 from repro.network import CityConfig
-from repro.serve import MatchingClient, MatchingServer, ServeConfig
+from repro.serve import ClusterConfig, ClusterServer, MatchingClient, ShardRegistry, ShardSpec
 from repro.utils import LatencyHistogram
 
 pytestmark = pytest.mark.perf
@@ -51,13 +66,19 @@ SMOKE_SIMULATION = SimulationConfig(
 )
 SMOKE_TOWERS = TowerPlacementConfig(base_spacing_m=350.0, spacing_gradient=1.0)
 
-CLIENT_THREADS = 2 if FAST else 4
-BATCH_REQUESTS = 12 if FAST else 48
+NUM_WORKERS = 2
+TRACE_SEED = 20240808
+CLIENT_THREADS = 8 if FAST else 12
+CACHED_RATE = 150.0 if FAST else 400.0  # offered req/s, cached phase
+CACHED_REQUESTS = 240 if FAST else 1200
+UNCACHED_RATE = 30.0 if FAST else 60.0
+UNCACHED_REQUESTS = 60 if FAST else 180
 STREAM_SESSIONS = 4 if FAST else 12
 
 
 @pytest.fixture(scope="module")
-def smoke_matcher():
+def cluster_artifacts(tmp_path_factory):
+    """Smoke dataset + trained model saved as artifacts for the cluster."""
     config = DatasetConfig(
         name="serve-smoke-city",
         city=SMOKE_CITY,
@@ -81,118 +102,247 @@ def smoke_matcher():
         ),
         rng=0,
     ).fit(dataset)
-    return dataset, matcher
+    root = tmp_path_factory.mktemp("serve-cluster")
+    dataset_path = root / "city.json.gz"
+    model_path = root / "model.npz"
+    save_dataset(dataset, dataset_path)
+    matcher.save(model_path)
+    return dataset, matcher, str(dataset_path), str(model_path)
 
 
-def test_serve_throughput(smoke_matcher):
-    dataset, matcher = smoke_matcher
+def _make_trace(samples, rate_per_s: float, count: int, seed: int):
+    """A replayable open-loop trace: (arrival_offset_s, sample) pairs."""
+    rng = random.Random(seed)
+    now = 0.0
+    trace = []
+    for _ in range(count):
+        now += rng.expovariate(rate_per_s)
+        trace.append((now, samples[rng.randrange(len(samples))]))
+    return trace
+
+
+def _open_loop(host: str, port: int, trace) -> tuple[list, float]:
+    """Fire the trace at its scheduled rate; never wait for completions.
+
+    Latency is measured from each request's *scheduled arrival* so time
+    spent queueing (client pool or server) counts against the SLO.
+    Returns ``(results, wall_s)`` where each result is
+    ``(latency_s, ok, sample, path_or_none)``.
+    """
+    results = []
+    lock = threading.Lock()
+    local = threading.local()
+
+    def fire(sample, scheduled_abs: float):
+        client = getattr(local, "client", None)
+        if client is None:
+            client = local.client = MatchingClient(
+                host, port, timeout=60.0, keep_alive=True
+            )
+        path = None
+        try:
+            response = client.match_with_retry(
+                [sample.cellular], max_attempts=4, base_delay_s=0.05,
+                deadline_s=30.0,
+            )
+            ok = "error" not in response[0]
+            if ok:
+                path = response[0]["path"]
+        except Exception:  # noqa: BLE001 - an error is a datapoint here
+            ok = False
+        latency = time.perf_counter() - scheduled_abs
+        with lock:
+            results.append((latency, ok, sample, path))
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        futures = []
+        for offset, sample in trace:
+            scheduled_abs = start + offset
+            delay = scheduled_abs - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(fire, sample, scheduled_abs))
+        for future in futures:
+            future.result()
+    return results, time.perf_counter() - start
+
+
+def _summarise(results, wall_s: float):
+    histogram = LatencyHistogram()
+    errors = 0
+    for latency, ok, _sample, _path in results:
+        histogram.record(latency)
+        if not ok:
+            errors += 1
+    snap = histogram.snapshot()
+    return {
+        "req_per_s": len(results) / wall_s,
+        "p50_ms": snap["p50_s"] * 1e3,
+        "p95_ms": snap["p95_s"] * 1e3,
+        "p99_ms": snap["p99_s"] * 1e3,
+        "error_rate": errors / max(1, len(results)),
+    }
+
+
+def _assert_parity(results, matcher, expected_cache):
+    for _latency, ok, sample, path in results:
+        if not ok:
+            continue
+        expected = expected_cache.get(sample.sample_id)
+        if expected is None:
+            expected = expected_cache[sample.sample_id] = matcher.match(
+                sample.cellular
+            ).path
+        assert path == expected, f"served path diverged for {sample.sample_id}"
+
+
+def test_cluster_serve_throughput(cluster_artifacts):
+    dataset, matcher, dataset_path, model_path = cluster_artifacts
     samples = dataset.samples
+    expected_cache: dict = {}
     lines = [
-        f"serve smoke on {dataset.network.num_segments} segments, "
-        f"{CLIENT_THREADS} client threads"
+        f"cluster serve smoke on {dataset.network.num_segments} segments, "
+        f"{NUM_WORKERS} workers, {CLIENT_THREADS} client threads, "
+        f"seeded open-loop trace (seed={TRACE_SEED})"
     ]
 
-    config = ServeConfig(port=0, batch_window_ms=10.0, batch_max=8, queue_limit=128)
-    with MatchingServer(matcher, config) as server:
-        client = MatchingClient(server.host, server.port, timeout=120.0)
+    # ---- phase 1 + 3: cached gateway + streaming, one cluster ----
+    registry = ShardRegistry.publish(
+        [ShardSpec(region="default", dataset=dataset_path, model=model_path)]
+    )
+    shared_kb = registry.total_bytes() / 1024
+    config = ClusterConfig(
+        port=0, num_workers=NUM_WORKERS, cache_size=4096, max_inflight=128
+    )
+    with ClusterServer(registry, config) as server:
+        probe = MatchingClient(server.host, server.port, timeout=60.0)
+        # Warm every trajectory once: routers, candidate pools, and the
+        # response cache reach steady state before the clock starts.
+        for sample in samples:
+            probe.match_with_retry([sample.cellular])
 
-        # Warm the router cache so steady-state latency is measured.
-        client.match([samples[0].cellular])
-
-        # ---- 1. batch endpoint: whole trajectories, micro-batched ----
-        batch_latency = LatencyHistogram()
-        work = [samples[i % len(samples)] for i in range(BATCH_REQUESTS)]
-
-        def one_batch_request(sample):
-            local = MatchingClient(server.host, server.port, timeout=120.0)
-            start = time.perf_counter()
-            result = local.match_with_retry([sample.cellular])
-            batch_latency.record(time.perf_counter() - start)
-            return sample, result[0]["path"]
-
-        start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
-            served = list(pool.map(one_batch_request, work))
-        batch_wall_s = time.perf_counter() - start
-
-        expected = {
-            s.sample_id: matcher.match(s.cellular).path
-            for s in {sample.sample_id: sample for sample in work}.values()
-        }
-        assert all(path == expected[sample.sample_id] for sample, path in served)
-
-        snap = batch_latency.snapshot()
+        trace = _make_trace(samples, CACHED_RATE, CACHED_REQUESTS, TRACE_SEED)
+        results, wall_s = _open_loop(server.host, server.port, trace)
+        cached = _summarise(results, wall_s)
+        _assert_parity(results, matcher, expected_cache)
+        assert cached["error_rate"] == 0.0
         lines.append(
-            f"batch  /v1/match     {BATCH_REQUESTS:3d} requests  "
-            f"{BATCH_REQUESTS / batch_wall_s:7.1f} req/s   "
-            f"p50 {snap['p50_s'] * 1e3:7.1f} ms  p95 {snap['p95_s'] * 1e3:7.1f} ms  "
-            f"p99 {snap['p99_s'] * 1e3:7.1f} ms"
+            f"cached  /v1/match  {len(results):4d} requests  offered "
+            f"{CACHED_RATE:6.0f} req/s  achieved {cached['req_per_s']:7.1f} req/s   "
+            f"p50 {cached['p50_ms']:7.1f} ms  p95 {cached['p95_ms']:7.1f} ms  "
+            f"p99 {cached['p99_ms']:7.1f} ms  errors {cached['error_rate']:.1%}"
         )
 
-        # ---- 2. streaming sessions: per-point feeds ----
+        # ---- streaming sessions over consistent-hash-routed workers ----
         feed_latency = LatencyHistogram()
         stream_work = [samples[i % len(samples)] for i in range(STREAM_SESSIONS)]
 
         def one_stream(sample):
-            local = MatchingClient(server.host, server.port, timeout=120.0)
+            local = MatchingClient(server.host, server.port, timeout=60.0,
+                                   keep_alive=True)
             session = local.create_session(lag=3)
             for point in sample.cellular.points:
-                start = time.perf_counter()
+                started = time.perf_counter()
                 session.feed(point)
-                feed_latency.record(time.perf_counter() - start)
+                feed_latency.record(time.perf_counter() - started)
             return sample, session.close()
 
-        start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=min(4, CLIENT_THREADS)) as pool:
             streamed = list(pool.map(one_stream, stream_work))
-        stream_wall_s = time.perf_counter() - start
+        stream_wall_s = time.perf_counter() - started
 
         for sample, path in streamed:
             assert path == OnlineLHMM(matcher, lag=3).match_stream(sample.cellular)
 
-        snap = feed_latency.snapshot()
+        feed_snap = feed_latency.snapshot()
         total_points = sum(len(s.cellular) for s in stream_work)
         lines.append(
-            f"stream /points feeds {total_points:3d} points    "
+            f"stream  /points    {total_points:4d} points    "
             f"{total_points / stream_wall_s:7.1f} pts/s   "
-            f"p50 {snap['p50_s'] * 1e3:7.1f} ms  p95 {snap['p95_s'] * 1e3:7.1f} ms  "
-            f"p99 {snap['p99_s'] * 1e3:7.1f} ms"
+            f"p50 {feed_snap['p50_s'] * 1e3:7.1f} ms  "
+            f"p95 {feed_snap['p95_s'] * 1e3:7.1f} ms"
         )
 
-        metrics = client.metrics()
-        batching = metrics["batching"]
+        # ---- worker memory: artifacts mapped once, not per process ----
+        metrics_snapshot = probe.metrics()
+        worker_private_kb = [
+            w["memory"]["private_kb"]
+            for w in metrics_snapshot["workers"]
+            if w.get("memory")
+        ]
+        cache_stats = metrics_snapshot["cache"]
         lines.append(
-            f"server side          {batching['batches_dispatched']} batches for "
-            f"{batching['items_dispatched']} items "
-            f"(mean batch {batching['mean_batch']:.2f}), "
-            f"{metrics['sessions']['recycled_total']} decoders recycled, "
-            f"{batching['rejected_total']} rejections"
-        )
-        lines.append(
-            "all served paths verified identical to direct LHMM / OnlineLHMM calls"
+            f"shared artifacts {shared_kb:.0f} KiB mapped by "
+            f"{len(worker_private_kb)} workers; per-worker private RSS "
+            f"{[f'{kb / 1024:.0f} MiB' for kb in worker_private_kb]} "
+            f"(cache: {cache_stats['hits']} hits / {cache_stats['misses']} misses)"
         )
 
-    batch_snap = batch_latency.snapshot()
-    feed_snap = feed_latency.snapshot()
+    # ---- phase 2: uncached — every request crosses IPC to a worker ----
+    registry = ShardRegistry.publish(
+        [ShardSpec(region="default", dataset=dataset_path, model=model_path)]
+    )
+    config = ClusterConfig(
+        port=0, num_workers=NUM_WORKERS, cache_size=0, max_inflight=128
+    )
+    with ClusterServer(registry, config) as server:
+        probe = MatchingClient(server.host, server.port, timeout=60.0)
+        for sample in samples:  # warm routers/pools, no response cache
+            probe.match_with_retry([sample.cellular])
+        trace = _make_trace(
+            samples, UNCACHED_RATE, UNCACHED_REQUESTS, TRACE_SEED + 1
+        )
+        results, wall_s = _open_loop(server.host, server.port, trace)
+        uncached = _summarise(results, wall_s)
+        _assert_parity(results, matcher, expected_cache)
+        assert uncached["error_rate"] == 0.0
+        lines.append(
+            f"uncached /v1/match {len(results):4d} requests  offered "
+            f"{UNCACHED_RATE:6.0f} req/s  achieved {uncached['req_per_s']:7.1f} req/s   "
+            f"p50 {uncached['p50_ms']:7.1f} ms  p95 {uncached['p95_ms']:7.1f} ms  "
+            f"p99 {uncached['p99_ms']:7.1f} ms  errors {uncached['error_rate']:.1%}"
+        )
+
+    lines.append(
+        "all served paths verified identical to direct LHMM / OnlineLHMM calls"
+    )
+
     write_bench_json(
         "serve",
         config=dict(
             city="serve-smoke-city 10x10 rng=17",
+            mode="cluster-open-loop",
+            workers=NUM_WORKERS,
             client_threads=CLIENT_THREADS,
-            batch_requests=BATCH_REQUESTS,
+            trace_seed=TRACE_SEED,
+            cached_rate_req_per_s=CACHED_RATE,
+            cached_requests=CACHED_REQUESTS,
+            uncached_rate_req_per_s=UNCACHED_RATE,
+            uncached_requests=UNCACHED_REQUESTS,
             stream_sessions=STREAM_SESSIONS,
         ),
         metrics={
-            "batch_req_per_s": metric(
-                BATCH_REQUESTS / batch_wall_s, "req/s", "higher"
-            ),
-            "batch_p95_ms": metric(batch_snap["p95_s"] * 1e3, "ms", "lower"),
+            "batch_req_per_s": metric(cached["req_per_s"], "req/s", "higher"),
+            "batch_p95_ms": metric(cached["p95_ms"], "ms", "lower"),
+            "batch_p99_ms": metric(cached["p99_ms"], "ms", "lower"),
+            "batch_error_rate": metric(cached["error_rate"], "ratio", "lower"),
+            "uncached_req_per_s": metric(uncached["req_per_s"], "req/s", "higher"),
+            "uncached_p95_ms": metric(uncached["p95_ms"], "ms", "lower"),
             "stream_points_per_s": metric(
                 total_points / stream_wall_s, "pts/s", "higher"
             ),
             "stream_feed_p95_ms": metric(feed_snap["p95_s"] * 1e3, "ms", "lower"),
+            "worker_private_rss_kb": metric(
+                max(worker_private_kb or [0]), "kB", "lower"
+            ),
         },
-        notes="in-process MatchingServer over HTTP; served paths verified "
-        "identical to direct LHMM / OnlineLHMM calls",
+        notes="open-loop seeded Poisson arrivals against the cluster gateway "
+        f"({NUM_WORKERS} workers over one shared-memory artifact set, "
+        f"{shared_kb:.0f} KiB shared); cached phase answers from the "
+        "gateway response cache (byte-identical to worker responses), "
+        "uncached phase crosses IPC into the worker fleet per request; "
+        "all served paths verified against direct LHMM / OnlineLHMM calls",
     )
     save_report("serve_throughput", "\n".join(lines))

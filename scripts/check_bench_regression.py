@@ -16,8 +16,12 @@ direction — slower for ``direction: lower`` metrics, smaller for
 Runs are skipped (never flagged) when they are not comparable:
 
 * no committed baseline exists yet (a brand-new benchmark),
-* the config fingerprints differ (the workload changed), or
-* exactly one of the two runs was in fast mode (``REPRO_BENCH_FAST=1``).
+* the config fingerprints differ (the workload changed),
+* exactly one of the two runs was in fast mode (``REPRO_BENCH_FAST=1``), or
+* a file is missing, unreadable, or malformed on either side — the
+  checker explains which and moves on instead of dying with a traceback
+  (a CI perf job whose benchmark step failed must still produce a
+  readable report).
 
 Exit code 1 when any regression is flagged, 0 otherwise.  The CI perf
 smoke job runs this non-blocking; locally it is a pre-commit sanity check
@@ -46,9 +50,10 @@ def load_baseline(ref: str, rel_path: str) -> dict | None:
     if proc.returncode != 0:
         return None
     try:
-        return json.loads(proc.stdout)
+        parsed = json.loads(proc.stdout)
     except json.JSONDecodeError:
         return None
+    return parsed if isinstance(parsed, dict) else None
 
 
 def compare(name: str, baseline: dict, current: dict, threshold: float) -> list[str]:
@@ -59,8 +64,13 @@ def compare(name: str, baseline: dict, current: dict, threshold: float) -> list[
         base = base_metrics.get(key)
         if base is None:
             continue  # new metric: no baseline to regress against
-        base_value = float(base["value"])
-        cur_value = float(cur["value"])
+        try:
+            base_value = float(base["value"])
+            cur_value = float(cur["value"])
+        except (KeyError, TypeError, ValueError):
+            # A hand-edited or truncated metrics entry: not comparable.
+            print(f"  {name}:{key}: malformed metric entry -- skipped")
+            continue
         direction = cur.get("direction", "lower")
         if base_value == 0.0:
             continue
@@ -105,7 +115,19 @@ def main(argv: list[str] | None = None) -> int:
             # Outside the repo (tests, ad-hoc files): no committed
             # baseline can exist, so the git probe below returns None.
             rel = path.as_posix()
-        current = json.loads(path.read_text())
+        try:
+            current = json.loads(path.read_text())
+        except FileNotFoundError:
+            print(f"{rel}: not found in the working tree (benchmark step "
+                  "skipped or failed?) -- skipped")
+            continue
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(f"{rel}: unreadable JSON ({error}) -- skipped")
+            continue
+        if not isinstance(current, dict):
+            print(f"{rel}: expected a JSON object, got "
+                  f"{type(current).__name__} -- skipped")
+            continue
         baseline = load_baseline(args.baseline_ref, rel)
         name = current.get("bench", path.stem)
         if baseline is None:

@@ -137,14 +137,34 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="run a long-lived map-matching HTTP service"
     )
-    serve.add_argument("--dataset", required=True, help="map + towers the model serves")
-    serve.add_argument("--model", required=True, help="trained LHMM .npz")
+    serve.add_argument("--dataset", default=None,
+                       help="map + towers the model serves (required unless "
+                            "every shard comes from --region)")
+    serve.add_argument("--model", default=None,
+                       help="trained LHMM .npz (required unless every shard "
+                            "comes from --region)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 = pick a free port)")
     _add_router_arguments(serve)
     serve.add_argument("--workers", type=int, default=1,
-                       help="batch-matching processes (1 = in-process serial)")
+                       help="batch-matching processes (1 = in-process serial); "
+                            "with --cluster, the matcher worker fleet size")
+    serve.add_argument("--cluster", action="store_true",
+                       help="run the sharded cluster tier: an asyncio gateway "
+                            "in front of --workers forked matcher processes "
+                            "attached to shared-memory artifacts")
+    serve.add_argument("--region", action="append", default=None,
+                       metavar="NAME=DATASET:MODEL",
+                       help="(cluster) serve an extra region from its own "
+                            "dataset + model artifact; repeatable.  --dataset/"
+                            "--model, when given, serve the 'default' region")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="(cluster) concurrent worker operations admitted "
+                            "before the gateway sheds load with HTTP 429")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="(cluster) response-cache entries for /v1/match "
+                            "(0 disables caching)")
     serve.add_argument("--batch-window-ms", type=float, default=25.0,
                        help="micro-batch collection window")
     serve.add_argument("--batch-max", type=int, default=16,
@@ -548,11 +568,102 @@ def _install_reload_signal(server) -> None:
         pass
 
 
+def _parse_region_specs(args: argparse.Namespace) -> list:
+    """Shard specs from ``--dataset/--model`` + repeated ``--region``."""
+    from repro.serve import DEFAULT_REGION, ShardSpec
+
+    specs = []
+    if args.dataset or args.model:
+        if not (args.dataset and args.model):
+            raise ValueError("--dataset and --model must be given together")
+        specs.append(ShardSpec(
+            region=DEFAULT_REGION,
+            dataset=args.dataset,
+            model=args.model,
+            router=args.router,
+            ubodt_delta_m=args.ubodt_delta,
+            ubodt_table=args.ubodt_table,
+        ))
+    for item in args.region or []:
+        name, eq, rest = item.partition("=")
+        dataset_path, colon, model_path = rest.partition(":")
+        if not eq or not colon or not name or not dataset_path or not model_path:
+            raise ValueError(
+                f"--region {item!r}: expected NAME=DATASET:MODEL"
+            )
+        specs.append(ShardSpec(
+            region=name,
+            dataset=dataset_path,
+            model=model_path,
+            router=args.router,
+            ubodt_delta_m=args.ubodt_delta,
+            ubodt_table=None,
+        ))
+    if not specs:
+        raise ValueError(
+            "nothing to serve: give --dataset/--model, or at least one "
+            "--region NAME=DATASET:MODEL"
+        )
+    return specs
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.serve import ClusterConfig, ClusterServer, ShardRegistry
+
+    try:
+        specs = _parse_region_specs(args)
+    except ValueError as error:
+        print(f"error [usage]: {error}", file=sys.stderr)
+        return 2
+    registry = ShardRegistry.publish(specs)
+    total_kb = registry.total_bytes() / 1024
+    print(
+        f"published {len(specs)} shard(s), {total_kb:.0f} KiB of shared "
+        f"artifacts: {', '.join(registry.regions)}"
+    )
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        num_workers=max(1, args.workers),
+        default_lag=args.lag,
+        max_sessions=args.max_sessions,
+        session_ttl_s=args.session_ttl,
+        max_inflight=args.max_inflight,
+        cache_size=args.cache_size,
+        respawn_limit=args.respawn_limit,
+    )
+    server = ClusterServer(registry, config).start()
+    print(
+        f"cluster gateway at {server.address} "
+        f"({config.num_workers} workers, router={args.router})"
+    )
+    print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
+          "DELETE /v1/sessions/<id>, POST /v1/match, GET /healthz, "
+          "GET /metrics (add \"region\" to request bodies on multi-shard "
+          "deployments)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining cluster ...")
+    finally:
+        summary = server.shutdown()
+        print(f"drained; committed {len(summary['sessions'])} open sessions")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LHMM
     from repro.datasets import load_dataset
     from repro.serve import MatchingServer, ServeConfig
 
+    if args.cluster:
+        return _cmd_serve_cluster(args)
+    if not (args.dataset and args.model):
+        # Mirrors the argparse required-argument behaviour these flags had
+        # before --cluster/--region made them conditionally optional.
+        print("error [usage]: serve needs --dataset and --model "
+              "(or --cluster with --region shards)", file=sys.stderr)
+        raise SystemExit(2)
     dataset = load_dataset(args.dataset)
     matcher = LHMM.load(args.model, dataset)
     matcher.use_router(_resolve_router(args, dataset))

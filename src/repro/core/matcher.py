@@ -833,10 +833,36 @@ class LHMM:
                 f"{path}: stored configuration is not usable by this build "
                 f"({error})"
             ) from error
+        return cls.from_artifact_arrays(arrays, config, dataset, origin=str(path))
+
+    @classmethod
+    def from_artifact_arrays(
+        cls,
+        arrays,
+        config: "LHMMConfig",
+        dataset: MatchingDataset,
+        origin: str = "artifact",
+    ) -> "LHMM":
+        """Construct a fitted matcher directly from envelope arrays.
+
+        This is the tail of :meth:`load` split out so callers that already
+        hold the artifact's arrays — in particular workers attaching a
+        shared-memory publication of the model
+        (:mod:`repro.serve.shards`) — can build a matcher without
+        re-reading or copying the archive.  The embedding matrix and
+        learner weights are adopted by reference (read-only views are
+        fine: inference never writes parameters), so every attaching
+        process shares one copy of the trained state.
+
+        ``origin`` only labels error messages.  Raises
+        :class:`~repro.errors.ArtifactIncompatible` when the arrays do
+        not fit ``config`` or ``dataset``'s map.
+        """
         matcher = cls(config)
         matcher.network = dataset.network
         matcher.engine = dataset.engine
         matcher.graph = RelationGraph(dataset.network, dataset.towers)
+        path = origin
         try:
             matcher.graph.load_mining_state(
                 {

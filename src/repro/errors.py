@@ -129,6 +129,31 @@ class ModelReloadFailed(ReproError, RuntimeError):
     )
 
 
+class UnknownRegion(ReproError, KeyError):
+    """The request names a region the shard registry does not serve.
+    Retrying the same request can never succeed here (HTTP 404) — the
+    caller either has the wrong deployment or a typo'd region."""
+
+    code = "unknown_region"
+    http_status = 404
+    hint = (
+        "list the served regions with GET /healthz, or start the cluster "
+        "with --region NAME=DATASET:MODEL for this one"
+    )
+
+
+class ClusterUnavailable(ReproError, RuntimeError):
+    """The serving cluster cannot take the request right now: it is
+    draining, or every matcher worker is dead and the respawn budget is
+    exhausted.  The condition is temporary from the caller's point of
+    view (HTTP 503 + ``Retry-After``) — retry against this or another
+    instance."""
+
+    code = "cluster_unavailable"
+    http_status = 503
+    hint = "retry after a backoff; check /healthz for worker status"
+
+
 class DegradedResult(ReproError):
     """Marker: a result was produced by a fallback stage, not the full
     learned matcher.  Never raised across an API boundary — the cascade
@@ -198,6 +223,8 @@ __all__ = [
     "ArtifactIncompatible",
     "TrainingDiverged",
     "ModelReloadFailed",
+    "UnknownRegion",
+    "ClusterUnavailable",
     "DegradedResult",
     "MatchError",
 ]

@@ -319,6 +319,90 @@ class RoadNetwork:
             )
         return self._csr
 
+    # ------------------------------------------------- shared-memory attach
+    #: Array names produced by :meth:`shared_state_arrays` / consumed by
+    #: :meth:`adopt_shared_state`.
+    SHARED_STATE_KEYS = (
+        "sub_geometry",
+        "sub_raw_len_sq",
+        "span_starts",
+        "span_counts",
+        "csr_node_ids",
+        "csr_indptr",
+        "csr_indices",
+        "csr_data",
+        "csr_edge_segments",
+    )
+
+    def shared_state_arrays(self) -> dict[str, np.ndarray]:
+        """The frozen geometry + CSR tables as a flat array dict.
+
+        This is the network's *heavy* numeric state — everything worth
+        publishing to shared memory.  Dtypes are preserved exactly (the
+        CSR index arrays keep whatever width scipy chose) so an attached
+        copy reconstructs an identical adjacency without per-call dtype
+        conversions in ``csgraph``.
+        """
+        if self._sub_geometry is None:
+            self.freeze()
+        adjacency = self.csr()
+        matrix = adjacency.matrix
+        return {
+            "sub_geometry": self._sub_geometry,
+            "sub_raw_len_sq": self._sub_raw_len_sq,
+            "span_starts": self._span_starts,
+            "span_counts": self._span_counts,
+            "csr_node_ids": adjacency.node_ids,
+            "csr_indptr": matrix.indptr,
+            "csr_indices": matrix.indices,
+            "csr_data": matrix.data,
+            "csr_edge_segments": adjacency.edge_segments,
+        }
+
+    def adopt_shared_state(self, arrays: dict[str, np.ndarray]) -> "RoadNetwork":
+        """Point the geometry/adjacency tables at externally owned buffers.
+
+        ``arrays`` is the dict produced by :meth:`shared_state_arrays` on
+        an identical network — typically attached read-only from a
+        shared-memory segment (:class:`~repro.serve.shm.SharedArrayPack`).
+        No numeric data is copied: the network's vectorised kernels and
+        the CSR adjacency operate directly on the caller's buffers, so N
+        worker processes adopting the same segment share one copy of the
+        map.  The small Python-side lookups (grid index, ``_sub_rows``,
+        node-id dict) are rebuilt or kept as-is; query results are
+        bit-identical to the donor network's.
+        """
+        missing = [k for k in self.SHARED_STATE_KEYS if k not in arrays]
+        if missing:
+            raise ValueError(f"adopt_shared_state: missing arrays {missing}")
+        if self._index is None:
+            # The grid index and _sub_rows spans are cheap Python-side
+            # structures freeze() builds; the freshly built numeric tables
+            # are immediately replaced by the shared buffers below.
+            self.freeze()
+        from scipy.sparse import csr_matrix
+
+        self._sub_geometry = arrays["sub_geometry"]
+        self._sub_raw_len_sq = arrays["sub_raw_len_sq"]
+        self._span_starts = arrays["span_starts"]
+        self._span_counts = arrays["span_counts"]
+        node_ids = arrays["csr_node_ids"]
+        n = int(node_ids.shape[0])
+        matrix = csr_matrix(
+            (arrays["csr_data"], arrays["csr_indices"], arrays["csr_indptr"]),
+            shape=(n, n),
+            copy=False,
+        )
+        self._csr = CsrAdjacency(
+            node_ids=node_ids,
+            index={int(node): i for i, node in enumerate(node_ids)},
+            matrix=matrix,
+            edge_segments=arrays["csr_edge_segments"],
+        )
+        self._near_memo.clear()
+        self._route_turns.clear()
+        return self
+
     def total_length(self) -> float:
         """Sum of all segment lengths in metres."""
         return sum(seg.length for seg in self.segments.values())

@@ -90,6 +90,48 @@ class Ubodt:
         )
         return table
 
+    def sorted_arrays(self) -> dict[str, np.ndarray]:
+        """The table's row arrays in composite-key order (for publishing).
+
+        The composite ``keys`` array rides along so
+        :meth:`attach_sorted` can adopt everything without allocating —
+        recomputing ``source * key_base + target`` would materialise a
+        private copy the size of the table.
+        """
+        return {
+            "sources": self._sources,
+            "targets": self._targets,
+            "distances": self._distances,
+            "firsts": self._firsts,
+            "keys": self._keys,
+        }
+
+    @classmethod
+    def attach_sorted(cls, delta_m: float, arrays: dict[str, np.ndarray]) -> "Ubodt":
+        """Adopt pre-sorted row arrays without copying or re-sorting.
+
+        ``arrays`` must come from :meth:`sorted_arrays` (typically via a
+        read-only shared-memory attach): rows already sorted by composite
+        key, with the key column included.  Unlike :meth:`from_arrays`,
+        nothing is cast or reordered — lookups run directly against the
+        caller's buffers.
+        """
+        table = cls.__new__(cls)
+        if delta_m <= 0:
+            raise ValueError("delta_m must be positive")
+        table.delta_m = float(delta_m)
+        sources, targets = arrays["sources"], arrays["targets"]
+        if sources.size:
+            table._key_base = int(max(sources.max(), targets.max())) + 1
+        else:
+            table._key_base = 1
+        table._sources = sources
+        table._targets = targets
+        table._distances = arrays["distances"]
+        table._firsts = arrays["firsts"]
+        table._keys = arrays["keys"]
+        return table
+
     def __len__(self) -> int:
         return int(self._keys.size)
 

@@ -21,6 +21,12 @@ Start one in-process::
 or from the command line: ``python -m repro serve --dataset city.json.gz
 --model model.npz``.  Protocol and tuning guidance live in
 ``docs/serving.md``.
+
+For horizontal scale there is a second deployment shape: the sharded
+**cluster** tier (:mod:`repro.serve.cluster`) — an asyncio gateway in
+front of N forked matcher workers that attach every artifact from shared
+memory (:mod:`repro.serve.shm`, :mod:`repro.serve.shards`), speaking the
+same HTTP protocol plus a per-request ``region`` field.
 """
 
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
@@ -30,13 +36,20 @@ from repro.serve.client import (
     ServerBusy,
     StreamingSession,
 )
+from repro.serve.cluster import ClusterConfig, ClusterServer, ConsistentHashRing
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import MatchingServer, ServeConfig
 from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
+from repro.serve.shards import DEFAULT_REGION, ShardRegistry, ShardSpec
+from repro.serve.shm import SharedArrayPack
 
 __all__ = [
     "Backpressure",
+    "ClusterConfig",
+    "ClusterServer",
+    "ConsistentHashRing",
+    "DEFAULT_REGION",
     "MatchingClient",
     "MatchingServer",
     "MicroBatcher",
@@ -49,6 +62,9 @@ __all__ = [
     "ServiceClosed",
     "SessionLimitError",
     "SessionManager",
+    "SharedArrayPack",
+    "ShardRegistry",
+    "ShardSpec",
     "StreamingSession",
     "UnknownSessionError",
 ]

@@ -4,11 +4,17 @@ Mirrors the server's endpoints one method each, speaking the JSON
 protocol of :mod:`repro.serve.protocol`.  Errors map onto exceptions:
 HTTP 429 raises :class:`ServerBusy` (carrying ``Retry-After``), any other
 non-2xx raises :class:`ServeClientError`.  A convenience
-:meth:`MatchingClient.match_with_retry` backs off on 429 the way a
-well-behaved load source should — the load-generator benchmark uses it.
+:meth:`MatchingClient.match_with_retry` backs off on anything transient —
+429 backpressure, 503 during a drain or worker-fleet outage, and
+connection resets from a restarting server — so rolling restarts are
+invisible to callers.
 
-The client opens one connection per request (simple, thread-safe); for a
-throughput-critical integration, pool connections externally.
+By default the client opens one connection per request (simple,
+thread-safe).  With ``keep_alive=True`` it holds one persistent
+connection and pipelines requests over it (reconnecting transparently
+when the server closed it between requests) — markedly faster against
+the asyncio cluster gateway, but then an instance must not be shared
+across threads.
 """
 
 from __future__ import annotations
@@ -89,46 +95,104 @@ class StreamingSession:
 class MatchingClient:
     """Talks to a :class:`~repro.serve.server.MatchingServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    #: Connection-level failures a retrying caller should treat like a
+    #: transient server blip (restart, drain-close, half-open socket).
+    TRANSIENT_ERRORS = (
+        ConnectionResetError,
+        ConnectionRefusedError,
+        ConnectionAbortedError,
+        BrokenPipeError,
+        http.client.RemoteDisconnected,
+        http.client.CannotSendRequest,
+    )
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0, keep_alive: bool = False
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._connection: http.client.HTTPConnection | None = None
 
     # --------------------------------------------------------------- plumbing
+    def _connect(self) -> http.client.HTTPConnection:
+        if not self.keep_alive:
+            return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def _drop_connection(self, connection: http.client.HTTPConnection) -> None:
+        connection.close()
+        if connection is self._connection:
+            self._connection = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (no-op without ``keep_alive``)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = protocol.dumps(payload) if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+        body = protocol.dumps(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        attempts = 2 if self.keep_alive else 1
+        for attempt in range(attempts):
+            connection = self._connect()
             try:
-                parsed = protocol.loads(raw) if raw else {}
-            except protocol.ProtocolError:
-                parsed = {"error": raw.decode("utf-8", "replace")}
-            if 200 <= response.status < 300:
-                return parsed
-            message = parsed.get("error", response.reason)
-            if response.status == 429:
-                retry_after = parsed.get(
-                    "retry_after_s", float(response.headers.get("Retry-After") or 1.0)
-                )
-                raise ServerBusy(response.status, message, parsed, float(retry_after))
-            raise ServeClientError(response.status, message, parsed)
-        finally:
-            connection.close()
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except self.TRANSIENT_ERRORS:
+                # A reused connection the server closed between requests
+                # fails on first use: retry once on a fresh socket.  A
+                # per-request connection has nothing to retry here.
+                self._drop_connection(connection)
+                if attempt == attempts - 1:
+                    raise
+                continue
+            except Exception:
+                self._drop_connection(connection)
+                raise
+            break
+        if not self.keep_alive or response.will_close:
+            self._drop_connection(connection)
+        try:
+            parsed = protocol.loads(raw) if raw else {}
+        except protocol.ProtocolError:
+            parsed = {"error": raw.decode("utf-8", "replace")}
+        if 200 <= response.status < 300:
+            return parsed
+        message = parsed.get("error", response.reason)
+        if response.status == 429:
+            retry_after = parsed.get(
+                "retry_after_s", float(response.headers.get("Retry-After") or 1.0)
+            )
+            raise ServerBusy(response.status, message, parsed, float(retry_after))
+        raise ServeClientError(response.status, message, parsed)
 
     # -------------------------------------------------------------- streaming
     def create_session(
-        self, lag: int | None = None, context_window: int | None = None
+        self,
+        lag: int | None = None,
+        context_window: int | None = None,
+        region: str | None = None,
     ) -> StreamingSession:
-        """Open a streaming session; returns a handle."""
+        """Open a streaming session; returns a handle.
+
+        ``region`` selects the shard on a multi-city cluster gateway; the
+        single-process server serves one implicit region and ignores it.
+        """
         payload: dict = {}
         if lag is not None:
             payload["lag"] = lag
         if context_window is not None:
             payload["context_window"] = context_window
+        if region is not None:
+            payload["region"] = region
         response = self._request("POST", "/v1/sessions", payload)
         return StreamingSession(self, response["session_id"], response["lag"])
 
@@ -142,12 +206,14 @@ class MatchingClient:
         return self._request("DELETE", f"/v1/sessions/{session_id}")
 
     # ------------------------------------------------------------------ batch
-    def match(self, trajectories) -> list[dict]:
+    def match(self, trajectories, region: str | None = None) -> list[dict]:
         """Match one trajectory or a list of them.
 
         Accepts :class:`Trajectory` objects, point lists, or pre-encoded
         payloads; always returns a list of result dicts (``path``,
-        ``matched_sequence``, ``score``) in input order.
+        ``matched_sequence``, ``score``) in input order.  ``region``
+        selects the shard on a cluster gateway (ignored by the
+        single-process server).
         """
         single = isinstance(trajectories, Trajectory) or (
             isinstance(trajectories, (list, tuple))
@@ -156,7 +222,9 @@ class MatchingClient:
         )
         if single:
             trajectories = [trajectories]
-        payload = {"trajectories": [_as_trajectory_payload(t) for t in trajectories]}
+        payload: dict = {"trajectories": [_as_trajectory_payload(t) for t in trajectories]}
+        if region is not None:
+            payload["region"] = region
         return self._request("POST", "/v1/match", payload)["results"]
 
     def match_with_retry(
@@ -169,8 +237,16 @@ class MatchingClient:
         sleep=time.sleep,
         clock=time.monotonic,
         rng: random.Random | None = None,
+        region: str | None = None,
     ) -> list[dict]:
-        """Like :meth:`match`, with capped exponential backoff on 429.
+        """Like :meth:`match`, with capped exponential backoff on transient failures.
+
+        Retryable conditions are exactly the ones a healthy deployment
+        produces in passing: 429 backpressure (:class:`ServerBusy`), 503
+        while a server drains or its worker fleet respawns, and
+        connection-level resets/refusals from a process mid-restart.
+        Anything else — 4xx input errors, 500s — raises immediately;
+        retrying those would only repeat the failure.
 
         The wait before attempt *n* is ``base_delay_s * 2**n`` (never below
         the server's ``Retry-After``, never above ``max_delay_s``) with
@@ -178,19 +254,26 @@ class MatchingClient:
         shed clients does not re-arrive in lockstep.  ``deadline_s`` caps
         the *total* time spent retrying: unlike a bare attempt counter, it
         bounds worst-case latency even when the server keeps answering 429
-        with large ``Retry-After`` values.  Raises the last
-        :class:`ServerBusy` when attempts or the deadline run out.
+        with large ``Retry-After`` values.  Raises the last retryable
+        error when attempts or the deadline run out.
         """
         rng = rng or random.Random()
         started = clock()
         for attempt in range(max_attempts):
             try:
-                return self.match(trajectories)
-            except ServerBusy as busy:
+                return self.match(trajectories, region=region)
+            except (ServeClientError, *self.TRANSIENT_ERRORS) as error:
+                retry_after = 0.0
+                if isinstance(error, ServerBusy):
+                    retry_after = error.retry_after_s
+                elif isinstance(error, ServeClientError):
+                    if error.status != 503:
+                        raise  # non-transient HTTP failure
+                    retry_after = float(error.payload.get("retry_after_s", 0.0))
                 if attempt == max_attempts - 1:
                     raise
                 delay = min(max_delay_s, base_delay_s * (2.0 ** attempt))
-                delay = max(delay, busy.retry_after_s)
+                delay = max(delay, retry_after)
                 delay = min(delay, max_delay_s)
                 delay *= 0.5 + 0.5 * rng.random()
                 if clock() - started + delay > deadline_s:

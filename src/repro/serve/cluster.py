@@ -1,0 +1,1293 @@
+"""Sharded serving cluster: asyncio gateway + matcher worker fleet.
+
+This is the scale-out tier above :class:`~repro.serve.server.MatchingServer`:
+
+* a single-threaded **gateway** (one asyncio loop) owns HTTP parsing,
+  admission control, the response cache, and session affinity — no
+  per-request threads;
+* N forked **worker processes** each run the full ``LHMM`` /
+  ``OnlineLHMM`` machinery over shared-memory artifacts
+  (:mod:`repro.serve.shards`) and speak the length-prefixed IPC protocol
+  of :mod:`repro.serve.ipc` over a ``socketpair`` — one socket per
+  worker, many in-flight operations multiplexed by message id;
+* **consistent-hash routing** pins each streaming session to one worker
+  so its fixed-lag decoder stays sticky across requests.  Worker names
+  (``w0`` … ``wN-1``) are the ring nodes: a respawned worker keeps its
+  name and therefore its ring position, so recovery is deterministic.
+
+Failure semantics (mirroring PR 3's pool respawn machinery): when a
+worker dies, its in-flight operations fail over to siblings, the
+supervisor forks a replacement under the same name (bounded by
+``respawn_limit``), and its streaming sessions are *replayed* — the
+gateway journals every accepted point per session and feeds the journal
+back into the new owner before the next operation.  ``OnlineLHMM``
+decoding is deterministic, so a replayed session commits exactly the
+path the lost one would have.  Once the respawn budget is exhausted a
+worker's name leaves the ring; only ~1/N of sessions re-route (the
+consistent-hash property, covered by a hypothesis test).
+
+The HTTP surface is the same JSON protocol as the single-process server
+(``/v1/match``, ``/v1/sessions``, ``/healthz``, ``/metrics``) plus an
+optional ``region`` field that selects a shard; responses are
+byte-identical to direct ``LHMM.match`` / ``OnlineLHMM`` calls — the
+existing parity oracle runs against the gateway unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import json
+import os
+import re
+import signal
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import (
+    ClusterUnavailable,
+    InvalidTrajectoryInput,
+    MatchError,
+    ReproError,
+    UnknownRegion,
+    WorkerCrash,
+)
+from repro.serve import ipc, protocol
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import ProtocolError
+from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
+from repro.serve.shards import DEFAULT_REGION, ShardRegistry
+
+
+# =====================================================================
+# consistent-hash ring
+# =====================================================================
+class ConsistentHashRing:
+    """Deterministic consistent hashing with virtual nodes.
+
+    Each node is planted at ``replicas`` pseudo-random points on a 64-bit
+    ring (blake2b of ``"{node}#{i}"`` — stable across processes and
+    Python runs, unlike ``hash()``); a key routes to the first node
+    clockwise from its own hash.  Removing a node re-routes only the keys
+    that landed on its points (~1/N of them); every other key keeps its
+    owner — exactly the property session stickiness needs across worker
+    fleet changes.
+    """
+
+    def __init__(self, nodes: tuple[str, ...] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._hashes = [h for h, _ in self._points]
+
+    def add(self, node: str) -> None:
+        """Plant ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._points.extend(
+            (self._hash(f"{node}#{i}"), node) for i in range(self.replicas)
+        )
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``; keys it owned re-route to their successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [(h, n) for h, n in self._points if n != node]
+        self._rebuild()
+
+    def route(self, key: str) -> str:
+        """The node owning ``key``; raises when the ring is empty."""
+        if not self._points:
+            raise ClusterUnavailable("no workers available (empty routing ring)")
+        pos = bisect.bisect_right(self._hashes, self._hash(key))
+        if pos == len(self._points):
+            pos = 0
+        return self._points[pos][1]
+
+    @property
+    def nodes(self) -> set[str]:
+        """The live node names."""
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+# =====================================================================
+# configuration
+# =====================================================================
+@dataclass(slots=True)
+class ClusterConfig:
+    """Tunables of the cluster gateway and its worker fleet."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    num_workers: int = 2
+    default_lag: int = 4
+    default_context_window: int = 12
+    max_sessions: int = 256
+    session_ttl_s: float = 300.0
+    #: Concurrent worker operations the gateway admits before shedding
+    #: load with 429 (its analogue of the micro-batcher's queue_limit).
+    max_inflight: int = 64
+    retry_after_s: float = 1.0
+    op_timeout_s: float = 120.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Response-cache entries for ``/v1/match`` (0 disables).  Keys are
+    #: the canonicalised (region, trajectory) payload, so a cache hit
+    #: returns the byte-identical body a worker would compute.
+    cache_size: int = 1024
+    #: Worker respawns allowed across the fleet before a dead worker's
+    #: name permanently leaves the ring (PR 3 semantics).
+    respawn_limit: int = 3
+    ring_replicas: int = 64
+    shutdown_timeout_s: float = 30.0
+    extra_metrics: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class _SessionRecord:
+    """Gateway-side truth about one streaming session."""
+
+    session_id: str
+    region: str
+    lag: int
+    context_window: int
+    worker_name: str
+    generation: int
+    journal: list[dict] = field(default_factory=list)
+    last_touched: float = 0.0
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class _HttpError(Exception):
+    """Internal: carry status + payload up to the HTTP dispatcher."""
+
+    def __init__(
+        self, status: int, message: str, headers: dict | None = None, extra: dict | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+        self.extra = extra or {}
+
+
+class _WorkerOpError(Exception):
+    """A structured error slot returned by a worker for a whole op."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(payload.get("message", "worker error"))
+        self.code = payload.get("code", "internal_error")
+        self.status = int(payload.get("status", 500))
+        self.payload = payload
+
+
+class _ResponseCache:
+    """LRU cache of encoded ``/v1/match`` result slots."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: dict) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+# =====================================================================
+# worker process
+# =====================================================================
+def _process_memory() -> dict:
+    """This process's memory split (kB) from ``/proc`` (Linux).
+
+    ``private_kb`` approximates USS — the pages this worker uniquely
+    owns.  With artifacts in shared memory it stays near-constant as the
+    fleet grows; that is the number the benchmark reports as proof the
+    artifacts are loaded once, not per-process.
+    """
+    fields = {"rss_kb": 0, "private_kb": 0, "shared_kb": 0}
+    wanted = {
+        "Rss": "rss_kb",
+        "Private_Clean": "private_kb",
+        "Private_Dirty": "private_kb",
+        "Shared_Clean": "shared_kb",
+        "Shared_Dirty": "shared_kb",
+    }
+    try:
+        text = Path("/proc/self/smaps_rollup").read_text()
+    except OSError:  # pragma: no cover - non-Linux
+        return fields
+    for line in text.splitlines():
+        key, _, rest = line.partition(":")
+        target = wanted.get(key.strip())
+        if target is None:
+            continue
+        parts = rest.split()
+        if parts and parts[0].isdigit():
+            fields[target] += int(parts[0])
+    return fields
+
+
+def _error_payload(error: BaseException) -> dict:
+    """Map an exception onto the wire ``{code, message, status}`` form."""
+    if isinstance(error, ProtocolError):
+        return {"code": "protocol_error", "message": str(error), "status": 400}
+    if isinstance(error, UnknownSessionError):
+        return {
+            "code": "unknown_session",
+            "message": f"unknown session {error.args[0]!r}",
+            "status": 404,
+        }
+    if isinstance(error, SessionLimitError):
+        return {"code": "session_limit", "message": str(error), "status": 429}
+    if isinstance(error, ReproError):
+        return {
+            "code": error.code,
+            "message": str(error),
+            "status": error.http_status,
+        }
+    if isinstance(error, ValueError):
+        return {"code": "protocol_error", "message": str(error), "status": 400}
+    return {"code": "internal_error", "message": f"internal error: {error}", "status": 500}
+
+
+class _WorkerRuntime:
+    """Everything one worker process keeps between operations."""
+
+    def __init__(self, registry: ShardRegistry, options: dict) -> None:
+        self.options = options
+        self.matched_total = 0
+        self._matchers = {}
+        self._packs = {}
+        self._managers: dict[str, SessionManager] = {}
+        # Attach every region up front: startup is the cheap moment to
+        # pay mapping costs, and a worker that cannot attach must die
+        # *before* it is offered traffic.
+        for region in registry.regions:
+            matcher, pack = registry.attach_matcher(region)
+            self._matchers[region] = matcher
+            self._packs[region] = pack
+
+    def _matcher(self, region: str):
+        try:
+            return self._matchers[region]
+        except KeyError:
+            raise UnknownRegion(f"region {region!r} is not served here") from None
+
+    def _manager(self, region: str) -> SessionManager:
+        manager = self._managers.get(region)
+        if manager is None:
+            manager = SessionManager(
+                self._matcher(region),
+                default_lag=self.options["default_lag"],
+                default_context_window=self.options["default_context_window"],
+                max_sessions=self.options["max_sessions"],
+                # The gateway is the authority on session lifetime; the
+                # worker-side TTL is a backstop against orphaned state.
+                ttl_s=self.options["session_ttl_s"] * 4.0,
+            )
+            self._managers[region] = manager
+        return manager
+
+    # --------------------------------------------------------------- ops
+    def handle(self, message: dict) -> dict:
+        op = message.get("op")
+        try:
+            handler = getattr(self, "_op_" + str(op).replace(".", "_"), None)
+            if handler is None:
+                raise ProtocolError(f"unknown ipc op {op!r}")
+            result = handler(message)
+            return {"id": message.get("id"), "ok": True, **result}
+        except Exception as error:  # noqa: BLE001 - a worker must not die on input
+            return {"id": message.get("id"), "ok": False, "error": _error_payload(error)}
+
+    def _op_match(self, message: dict) -> dict:
+        matcher = self._matcher(message.get("region", DEFAULT_REGION))
+        raw = message.get("trajectories")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("expected 'trajectories' (list of point lists)")
+        trajectories = [
+            protocol.decode_trajectory(item, trajectory_id=i, context=f"trajectories[{i}]")
+            for i, item in enumerate(raw)
+        ]
+        for i, trajectory in enumerate(trajectories):
+            matcher.validate_trajectory(trajectory, context=f"trajectories[{i}]")
+        slots = matcher.match_many(trajectories, return_errors=True)
+        results: list[dict] = []
+        matched = degraded = failed = 0
+        for slot in slots:
+            if isinstance(slot, MatchError):
+                failed += 1
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            **slot.to_payload(),
+                            "status": slot.http_status,
+                        },
+                    }
+                )
+            else:
+                matched += 1
+                if getattr(slot, "provenance", "lhmm") != "lhmm":
+                    degraded += 1
+                results.append({"ok": True, "result": protocol.encode_match_result(slot)})
+        self.matched_total += matched
+        return {
+            "results": results,
+            "matched": matched,
+            "degraded": degraded,
+            "failed": failed,
+        }
+
+    def _op_session_open(self, message: dict) -> dict:
+        region = message.get("region", DEFAULT_REGION)
+        session = self._manager(region).create(
+            lag=message.get("lag"),
+            context_window=message.get("context_window"),
+            session_id=message["session_id"],
+        )
+        return {
+            "session_id": session.session_id,
+            "lag": session.decoder.lag,
+            "context_window": session.decoder.context_window,
+        }
+
+    def _op_session_feed(self, message: dict) -> dict:
+        region = message.get("region", DEFAULT_REGION)
+        points = protocol.decode_points(message.get("points"), "points")
+        state = self._manager(region).feed(message["session_id"], points)
+        return {"state": state}
+
+    def _op_session_close(self, message: dict) -> dict:
+        region = message.get("region", DEFAULT_REGION)
+        final = self._manager(region).close(message["session_id"])
+        return {"final": final}
+
+    def _op_stats(self, message: dict) -> dict:
+        return {
+            "memory": _process_memory(),
+            "sessions": {
+                region: manager.stats() for region, manager in self._managers.items()
+            },
+            "matched_total": self.matched_total,
+        }
+
+    def _op_ping(self, message: dict) -> dict:
+        return {"pong": True}
+
+    def _op_shutdown(self, message: dict) -> dict:
+        finished = {}
+        for manager in self._managers.values():
+            finished.update(manager.close_all())
+        return {"closed_sessions": len(finished)}
+
+
+def _worker_main(sock: socket.socket, registry: ShardRegistry, options: dict) -> None:
+    """Entry point of one forked matcher worker (blocking loop)."""
+    # The gateway's signals are not ours: a Ctrl+C against the CLI lands
+    # on the whole process group, but workers must only exit on a
+    # shutdown op (or gateway death = socket EOF) so drains stay orderly.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+    exit_code = 0
+    try:
+        runtime = _WorkerRuntime(registry, options)
+        while True:
+            message = ipc.recv_message(sock)
+            if message is None:
+                break
+            ipc.send_message(sock, runtime.handle(message))
+            if message.get("op") == "shutdown":
+                break
+    except (ipc.IpcError, OSError, BrokenPipeError):  # gateway went away
+        exit_code = 1
+    except Exception:  # pragma: no cover - startup failure (bad artifact)
+        exit_code = 2
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        # Skip interpreter teardown: a fork child sharing the gateway's
+        # state must not run its atexit hooks (resource tracker, etc.).
+        os._exit(exit_code)
+
+
+# =====================================================================
+# gateway-side worker handle
+# =====================================================================
+class _WorkerHandle:
+    """One worker process as seen from the gateway's event loop."""
+
+    def __init__(self, name: str, generation: int, process, sock: socket.socket) -> None:
+        self.name = name
+        self.generation = generation
+        self.process = process
+        self.sock = sock
+        self.alive = True
+        self.requests_total = 0
+        self.inflight = 0
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._writer: asyncio.StreamWriter | None = None
+        self._write_lock: asyncio.Lock | None = None
+        self._reader_task: asyncio.Task | None = None
+
+    async def connect(self, on_down) -> None:
+        """Wrap the socketpair end in asyncio streams; start the reader."""
+        reader, writer = await asyncio.open_connection(sock=self.sock)
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop(reader, on_down))
+
+    async def _read_loop(self, reader: asyncio.StreamReader, on_down) -> None:
+        try:
+            while True:
+                message = await ipc.read_message(reader)
+                if message is None:
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ipc.IpcError, ConnectionResetError, OSError):
+            pass
+        finally:
+            self.alive = False
+            self.fail_pending(WorkerCrash(f"worker {self.name} connection lost"))
+            await on_down(self)
+
+    def fail_pending(self, error: Exception) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def call(self, op: dict, timeout: float) -> dict:
+        """Send one op and await its response (raises on worker death)."""
+        if not self.alive or self._writer is None:
+            raise WorkerCrash(f"worker {self.name} is not available")
+        message_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[message_id] = future
+        self.requests_total += 1
+        self.inflight += 1
+        try:
+            async with self._write_lock:
+                await ipc.write_message(self._writer, {**op, "id": message_id})
+            response = await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError) as error:
+            self._pending.pop(message_id, None)
+            raise WorkerCrash(
+                f"worker {self.name} did not answer a {op.get('op')!r} op ({error!r})"
+            ) from error
+        finally:
+            self.inflight -= 1
+            self._pending.pop(message_id, None)
+        if not response.get("ok", False):
+            raise _WorkerOpError(response.get("error") or {})
+        return response
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Blocking: join the process, escalating to terminate/kill."""
+        process = self.process
+        process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+        if process.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            process.kill()
+            process.join(2.0)
+
+    def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+
+# =====================================================================
+# the gateway
+# =====================================================================
+_ROUTES = (
+    ("POST", re.compile(r"^/v1/sessions$"), "create_session"),
+    ("POST", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)/points$"), "feed_session"),
+    ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
+    ("POST", re.compile(r"^/v1/match$"), "match"),
+    ("GET", re.compile(r"^/healthz$"), "healthz"),
+    ("GET", re.compile(r"^/metrics$"), "metrics"),
+)
+
+
+def _canonical_key(region: str, item) -> tuple:
+    """Cache/singleflight key: region + canonical JSON of one trajectory."""
+    return (region, json.dumps(item, sort_keys=True, separators=(",", ":")))
+
+
+class ClusterServer:
+    """The sharded serving cluster (gateway + worker fleet).
+
+    Args:
+        registry: A *published* :class:`ShardRegistry`.  The server owns
+            it: shutdown unlinks the shared segments.
+        config: Fleet/gateway tunables; ``port=0`` binds an ephemeral
+            port (read :attr:`port` after :meth:`start`).
+
+    Use as a context manager, or :meth:`start` / :meth:`shutdown`.  The
+    event loop runs on a dedicated background thread; :meth:`start`
+    forks the initial workers *before* that thread exists, which keeps
+    the first fork single-threaded (respawns later fork from the loop
+    thread — the child only ever runs :func:`_worker_main` and execs
+    nothing, so that is safe).
+    """
+
+    def __init__(self, registry: ShardRegistry, config: ClusterConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ClusterConfig()
+        if self.config.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.metrics = ServeMetrics()
+        self._cache = _ResponseCache(self.config.cache_size)
+        self._ring = ConsistentHashRing(replicas=self.config.ring_replicas)
+        self._handles: dict[str, _WorkerHandle] = {}
+        self._records: dict[str, _SessionRecord] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._inflight_keys: dict[tuple, asyncio.Future] = {}
+        self._session_ids = itertools.count()
+        self._inflight_ops = 0
+        self._respawns_used = 0
+        self._draining = False
+        self._started = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.Server | None = None
+        self._bound: tuple[str, int] | None = None
+        self._start_error: BaseException | None = None
+        self._mp_context = None
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def host(self) -> str:
+        return self._bound[0] if self._bound else self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral port)."""
+        return self._bound[1] if self._bound else self.config.port
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the running gateway."""
+        return f"http://{self.host}:{self.port}"
+
+    def _fork_worker(self, name: str, generation: int) -> _WorkerHandle:
+        import multiprocessing
+
+        if self._mp_context is None:
+            self._mp_context = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        options = {
+            "default_lag": self.config.default_lag,
+            "default_context_window": self.config.default_context_window,
+            "max_sessions": self.config.max_sessions,
+            "session_ttl_s": self.config.session_ttl_s,
+        }
+        process = self._mp_context.Process(
+            target=_worker_main,
+            args=(child_sock, self.registry, options),
+            name=f"repro-cluster-{name}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        parent_sock.setblocking(False)
+        handle = _WorkerHandle(name, generation, process, parent_sock)
+        self._handles[name] = handle
+        self._ring.add(name)
+        return handle
+
+    def start(self) -> "ClusterServer":
+        """Fork the fleet, bind the gateway, serve on a background thread."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        for i in range(self.config.num_workers):
+            self._fork_worker(f"w{i}", generation=1)
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, args=(ready,), name="repro-cluster-gateway", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=30.0)
+        if self._start_error is not None:
+            raise self._start_error
+        if self._bound is None:
+            raise RuntimeError("gateway failed to start within 30s")
+        return self
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._async_start())
+        except BaseException as error:  # surface bind/connect failures
+            self._start_error = error
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _async_start(self) -> None:
+        for handle in self._handles.values():
+            await handle.connect(self._on_worker_down)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self._bound = self._server.sockets[0].getsockname()[:2]
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`shutdown` (CLI mode)."""
+        if self._thread is None:
+            raise RuntimeError("call start() first")
+        while self._thread.is_alive():
+            self._thread.join(timeout=0.5)
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Graceful stop: 503 new work, close sessions, stop the fleet.
+
+        Returns ``{"sessions": {id: path}}`` with the paths of sessions
+        finalised during the drain, mirroring the single-process server.
+        """
+        if self._loop is None or self._thread is None or not self._thread.is_alive():
+            self.registry.close(unlink=True)
+            return {"sessions": {}, "drained": drain}
+        future = asyncio.run_coroutine_threadsafe(self._async_shutdown(drain), self._loop)
+        try:
+            summary = future.result(timeout=self.config.shutdown_timeout_s)
+        except Exception:  # pragma: no cover - drain stuck; force down
+            summary = {"sessions": {}, "drained": False}
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        for handle in self._handles.values():
+            handle.reap()
+        self.registry.close(unlink=True)
+        return summary
+
+    async def _async_shutdown(self, drain: bool) -> dict:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle keep-alive connections would otherwise outlive the loop;
+        # in-flight requests get a short grace period first.
+        if self._connections:
+            await asyncio.wait(list(self._connections), timeout=2.0)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        finished: dict[str, list] = {}
+        if drain:
+            for record in list(self._records.values()):
+                try:
+                    final = await self._session_op(record, "session.close", {})
+                    finished[record.session_id] = final["final"]["path"]
+                except Exception:  # noqa: BLE001 - best effort during drain
+                    pass
+        self._records.clear()
+        for handle in list(self._handles.values()):
+            if not handle.alive:
+                continue
+            try:
+                await handle.call({"op": "shutdown"}, timeout=5.0)
+            except Exception:  # noqa: BLE001
+                pass
+            handle.close()
+        return {"sessions": finished, "drained": drain}
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ----------------------------------------------------------- supervision
+    async def _on_worker_down(self, handle: _WorkerHandle) -> None:
+        """Reader-loop callback: a worker's socket went away."""
+        if self._draining or self._handles.get(handle.name) is not handle:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, handle.reap)
+        self.metrics.increment("worker_deaths_total")
+        if self._respawns_used < self.config.respawn_limit:
+            self._respawns_used += 1
+            replacement = self._fork_worker(handle.name, handle.generation + 1)
+            await replacement.connect(self._on_worker_down)
+            self.metrics.increment("worker_respawns_total")
+        else:
+            # Budget exhausted: the name leaves the ring for good and its
+            # sessions re-route (~1/N of all sessions move — consistent
+            # hashing keeps the rest where they were).
+            self._ring.remove(handle.name)
+            self._handles.pop(handle.name, None)
+
+    def _alive_handles(self) -> list[_WorkerHandle]:
+        return [h for h in self._handles.values() if h.alive]
+
+    def _pick_match_worker(self) -> _WorkerHandle:
+        alive = self._alive_handles()
+        if not alive:
+            raise ClusterUnavailable("no live matcher workers")
+        return min(alive, key=lambda h: (h.inflight, h.name))
+
+    # ------------------------------------------------------------- admission
+    def _check_draining(self) -> None:
+        if self._draining:
+            raise ClusterUnavailable("cluster is shutting down")
+
+    def _admit(self) -> None:
+        self._check_draining()
+        if self._inflight_ops >= self.config.max_inflight:
+            raise _HttpError(
+                429,
+                f"gateway at capacity ({self.config.max_inflight} in-flight ops)",
+                headers={"Retry-After": str(max(1, round(self.config.retry_after_s)))},
+                extra={"retry_after_s": self.config.retry_after_s},
+            )
+
+    async def _worker_call(self, handle: _WorkerHandle, op: dict) -> dict:
+        self._inflight_ops += 1
+        try:
+            return await handle.call(op, timeout=self.config.op_timeout_s)
+        finally:
+            self._inflight_ops -= 1
+
+    # --------------------------------------------------------------- /v1/match
+    async def _match_on_worker(self, region: str, items: list) -> dict:
+        last_error: Exception | None = None
+        for _ in range(2):  # one failover to a sibling on worker death
+            handle = self._pick_match_worker()
+            try:
+                return await self._worker_call(
+                    handle, {"op": "match", "region": region, "trajectories": items}
+                )
+            except WorkerCrash as error:
+                last_error = error
+                await asyncio.sleep(0)  # let the supervisor respawn/remove
+        # Two workers died under the same request: tell the caller to
+        # back off and retry (503) instead of surfacing a hard 500.
+        raise ClusterUnavailable(
+            f"match failed on crashing workers ({last_error})"
+        ) from last_error
+
+    async def handle_match(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/match`` — cached, single-flighted, worker-dispatched."""
+        self._admit()
+        region = payload.get("region", DEFAULT_REGION)
+        if not isinstance(region, str):
+            raise ProtocolError("field 'region' must be a string")
+        self.registry.shard(region)  # 404 early on unknown regions
+        body = payload.get("trajectories")
+        single = False
+        if body is None:
+            body = [payload.get("points")]
+            single = True
+        if not isinstance(body, list) or not body:
+            raise ProtocolError(
+                "expected 'trajectories' (list of point lists) or 'points'"
+            )
+        keys = [_canonical_key(region, item) for item in body]
+        slots: list[dict | None] = [None] * len(body)
+        waiters: list[tuple[int, asyncio.Future]] = []
+        misses: list[tuple[int, tuple]] = []
+        claimed: dict[tuple, asyncio.Future] = {}
+        use_cache = self.config.cache_size > 0
+        loop = asyncio.get_running_loop()
+        for i, key in enumerate(keys):
+            if use_cache:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.metrics.increment("cache_hits_total")
+                    slots[i] = cached
+                    continue
+                self.metrics.increment("cache_misses_total")
+            pending = self._inflight_keys.get(key)
+            if pending is not None:
+                waiters.append((i, pending))
+                continue
+            future = loop.create_future()
+            self._inflight_keys[key] = future
+            claimed[key] = future
+            misses.append((i, key))
+        if misses:
+            try:
+                response = await self._match_on_worker(
+                    region, [body[i] for i, _ in misses]
+                )
+            except Exception as error:
+                for key, future in claimed.items():
+                    self._inflight_keys.pop(key, None)
+                    if not future.done():
+                        future.set_exception(error)
+                        future.exception()  # consume: waiters may be gone
+                raise
+            for (i, key), slot in zip(misses, response["results"]):
+                slots[i] = slot
+                future = claimed[key]
+                self._inflight_keys.pop(key, None)
+                if not future.done():
+                    future.set_result(slot)
+                if use_cache and slot.get("ok"):
+                    self._cache.put(key, slot)
+            for name, amount in (
+                ("trajectories_matched", response.get("matched", 0)),
+                ("match_degraded_total", response.get("degraded", 0)),
+                ("match_failed_total", response.get("failed", 0)),
+            ):
+                if amount:
+                    self.metrics.increment(name, amount)
+        for i, future in waiters:
+            slots[i] = await asyncio.shield(future)
+        encoded: list[dict] = []
+        for slot in slots:
+            assert slot is not None
+            if slot.get("ok"):
+                encoded.append(slot["result"])
+            else:
+                error = dict(slot["error"])
+                error.pop("status", None)
+                encoded.append({"error": error})
+        if single:
+            slot = slots[0]
+            if not slot.get("ok"):
+                error = slot["error"]
+                raise _HttpError(
+                    int(error.get("status", 500)),
+                    error.get("message", "match failed"),
+                    extra={"code": error.get("code", "match_failure")},
+                )
+            return 200, {"result": encoded[0]}
+        return 200, {"results": encoded}
+
+    # -------------------------------------------------------------- sessions
+    def _session_record(self, session_id: str) -> _SessionRecord:
+        record = self._records.get(session_id)
+        now = time.monotonic()
+        if record is not None and now - record.last_touched > self.config.session_ttl_s:
+            self._records.pop(session_id, None)
+            self.metrics.increment("sessions_evicted_total")
+            record = None
+        if record is None:
+            raise UnknownSessionError(session_id)
+        return record
+
+    async def _session_op(self, record: _SessionRecord, op: str, extra: dict) -> dict:
+        """Run one session op on the session's owner, replaying on handoff."""
+        base = {
+            "op": op,
+            "region": record.region,
+            "session_id": record.session_id,
+        }
+        async with record.lock:
+            for attempt in range(2):
+                name = self._ring.route(record.session_id)
+                handle = self._handles.get(name)
+                if handle is None or not handle.alive:
+                    if attempt == 0:
+                        await asyncio.sleep(0.05)  # give the supervisor a beat
+                        continue
+                    raise ClusterUnavailable(
+                        f"no live worker for session {record.session_id}"
+                    )
+                try:
+                    if name != record.worker_name or handle.generation != record.generation:
+                        await self._replay(record, handle)
+                    return await self._worker_call(handle, {**base, **extra})
+                except WorkerCrash as error:
+                    if attempt == 1:
+                        raise ClusterUnavailable(
+                            f"session {record.session_id} lost its worker twice "
+                            f"({error})"
+                        ) from error
+                except _WorkerOpError as error:
+                    # The worker lost the session (backstop TTL eviction,
+                    # lost handoff): rebuild it from the journal once.
+                    if error.code != "unknown_session" or attempt == 1:
+                        raise
+                    record.generation = -1  # force a replay next round
+        raise ClusterUnavailable("session operation could not be placed")
+
+    async def _replay(self, record: _SessionRecord, handle: _WorkerHandle) -> None:
+        """Deterministically rebuild a session on its (new) owner."""
+        await self._worker_call(
+            handle,
+            {
+                "op": "session.open",
+                "region": record.region,
+                "session_id": record.session_id,
+                "lag": record.lag,
+                "context_window": record.context_window,
+            },
+        )
+        if record.journal:
+            await self._worker_call(
+                handle,
+                {
+                    "op": "session.feed",
+                    "region": record.region,
+                    "session_id": record.session_id,
+                    "points": record.journal,
+                },
+            )
+        record.worker_name = handle.name
+        record.generation = handle.generation
+        self.metrics.increment("sessions_replayed_total")
+
+    async def handle_create_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/sessions`` — admit and place a streaming session."""
+        self._admit()
+        region = payload.get("region", DEFAULT_REGION)
+        if not isinstance(region, str):
+            raise ProtocolError("field 'region' must be a string")
+        self.registry.shard(region)
+        lag = payload.get("lag")
+        context_window = payload.get("context_window")
+        for name, value in (("lag", lag), ("context_window", context_window)):
+            if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+                raise ProtocolError(f"field {name!r} must be an integer")
+        live = sum(
+            1
+            for r in self._records.values()
+            if time.monotonic() - r.last_touched <= self.config.session_ttl_s
+        )
+        if live >= self.config.max_sessions:
+            raise SessionLimitError(
+                f"session limit reached ({self.config.max_sessions} live sessions)"
+            )
+        session_id = f"s{next(self._session_ids)}-{os.urandom(4).hex()}"
+        name = self._ring.route(session_id)
+        handle = self._handles.get(name)
+        if handle is None or not handle.alive:
+            raise ClusterUnavailable("no live worker to place the session on")
+        try:
+            opened = await self._worker_call(
+                handle,
+                {
+                    "op": "session.open",
+                    "region": region,
+                    "session_id": session_id,
+                    "lag": lag,
+                    "context_window": context_window,
+                },
+            )
+        except _WorkerOpError as error:
+            if error.code == "protocol_error":  # e.g. lag < 1
+                raise ProtocolError(str(error)) from error
+            raise
+        record = _SessionRecord(
+            session_id=session_id,
+            region=region,
+            lag=opened["lag"],
+            context_window=opened["context_window"],
+            worker_name=name,
+            generation=handle.generation,
+            last_touched=time.monotonic(),
+        )
+        self._records[session_id] = record
+        self.metrics.increment("sessions_created")
+        return 201, {
+            "session_id": session_id,
+            "lag": opened["lag"],
+            "context_window": opened["context_window"],
+            "region": region,
+            "worker": name,
+        }
+
+    async def handle_feed_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/sessions/{id}/points`` — journal + forward the feed."""
+        self._check_draining()
+        record = self._session_record(match.group("sid"))
+        points = payload.get("points")
+        if not isinstance(points, list) or not points:
+            raise ProtocolError("points: expected a non-empty list of points")
+        state = await self._session_op(record, "session.feed", {"points": points})
+        # Journal only after the worker accepted: a rejected feed (bad
+        # payload, 4xx) must not poison a future replay.
+        record.journal.extend(points)
+        record.last_touched = time.monotonic()
+        self.metrics.increment("points_fed", len(points))
+        return 200, state["state"]
+
+    async def handle_close_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``DELETE /v1/sessions/{id}`` — finalise and return the path."""
+        record = self._session_record(match.group("sid"))
+        final = await self._session_op(record, "session.close", {})
+        self._records.pop(record.session_id, None)
+        self.metrics.increment("sessions_closed")
+        return 200, final["final"]
+
+    # --------------------------------------------------------- observability
+    async def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``GET /healthz`` — fleet liveness and shard inventory."""
+        alive = len(self._alive_handles())
+        counters = self.metrics.snapshot()["counters"]
+        if self._draining:
+            status = "draining"
+        elif alive == 0:
+            status = "down"
+        elif alive < self.config.num_workers or counters.get("worker_deaths_total"):
+            status = "degraded"
+        else:
+            status = "ok"
+        return 200, {
+            "status": status,
+            "mode": "cluster",
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "regions": self.registry.regions,
+            "workers_alive": alive,
+            "workers_total": self.config.num_workers,
+            "respawns_used": self._respawns_used,
+            "respawn_limit": self.config.respawn_limit,
+            "active_sessions": len(self._records),
+            "inflight_ops": self._inflight_ops,
+        }
+
+    async def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``GET /metrics`` — gateway counters + per-worker stats probe."""
+        snapshot = self.metrics.snapshot()
+        for name in (
+            "cache_hits_total",
+            "cache_misses_total",
+            "worker_deaths_total",
+            "worker_respawns_total",
+            "sessions_replayed_total",
+        ):
+            snapshot["counters"].setdefault(name, 0)
+        workers = []
+        for name, handle in sorted(self._handles.items()):
+            info: dict = {
+                "name": name,
+                "pid": handle.process.pid,
+                "alive": handle.alive,
+                "generation": handle.generation,
+                "inflight": handle.inflight,
+                "requests_total": handle.requests_total,
+            }
+            if handle.alive:
+                try:
+                    stats = await handle.call({"op": "stats"}, timeout=5.0)
+                    info["memory"] = stats.get("memory", {})
+                    info["sessions"] = stats.get("sessions", {})
+                    info["matched_total"] = stats.get("matched_total", 0)
+                except (WorkerCrash, _WorkerOpError):  # racing a death
+                    info["alive"] = False
+            workers.append(info)
+        snapshot["workers"] = workers
+        snapshot["shards"] = self.registry.describe()
+        snapshot["shared_artifact_bytes"] = self.registry.total_bytes()
+        snapshot["cache"] = self._cache.stats()
+        snapshot["sessions"] = {"active": len(self._records)}
+        snapshot["cluster"] = {
+            "workers_alive": len(self._alive_handles()),
+            "workers_total": self.config.num_workers,
+            "respawns_used": self._respawns_used,
+            "respawn_limit": self.config.respawn_limit,
+        }
+        if self.config.extra_metrics:
+            snapshot["extra"] = dict(self.config.extra_metrics)
+        return 200, snapshot
+
+    # ------------------------------------------------------------- http layer
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict, dict]:
+        started = time.perf_counter()
+        endpoint = "unknown"
+        status = 500
+        headers: dict = {}
+        try:
+            for route_method, pattern, name in _ROUTES:
+                if route_method != method:
+                    continue
+                matched = pattern.match(target.split("?", 1)[0])
+                if matched is None:
+                    continue
+                endpoint = name
+                payload = protocol.loads(body)
+                if payload is None or not isinstance(payload, dict):
+                    payload = {}
+                handler = getattr(self, f"handle_{name}")
+                status, response = await handler(payload, matched)
+                break
+            else:
+                raise _HttpError(404, f"no route for {method} {target}")
+        except ProtocolError as error:
+            status, response = 400, {"error": str(error)}
+        except InvalidTrajectoryInput as error:
+            status, response = 422, {"error": str(error), "code": error.code}
+        except UnknownSessionError as error:
+            status, response = 404, {"error": f"unknown session {error.args[0]!r}"}
+        except SessionLimitError as error:
+            retry_after = self.config.retry_after_s
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+            status, response = 429, {"error": str(error), "retry_after_s": retry_after}
+        except _HttpError as error:
+            status, response = error.status, {"error": str(error), **error.extra}
+            headers.update(error.headers)
+        except _WorkerOpError as error:
+            status = error.status
+            response = {"error": str(error), "code": error.code}
+        except ClusterUnavailable as error:
+            retry_after = self.config.retry_after_s
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+            status, response = 503, {
+                "error": str(error),
+                "code": error.code,
+                "retry_after_s": retry_after,
+            }
+        except ReproError as error:
+            status = error.http_status
+            response = {"error": str(error), "code": error.code}
+        except Exception as error:  # noqa: BLE001 - the gateway must not die
+            status, response = 500, {"error": f"internal error: {error}"}
+        self.metrics.observe(endpoint, time.perf_counter() - started, status)
+        return status, response, headers
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    writer.write(_http_response(400, {"error": "malformed request line"}, close=True))
+                    await writer.drain()
+                    break
+                method, target, version = parts
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or 0)
+                except ValueError:
+                    length = -1
+                if length < 0 or length > self.config.max_body_bytes:
+                    writer.write(_http_response(413, {"error": "request body too large"}, close=True))
+                    await writer.drain()
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version.upper() == "HTTP/1.0"
+                )
+                status, response, extra_headers = await self._dispatch(method, target, body)
+                writer.write(_http_response(status, response, close=close, headers=extra_headers))
+                await writer.drain()
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-request
+        except asyncio.CancelledError:
+            # Drain cancels idle keep-alive connections; finishing the
+            # task normally keeps asyncio's stream teardown callbacks
+            # (which re-read task.exception()) quiet.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _http_response(
+    status: int, payload: dict, close: bool = False, headers: dict | None = None
+) -> bytes:
+    body = protocol.dumps(payload)
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+        "Server: repro-cluster/" + str(protocol.PROTOCOL_VERSION),
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

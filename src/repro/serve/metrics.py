@@ -25,6 +25,7 @@ class ServeMetrics:
         self._statuses: dict[int, int] = {}
         self._latency: dict[str, LatencyHistogram] = {}
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
 
     def observe(self, endpoint: str, seconds: float, status: int) -> None:
         """Record one handled request (latency + status code)."""
@@ -41,6 +42,11 @@ class ServeMetrics:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (cache size, live workers, ...)."""
+        with self._lock:
+            self._gauges[name] = value
+
     def latency(self, endpoint: str) -> LatencyHistogram | None:
         """The latency histogram of one endpoint (``None`` if unused)."""
         with self._lock:
@@ -52,12 +58,14 @@ class ServeMetrics:
             requests = dict(self._requests)
             statuses = {str(k): v for k, v in sorted(self._statuses.items())}
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._latency)
         return {
             "uptime_s": time.time() - self.started_at,
             "requests": requests,
             "statuses": statuses,
             "counters": counters,
+            "gauges": gauges,
             "latency": {
                 endpoint: histogram.snapshot()
                 for endpoint, histogram in histograms.items()

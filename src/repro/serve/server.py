@@ -351,7 +351,14 @@ class MatchingServer:
     # ------------------------------------------------------------- endpoints
     def _check_draining(self) -> None:
         if self._draining:
-            raise _HttpError(503, "server is shutting down")
+            # Retry-After tells well-behaved clients (match_with_retry)
+            # that a drain is a rolling-restart blip, not a dead end.
+            raise _HttpError(
+                503,
+                "server is shutting down",
+                headers={"Retry-After": str(max(1, round(self.config.retry_after_s)))},
+                extra={"retry_after_s": self.config.retry_after_s},
+            )
 
     def handle_create_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``POST /v1/sessions`` — admit a new streaming session."""
@@ -562,7 +569,12 @@ def _make_handler(server: "MatchingServer"):
                     "retry_after_s": retry_after,
                 }
             except ServiceClosed as error:
-                status, response = 503, {"error": str(error)}
+                retry_after = server.config.retry_after_s
+                headers["Retry-After"] = str(max(1, round(retry_after)))
+                status, response = 503, {
+                    "error": str(error),
+                    "retry_after_s": retry_after,
+                }
             except _HttpError as error:
                 status, response = error.status, {"error": str(error), **error.extra}
                 headers.update(error.headers)

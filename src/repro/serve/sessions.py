@@ -89,8 +89,19 @@ class SessionManager:
         self.recycled_total = 0
 
     # ------------------------------------------------------------- lifecycle
-    def create(self, lag: int | None = None, context_window: int | None = None) -> Session:
-        """Open a new session; raises :class:`SessionLimitError` when full."""
+    def create(
+        self,
+        lag: int | None = None,
+        context_window: int | None = None,
+        session_id: str | None = None,
+    ) -> Session:
+        """Open a new session; raises :class:`SessionLimitError` when full.
+
+        ``session_id`` lets an upstream tier (the cluster gateway) assign
+        ids itself — required for deterministic session handoff, where a
+        respawned worker must rebuild a session under its original id.
+        Omitted, the manager generates one.
+        """
         lag = self.default_lag if lag is None else int(lag)
         context_window = (
             self.default_context_window if context_window is None else int(context_window)
@@ -98,12 +109,15 @@ class SessionManager:
         self.evict_idle()
         now = self._clock()
         with self._lock:
+            if session_id is not None and session_id in self._sessions:
+                raise ValueError(f"session id {session_id!r} already live")
             if len(self._sessions) >= self.max_sessions:
                 raise SessionLimitError(
                     f"session limit reached ({self.max_sessions} live sessions)"
                 )
             decoder = self._checkout_decoder(lag, context_window)
-            session_id = f"s{next(self._ids)}-{uuid.uuid4().hex[:8]}"
+            if session_id is None:
+                session_id = f"s{next(self._ids)}-{uuid.uuid4().hex[:8]}"
             session = Session(
                 session_id=session_id,
                 decoder=decoder,

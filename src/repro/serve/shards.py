@@ -1,0 +1,242 @@
+"""The region → artifact-set shard registry of the cluster tier.
+
+One cluster deployment serves many cities: each *shard* is a region name
+bound to a dataset (map + towers) and a trained model artifact
+(:meth:`LHMM.save`'s validated ``.npz`` envelope), optionally with a
+UBODT routing table.  The gateway loads and validates every artifact
+exactly once, publishes all heavy numeric state into one shared-memory
+segment per region (:class:`~repro.serve.shm.SharedArrayPack`), and
+workers attach the segments read-only:
+
+* model arrays — node embeddings, mined relation-graph counts, learner
+  weights — straight from the envelope (so attached copies are
+  bitwise-equal to the artifact contents by construction);
+* the frozen road-network geometry tables and CSR adjacency
+  (:meth:`RoadNetwork.shared_state_arrays`);
+* the structured UBODT table, pre-sorted (:meth:`Ubodt.sorted_arrays`).
+
+Workers are forked from the gateway, so they inherit the cheap Python
+objects (segment dicts, grid index, tower list) copy-on-write and only
+rebind the heavy arrays to the shared segment via the zero-copy attach
+constructors (:meth:`RoadNetwork.adopt_shared_state`,
+:meth:`LHMM.from_artifact_arrays`, :meth:`Ubodt.attach_sorted`).  The
+result: N workers, one copy of every artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ArtifactIncompatible, UnknownRegion
+from repro.serve.shm import SharedArrayPack
+
+#: The region used when a request does not name one.
+DEFAULT_REGION = "default"
+
+
+@dataclass(slots=True)
+class ShardSpec:
+    """One region's artifact set (all paths; nothing is loaded yet)."""
+
+    region: str
+    dataset: str
+    model: str
+    router: str = "dijkstra"
+    ubodt_delta_m: float = 3000.0
+    ubodt_table: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.region or "/" in self.region:
+            raise ValueError(f"invalid region name {self.region!r}")
+        if self.router not in ("dijkstra", "ubodt"):
+            raise ValueError(f"unknown router {self.router!r}")
+
+
+@dataclass(slots=True)
+class LoadedShard:
+    """A published shard: fork-inheritable dataset + shared arrays."""
+
+    spec: ShardSpec
+    dataset: object  # MatchingDataset (typed loosely to keep imports light)
+    pack: SharedArrayPack
+    config_dict: dict
+    model_keys: list[str] = field(default_factory=list)
+
+
+def _model_arrays(pack: SharedArrayPack, keys: list[str]) -> dict[str, np.ndarray]:
+    return {key[len("model."):]: pack[key] for key in keys}
+
+
+class ShardRegistry:
+    """Loads, publishes, and attaches per-region artifact sets.
+
+    Build with :meth:`publish` in the gateway process *before* forking
+    workers; each worker then calls :meth:`attach_matcher` per region.
+    The registry owns the segments: :meth:`close` (gateway side, at
+    shutdown) unlinks them.
+    """
+
+    def __init__(self, shards: dict[str, LoadedShard]) -> None:
+        self._shards = shards
+
+    # ------------------------------------------------------------ publishing
+    @classmethod
+    def publish(cls, specs: list[ShardSpec]) -> "ShardRegistry":
+        """Load every spec's artifacts and publish them to shared memory.
+
+        Raises the artifact taxonomy errors (:class:`ArtifactCorrupt`,
+        :class:`ArtifactIncompatible`, ``FileNotFoundError``) eagerly —
+        a cluster must fail at startup, not on the first request, when an
+        artifact is bad.
+        """
+        if not specs:
+            raise ValueError("a cluster needs at least one shard spec")
+        shards: dict[str, LoadedShard] = {}
+        try:
+            cls._publish_into(shards, specs)
+        except BaseException:
+            # A failed startup must not strand the segments already
+            # published for earlier specs — unlink them before re-raising.
+            for shard in shards.values():
+                shard.pack.unlink()
+                shard.pack.close()
+            raise
+        return cls(shards)
+
+    @classmethod
+    def _publish_into(cls, shards: dict[str, LoadedShard], specs: list[ShardSpec]) -> None:
+        from repro.core.matcher import LHMM
+        from repro.datasets import load_dataset
+        from repro.network.ubodt import Ubodt
+        from repro.nn.serialization import read_artifact
+
+        for spec in specs:
+            if spec.region in shards:
+                raise ValueError(f"duplicate region {spec.region!r}")
+            dataset = load_dataset(spec.dataset)
+            artifact = read_artifact(spec.model, kind=LHMM.MODEL_KIND, allow_legacy=True)
+            config_dict = (artifact.meta or {}).get("config")
+            if not isinstance(config_dict, dict):
+                raise ArtifactIncompatible(
+                    f"{spec.model}: artifact manifest carries no model "
+                    "configuration (cluster serving needs a manifest envelope)"
+                )
+            arrays: dict[str, np.ndarray] = {
+                f"model.{key}": value for key, value in artifact.arrays.items()
+            }
+            model_keys = list(arrays)
+            arrays.update(
+                {
+                    f"net.{key}": value
+                    for key, value in dataset.network.shared_state_arrays().items()
+                }
+            )
+            meta_extra: dict = {}
+            if spec.router == "ubodt":
+                if spec.ubodt_table is not None:
+                    table = Ubodt.load(spec.ubodt_table)
+                else:
+                    table = Ubodt.build(dataset.network, spec.ubodt_delta_m)
+                arrays.update(
+                    {f"ubodt.{k}": v for k, v in table.sorted_arrays().items()}
+                )
+                meta_extra["ubodt_delta_m"] = table.delta_m
+            pack = SharedArrayPack.publish(arrays)
+            pack.meta.update(meta_extra)
+            shards[spec.region] = LoadedShard(
+                spec=spec,
+                dataset=dataset,
+                pack=pack,
+                config_dict=config_dict,
+                model_keys=model_keys,
+            )
+
+    # --------------------------------------------------------------- queries
+    @property
+    def regions(self) -> list[str]:
+        """Served region names, in registration order."""
+        return list(self._shards)
+
+    def shard(self, region: str) -> LoadedShard:
+        """The shard for ``region``; raises :class:`UnknownRegion`."""
+        try:
+            return self._shards[region]
+        except KeyError:
+            served = ", ".join(self._shards) or "<none>"
+            raise UnknownRegion(
+                f"region {region!r} is not served here (regions: {served})"
+            ) from None
+
+    def describe(self) -> dict:
+        """Per-region segment facts for ``/metrics`` and ``/healthz``."""
+        return {
+            region: {
+                "segment": shard.pack.segment_name,
+                "bytes": shard.pack.nbytes,
+                "arrays": len(shard.pack.meta["arrays"]),
+                "router": shard.spec.router,
+                "model": shard.spec.model,
+            }
+            for region, shard in self._shards.items()
+        }
+
+    def total_bytes(self) -> int:
+        """Published artifact bytes across all regions (one copy each)."""
+        return sum(shard.pack.nbytes for shard in self._shards.values())
+
+    # ----------------------------------------------------------- worker side
+    def attach_matcher(self, region: str):
+        """Build a region's matcher over the shared segment (worker side).
+
+        Re-attaches the segment (getting this process its own read-only
+        mapping, deregistered from its resource tracker) and constructs
+        an :class:`LHMM` whose network tables, embeddings, weights, and
+        optional UBODT all reference the shared buffers.  Results are
+        byte-identical to a matcher loaded directly from the artifact:
+        the attached arrays are bitwise-equal to the envelope contents.
+        """
+        from repro.core.config import LHMMConfig
+        from repro.core.matcher import LHMM
+        from repro.network.ubodt import Ubodt, UbodtRouter
+
+        shard = self.shard(region)
+        pack = SharedArrayPack.attach(shard.pack.meta)
+        network = shard.dataset.network
+        network.adopt_shared_state(
+            {key[len("net."):]: pack[key] for key in pack.arrays if key.startswith("net.")}
+        )
+        try:
+            config = LHMMConfig(**shard.config_dict)
+            config.validate()
+        except (TypeError, ValueError) as error:
+            raise ArtifactIncompatible(
+                f"{shard.spec.model}: stored configuration is not usable by "
+                f"this build ({error})"
+            ) from error
+        matcher = LHMM.from_artifact_arrays(
+            _model_arrays(pack, shard.model_keys),
+            config,
+            shard.dataset,
+            origin=shard.spec.model,
+        )
+        if shard.spec.router == "ubodt":
+            table = Ubodt.attach_sorted(
+                pack.meta["ubodt_delta_m"],
+                {
+                    key[len("ubodt."):]: pack[key]
+                    for key in pack.arrays
+                    if key.startswith("ubodt.")
+                },
+            )
+            matcher.use_router(UbodtRouter(network, table, fallback=shard.dataset.engine))
+        return matcher, pack
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self, unlink: bool = False) -> None:
+        """Drop mappings; with ``unlink`` (owner/gateway) remove segments."""
+        for shard in self._shards.values():
+            if unlink and shard.pack.owner:
+                shard.pack.unlink()
+            shard.pack.close()

@@ -1,0 +1,203 @@
+"""Publish-once / attach-many numpy arrays over POSIX shared memory.
+
+The cluster gateway loads every heavy artifact exactly once — road-network
+geometry tables, CSR adjacency, the structured UBODT table, model
+embedding matrices — packs them into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per shard,
+and hands workers a small JSON-able *layout* describing where each array
+lives.  Workers attach read-only views over the same physical pages, so N
+worker processes cost one copy of the artifacts instead of N.
+
+Ownership is asymmetric and explicit:
+
+* the **publisher** (gateway) creates the segment and is the only side
+  that ever calls :meth:`SharedArrayPack.unlink`;
+* an **attacher** (worker) maps the existing segment *without* letting
+  its ``multiprocessing.resource_tracker`` see it — otherwise a worker
+  dying (or being SIGKILLed and its tracker winding down) could unlink a
+  segment the rest of the fleet is still serving from.  This is the
+  standard workaround for `bpo-38119`; Python 3.13 grew a ``track=False``
+  argument for the same purpose, but this tree targets 3.11.
+
+Layouts are plain dicts (array name → dtype/shape/offset) so they can
+ride the IPC protocol or a fork; offsets are 64-byte aligned, which keeps
+every attached array suitably aligned for its dtype.  All views are
+marked read-only on both sides — the artifacts are immutable by design,
+and an accidental in-place write in one worker must not corrupt its
+siblings.
+"""
+
+from __future__ import annotations
+
+import secrets
+from pathlib import Path
+
+import numpy as np
+
+#: Byte alignment of every array inside a segment.
+ALIGNMENT = 64
+
+#: Prefix of every segment this module creates (leak scans key on it).
+SEGMENT_PREFIX = "repro-shm-"
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live ``/dev/shm`` segments with ``prefix`` (Linux only).
+
+    The chaos suite calls this after killing workers to prove nothing
+    leaked; on platforms without a visible ``/dev/shm`` it returns ``[]``
+    (no way to scan, nothing to assert).
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.glob(f"{prefix}*"))
+
+
+class SharedArrayPack:
+    """A named set of numpy arrays living in one shared-memory segment.
+
+    Construct via :meth:`publish` (owner side) or :meth:`attach` (worker
+    side); access arrays through the :attr:`arrays` mapping.  The pack is
+    a context manager that closes its local mapping on exit; the segment
+    itself survives until the owner calls :meth:`unlink`.
+    """
+
+    def __init__(self, shm, arrays: dict[str, np.ndarray], meta: dict, owner: bool) -> None:
+        self._shm = shm
+        self.arrays = arrays
+        self.meta = meta
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def publish(cls, arrays: dict[str, np.ndarray], name: str | None = None) -> "SharedArrayPack":
+        """Copy ``arrays`` into a fresh segment and return the owner pack.
+
+        Array dtypes and shapes are preserved exactly (no casting), so an
+        attached view is bitwise-equal to — and drop-in compatible with —
+        the source array.  Insertion order is kept in the layout.
+        """
+        from multiprocessing import shared_memory
+
+        contiguous = {
+            key: np.ascontiguousarray(value) for key, value in arrays.items()
+        }
+        layout: dict[str, dict] = {}
+        offset = 0
+        for key, value in contiguous.items():
+            offset = _align(offset)
+            layout[key] = {
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "offset": offset,
+            }
+            offset += value.nbytes
+        size = max(offset, 1)  # zero-size segments are not allowed
+        segment = name or SEGMENT_PREFIX + secrets.token_hex(8)
+        shm = shared_memory.SharedMemory(name=segment, create=True, size=size)
+        views: dict[str, np.ndarray] = {}
+        for key, value in contiguous.items():
+            spec = layout[key]
+            view = np.ndarray(
+                value.shape, dtype=value.dtype, buffer=shm.buf, offset=spec["offset"]
+            )
+            view[...] = value
+            view.flags.writeable = False
+            views[key] = view
+        meta = {"segment": shm.name, "size": size, "arrays": layout}
+        return cls(shm, views, meta, owner=True)
+
+    @classmethod
+    def attach(cls, meta: dict) -> "SharedArrayPack":
+        """Map an existing segment described by a :meth:`publish` layout."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Keep the attach invisible to the resource tracker: attachers
+        # must never unlink a segment they do not own (see module
+        # docstring).  Suppressing the registration beats the usual
+        # register-then-unregister dance because forked workers share the
+        # parent's tracker daemon, whose name cache is a *set* — two
+        # workers registering and unregistering the same segment would
+        # make the second unregister die with a KeyError in the tracker.
+        original_register = resource_tracker.register
+        def _skip_shm(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original_register(name, rtype)
+        resource_tracker.register = _skip_shm
+        try:
+            shm = shared_memory.SharedMemory(name=meta["segment"])
+        finally:
+            resource_tracker.register = original_register
+        views: dict[str, np.ndarray] = {}
+        for key, spec in meta["arrays"].items():
+            view = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=shm.buf,
+                offset=spec["offset"],
+            )
+            view.flags.writeable = False
+            views[key] = view
+        return cls(shm, views, meta, owner=False)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def segment_name(self) -> str:
+        """OS-level name of the backing segment."""
+        return self.meta["segment"]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all packed arrays."""
+        return sum(
+            int(np.prod(spec["shape"]) * np.dtype(spec["dtype"]).itemsize)
+            for spec in self.meta["arrays"].values()
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself stays).
+
+        Only call when nothing references the pack's arrays anymore —
+        closing can unmap the pages under any still-live numpy view.
+        Workers therefore keep their pack for their whole life and let
+        process exit release the mapping; a pinned buffer that refuses to
+        unmap is not an error for the same reason.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # views still alive; freed at process exit
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (owner only; idempotent)."""
+        if not self.owner:
+            raise RuntimeError(
+                f"refusing to unlink {self.segment_name}: this pack only "
+                "attached the segment, it does not own it"
+            )
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.arrays
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]

@@ -97,6 +97,23 @@ class TestCompare:
         cur = self._payload(t={"value": 9.9, "unit": "s", "direction": "lower"})
         assert checker.compare("b", base, cur, 0.10) == []
 
+    def test_malformed_metric_entry_skipped_not_crash(self, capsys):
+        """A hand-edited or truncated baseline entry must degrade to a
+        note, not a traceback that fails the whole (advisory) CI step."""
+        checker = _load_checker()
+        base = self._payload(
+            t={"unit": "s", "direction": "lower"},  # no "value"
+            u={"value": "not-a-number", "unit": "s", "direction": "lower"},
+            v={"value": None, "unit": "s", "direction": "lower"},
+        )
+        cur = self._payload(
+            t={"value": 1.0, "unit": "s", "direction": "lower"},
+            u={"value": 1.0, "unit": "s", "direction": "lower"},
+            v={"value": 1.0, "unit": "s", "direction": "lower"},
+        )
+        assert checker.compare("b", base, cur, 0.10) == []
+        assert capsys.readouterr().out.count("skipped") == 3
+
 
 class TestMain:
     def test_missing_baseline_skipped(self, tmp_path, capsys):
@@ -107,6 +124,29 @@ class TestMain:
         # so the run must skip, not crash.
         assert checker.main([str(path)]) == 0
         assert "skipped" in capsys.readouterr().out
+
+    def test_missing_current_file_skipped(self, tmp_path, capsys):
+        """A failed benchmark step leaves no BENCH file; the checker must
+        explain and exit 0, not die with FileNotFoundError."""
+        checker = _load_checker()
+        assert checker.main([str(tmp_path / "BENCH_gone.json")]) == 0
+        out = capsys.readouterr().out
+        assert "not found in the working tree" in out
+        assert "skipped" in out
+
+    def test_unreadable_json_skipped(self, tmp_path, capsys):
+        checker = _load_checker()
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{truncated")
+        assert checker.main([str(path)]) == 0
+        assert "unreadable JSON" in capsys.readouterr().out
+
+    def test_non_object_payload_skipped(self, tmp_path, capsys):
+        checker = _load_checker()
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("[1, 2, 3]")
+        assert checker.main([str(path)]) == 0
+        assert "expected a JSON object" in capsys.readouterr().out
 
     def test_repo_bench_files_parse(self):
         # The committed BENCH files must stay loadable by the checker.

@@ -21,10 +21,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import LHMM, ParallelMatcher
+from repro.core import LHMM, OnlineLHMM, ParallelMatcher
 from repro.datasets import load_dataset, save_dataset
 from repro.errors import MatchError, PoolBroken
-from repro.serve import MatchingClient, MatchingServer, ServeClientError, ServeConfig
+from repro.serve import (
+    ClusterConfig,
+    ClusterServer,
+    MatchingClient,
+    MatchingServer,
+    ServeClientError,
+    ServeConfig,
+    ShardRegistry,
+    ShardSpec,
+)
+from repro.serve.shm import leaked_segments
 from repro.testing import faults
 
 pytestmark = pytest.mark.chaos
@@ -359,6 +369,125 @@ class TestServeUnderFaults:
                 assert [r["path"] for r in again] == [s.path for s in serial[:2]]
         finally:
             pool.close()
+
+    def test_cluster_worker_sigkill_handoff_and_no_shm_leak(
+        self, saved_paths, trained_lhmm, tiny_dataset
+    ):
+        """SIGKILL -9 the worker that owns a live streaming session.
+
+        The guarantees under test: the gateway respawns the worker and
+        replays the session journal so the final path is bit-identical to
+        an uninterrupted decode; the killed worker's death does NOT
+        unlink the shared artifact segment the survivor is still mapped
+        over (the attach suppresses resource-tracker registration); and a
+        full shutdown afterwards leaves zero leaked segments.
+        """
+        model_path, dataset_path = saved_paths
+        registry = ShardRegistry.publish(
+            [ShardSpec(region="default", dataset=dataset_path, model=model_path)]
+        )
+        segments = {s["segment"] for s in registry.describe().values()}
+        sample = tiny_dataset.test[0]
+        server = ClusterServer(
+            registry, ClusterConfig(port=0, num_workers=2, cache_size=0)
+        ).start()
+        try:
+            client = MatchingClient(server.host, server.port, timeout=120.0)
+            session = client.create_session(lag=3)
+            points = list(sample.cellular.points)
+            for point in points[: len(points) // 2]:
+                session.feed(point)
+
+            owner = server._records[session.session_id].worker_name
+            victim = server._handles[owner]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while victim.alive and time.monotonic() < deadline:
+                time.sleep(0.05)
+
+            # The kill (and the dead worker's teardown) must not take the
+            # shared segment with it — the survivor still serves from it.
+            assert segments <= set(leaked_segments())
+
+            for point in points[len(points) // 2 :]:
+                self._feed_with_retry(session, point)
+            path = session.close()
+            assert path == OnlineLHMM(trained_lhmm, lag=3).match_stream(
+                sample.cellular
+            )
+
+            metrics = client.metrics()
+            assert metrics["counters"]["worker_deaths_total"] >= 1
+            assert metrics["counters"]["worker_respawns_total"] >= 1
+            assert metrics["counters"]["sessions_replayed_total"] >= 1
+            respawned = next(
+                w for w in metrics["workers"] if w["name"] == owner
+            )
+            assert respawned["alive"] and respawned["generation"] >= 2
+
+            # Batch traffic on the healed cluster: bit-identical again.
+            results = client.match_with_retry(
+                [sample.cellular], max_attempts=6, base_delay_s=0.1
+            )
+            assert results[0]["path"] == trained_lhmm.match(sample.cellular).path
+        finally:
+            server.shutdown()
+        assert segments.isdisjoint(leaked_segments())
+
+    def test_cluster_exhausted_respawns_shrink_the_ring(
+        self, saved_paths, trained_lhmm, tiny_dataset
+    ):
+        """With ``respawn_limit=0`` a killed worker leaves the hash ring;
+        the survivor takes over all traffic and shutdown still unlinks."""
+        model_path, dataset_path = saved_paths
+        registry = ShardRegistry.publish(
+            [ShardSpec(region="default", dataset=dataset_path, model=model_path)]
+        )
+        segments = {s["segment"] for s in registry.describe().values()}
+        sample = tiny_dataset.test[1]
+        server = ClusterServer(
+            registry,
+            ClusterConfig(port=0, num_workers=2, cache_size=0, respawn_limit=0),
+        ).start()
+        try:
+            client = MatchingClient(server.host, server.port, timeout=120.0)
+            victim = server._handles["w0"]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while "w0" in server._ring.nodes and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server._ring.nodes == {"w1"}
+
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert health["workers_alive"] == 1
+
+            results = client.match_with_retry(
+                [sample.cellular], max_attempts=6, base_delay_s=0.1
+            )
+            assert results[0]["path"] == trained_lhmm.match(sample.cellular).path
+            session = client.create_session(lag=3)
+            for point in sample.cellular.points:
+                self._feed_with_retry(session, point)
+            assert session.close() == OnlineLHMM(
+                trained_lhmm, lag=3
+            ).match_stream(sample.cellular)
+        finally:
+            server.shutdown()
+        assert segments.isdisjoint(leaked_segments())
+
+    @staticmethod
+    def _feed_with_retry(session, point, attempts: int = 40):
+        """Feed one point, riding out the 503s while a respawn settles."""
+        for attempt in range(attempts):
+            try:
+                return session.feed(point)
+            except (ServeClientError, ConnectionError) as error:
+                if isinstance(error, ServeClientError) and error.status != 503:
+                    raise
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.25)
 
     def test_drain_waits_for_slow_pool_chunk(
         self, saved_paths, serial_reference, trained_lhmm, monkeypatch, tmp_path

@@ -14,7 +14,7 @@ from repro.cellular.trajectory import Trajectory, TrajectoryPoint
 from repro.core import ParallelMatcher
 from repro.errors import InvalidTrajectoryInput, MatchError, MatchFailure
 from repro.geometry import Point
-from repro.serve import MatchingClient, ServerBusy
+from repro.serve import MatchingClient, ServeClientError, ServerBusy
 from repro.testing import faults
 
 
@@ -158,10 +158,26 @@ class _FlakyClient(MatchingClient):
         self.retry_after_s = retry_after_s
         self.calls = 0
 
-    def match(self, trajectories):
+    def match(self, trajectories, region=None):
         self.calls += 1
         if self.calls <= self.failures:
             raise ServerBusy(429, "busy", {}, self.retry_after_s)
+        return [{"ok": True}]
+
+
+class _FailingClient(MatchingClient):
+    """A client whose ``match`` raises a given error a fixed number of
+    times, then succeeds — for exercising retryability decisions."""
+
+    def __init__(self, errors) -> None:
+        super().__init__("localhost", 1)
+        self.errors = list(errors)
+        self.calls = 0
+
+    def match(self, trajectories, region=None):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
         return [{"ok": True}]
 
 
@@ -234,3 +250,50 @@ class TestMatchWithRetry:
                 rng=random.Random(4),
             )
         assert client.calls == 3
+
+    def test_503_during_drain_is_retried(self):
+        """A draining gateway answers 503 + retry_after_s; the retry loop
+        honours the hint and wins once the drain (or respawn) completes."""
+        client = _FailingClient(
+            [ServeClientError(503, "draining", {"retry_after_s": 2.0})] * 2
+        )
+        sleeps: list[float] = []
+        result = client.match_with_retry(
+            [], sleep=sleeps.append, clock=lambda: 0.0, rng=random.Random(5)
+        )
+        assert result == [{"ok": True}]
+        assert client.calls == 3
+        assert all(s >= 1.0 for s in sleeps)  # 2.0 x jitter in [0.5, 1.0]
+
+    def test_connection_reset_is_retried(self):
+        """A worker respawn can reset in-flight sockets mid-request; that
+        is transient, not fatal."""
+        client = _FailingClient(
+            [ConnectionResetError("peer reset"), ConnectionRefusedError("down")]
+        )
+        result = client.match_with_retry(
+            [], sleep=lambda s: None, clock=lambda: 0.0, rng=random.Random(6)
+        )
+        assert result == [{"ok": True}]
+        assert client.calls == 3
+
+    def test_non_transient_http_errors_raise_immediately(self):
+        """4xx input errors and 500s repeat deterministically — retrying
+        them only repeats the failure."""
+        for status in (400, 404, 422, 500):
+            client = _FailingClient([ServeClientError(status, "nope", {})])
+            with pytest.raises(ServeClientError):
+                client.match_with_retry(
+                    [], sleep=lambda s: None, clock=lambda: 0.0,
+                    rng=random.Random(7),
+                )
+            assert client.calls == 1
+
+    def test_exhausted_attempts_raise_the_transient_error(self):
+        client = _FailingClient([ConnectionResetError("reset")] * 10)
+        with pytest.raises(ConnectionResetError):
+            client.match_with_retry(
+                [], max_attempts=4, sleep=lambda s: None, clock=lambda: 0.0,
+                rng=random.Random(8),
+            )
+        assert client.calls == 4
