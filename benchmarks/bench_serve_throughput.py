@@ -110,8 +110,13 @@ def cluster_artifacts(tmp_path_factory):
     return dataset, matcher, str(dataset_path), str(model_path)
 
 
-def _make_trace(samples, rate_per_s: float, count: int, seed: int):
-    """A replayable open-loop trace: (arrival_offset_s, sample) pairs."""
+def make_trace(samples, rate_per_s: float, count: int, seed: int):
+    """A replayable open-loop trace: (arrival_offset_s, sample) pairs.
+
+    Public: the cluster chaos tests reuse this (and :func:`open_loop`) to
+    drive rollout/autoscaler scenarios with the same honest load shape
+    the perf smoke uses.
+    """
     rng = random.Random(seed)
     now = 0.0
     trace = []
@@ -121,7 +126,14 @@ def _make_trace(samples, rate_per_s: float, count: int, seed: int):
     return trace
 
 
-def _open_loop(host: str, port: int, trace) -> tuple[list, float]:
+def open_loop(
+    host: str,
+    port: int,
+    trace,
+    client_threads: int | None = None,
+    max_attempts: int = 4,
+    deadline_s: float = 30.0,
+) -> tuple[list, float]:
     """Fire the trace at its scheduled rate; never wait for completions.
 
     Latency is measured from each request's *scheduled arrival* so time
@@ -142,8 +154,8 @@ def _open_loop(host: str, port: int, trace) -> tuple[list, float]:
         path = None
         try:
             response = client.match_with_retry(
-                [sample.cellular], max_attempts=4, base_delay_s=0.05,
-                deadline_s=30.0,
+                [sample.cellular], max_attempts=max_attempts,
+                base_delay_s=0.05, deadline_s=deadline_s,
             )
             ok = "error" not in response[0]
             if ok:
@@ -155,7 +167,7 @@ def _open_loop(host: str, port: int, trace) -> tuple[list, float]:
             results.append((latency, ok, sample, path))
 
     start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+    with ThreadPoolExecutor(max_workers=client_threads or CLIENT_THREADS) as pool:
         futures = []
         for offset, sample in trace:
             scheduled_abs = start + offset
@@ -222,8 +234,8 @@ def test_cluster_serve_throughput(cluster_artifacts):
         for sample in samples:
             probe.match_with_retry([sample.cellular])
 
-        trace = _make_trace(samples, CACHED_RATE, CACHED_REQUESTS, TRACE_SEED)
-        results, wall_s = _open_loop(server.host, server.port, trace)
+        trace = make_trace(samples, CACHED_RATE, CACHED_REQUESTS, TRACE_SEED)
+        results, wall_s = open_loop(server.host, server.port, trace)
         cached = _summarise(results, wall_s)
         _assert_parity(results, matcher, expected_cache)
         assert cached["error_rate"] == 0.0
@@ -291,10 +303,10 @@ def test_cluster_serve_throughput(cluster_artifacts):
         probe = MatchingClient(server.host, server.port, timeout=60.0)
         for sample in samples:  # warm routers/pools, no response cache
             probe.match_with_retry([sample.cellular])
-        trace = _make_trace(
+        trace = make_trace(
             samples, UNCACHED_RATE, UNCACHED_REQUESTS, TRACE_SEED + 1
         )
-        results, wall_s = _open_loop(server.host, server.port, trace)
+        results, wall_s = open_loop(server.host, server.port, trace)
         uncached = _summarise(results, wall_s)
         _assert_parity(results, matcher, expected_cache)
         assert uncached["error_rate"] == 0.0

@@ -149,7 +149,19 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_router_arguments(serve)
     serve.add_argument("--workers", type=int, default=1,
                        help="batch-matching processes (1 = in-process serial); "
-                            "with --cluster, the matcher worker fleet size")
+                            "with --cluster, the matcher worker fleet size "
+                            "the gateway starts with")
+    serve.add_argument("--min-workers", type=int, default=None,
+                       help="(cluster) floor the queue-depth autoscaler drains "
+                            "down to when idle (default: --workers)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="(cluster) ceiling the autoscaler forks up to "
+                            "under sustained queueing (default: --workers, "
+                            "i.e. autoscaling off)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="(cluster) append control-plane decisions "
+                            "(respawns, scale events, rollouts) as JSONL here; "
+                            "also honoured via $REPRO_CLUSTER_JOURNAL")
     serve.add_argument("--cluster", action="store_true",
                        help="run the sharded cluster tier: an asyncio gateway "
                             "in front of --workers forked matcher processes "
@@ -160,8 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "dataset + model artifact; repeatable.  --dataset/"
                             "--model, when given, serve the 'default' region")
     serve.add_argument("--max-inflight", type=int, default=64,
-                       help="(cluster) concurrent worker operations admitted "
-                            "before the gateway sheds load with HTTP 429")
+                       help="(cluster) concurrent worker operations running at "
+                            "once; arrivals beyond it queue, and queue "
+                            "overflow is shed with HTTP 503 + Retry-After")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="(cluster) response-cache entries for /v1/match "
                             "(0 disables caching)")
@@ -171,7 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max trajectories per micro-batch")
     serve.add_argument("--queue-limit", type=int, default=64,
                        help="bounded request queue; beyond it the server sheds "
-                            "load with HTTP 429")
+                            "load with HTTP 503 + Retry-After")
     serve.add_argument("--max-sessions", type=int, default=256,
                        help="concurrent streaming sessions")
     serve.add_argument("--session-ttl", type=float, default=300.0,
@@ -568,6 +581,36 @@ def _install_reload_signal(server) -> None:
         pass
 
 
+def _install_rollout_signal(server) -> None:
+    """SIGHUP → zero-downtime cluster rollout, off the signal handler's thread.
+
+    The rollout (stage + canary + one-worker-at-a-time swap) runs on a
+    worker thread; a rejected canary logs and leaves the old generation
+    serving — exactly like ``POST /v1/admin/rollout``.
+    """
+    import signal
+    import threading
+
+    def _rollout_async(*_signal_args) -> None:
+        def _run() -> None:
+            try:
+                info = server.rollout()
+                print(
+                    f"SIGHUP: rolled out generation {info['generation']} "
+                    f"({info['workers_swapped']} workers swapped)"
+                )
+            except Exception as error:  # noqa: BLE001 - keep serving
+                print(f"SIGHUP: rollout failed, old generation keeps serving: "
+                      f"{error}", file=sys.stderr)
+
+        threading.Thread(target=_run, name="repro-cluster-rollout", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGHUP, _rollout_async)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+
+
 def _parse_region_specs(args: argparse.Namespace) -> list:
     """Shard specs from ``--dataset/--model`` + repeated ``--region``."""
     from repro.serve import DEFAULT_REGION, ShardSpec
@@ -631,16 +674,23 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         cache_size=args.cache_size,
         respawn_limit=args.respawn_limit,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        journal_path=args.journal,
     )
     server = ClusterServer(registry, config).start()
-    print(
-        f"cluster gateway at {server.address} "
-        f"({config.num_workers} workers, router={args.router})"
-    )
+    _install_rollout_signal(server)
+    workers_note = f"{config.num_workers} workers"
+    if server.min_workers != server.max_workers:
+        workers_note += f" (autoscaling {server.min_workers}..{server.max_workers})"
+    print(f"cluster gateway at {server.address} ({workers_note}, "
+          f"router={args.router})")
     print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
-          "DELETE /v1/sessions/<id>, POST /v1/match, GET /healthz, "
-          "GET /metrics (add \"region\" to request bodies on multi-shard "
-          "deployments)")
+          "DELETE /v1/sessions/<id>, POST /v1/match, "
+          "POST /v1/admin/rollout, GET /healthz, GET /metrics "
+          "(add \"region\" to request bodies on multi-shard deployments)")
+    print("zero-downtime rollout: POST /v1/admin/rollout or send SIGHUP "
+          "after replacing a model artifact")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -154,6 +154,29 @@ class ClusterUnavailable(ReproError, RuntimeError):
     hint = "retry after a backoff; check /healthz for worker status"
 
 
+class ServerOverloaded(ReproError, RuntimeError):
+    """Arrival rate exceeds service rate and the admission queue is full;
+    the request was shed *before* any matching work happened.  Both the
+    threaded server and the cluster gateway answer this with HTTP 503 +
+    ``Retry-After`` — overload is a property of the deployment, not of
+    the request, so a retry elsewhere (or later) can succeed."""
+
+    code = "server_overloaded"
+    http_status = 503
+    hint = "back off and retry; scale workers up or raise the queue limit"
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """The request's client-supplied deadline expired before (or while)
+    the work could run; the work was shed, not half-done.  Mapped to
+    HTTP 504 — retrying with the *same* deadline budget on an overloaded
+    deployment will likely expire again."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+    hint = "raise deadline_ms, or retry when the deployment is less loaded"
+
+
 class DegradedResult(ReproError):
     """Marker: a result was produced by a fallback stage, not the full
     learned matcher.  Never raised across an API boundary — the cascade
@@ -225,6 +248,8 @@ __all__ = [
     "ModelReloadFailed",
     "UnknownRegion",
     "ClusterUnavailable",
+    "ServerOverloaded",
+    "DeadlineExceeded",
     "DegradedResult",
     "MatchError",
 ]

@@ -26,7 +26,11 @@ For horizontal scale there is a second deployment shape: the sharded
 **cluster** tier (:mod:`repro.serve.cluster`) — an asyncio gateway in
 front of N forked matcher workers that attach every artifact from shared
 memory (:mod:`repro.serve.shm`, :mod:`repro.serve.shards`), speaking the
-same HTTP protocol plus a per-request ``region`` field.
+same HTTP protocol plus a per-request ``region`` field.  The gateway is
+self-healing (:mod:`repro.serve.control`): a supervision loop probes and
+respawns workers, a queue-depth autoscaler sizes the fleet between
+``--min-workers`` and ``--max-workers``, and ``POST /v1/admin/rollout``
+swaps in a new artifact generation with zero downtime.
 """
 
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
@@ -37,24 +41,36 @@ from repro.serve.client import (
     StreamingSession,
 )
 from repro.serve.cluster import ClusterConfig, ClusterServer, ConsistentHashRing
-from repro.serve.metrics import ServeMetrics
+from repro.serve.control import (
+    AdmissionGate,
+    AutoscalerPolicy,
+    ControlJournal,
+    CrashTracker,
+)
+from repro.serve.metrics import RollingWindow, ServeMetrics
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import MatchingServer, ServeConfig
 from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
 from repro.serve.shards import DEFAULT_REGION, ShardRegistry, ShardSpec
-from repro.serve.shm import SharedArrayPack
+from repro.serve.shm import SegmentJanitor, SharedArrayPack
 
 __all__ = [
+    "AdmissionGate",
+    "AutoscalerPolicy",
     "Backpressure",
     "ClusterConfig",
     "ClusterServer",
     "ConsistentHashRing",
+    "ControlJournal",
+    "CrashTracker",
     "DEFAULT_REGION",
     "MatchingClient",
     "MatchingServer",
     "MicroBatcher",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RollingWindow",
+    "SegmentJanitor",
     "ServeClientError",
     "ServeConfig",
     "ServeMetrics",

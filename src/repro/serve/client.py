@@ -2,10 +2,11 @@
 
 Mirrors the server's endpoints one method each, speaking the JSON
 protocol of :mod:`repro.serve.protocol`.  Errors map onto exceptions:
-HTTP 429 raises :class:`ServerBusy` (carrying ``Retry-After``), any other
-non-2xx raises :class:`ServeClientError`.  A convenience
+an overload answer — 503 + ``Retry-After`` (``server_overloaded``), or
+the legacy 429 — raises :class:`ServerBusy` carrying the server's retry
+hint; any other non-2xx raises :class:`ServeClientError`.  A convenience
 :meth:`MatchingClient.match_with_retry` backs off on anything transient —
-429 backpressure, 503 during a drain or worker-fleet outage, and
+overload shedding, 503 during a drain or worker-fleet outage, and
 connection resets from a restarting server — so rolling restarts are
 invisible to callers.
 
@@ -38,7 +39,7 @@ class ServeClientError(RuntimeError):
 
 
 class ServerBusy(ServeClientError):
-    """HTTP 429 — the service is shedding load; retry after a delay."""
+    """The service is shedding load (503/429 + ``Retry-After``); retry later."""
 
     def __init__(self, status: int, message: str, payload: dict, retry_after_s: float) -> None:
         super().__init__(status, message, payload)
@@ -167,11 +168,19 @@ class MatchingClient:
         if 200 <= response.status < 300:
             return parsed
         message = parsed.get("error", response.reason)
-        if response.status == 429:
-            retry_after = parsed.get(
-                "retry_after_s", float(response.headers.get("Retry-After") or 1.0)
-            )
-            raise ServerBusy(response.status, message, parsed, float(retry_after))
+        if response.status in (429, 503):
+            # Overload answers carry a retry hint; surface them as
+            # ServerBusy so retry loops can honour it.  A 503 without any
+            # hint (e.g. an intermediary) stays a plain ServeClientError.
+            retry_after = parsed.get("retry_after_s")
+            if retry_after is None:
+                header = response.headers.get("Retry-After")
+                if header is not None:
+                    retry_after = float(header)
+                elif response.status == 429:
+                    retry_after = 1.0
+            if retry_after is not None:
+                raise ServerBusy(response.status, message, parsed, float(retry_after))
         raise ServeClientError(response.status, message, parsed)
 
     # -------------------------------------------------------------- streaming
@@ -206,14 +215,22 @@ class MatchingClient:
         return self._request("DELETE", f"/v1/sessions/{session_id}")
 
     # ------------------------------------------------------------------ batch
-    def match(self, trajectories, region: str | None = None) -> list[dict]:
+    def match(
+        self,
+        trajectories,
+        region: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> list[dict]:
         """Match one trajectory or a list of them.
 
         Accepts :class:`Trajectory` objects, point lists, or pre-encoded
         payloads; always returns a list of result dicts (``path``,
         ``matched_sequence``, ``score``) in input order.  ``region``
         selects the shard on a cluster gateway (ignored by the
-        single-process server).
+        single-process server).  ``deadline_ms`` is the total budget the
+        caller grants the server: a cluster gateway sheds the request
+        with 504 once it expires (queued or mid-flight) rather than
+        burning worker time on an answer nobody is waiting for.
         """
         single = isinstance(trajectories, Trajectory) or (
             isinstance(trajectories, (list, tuple))
@@ -225,6 +242,8 @@ class MatchingClient:
         payload: dict = {"trajectories": [_as_trajectory_payload(t) for t in trajectories]}
         if region is not None:
             payload["region"] = region
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/match", payload)["results"]
 
     def match_with_retry(
@@ -238,30 +257,32 @@ class MatchingClient:
         clock=time.monotonic,
         rng: random.Random | None = None,
         region: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[dict]:
         """Like :meth:`match`, with capped exponential backoff on transient failures.
 
         Retryable conditions are exactly the ones a healthy deployment
-        produces in passing: 429 backpressure (:class:`ServerBusy`), 503
-        while a server drains or its worker fleet respawns, and
-        connection-level resets/refusals from a process mid-restart.
-        Anything else — 4xx input errors, 500s — raises immediately;
-        retrying those would only repeat the failure.
+        produces in passing: overload shedding (:class:`ServerBusy` —
+        503/429 + ``Retry-After``), 503 while a server drains or its
+        worker fleet respawns, and connection-level resets/refusals from
+        a process mid-restart.  Anything else — 4xx input errors, 500s —
+        raises immediately; retrying those would only repeat the failure.
 
         The wait before attempt *n* is ``base_delay_s * 2**n`` (never below
         the server's ``Retry-After``, never above ``max_delay_s``) with
         full jitter — a multiplier drawn from ``[0.5, 1.0]`` so a herd of
         shed clients does not re-arrive in lockstep.  ``deadline_s`` caps
-        the *total* time spent retrying: unlike a bare attempt counter, it
-        bounds worst-case latency even when the server keeps answering 429
-        with large ``Retry-After`` values.  Raises the last retryable
+        the *total* time spent retrying: every sleep — including one
+        stretched by a server-sent ``Retry-After`` — is clipped to the
+        remaining budget, so a large hint never forfeits the final
+        attempt by overshooting the deadline.  Raises the last retryable
         error when attempts or the deadline run out.
         """
         rng = rng or random.Random()
         started = clock()
         for attempt in range(max_attempts):
             try:
-                return self.match(trajectories, region=region)
+                return self.match(trajectories, region=region, deadline_ms=deadline_ms)
             except (ServeClientError, *self.TRANSIENT_ERRORS) as error:
                 retry_after = 0.0
                 if isinstance(error, ServerBusy):
@@ -270,15 +291,17 @@ class MatchingClient:
                     if error.status != 503:
                         raise  # non-transient HTTP failure
                     retry_after = float(error.payload.get("retry_after_s", 0.0))
-                if attempt == max_attempts - 1:
+                remaining = deadline_s - (clock() - started)
+                if attempt == max_attempts - 1 or remaining <= 0.0:
                     raise
                 delay = min(max_delay_s, base_delay_s * (2.0 ** attempt))
                 delay = max(delay, retry_after)
                 delay = min(delay, max_delay_s)
                 delay *= 0.5 + 0.5 * rng.random()
-                if clock() - started + delay > deadline_s:
-                    raise
-                sleep(delay)
+                # A Retry-After larger than what is left of the budget
+                # must not push the sleep past the deadline — clip it and
+                # spend the remainder on one last attempt instead.
+                sleep(min(delay, remaining))
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ admin
@@ -293,6 +316,25 @@ class MatchingClient:
         """
         payload = {} if model is None else {"model": model}
         return self._request("POST", "/v1/admin/reload-model", payload)
+
+    def rollout(self, region: str | None = None, model: str | None = None) -> dict:
+        """``POST /v1/admin/rollout`` — zero-downtime rollout (cluster only).
+
+        Stages a new artifact generation for ``region`` (the gateway's
+        default region when omitted), canaries it on a probe worker, then
+        swaps the fleet one worker at a time; pass ``model`` to point at
+        a different artifact path.  Returns the rollout summary
+        (``generation``, ``workers_swapped``, ...).  Raises
+        :class:`ServeClientError` with 409 when a rollout is already in
+        progress, or with the server's failure status when the canary
+        rejected the artifact — the old generation keeps serving then.
+        """
+        payload: dict = {}
+        if region is not None:
+            payload["region"] = region
+        if model is not None:
+            payload["model"] = model
+        return self._request("POST", "/v1/admin/rollout", payload)
 
     def health(self) -> dict:
         """``GET /healthz``."""

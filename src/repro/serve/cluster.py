@@ -26,6 +26,30 @@ path the lost one would have.  Once the respawn budget is exhausted a
 worker's name leaves the ring; only ~1/N of sessions re-route (the
 consistent-hash property, covered by a hypothesis test).
 
+On top of the data plane sits a **control plane** (primitives in
+:mod:`repro.serve.control`):
+
+* a **supervision loop** probes every worker over IPC on a miss budget,
+  SIGKILLs stalled-but-alive workers so the normal death path recovers
+  them, respawns crashed workers with exponential backoff, and ejects a
+  crash-looping worker's ring slot via a per-worker breaker instead of
+  fork-bombing forever;
+* a **queue-depth autoscaler** forks extra workers when the admission
+  queue backs up and drains + retires them when load subsides, bounded
+  by ``min_workers``/``max_workers``, every decision journaled;
+* **zero-downtime rollout** (``POST /v1/admin/rollout`` or SIGHUP via
+  the CLI): a new artifact generation is staged into fresh shared
+  memory, canaried on a throwaway probe worker, committed, and the
+  fleet is swapped one worker at a time — streaming sessions replay
+  deterministically onto the new generation, in-flight requests finish
+  on the old one, and a failed canary unlinks the staged segments with
+  the old generation never disturbed;
+* **deadline propagation + load shedding**: a client ``deadline_ms``
+  becomes an absolute monotonic deadline riding the IPC frames; expired
+  work is shed at the admission-queue head (and at op start in the
+  worker) with HTTP 504, while queue overflow answers 503 +
+  ``Retry-After``.
+
 The HTTP surface is the same JSON protocol as the single-process server
 (``/v1/match``, ``/v1/sessions``, ``/healthz``, ``/metrics``) plus an
 optional ``region`` field that selects a shard; responses are
@@ -36,6 +60,7 @@ existing parity oracle runs against the gateway unchanged.
 from __future__ import annotations
 
 import asyncio
+import atexit
 import bisect
 import hashlib
 import itertools
@@ -52,17 +77,27 @@ from pathlib import Path
 
 from repro.errors import (
     ClusterUnavailable,
+    DeadlineExceeded,
     InvalidTrajectoryInput,
     MatchError,
+    ModelReloadFailed,
     ReproError,
+    ServerOverloaded,
     UnknownRegion,
     WorkerCrash,
 )
 from repro.serve import ipc, protocol
+from repro.serve.control import (
+    AdmissionGate,
+    AutoscalerPolicy,
+    ControlJournal,
+    CrashTracker,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import ProtocolError
 from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
 from repro.serve.shards import DEFAULT_REGION, ShardRegistry
+from repro.testing import faults
 
 
 # =====================================================================
@@ -149,9 +184,12 @@ class ClusterConfig:
     default_context_window: int = 12
     max_sessions: int = 256
     session_ttl_s: float = 300.0
-    #: Concurrent worker operations the gateway admits before shedding
-    #: load with 429 (its analogue of the micro-batcher's queue_limit).
+    #: Concurrent worker operations the gateway runs at once; arrivals
+    #: beyond this wait in the admission queue (see ``queue_limit``).
     max_inflight: int = 64
+    #: Admission-queue waiters beyond ``max_inflight`` before arrivals
+    #: are shed with 503 + ``Retry-After`` (``server_overloaded``).
+    queue_limit: int = 128
     retry_after_s: float = 1.0
     op_timeout_s: float = 120.0
     max_body_bytes: int = 8 * 1024 * 1024
@@ -164,6 +202,38 @@ class ClusterConfig:
     respawn_limit: int = 3
     ring_replicas: int = 64
     shutdown_timeout_s: float = 30.0
+    # ---- control plane -------------------------------------------------
+    #: Autoscaler floor/ceiling; ``None`` pins both to ``num_workers``
+    #: (autoscaling effectively off, the pre-control-plane behaviour).
+    min_workers: int | None = None
+    max_workers: int | None = None
+    #: Supervision tick (gate sweep, probe scheduling, autoscale check).
+    control_interval_s: float = 0.25
+    #: Health-probe cadence/timeout and how many consecutive unanswered
+    #: probes mark an alive-but-unresponsive worker as stalled (SIGKILL).
+    probe_interval_s: float = 5.0
+    probe_timeout_s: float = 2.0
+    probe_miss_budget: int = 3
+    #: Per-worker crash-loop breaker: this many crashes inside the window
+    #: ejects the worker's ring slot and degrades ``/healthz``.
+    breaker_threshold: int = 5
+    breaker_window_s: float = 30.0
+    #: Respawn backoff: ``base * 2**(recent_crashes-1)`` capped at max.
+    backoff_base_s: float = 0.1
+    backoff_max_s: float = 5.0
+    #: Autoscaler thresholds (see :class:`~repro.serve.control.AutoscalerPolicy`).
+    scale_up_depth: int = 4
+    scale_up_wait_s: float = 0.5
+    scale_up_cooldown_s: float = 1.0
+    scale_down_cooldown_s: float = 5.0
+    scale_down_idle_ticks: int = 8
+    #: How long a retiring/replaced worker may finish in-flight ops.
+    drain_timeout_s: float = 10.0
+    #: Golden-corpus trajectories the rollout canary must match.
+    canary_count: int = 5
+    #: Control-journal JSONL path (falls back to ``$REPRO_CLUSTER_JOURNAL``;
+    #: ``None`` keeps the journal in memory only).
+    journal_path: str | None = None
     extra_metrics: dict = field(default_factory=dict)
 
 
@@ -301,6 +371,7 @@ class _WorkerRuntime:
 
     def __init__(self, registry: ShardRegistry, options: dict) -> None:
         self.options = options
+        self.registry = registry
         self.matched_total = 0
         self._matchers = {}
         self._packs = {}
@@ -338,6 +409,17 @@ class _WorkerRuntime:
     def handle(self, message: dict) -> dict:
         op = message.get("op")
         try:
+            faults.fire("cluster.op", op=op, worker=self.options.get("name"))
+            # Deadline propagation: the gateway stamps ops with the
+            # client's absolute CLOCK_MONOTONIC deadline (system-wide on
+            # Linux, so fork children share the clock).  Work whose
+            # caller has already given up is shed here, before any
+            # matching runs.
+            deadline = message.get("deadline")
+            if isinstance(deadline, (int, float)) and time.monotonic() >= float(deadline):
+                raise DeadlineExceeded(
+                    f"deadline expired before the {op!r} op could run"
+                )
             handler = getattr(self, "_op_" + str(op).replace(".", "_"), None)
             if handler is None:
                 raise ProtocolError(f"unknown ipc op {op!r}")
@@ -421,6 +503,27 @@ class _WorkerRuntime:
     def _op_ping(self, message: dict) -> dict:
         return {"pong": True}
 
+    def _op_canary(self, message: dict) -> dict:
+        """Golden-corpus smoke check of this worker's attached artifacts.
+
+        Run by the rollout's throwaway probe worker, which is the only
+        process attached to a *staged* generation: a non-empty problem
+        list vetoes the rollout before any serving worker is touched.
+        """
+        from repro.testing.golden import run_canary
+
+        region = message.get("region", DEFAULT_REGION)
+        count = message.get("count", 5)
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise ProtocolError("field 'count' must be a positive integer")
+        matcher = self._matcher(region)
+        shard = self.registry.shard(region)
+        trajectories = [s.cellular for s in shard.dataset.samples[:count]]
+        return {
+            "problems": run_canary(matcher, trajectories),
+            "checked": len(trajectories),
+        }
+
     def _op_shutdown(self, message: dict) -> dict:
         finished = {}
         for manager in self._managers.values():
@@ -428,8 +531,23 @@ class _WorkerRuntime:
         return {"closed_sessions": len(finished)}
 
 
-def _worker_main(sock: socket.socket, registry: ShardRegistry, options: dict) -> None:
+def _worker_main(
+    sock: socket.socket,
+    registry: ShardRegistry,
+    options: dict,
+    inherited_socks: tuple = (),
+) -> None:
     """Entry point of one forked matcher worker (blocking loop)."""
+    # Drop fork-inherited copies of the *gateway-side* IPC sockets — our
+    # own and every sibling's.  Holding them would mean no worker ever
+    # reads EOF after the gateway is SIGKILLed (each keeps the others'
+    # write ends alive), leaving an orphan fleet pinning the janitor
+    # pipe and therefore the shared segments.
+    for stale in inherited_socks:
+        try:
+            stale.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     # The gateway's signals are not ours: a Ctrl+C against the CLI lands
     # on the whole process group, but workers must only exit on a
     # shutdown op (or gateway death = socket EOF) so drains stay orderly.
@@ -476,6 +594,12 @@ class _WorkerHandle:
         self.alive = True
         self.requests_total = 0
         self.inflight = 0
+        #: Scale-down/rollout drain flag: no new work routes here.
+        self.retiring = False
+        #: Consecutive unanswered health probes (supervision loop).
+        self.probe_misses = 0
+        self.next_probe_at = time.monotonic()
+        self.probe_task: asyncio.Task | None = None
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._writer: asyncio.StreamWriter | None = None
@@ -562,6 +686,7 @@ _ROUTES = (
     ("POST", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)/points$"), "feed_session"),
     ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
     ("POST", re.compile(r"^/v1/match$"), "match"),
+    ("POST", re.compile(r"^/v1/admin/rollout$"), "rollout"),
     ("GET", re.compile(r"^/healthz$"), "healthz"),
     ("GET", re.compile(r"^/metrics$"), "metrics"),
 )
@@ -594,6 +719,13 @@ class ClusterServer:
         self.config = config or ClusterConfig()
         if self.config.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        self._min_workers = self.config.min_workers or self.config.num_workers
+        self._max_workers = self.config.max_workers or self.config.num_workers
+        if not (1 <= self._min_workers <= self.config.num_workers <= self._max_workers):
+            raise ValueError(
+                f"need 1 <= min_workers ({self._min_workers}) <= num_workers "
+                f"({self.config.num_workers}) <= max_workers ({self._max_workers})"
+            )
         self.metrics = ServeMetrics()
         self._cache = _ResponseCache(self.config.cache_size)
         self._ring = ConsistentHashRing(replicas=self.config.ring_replicas)
@@ -602,7 +734,6 @@ class ClusterServer:
         self._connections: set[asyncio.Task] = set()
         self._inflight_keys: dict[tuple, asyncio.Future] = {}
         self._session_ids = itertools.count()
-        self._inflight_ops = 0
         self._respawns_used = 0
         self._draining = False
         self._started = False
@@ -612,6 +743,28 @@ class ClusterServer:
         self._bound: tuple[str, int] | None = None
         self._start_error: BaseException | None = None
         self._mp_context = None
+        # ---- control plane ---------------------------------------------
+        self._gate = AdmissionGate(self.config.max_inflight, self.config.queue_limit)
+        self._journal = ControlJournal(
+            self.config.journal_path or os.environ.get("REPRO_CLUSTER_JOURNAL") or None
+        )
+        self._crash_tracker = CrashTracker(
+            threshold=self.config.breaker_threshold,
+            window_s=self.config.breaker_window_s,
+        )
+        self._policy = AutoscalerPolicy(
+            min_workers=self._min_workers,
+            max_workers=self._max_workers,
+            high_water_depth=self.config.scale_up_depth,
+            high_water_wait_s=self.config.scale_up_wait_s,
+            up_cooldown_s=self.config.scale_up_cooldown_s,
+            down_cooldown_s=self.config.scale_down_cooldown_s,
+            idle_ticks_needed=self.config.scale_down_idle_ticks,
+        )
+        self._worker_seq = itertools.count(self.config.num_workers)
+        self._workers_target = self.config.num_workers
+        self._control_task: asyncio.Task | None = None
+        self._rollout_lock = asyncio.Lock()
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -628,21 +781,55 @@ class ClusterServer:
         """``http://host:port`` of the running gateway."""
         return f"http://{self.host}:{self.port}"
 
-    def _fork_worker(self, name: str, generation: int) -> _WorkerHandle:
+    @property
+    def min_workers(self) -> int:
+        """The autoscaler's floor (defaults to ``num_workers``)."""
+        return self._min_workers
+
+    @property
+    def max_workers(self) -> int:
+        """The autoscaler's ceiling (defaults to ``num_workers``)."""
+        return self._max_workers
+
+    def _fork_worker(
+        self,
+        name: str,
+        generation: int,
+        registry: ShardRegistry | None = None,
+        register: bool = True,
+    ) -> _WorkerHandle:
+        """Fork one worker; with ``register`` it joins the handles + ring.
+
+        ``register=False`` keeps the worker private (rollout canary
+        probes, and replacements that only join once they answer a ping).
+        ``registry`` overrides the snapshot the child inherits (the
+        canary probe forks against a staged view).
+        """
         import multiprocessing
 
         if self._mp_context is None:
             self._mp_context = multiprocessing.get_context("fork")
         parent_sock, child_sock = socket.socketpair()
         options = {
+            "name": name,
             "default_lag": self.config.default_lag,
             "default_context_window": self.config.default_context_window,
             "max_sessions": self.config.max_sessions,
             "session_ttl_s": self.config.session_ttl_s,
         }
+        # The forked child inherits every gateway-side IPC fd open right
+        # now — its own ``parent_sock`` and each sibling's.  It must close
+        # them all or gateway death never EOFs any worker's socket (the
+        # fleet would keep itself alive, see ``_worker_main``).
+        inherited = (parent_sock, *(h.sock for h in self._handles.values()))
         process = self._mp_context.Process(
             target=_worker_main,
-            args=(child_sock, self.registry, options),
+            args=(
+                child_sock,
+                registry if registry is not None else self.registry,
+                options,
+                inherited,
+            ),
             name=f"repro-cluster-{name}",
             daemon=True,
         )
@@ -650,15 +837,30 @@ class ClusterServer:
         child_sock.close()
         parent_sock.setblocking(False)
         handle = _WorkerHandle(name, generation, process, parent_sock)
-        self._handles[name] = handle
-        self._ring.add(name)
+        if register:
+            self._handles[name] = handle
+            self._ring.add(name)
         return handle
+
+    def _cleanup_at_exit(self) -> None:
+        """atexit backstop: unlink segments if :meth:`shutdown` never ran.
+
+        Idempotent (``ShardRegistry.close`` guards itself), so the normal
+        shutdown path and this hook can both fire.  A SIGKILLed gateway
+        runs neither — that hole is covered by the
+        :class:`~repro.serve.shm.SegmentJanitor` forked at publish time.
+        """
+        try:
+            self.registry.close(unlink=True)
+        except Exception:  # noqa: BLE001 - interpreter is tearing down
+            pass
 
     def start(self) -> "ClusterServer":
         """Fork the fleet, bind the gateway, serve on a background thread."""
         if self._started:
             raise RuntimeError("cluster already started")
         self._started = True
+        atexit.register(self._cleanup_at_exit)
         for i in range(self.config.num_workers):
             self._fork_worker(f"w{i}", generation=1)
         ready = threading.Event()
@@ -698,6 +900,13 @@ class ClusterServer:
             self._serve_connection, self.config.host, self.config.port
         )
         self._bound = self._server.sockets[0].getsockname()[:2]
+        self._control_task = asyncio.create_task(self._control_loop())
+        self._journal.record(
+            "cluster_started",
+            workers=self.config.num_workers,
+            min_workers=self._min_workers,
+            max_workers=self._max_workers,
+        )
 
     def serve_forever(self) -> None:
         """Block the calling thread until :meth:`shutdown` (CLI mode)."""
@@ -714,6 +923,8 @@ class ClusterServer:
         """
         if self._loop is None or self._thread is None or not self._thread.is_alive():
             self.registry.close(unlink=True)
+            self._journal.close()
+            atexit.unregister(self._cleanup_at_exit)
             return {"sessions": {}, "drained": drain}
         future = asyncio.run_coroutine_threadsafe(self._async_shutdown(drain), self._loop)
         try:
@@ -725,10 +936,17 @@ class ClusterServer:
         for handle in self._handles.values():
             handle.reap()
         self.registry.close(unlink=True)
+        self._journal.record("cluster_stopped")
+        self._journal.close()
+        atexit.unregister(self._cleanup_at_exit)
         return summary
 
     async def _async_shutdown(self, drain: bool) -> dict:
         self._draining = True
+        if self._control_task is not None:
+            self._control_task.cancel()
+            await asyncio.gather(self._control_task, return_exceptions=True)
+            self._control_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -767,64 +985,410 @@ class ClusterServer:
 
     # ----------------------------------------------------------- supervision
     async def _on_worker_down(self, handle: _WorkerHandle) -> None:
-        """Reader-loop callback: a worker's socket went away."""
-        if self._draining or self._handles.get(handle.name) is not handle:
+        """Reader-loop callback: a worker's socket went away.
+
+        The full lifecycle decision lives here: a *retiring* worker's
+        death is the expected end of a drain; otherwise the crash-loop
+        breaker is consulted first (a flapping worker loses its ring slot
+        for good), then the global respawn budget (PR 3 semantics), and
+        only then is a replacement forked — after an exponential backoff
+        sized by the worker's recent crash count so a fast crash loop
+        cannot saturate the gateway with forks.
+        """
+        if self._handles.get(handle.name) is not handle:
+            return  # already swapped out (rollout) or retired
+        if handle.retiring:
+            self._handles.pop(handle.name, None)
+            await asyncio.get_running_loop().run_in_executor(None, handle.reap)
+            return
+        if self._draining:
             return
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, handle.reap)
         self.metrics.increment("worker_deaths_total")
-        if self._respawns_used < self.config.respawn_limit:
-            self._respawns_used += 1
-            replacement = self._fork_worker(handle.name, handle.generation + 1)
-            await replacement.connect(self._on_worker_down)
-            self.metrics.increment("worker_respawns_total")
-        else:
+        self._journal.record(
+            "worker_down", worker=handle.name, generation=handle.generation
+        )
+        if self._crash_tracker.record(handle.name):
+            # Breaker open: eject the ring slot instead of cycling the
+            # fork-crash loop forever; /healthz degrades until an
+            # operator restarts the deployment.
+            self._ring.remove(handle.name)
+            self._handles.pop(handle.name, None)
+            self.metrics.increment("breakers_open_total")
+            self._journal.record(
+                "breaker_open",
+                worker=handle.name,
+                crashes=self._crash_tracker.recent(handle.name),
+                window_s=self.config.breaker_window_s,
+            )
+            return
+        if self._respawns_used >= self.config.respawn_limit:
             # Budget exhausted: the name leaves the ring for good and its
             # sessions re-route (~1/N of all sessions move — consistent
             # hashing keeps the rest where they were).
             self._ring.remove(handle.name)
             self._handles.pop(handle.name, None)
+            self._journal.record(
+                "worker_ejected", worker=handle.name, reason="respawn_budget"
+            )
+            return
+        self._respawns_used += 1
+        recent = self._crash_tracker.recent(handle.name)
+        backoff = min(
+            self.config.backoff_max_s,
+            self.config.backoff_base_s * (2 ** max(0, recent - 1)),
+        )
+        if backoff > 0:
+            await asyncio.sleep(backoff)
+        if self._draining or self._handles.get(handle.name) is not handle:
+            return
+        replacement = self._fork_worker(
+            handle.name, handle.generation + 1, register=False
+        )
+        await replacement.connect(self._on_worker_down)
+        self._handles[handle.name] = replacement
+        self._ring.add(handle.name)  # no-op unless something removed it
+        self.metrics.increment("worker_respawns_total")
+        self._journal.record(
+            "worker_respawn",
+            worker=handle.name,
+            generation=replacement.generation,
+            backoff_s=round(backoff, 3),
+        )
+        if not replacement.alive:  # died during connect: restart the cycle
+            asyncio.create_task(self._on_worker_down(replacement))
 
     def _alive_handles(self) -> list[_WorkerHandle]:
         return [h for h in self._handles.values() if h.alive]
 
+    def _serving_handles(self) -> list[_WorkerHandle]:
+        return [h for h in self._handles.values() if h.alive and not h.retiring]
+
     def _pick_match_worker(self) -> _WorkerHandle:
-        alive = self._alive_handles()
-        if not alive:
+        serving = self._serving_handles()
+        if not serving:
             raise ClusterUnavailable("no live matcher workers")
-        return min(alive, key=lambda h: (h.inflight, h.name))
+        return min(serving, key=lambda h: (h.inflight, h.name))
+
+    # ----------------------------------------------------------- control loop
+    async def _control_loop(self) -> None:
+        """The supervision tick: shed, probe, autoscale — forever."""
+        interval = self.config.control_interval_s
+        while not self._draining:
+            await asyncio.sleep(interval)
+            if self._draining:
+                break
+            try:
+                self._gate.sweep()
+                now = time.monotonic()
+                self._schedule_probes(now)
+                await self._autoscale_tick(now)
+                self.metrics.set_gauge("admission_queue_depth", self._gate.depth)
+                self.metrics.set_gauge("admission_inflight", self._gate.inflight)
+                self.metrics.set_gauge("workers_alive", len(self._alive_handles()))
+                self.metrics.set_gauge("workers_target", self._workers_target)
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception as error:  # noqa: BLE001 - the loop must survive
+                self._journal.record("control_error", error=repr(error))
+
+    def _schedule_probes(self, now: float) -> None:
+        for handle in list(self._handles.values()):
+            if not handle.alive or handle.retiring:
+                continue
+            if handle.probe_task is not None and not handle.probe_task.done():
+                continue
+            if now < handle.next_probe_at:
+                continue
+            handle.next_probe_at = now + self.config.probe_interval_s
+            handle.probe_task = asyncio.create_task(self._probe_worker(handle))
+
+    async def _probe_worker(self, handle: _WorkerHandle) -> None:
+        """One health probe; escalates a stall (alive, unresponsive) to SIGKILL.
+
+        Killing the stalled process turns "wedged" into "dead", and the
+        normal :meth:`_on_worker_down` path — respawn with backoff,
+        breaker, session replay — takes over.  One recovery path, not two.
+        """
+        try:
+            await handle.call({"op": "ping"}, timeout=self.config.probe_timeout_s)
+            handle.probe_misses = 0
+            return
+        except WorkerCrash:
+            if not handle.alive:
+                return  # a real death; the reader loop is handling it
+        except _WorkerOpError:
+            handle.probe_misses = 0  # it answered, however oddly
+            return
+        handle.probe_misses += 1
+        self._journal.record(
+            "probe_miss", worker=handle.name, misses=handle.probe_misses
+        )
+        if (
+            handle.probe_misses >= self.config.probe_miss_budget
+            and handle.process.is_alive()
+            and not handle.retiring
+        ):
+            self.metrics.increment("worker_stalls_total")
+            self._journal.record(
+                "worker_stall", worker=handle.name, misses=handle.probe_misses
+            )
+            try:
+                handle.process.kill()
+            except Exception:  # noqa: BLE001 - racing its own exit
+                pass
+
+    async def _autoscale_tick(self, now: float) -> None:
+        if self._rollout_lock.locked():
+            return  # never resize the fleet mid-rollout
+        serving = self._serving_handles()
+        decision = self._policy.decide(
+            now,
+            workers=len(serving),
+            depth=self._gate.depth,
+            p95_wait_s=self._gate.wait_window.percentile(95.0),
+            inflight=self._gate.inflight,
+        )
+        if decision == "up":
+            await self._scale_up()
+        elif decision == "down":
+            await self._scale_down(serving)
+
+    async def _scale_up(self) -> None:
+        name = f"w{next(self._worker_seq)}"
+        self._journal.record(
+            "scale_up",
+            worker=name,
+            depth=self._gate.depth,
+            p95_wait_s=round(self._gate.wait_window.percentile(95.0), 4),
+        )
+        handle = self._fork_worker(name, generation=1, register=False)
+        try:
+            await handle.connect(self._on_worker_down)
+            await handle.call({"op": "ping"}, timeout=10.0)
+        except (WorkerCrash, _WorkerOpError) as error:
+            self._journal.record("scale_up_failed", worker=name, error=str(error))
+            handle.close()
+            await asyncio.get_running_loop().run_in_executor(None, handle.reap)
+            return
+        # Register only once it answers: the ring must never route to a
+        # worker that cannot take the traffic yet.
+        self._handles[name] = handle
+        self._ring.add(name)
+        self._workers_target += 1
+        self.metrics.increment("scale_ups_total")
+
+    async def _scale_down(self, serving: list[_WorkerHandle]) -> None:
+        def _seq(handle: _WorkerHandle) -> int:
+            try:
+                return int(handle.name.lstrip("w"))
+            except ValueError:  # pragma: no cover - non-standard name
+                return -1
+
+        victim = max(serving, key=_seq)
+        victim.retiring = True
+        self._ring.remove(victim.name)
+        self._workers_target -= 1
+        self._journal.record("scale_down", worker=victim.name)
+        # Sessions the victim owned re-route (ring changed) and replay
+        # deterministically on their new owners; in-flight ops finish.
+        drain_deadline = time.monotonic() + self.config.drain_timeout_s
+        while victim.inflight > 0 and time.monotonic() < drain_deadline:
+            await asyncio.sleep(0.02)
+        try:
+            await victim.call({"op": "shutdown"}, timeout=5.0)
+        except (WorkerCrash, _WorkerOpError):
+            pass
+        victim.close()
+        await asyncio.get_running_loop().run_in_executor(None, victim.reap)
+        if self._handles.get(victim.name) is victim:
+            self._handles.pop(victim.name, None)
+        self._crash_tracker.forget(victim.name)
+        self.metrics.increment("scale_downs_total")
+        self._journal.record("scale_down_done", worker=victim.name)
+
+    # --------------------------------------------------------------- rollout
+    async def _ignore_down(self, handle: _WorkerHandle) -> None:
+        """on_down callback for throwaway probe workers: not supervised."""
+
+    def rollout(self, region: str = DEFAULT_REGION, model: str | None = None) -> dict:
+        """Thread-safe zero-downtime rollout (SIGHUP handler / tests).
+
+        See :meth:`handle_rollout` for semantics; raises the same errors.
+        """
+        if self._loop is None or self._thread is None or not self._thread.is_alive():
+            raise RuntimeError("cluster is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self._rollout_async(region, model), self._loop
+        )
+        return future.result()
+
+    async def _rollout_async(self, region: str, model: str | None = None) -> dict:
+        if self._rollout_lock.locked():
+            raise _HttpError(
+                409,
+                "a rollout is already in progress",
+                extra={"code": "rollout_in_progress"},
+            )
+        async with self._rollout_lock:
+            self._check_draining()
+            self.registry.shard(region)  # 404 early on unknown regions
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            self._journal.record(
+                "rollout_start", region=region, model=model or "<configured>"
+            )
+            # 1) Stage: load + validate the candidate into its own fresh
+            # segment.  Artifact taxonomy errors propagate as-is (422/500
+            # on the wire) and nothing was staged.
+            try:
+                staged = await loop.run_in_executor(
+                    None, self.registry.stage_model, region, model
+                )
+            except BaseException as error:
+                self.metrics.increment("rollout_failures_total")
+                self._journal.record(
+                    "rollout_rejected", region=region, error=str(error)
+                )
+                raise
+            self._journal.record(
+                "rollout_staged",
+                region=region,
+                generation=staged.generation,
+                segment=staged.pack.segment_name,
+            )
+            # 2) Canary: a throwaway probe worker forked against a staged
+            # *view* of the registry smoke-checks the candidate.  No
+            # serving worker is touched yet.
+            try:
+                view = self.registry.staged_view(region)
+                probe = self._fork_worker(
+                    f"probe-{region}-g{staged.generation}",
+                    staged.generation,
+                    registry=view,
+                    register=False,
+                )
+                try:
+                    await probe.connect(self._ignore_down)
+                    result = await probe.call(
+                        {
+                            "op": "canary",
+                            "region": region,
+                            "count": self.config.canary_count,
+                        },
+                        timeout=self.config.op_timeout_s,
+                    )
+                finally:
+                    try:
+                        await probe.call({"op": "shutdown"}, timeout=5.0)
+                    except (WorkerCrash, _WorkerOpError):
+                        pass
+                    probe.close()
+                    await loop.run_in_executor(None, probe.reap)
+                problems = result.get("problems") or []
+                if problems:
+                    raise ModelReloadFailed(
+                        f"candidate generation {staged.generation} for region "
+                        f"{region!r} failed the canary ({len(problems)} "
+                        "problem(s)): " + "; ".join(problems[:3])
+                    )
+            except BaseException as error:
+                # Rollback: unlink the staged segments; the serving
+                # generation was never touched.
+                await loop.run_in_executor(None, self.registry.abort_staged, region)
+                self.metrics.increment("rollout_failures_total")
+                self._journal.record(
+                    "rollout_rolled_back",
+                    region=region,
+                    generation=staged.generation,
+                    error=str(error),
+                )
+                if isinstance(error, (ModelReloadFailed, asyncio.CancelledError)):
+                    raise
+                raise ModelReloadFailed(
+                    f"canary probe for region {region!r} generation "
+                    f"{staged.generation} failed: {error}"
+                ) from error
+            # 3) Commit, then swap the fleet one worker at a time.  New
+            # forks (including respawns) now inherit the new generation.
+            old_shard = self.registry.commit_staged(region)
+            self._journal.record(
+                "rollout_committed", region=region, generation=staged.generation
+            )
+            swapped = failed_swaps = 0
+            for name in sorted(self._handles):
+                old = self._handles.get(name)
+                if old is None or not old.alive or old.retiring:
+                    continue
+                try:
+                    replacement = self._fork_worker(
+                        name, old.generation + 1, register=False
+                    )
+                    await replacement.connect(self._on_worker_down)
+                    await replacement.call({"op": "ping"}, timeout=10.0)
+                except (WorkerCrash, _WorkerOpError) as error:
+                    # The old worker keeps serving the old generation (its
+                    # mapping stays valid until retire() below — and even
+                    # that only unlinks the name, not live mappings).
+                    failed_swaps += 1
+                    self._journal.record(
+                        "rollout_swap_failed", worker=name, error=str(error)
+                    )
+                    continue
+                self._handles[name] = replacement
+                # Drain: let the old worker finish its in-flight ops; new
+                # work is already routing to the replacement (same ring
+                # slot, same name — sessions replay on generation drift).
+                drain_deadline = time.monotonic() + self.config.drain_timeout_s
+                while old.inflight > 0 and time.monotonic() < drain_deadline:
+                    await asyncio.sleep(0.02)
+                try:
+                    await old.call({"op": "shutdown"}, timeout=5.0)
+                except (WorkerCrash, _WorkerOpError):
+                    pass
+                old.close()
+                await loop.run_in_executor(None, old.reap)
+                swapped += 1
+                self._journal.record(
+                    "rollout_swapped", worker=name, generation=replacement.generation
+                )
+            # 4) Retire the replaced generation's segment.  Workers that
+            # failed to swap keep their private mapping alive; the name
+            # disappears so nothing new can attach.
+            await loop.run_in_executor(None, self.registry.retire, old_shard)
+            self.metrics.increment("rollouts_total")
+            summary = {
+                "region": region,
+                "generation": staged.generation,
+                "workers_swapped": swapped,
+                "workers_failed": failed_swaps,
+                "canary_checked": result.get("checked", 0),
+                "duration_s": round(time.monotonic() - started, 3),
+            }
+            self._journal.record("rollout_done", **summary)
+            return summary
 
     # ------------------------------------------------------------- admission
     def _check_draining(self) -> None:
         if self._draining:
             raise ClusterUnavailable("cluster is shutting down")
 
-    def _admit(self) -> None:
-        self._check_draining()
-        if self._inflight_ops >= self.config.max_inflight:
-            raise _HttpError(
-                429,
-                f"gateway at capacity ({self.config.max_inflight} in-flight ops)",
-                headers={"Retry-After": str(max(1, round(self.config.retry_after_s)))},
-                extra={"retry_after_s": self.config.retry_after_s},
-            )
-
     async def _worker_call(self, handle: _WorkerHandle, op: dict) -> dict:
-        self._inflight_ops += 1
-        try:
-            return await handle.call(op, timeout=self.config.op_timeout_s)
-        finally:
-            self._inflight_ops -= 1
+        return await handle.call(op, timeout=self.config.op_timeout_s)
 
     # --------------------------------------------------------------- /v1/match
-    async def _match_on_worker(self, region: str, items: list) -> dict:
+    async def _match_on_worker(
+        self, region: str, items: list, deadline: float | None = None
+    ) -> dict:
         last_error: Exception | None = None
+        op: dict = {"op": "match", "region": region, "trajectories": items}
+        if deadline is not None:
+            op["deadline"] = deadline
         for _ in range(2):  # one failover to a sibling on worker death
             handle = self._pick_match_worker()
             try:
-                return await self._worker_call(
-                    handle, {"op": "match", "region": region, "trajectories": items}
-                )
+                return await self._worker_call(handle, op)
             except WorkerCrash as error:
                 last_error = error
                 await asyncio.sleep(0)  # let the supervisor respawn/remove
@@ -835,8 +1399,25 @@ class ClusterServer:
         ) from last_error
 
     async def handle_match(self, payload: dict, match: re.Match) -> tuple[int, dict]:
-        """``POST /v1/match`` — cached, single-flighted, worker-dispatched."""
-        self._admit()
+        """``POST /v1/match`` — admission-gated, cached, single-flighted.
+
+        The admission gate bounds concurrency *and* queueing: beyond
+        ``max_inflight`` running ops a request waits (FIFO) up to
+        ``queue_limit`` deep, overflow answers 503 + ``Retry-After``,
+        and a request whose ``deadline_ms`` expires while queued is shed
+        with 504 before any worker touches it.
+        """
+        self._check_draining()
+        deadline = protocol.decode_deadline_ms(payload)
+        await self._gate.acquire(deadline)
+        try:
+            return await self._match_gated(payload, deadline)
+        finally:
+            self._gate.release()
+
+    async def _match_gated(
+        self, payload: dict, deadline: float | None
+    ) -> tuple[int, dict]:
         region = payload.get("region", DEFAULT_REGION)
         if not isinstance(region, str):
             raise ProtocolError("field 'region' must be a string")
@@ -876,7 +1457,7 @@ class ClusterServer:
         if misses:
             try:
                 response = await self._match_on_worker(
-                    region, [body[i] for i, _ in misses]
+                    region, [body[i] for i, _ in misses], deadline
                 )
             except Exception as error:
                 for key, future in claimed.items():
@@ -999,7 +1580,15 @@ class ClusterServer:
 
     async def handle_create_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``POST /v1/sessions`` — admit and place a streaming session."""
-        self._admit()
+        self._check_draining()
+        deadline = protocol.decode_deadline_ms(payload)
+        await self._gate.acquire(deadline)
+        try:
+            return await self._create_session_gated(payload)
+        finally:
+            self._gate.release()
+
+    async def _create_session_gated(self, payload: dict) -> tuple[int, dict]:
         region = payload.get("region", DEFAULT_REGION)
         if not isinstance(region, str):
             raise ProtocolError("field 'region' must be a string")
@@ -1060,36 +1649,74 @@ class ClusterServer:
     async def handle_feed_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``POST /v1/sessions/{id}/points`` — journal + forward the feed."""
         self._check_draining()
-        record = self._session_record(match.group("sid"))
-        points = payload.get("points")
-        if not isinstance(points, list) or not points:
-            raise ProtocolError("points: expected a non-empty list of points")
-        state = await self._session_op(record, "session.feed", {"points": points})
-        # Journal only after the worker accepted: a rejected feed (bad
-        # payload, 4xx) must not poison a future replay.
-        record.journal.extend(points)
-        record.last_touched = time.monotonic()
-        self.metrics.increment("points_fed", len(points))
-        return 200, state["state"]
+        deadline = protocol.decode_deadline_ms(payload)
+        await self._gate.acquire(deadline)
+        try:
+            record = self._session_record(match.group("sid"))
+            points = payload.get("points")
+            if not isinstance(points, list) or not points:
+                raise ProtocolError("points: expected a non-empty list of points")
+            extra: dict = {"points": points}
+            if deadline is not None:
+                extra["deadline"] = deadline
+            state = await self._session_op(record, "session.feed", extra)
+            # Journal only after the worker accepted: a rejected feed (bad
+            # payload, 4xx) must not poison a future replay.
+            record.journal.extend(points)
+            record.last_touched = time.monotonic()
+            self.metrics.increment("points_fed", len(points))
+            return 200, state["state"]
+        finally:
+            self._gate.release()
 
     async def handle_close_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``DELETE /v1/sessions/{id}`` — finalise and return the path."""
-        record = self._session_record(match.group("sid"))
-        final = await self._session_op(record, "session.close", {})
-        self._records.pop(record.session_id, None)
-        self.metrics.increment("sessions_closed")
-        return 200, final["final"]
+        await self._gate.acquire(None)
+        try:
+            record = self._session_record(match.group("sid"))
+            final = await self._session_op(record, "session.close", {})
+            self._records.pop(record.session_id, None)
+            self.metrics.increment("sessions_closed")
+            return 200, final["final"]
+        finally:
+            self._gate.release()
+
+    # ----------------------------------------------------------------- admin
+    async def handle_rollout(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/rollout`` — zero-downtime artifact swap.
+
+        Body: ``{"region": ..., "model": ...}`` (both optional —
+        defaults: the default region, its configured artifact path,
+        re-read from disk).  Stages the candidate generation, canaries it
+        on a probe worker, then swaps the fleet one worker at a time; a
+        failed canary rolls back with the old generation never disturbed
+        (500, ``model_reload_failed``).  A concurrent rollout answers
+        409.
+        """
+        self._check_draining()
+        region = payload.get("region", DEFAULT_REGION)
+        model = payload.get("model")
+        if not isinstance(region, str):
+            raise ProtocolError("field 'region' must be a string")
+        if model is not None and not isinstance(model, str):
+            raise ProtocolError("field 'model' must be a string path")
+        return 200, await self._rollout_async(region, model)
 
     # --------------------------------------------------------- observability
     async def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``GET /healthz`` — fleet liveness and shard inventory."""
         alive = len(self._alive_handles())
         counters = self.metrics.snapshot()["counters"]
+        breakers = self._crash_tracker.open_breakers()
         if self._draining:
             status = "draining"
         elif alive == 0:
             status = "down"
-        elif alive < self.config.num_workers or counters.get("worker_deaths_total"):
+        elif (
+            alive < self._workers_target
+            or breakers
+            or counters.get("worker_deaths_total")
+        ):
             status = "degraded"
         else:
             status = "ok"
@@ -1098,12 +1725,17 @@ class ClusterServer:
             "mode": "cluster",
             "protocol_version": protocol.PROTOCOL_VERSION,
             "regions": self.registry.regions,
+            "generations": self.registry.generations(),
             "workers_alive": alive,
-            "workers_total": self.config.num_workers,
+            "workers_total": self._workers_target,
+            "min_workers": self._min_workers,
+            "max_workers": self._max_workers,
+            "breakers_open": breakers,
             "respawns_used": self._respawns_used,
             "respawn_limit": self.config.respawn_limit,
             "active_sessions": len(self._records),
-            "inflight_ops": self._inflight_ops,
+            "inflight_ops": self._gate.inflight,
+            "queue_depth": self._gate.depth,
         }
 
     async def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
@@ -1114,7 +1746,13 @@ class ClusterServer:
             "cache_misses_total",
             "worker_deaths_total",
             "worker_respawns_total",
+            "worker_stalls_total",
+            "breakers_open_total",
             "sessions_replayed_total",
+            "scale_ups_total",
+            "scale_downs_total",
+            "rollouts_total",
+            "rollout_failures_total",
         ):
             snapshot["counters"].setdefault(name, 0)
         workers = []
@@ -1143,10 +1781,22 @@ class ClusterServer:
         snapshot["sessions"] = {"active": len(self._records)}
         snapshot["cluster"] = {
             "workers_alive": len(self._alive_handles()),
-            "workers_total": self.config.num_workers,
+            "workers_total": self._workers_target,
             "respawns_used": self._respawns_used,
             "respawn_limit": self.config.respawn_limit,
         }
+        snapshot["admission"] = self._gate.snapshot()
+        snapshot["autoscaler"] = {
+            "min_workers": self._min_workers,
+            "max_workers": self._max_workers,
+            "target": self._workers_target,
+            "interval_s": self.config.control_interval_s,
+        }
+        snapshot["control"] = {
+            "breakers_open": self._crash_tracker.open_breakers(),
+            "journal_tail": self._journal.tail(20),
+        }
+        snapshot["generations"] = self.registry.generations()
         if self.config.extra_metrics:
             snapshot["extra"] = dict(self.config.extra_metrics)
         return 200, snapshot
@@ -1189,7 +1839,9 @@ class ClusterServer:
         except _WorkerOpError as error:
             status = error.status
             response = {"error": str(error), "code": error.code}
-        except ClusterUnavailable as error:
+        except DeadlineExceeded as error:
+            status, response = 504, {"error": str(error), "code": error.code}
+        except (ClusterUnavailable, ServerOverloaded) as error:
             retry_after = self.config.retry_after_s
             headers["Retry-After"] = str(max(1, round(retry_after)))
             status, response = 503, {
@@ -1269,11 +1921,13 @@ _REASONS = {
     201: "Created",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

@@ -1,0 +1,366 @@
+"""Control-plane primitives of the serving cluster.
+
+The gateway's supervision loop (``repro.serve.cluster``) is deliberately
+thin: every *decision* it makes lives here, in four small, independently
+testable pieces —
+
+* :class:`ControlJournal` — an append-only record of every control
+  action (respawn, breaker trip, scale up/down, rollout step).  The
+  journal is the flight recorder: chaos tests and operators reconstruct
+  *why* the fleet looks the way it does from it, and CI uploads it as an
+  artifact when a chaos run fails.
+* :class:`AdmissionGate` — a bounded asyncio admission queue in front of
+  the worker fleet.  It converts "too busy" from an instant hard bounce
+  into a short, deadline-aware wait: requests queue up to
+  ``queue_limit``, overflow is shed with
+  :class:`~repro.errors.ServerOverloaded` (503), and waiters whose
+  client deadline expires are shed at the queue head with
+  :class:`~repro.errors.DeadlineExceeded` (504) *before* any matching
+  work is wasted on them.  Recent wait times feed the autoscaler.
+* :class:`CrashTracker` — per-worker crash bookkeeping behind the
+  crash-loop breaker: a worker that keeps dying faster than it can warm
+  up gets its ring slot ejected instead of being respawned forever.
+* :class:`AutoscalerPolicy` — the pure scale-up/scale-down decision
+  function.  It owns the thresholds and cooldowns; the cluster owns the
+  mechanics (forking and draining workers).  Keeping it pure makes the
+  hysteresis unit-testable with synthetic clocks.
+
+Everything here is either loop-confined (the gate: only the gateway's
+event loop touches it) or internally locked (the journal: worker probe
+callbacks may fire from executor threads), so the cluster can compose
+them without its own locking discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineExceeded, ServerOverloaded
+from repro.serve.metrics import RollingWindow
+
+
+class ControlJournal:
+    """Append-only, thread-safe record of control-plane decisions.
+
+    Events are dicts with a wall-clock ``ts`` and an ``event`` name plus
+    free-form fields.  The newest ``keep`` events stay in memory for the
+    ``/metrics`` tail; with a ``path`` every event is also appended as a
+    JSON line (flushed per event — the journal must survive the process
+    being SIGKILLed an instant later, that is its whole point).
+    """
+
+    def __init__(self, path: str | None = None, keep: int = 256) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._recent: deque[dict] = deque(maxlen=keep)
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def record(self, event: str, **fields: object) -> dict:
+        """Append one event; returns the recorded dict."""
+        entry = {"ts": round(time.time(), 3), "event": event, **fields}
+        with self._lock:
+            self._recent.append(entry)
+            if self._file is not None:
+                try:
+                    self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+                    self._file.flush()
+                except (OSError, ValueError):  # closed file / full disk
+                    pass
+        return entry
+
+    def tail(self, count: int = 50) -> list[dict]:
+        """The newest ``count`` events, oldest first."""
+        with self._lock:
+            entries = list(self._recent)
+        return entries[-count:]
+
+    def close(self) -> None:
+        """Close the journal file (idempotent); events still accumulate in memory."""
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._file = None
+
+
+@dataclass(slots=True)
+class _Waiter:
+    future: asyncio.Future
+    deadline: float | None
+    enqueued_at: float
+
+
+class AdmissionGate:
+    """Bounded admission queue with deadline-aware load shedding.
+
+    At most ``max_inflight`` requests hold a slot at once; up to
+    ``queue_limit`` more wait in FIFO order.  Beyond that the deployment
+    is overloaded by definition and arrivals are shed immediately with
+    :class:`ServerOverloaded` — a bounded queue is what keeps overload
+    latency bounded.  A waiter whose (absolute, ``time.monotonic``)
+    deadline expires is shed with :class:`DeadlineExceeded` the moment it
+    would reach the head — doing the match anyway would burn a worker on
+    an answer nobody is waiting for.
+
+    Loop-confined: every method must run on the gateway's event loop.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_limit: int,
+        window_s: float = 30.0,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.inflight = 0
+        self.wait_window = RollingWindow(window_s=window_s)
+        self.admitted_total = 0
+        self.shed_overflow_total = 0
+        self.shed_deadline_total = 0
+        self._waiters: deque[_Waiter] = deque()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (excludes in-flight holders)."""
+        return len(self._waiters)
+
+    async def acquire(self, deadline: float | None = None) -> None:
+        """Wait for an execution slot; raises instead of queueing forever.
+
+        Raises :class:`ServerOverloaded` when the queue is full and
+        :class:`DeadlineExceeded` when ``deadline`` expires first (or
+        already has).  On success the caller *must* pair with
+        :meth:`release` (use ``try/finally``).
+        """
+        now = time.monotonic()
+        if deadline is not None and now >= deadline:
+            self.shed_deadline_total += 1
+            raise DeadlineExceeded("deadline expired before admission")
+        if self.inflight < self.max_inflight and not self._waiters:
+            self.inflight += 1
+            self.admitted_total += 1
+            self.wait_window.record(0.0, now=now)
+            return
+        if len(self._waiters) >= self.queue_limit:
+            self.shed_overflow_total += 1
+            raise ServerOverloaded(
+                f"admission queue full ({self.queue_limit} waiting, "
+                f"{self.inflight} in flight)"
+            )
+        waiter = _Waiter(
+            future=asyncio.get_running_loop().create_future(),
+            deadline=deadline,
+            enqueued_at=now,
+        )
+        self._waiters.append(waiter)
+        timeout = None if deadline is None else max(0.0, deadline - now)
+        try:
+            # shield: an expiring wait_for must not cancel the future out
+            # from under a racing grant (we would leak the slot it gave us).
+            await asyncio.wait_for(asyncio.shield(waiter.future), timeout)
+        except asyncio.TimeoutError:
+            if waiter.future.done() and not waiter.future.cancelled():
+                if waiter.future.exception() is None:
+                    # The grant won the race: we own a slot after all, but
+                    # our caller is about to see 504 — hand the slot on.
+                    self.release()
+            else:
+                waiter.future.cancel()
+                self.shed_deadline_total += 1
+            raise DeadlineExceeded("deadline expired while queued") from None
+        except asyncio.CancelledError:
+            # The *request task* was cancelled (client gone, shutdown).
+            if waiter.future.done() and not waiter.future.cancelled():
+                if waiter.future.exception() is None:
+                    self.release()
+                else:
+                    waiter.future.exception()  # retrieved: no loop warning
+            else:
+                waiter.future.cancel()
+            raise
+        wait = time.monotonic() - waiter.enqueued_at
+        self.admitted_total += 1
+        self.wait_window.record(wait)
+
+    def release(self) -> None:
+        """Give a slot back; grants it to the first live, unexpired waiter."""
+        self.inflight -= 1
+        self._grant()
+
+    def _shed(self, waiter: _Waiter) -> None:
+        self.shed_deadline_total += 1
+        waiter.future.set_exception(
+            DeadlineExceeded("deadline expired while queued")
+        )
+
+    def _grant(self) -> None:
+        now = time.monotonic()
+        while self._waiters and self.inflight < self.max_inflight:
+            waiter = self._waiters.popleft()
+            if waiter.future.done():  # cancelled / already shed
+                continue
+            if waiter.deadline is not None and now >= waiter.deadline:
+                self._shed(waiter)
+                continue
+            self.inflight += 1
+            waiter.future.set_result(None)
+
+    def sweep(self) -> int:
+        """Drop expired waiters without waiting for a release; returns count.
+
+        The supervision loop calls this each tick so queued work whose
+        client has already given up cannot occupy queue slots during a
+        long stall (e.g. every worker busy on slow matches).
+        """
+        now = time.monotonic()
+        shed = 0
+        for waiter in self._waiters:
+            if (
+                waiter.deadline is not None
+                and now >= waiter.deadline
+                and not waiter.future.done()
+            ):
+                self._shed(waiter)
+                shed += 1
+        if shed:
+            self._waiters = deque(w for w in self._waiters if not w.future.done())
+        return shed
+
+    def snapshot(self) -> dict:
+        """Gate state for ``/metrics``."""
+        return {
+            "inflight": self.inflight,
+            "depth": self.depth,
+            "max_inflight": self.max_inflight,
+            "queue_limit": self.queue_limit,
+            "admitted_total": self.admitted_total,
+            "shed_overflow_total": self.shed_overflow_total,
+            "shed_deadline_total": self.shed_deadline_total,
+            "wait_p95_s": round(self.wait_window.percentile(95.0), 6),
+        }
+
+
+class CrashTracker:
+    """Per-worker crash history behind the crash-loop breaker.
+
+    A worker that crashes ``threshold`` times within ``window_s`` is
+    *flapping* — most likely poisoned by its environment (bad page in the
+    shared segment, cgroup OOM ceiling) rather than unlucky — and
+    respawning it only converts the fault into a fork bomb.  The breaker
+    opens instead: the supervision loop ejects the ring slot and degrades
+    ``/healthz``.  An open breaker stays open (operators restart the
+    deployment to clear it; automatic half-open probing is not worth its
+    complexity at this fleet size).
+    """
+
+    def __init__(self, threshold: int = 3, window_s: float = 30.0) -> None:
+        self.threshold = threshold
+        self.window_s = window_s
+        self._crashes: dict[str, list[float]] = {}
+        self._open: set[str] = set()
+
+    def record(self, name: str, now: float | None = None) -> bool:
+        """Count one crash; returns ``True`` if the breaker just opened."""
+        stamp = time.monotonic() if now is None else now
+        history = self._crashes.setdefault(name, [])
+        history.append(stamp)
+        horizon = stamp - self.window_s
+        self._crashes[name] = history = [t for t in history if t >= horizon]
+        if name not in self._open and len(history) >= self.threshold:
+            self._open.add(name)
+            return True
+        return False
+
+    def recent(self, name: str, now: float | None = None) -> int:
+        """In-window crash count (drives the respawn backoff exponent)."""
+        stamp = time.monotonic() if now is None else now
+        horizon = stamp - self.window_s
+        return sum(1 for t in self._crashes.get(name, []) if t >= horizon)
+
+    def is_open(self, name: str) -> bool:
+        """Whether ``name``'s breaker has tripped."""
+        return name in self._open
+
+    def open_breakers(self) -> list[str]:
+        """Names with tripped breakers, sorted."""
+        return sorted(self._open)
+
+    def forget(self, name: str) -> None:
+        """Drop all state for a retired worker (scale-down cleanup)."""
+        self._crashes.pop(name, None)
+        self._open.discard(name)
+
+
+@dataclass(slots=True)
+class AutoscalerPolicy:
+    """Pure scale-up/scale-down decision logic with hysteresis.
+
+    The cluster calls :meth:`decide` once per supervision tick with the
+    observed state; the policy answers ``"up"``, ``"down"``, or ``None``.
+    Scale **up** when the admission queue is visibly backed up — queue
+    depth at/over ``high_water_depth`` or recent p95 admission wait over
+    ``high_water_wait_s`` — and the up-cooldown has passed.  Scale
+    **down** only after ``idle_ticks_needed`` *consecutive* idle ticks
+    (empty queue, negligible wait, fleet mostly idle) and a longer
+    cooldown, so a brief lull between bursts does not thrash workers.
+    Bounds always win: never above ``max_workers``, never below
+    ``min_workers``.
+    """
+
+    min_workers: int
+    max_workers: int
+    high_water_depth: int = 4
+    high_water_wait_s: float = 0.5
+    low_water_wait_s: float = 0.05
+    up_cooldown_s: float = 2.0
+    down_cooldown_s: float = 10.0
+    idle_ticks_needed: int = 3
+    _last_scale_at: float = field(default=float("-inf"), repr=False)
+    _idle_ticks: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+
+    def decide(
+        self,
+        now: float,
+        workers: int,
+        depth: int,
+        p95_wait_s: float,
+        inflight: int,
+    ) -> str | None:
+        """One tick's verdict: ``"up"``, ``"down"``, or ``None`` (hold)."""
+        busy = depth > 0 or p95_wait_s > self.low_water_wait_s or inflight >= workers
+        if busy:
+            self._idle_ticks = 0
+        else:
+            self._idle_ticks += 1
+        pressured = depth >= self.high_water_depth or p95_wait_s >= self.high_water_wait_s
+        if (
+            pressured
+            and workers < self.max_workers
+            and now - self._last_scale_at >= self.up_cooldown_s
+        ):
+            self._last_scale_at = now
+            self._idle_ticks = 0
+            return "up"
+        if (
+            workers > self.min_workers
+            and self._idle_ticks >= self.idle_ticks_needed
+            and now - self._last_scale_at >= self.down_cooldown_s
+        ):
+            self._last_scale_at = now
+            self._idle_ticks = 0
+            return "down"
+        return None

@@ -15,6 +15,59 @@ import time
 from repro.utils.timer import LatencyHistogram
 
 
+class RollingWindow:
+    """A sliding time window of samples with cheap percentile queries.
+
+    The autoscaler keys its decisions off the *recent* admission-queue
+    wait, not the since-boot histogram — a deployment that was slammed an
+    hour ago but is idle now must scale down.  Samples older than
+    ``window_s`` are evicted lazily on every access; the window is small
+    (seconds, not hours) so a plain list stays O(tick budget).
+    """
+
+    def __init__(self, window_s: float = 30.0, max_samples: int = 4096) -> None:
+        self.window_s = window_s
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._samples: list[tuple[float, float]] = []  # (monotonic stamp, value)
+
+    def record(self, value: float, now: float | None = None) -> None:
+        """Add one sample (stamped with ``time.monotonic()`` by default)."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._samples.append((stamp, value))
+            if len(self._samples) > self.max_samples:
+                del self._samples[: len(self._samples) - self.max_samples]
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        index = 0
+        samples = self._samples
+        while index < len(samples) and samples[index][0] < horizon:
+            index += 1
+        if index:
+            del samples[:index]
+
+    def values(self, now: float | None = None) -> list[float]:
+        """All in-window sample values, oldest first."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._evict(stamp)
+            return [value for _, value in self._samples]
+
+    def percentile(self, q: float, now: float | None = None) -> float:
+        """The ``q``-th percentile (0–100) of in-window samples; 0.0 if empty."""
+        values = sorted(self.values(now))
+        if not values:
+            return 0.0
+        rank = max(0, min(len(values) - 1, round(q / 100.0 * (len(values) - 1))))
+        return values[rank]
+
+    def count(self, now: float | None = None) -> int:
+        """Number of in-window samples."""
+        return len(self.values(now))
+
+
 class ServeMetrics:
     """Thread-safe request/latency accounting."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from typing import Any, Iterable
 
 from repro.cellular.trajectory import Trajectory, TrajectoryPoint
@@ -86,6 +87,30 @@ def decode_trajectory(obj: Any, trajectory_id: int = 0, context: str = "trajecto
         return Trajectory(points=points, trajectory_id=trajectory_id)
     except ValueError as error:  # non-decreasing timestamp check
         raise ProtocolError(f"{context}: {error}") from error
+
+
+def decode_deadline_ms(obj: Any, context: str = "request") -> float | None:
+    """Parse an optional ``deadline_ms`` budget into an absolute deadline.
+
+    Returns ``time.monotonic() + deadline_ms/1000`` — the moment the
+    client stops caring about the answer — or ``None`` when the field is
+    absent.  The absolute form rides IPC frames unchanged: on Linux
+    ``CLOCK_MONOTONIC`` is system-wide, so forked workers compare against
+    the same clock the gateway stamped.
+    """
+    value = obj.get("deadline_ms") if isinstance(obj, dict) else None
+    if value is None:
+        return None
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise ProtocolError(
+            f"{context}: field 'deadline_ms' must be a positive number of milliseconds"
+        )
+    return time.monotonic() + float(value) / 1000.0
 
 
 def encode_match_result(result) -> dict:

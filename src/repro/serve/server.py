@@ -21,7 +21,8 @@ malformed payload          400
 degenerate trajectory      422
 unknown session            404
 unknown route              404
-queue full / session cap   429 (+ ``Retry-After``)
+queue full (overload)      503 (+ ``Retry-After``, ``server_overloaded``)
+session cap                429 (+ ``Retry-After``)
 shutting down              503
 match/worker failure       500
 handler bug                500
@@ -49,6 +50,7 @@ from repro.errors import (
     MatchError,
     ModelReloadFailed,
     ReproError,
+    ServerOverloaded,
 )
 from repro.serve import protocol
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
@@ -64,7 +66,9 @@ class ServeConfig:
     Micro-batching trades latency for throughput: a request never waits
     more than ``batch_window_ms`` for companions, and a batch never
     exceeds ``batch_max`` trajectories.  ``queue_limit`` bounds admitted
-    but undispatched requests — beyond it the server sheds load with 429.
+    but undispatched requests — beyond it the server sheds load with 503
+    + ``Retry-After`` (``server_overloaded``), the same overload answer
+    the cluster gateway gives.
     """
 
     host: str = "127.0.0.1"
@@ -561,8 +565,19 @@ def _make_handler(server: "MatchingServer"):
                 status, response = 422, {"error": str(error), "code": error.code}
             except UnknownSessionError as error:
                 status, response = 404, {"error": f"unknown session {error.args[0]!r}"}
-            except (Backpressure, SessionLimitError) as error:
+            except Backpressure as error:
+                # Same overload answer as the cluster gateway: 503 +
+                # Retry-After with the stable ``server_overloaded`` code,
+                # so one client retry policy covers both deployments.
                 retry_after = getattr(error, "retry_after_s", server.config.retry_after_s)
+                headers["Retry-After"] = str(max(1, round(retry_after)))
+                status, response = ServerOverloaded.http_status, {
+                    "error": str(error),
+                    "code": ServerOverloaded.code,
+                    "retry_after_s": retry_after,
+                }
+            except SessionLimitError as error:
+                retry_after = server.config.retry_after_s
                 headers["Retry-After"] = str(max(1, round(retry_after)))
                 status, response = 429, {
                     "error": str(error),

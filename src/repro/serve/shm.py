@@ -29,7 +29,9 @@ siblings.
 
 from __future__ import annotations
 
+import os
 import secrets
+import signal
 from pathlib import Path
 
 import numpy as np
@@ -56,6 +58,107 @@ def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
     if not root.is_dir():  # pragma: no cover - non-Linux
         return []
     return sorted(p.name for p in root.glob(f"{prefix}*"))
+
+
+class SegmentJanitor:
+    """A tiny forked process that unlinks segments when its parent dies.
+
+    Shared-memory segments outlive their creator: a gateway that is
+    SIGKILLed (OOM killer, ``kill -9``) never runs its atexit hooks, and
+    its workers — mere attachers — must *never* unlink.  The janitor
+    closes that hole.  It is forked at publish time holding only the read
+    end of a pipe; the publisher (and, via fork, every worker) holds the
+    write end.  While any of them lives, the pipe stays open and the
+    janitor blocks.  When the *whole* fleet is gone — however it died —
+    the kernel closes the last write end, the janitor reads EOF, unlinks
+    every segment it was told about, and exits.
+
+    The protocol over the pipe is newline-delimited text: ``ADD name`` /
+    ``DEL name`` keep the janitor's segment set in sync as generations
+    are published and retired; ``QUIT`` makes it exit *without* unlinking
+    (graceful shutdown already unlinked everything — and unlink is
+    idempotent anyway, so even a race here is harmless).
+    """
+
+    def __init__(self) -> None:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - separate process, untraceable
+            os.close(write_fd)
+            self._child_main(read_fd)  # never returns
+        os.close(read_fd)
+        self.pid = pid
+        self._write_fd: int | None = write_fd
+
+    @staticmethod
+    def _child_main(read_fd: int) -> None:  # pragma: no cover - child process
+        # A Ctrl+C against the process group must not kill the janitor
+        # before it can clean up after the (also-interrupted) gateway.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        names: set[str] = set()
+        buffer = b""
+        quit_clean = False
+        while True:
+            try:
+                chunk = os.read(read_fd, 4096)
+            except OSError:
+                break
+            if not chunk:
+                break  # every write end closed: the fleet is gone
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                command, _, name = line.decode("utf-8", "replace").partition(" ")
+                if command == "ADD":
+                    names.add(name)
+                elif command == "DEL":
+                    names.discard(name)
+                elif command == "QUIT":
+                    quit_clean = True
+            if quit_clean:
+                break
+        if not quit_clean:
+            for name in names:
+                try:
+                    # The direct /dev/shm path sidesteps SharedMemory's
+                    # resource tracker, which a bare cleanup process must
+                    # not spawn; on non-Linux there is nothing to scan and
+                    # nothing leaks visibly, matching leaked_segments().
+                    Path("/dev/shm", name).unlink()
+                except OSError:
+                    pass
+        os._exit(0)
+
+    def _send(self, line: str) -> None:
+        if self._write_fd is None:
+            return
+        try:
+            os.write(self._write_fd, (line + "\n").encode("utf-8"))
+        except OSError:  # janitor already gone; nothing left to guard
+            pass
+
+    def add(self, name: str) -> None:
+        """Start guarding ``name`` (unlinked if the fleet dies uncleanly)."""
+        self._send(f"ADD {name}")
+
+    def remove(self, name: str) -> None:
+        """Stop guarding ``name`` (it was retired and unlinked in-line)."""
+        self._send(f"DEL {name}")
+
+    def quit(self) -> None:
+        """Graceful shutdown: the janitor exits without unlinking."""
+        if self._write_fd is None:
+            return
+        self._send("QUIT")
+        try:
+            os.close(self._write_fd)
+        except OSError:  # pragma: no cover
+            pass
+        self._write_fd = None
+        try:
+            os.waitpid(self.pid, 0)
+        except (ChildProcessError, OSError):  # pragma: no cover - reaped
+            pass
 
 
 class SharedArrayPack:

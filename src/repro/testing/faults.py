@@ -45,6 +45,10 @@ point              where it fires
 ``train.step``     inside every gradient step, before backward
                    (context: ``stage``, ``epoch``, ``step``); arm with
                    ``error=diverged`` to exercise rollback
+``cluster.op``     top of every cluster-worker IPC op (context: ``op``,
+                   ``worker``) — ``op=ping:hang`` wedges a worker for
+                   stall-detection tests, ``op=canary:raise`` fails a
+                   rollout canary; arm via env *before* the worker forks
 =================  ==========================================================
 """
 

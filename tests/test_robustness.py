@@ -158,7 +158,7 @@ class _FlakyClient(MatchingClient):
         self.retry_after_s = retry_after_s
         self.calls = 0
 
-    def match(self, trajectories, region=None):
+    def match(self, trajectories, region=None, deadline_ms=None):
         self.calls += 1
         if self.calls <= self.failures:
             raise ServerBusy(429, "busy", {}, self.retry_after_s)
@@ -174,7 +174,7 @@ class _FailingClient(MatchingClient):
         self.errors = list(errors)
         self.calls = 0
 
-    def match(self, trajectories, region=None):
+    def match(self, trajectories, region=None, deadline_ms=None):
         self.calls += 1
         if self.errors:
             raise self.errors.pop(0)
@@ -238,6 +238,31 @@ class TestMatchWithRetry:
             )
         assert sum(sleeps) <= 10.0
         assert client.calls < 50  # the deadline, not the attempt cap, stopped it
+
+    def test_large_retry_after_is_clipped_to_remaining_deadline(self):
+        """A server-sent Retry-After bigger than what is left of the total
+        deadline must be clipped, not obeyed: sleeping the full hint would
+        overshoot the deadline and forfeit the final attempt."""
+        client = _FlakyClient(failures=1, retry_after_s=30.0)
+        now = [0.0]
+        sleeps: list[float] = []
+
+        def fake_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            now[0] += seconds
+
+        # rng seed 0 jitters the 5 s-capped hint to ~4.6 s > the 3 s
+        # budget; the fixed loop clips the sleep and still gets the win.
+        result = client.match_with_retry(
+            [],
+            deadline_s=3.0,
+            sleep=fake_sleep,
+            clock=lambda: now[0],
+            rng=random.Random(0),
+        )
+        assert result == [{"ok": True}]
+        assert client.calls == 2
+        assert sleeps == [3.0]
 
     def test_attempt_cap_still_applies(self):
         client = _FlakyClient(failures=100)

@@ -2,7 +2,7 @@
 
 Boots a real :class:`MatchingServer` on an ephemeral port and drives it
 through :class:`MatchingClient` — concurrent streaming sessions, batch
-matches, saturation (429 + ``Retry-After``), and graceful drain — always
+matches, saturation (503 + ``Retry-After``), and graceful drain — always
 asserting results are *identical* to calling the matcher directly.
 """
 
@@ -159,8 +159,10 @@ class TestErrorHandling:
 
 
 class TestBackpressureAndDrain:
-    def test_saturated_queue_answers_429_with_retry_after(self, trained_lhmm, tiny_dataset):
-        """queue_limit=1 + a gated batch_fn: the third request must shed."""
+    def test_saturated_queue_answers_503_with_retry_after(self, trained_lhmm, tiny_dataset):
+        """queue_limit=1 + a gated batch_fn: the third request must shed
+        with the same overload answer the cluster gateway gives — 503 +
+        Retry-After and the stable ``server_overloaded`` code."""
         gate = threading.Event()
         entered = threading.Event()
 
@@ -188,7 +190,9 @@ class TestBackpressureAndDrain:
 
             with pytest.raises(ServerBusy) as excinfo:
                 client.match([sample.cellular])
+            assert excinfo.value.status == 503
             assert excinfo.value.retry_after_s == 2.0
+            assert excinfo.value.payload["code"] == "server_overloaded"
             assert excinfo.value.payload["error"].startswith("request queue full")
 
             # The admitted requests complete once the gate opens (drain).
