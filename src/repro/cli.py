@@ -70,6 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "resumed run is bit-identical to an uninterrupted one")
     train.add_argument("--keep-checkpoints", type=int, default=3,
                        help="newest checkpoints to retain in --checkpoint-dir")
+    train.add_argument("--ema-decay", type=float, default=None,
+                       help="decay of the EMA shadow weight set saved into the "
+                            "artifact alongside the raw weights (default: the "
+                            "config's 0.999; serve/evaluate select it with "
+                            "--weights ema)")
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = commands.add_parser("evaluate", help="evaluate a model or baseline")
@@ -77,6 +82,9 @@ def _build_parser() -> argparse.ArgumentParser:
     group = evaluate.add_mutually_exclusive_group(required=True)
     group.add_argument("--model", help="trained LHMM .npz")
     group.add_argument("--baseline", help="baseline name (STM, IVMM, ..., DMM)")
+    evaluate.add_argument("--weights", choices=["raw", "ema"], default="raw",
+                          help="artifact weight set to evaluate (ema = the "
+                               "trainer's shadow set, when present)")
     evaluate.add_argument("--limit", type=int, default=None,
                           help="max test trajectories to evaluate")
     _add_router_arguments(evaluate)
@@ -91,6 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
     match = commands.add_parser("match", help="match one trajectory and render it")
     match.add_argument("--dataset", required=True)
     match.add_argument("--model", required=True)
+    match.add_argument("--weights", choices=["raw", "ema"], default="raw",
+                       help="artifact weight set to match with")
     match.add_argument("--sample-id", type=int, default=None,
                        help="sample to match (default: first test sample)")
     match.add_argument("--svg", default=None, help="write an SVG map here")
@@ -143,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", default=None,
                        help="trained LHMM .npz (required unless every shard "
                             "comes from --region)")
+    serve.add_argument("--weights", choices=["raw", "ema"], default="raw",
+                       help="artifact weight set to serve (applies to every "
+                            "shard with --cluster); challengers started via "
+                            "POST /v1/admin/ab can pick their own")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 = pick a free port)")
@@ -273,11 +287,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     dataset = load_dataset(args.dataset)
+    overrides = {} if args.ema_decay is None else {"ema_decay": args.ema_decay}
     config = LHMMConfig(
         embedding_dim=args.dim,
         mlp_hidden=args.dim,
         candidate_k=args.candidates,
         epochs=args.epochs,
+        **overrides,
     ).ablated(args.variant)
     matcher = LHMM(config, rng=args.seed).fit(
         dataset,
@@ -306,8 +322,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     dataset = load_dataset(args.dataset)
     if args.model:
-        matcher = LHMM.load(args.model, dataset)
-        name = f"LHMM[{Path(args.model).name}]"
+        matcher = LHMM.load(args.model, dataset, weights=args.weights)
+        suffix = "" if args.weights == "raw" else f":{args.weights}"
+        name = f"LHMM[{Path(args.model).name}{suffix}]"
     else:
         matcher = make_baseline(args.baseline, dataset, rng=args.seed)
         name = args.baseline
@@ -347,7 +364,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     from repro.viz import render_match_ascii, render_match_svg
 
     dataset = load_dataset(args.dataset)
-    matcher = LHMM.load(args.model, dataset)
+    matcher = LHMM.load(args.model, dataset, weights=args.weights)
     matcher.use_router(_resolve_router(args, dataset))
     if args.sample_id is None:
         if not dataset.test:
@@ -626,6 +643,7 @@ def _parse_region_specs(args: argparse.Namespace) -> list:
             router=args.router,
             ubodt_delta_m=args.ubodt_delta,
             ubodt_table=args.ubodt_table,
+            weights=args.weights,
         ))
     for item in args.region or []:
         name, eq, rest = item.partition("=")
@@ -641,6 +659,7 @@ def _parse_region_specs(args: argparse.Namespace) -> list:
             router=args.router,
             ubodt_delta_m=args.ubodt_delta,
             ubodt_table=None,
+            weights=args.weights,
         ))
     if not specs:
         raise ValueError(
@@ -687,10 +706,11 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
           f"router={args.router})")
     print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
           "DELETE /v1/sessions/<id>, POST /v1/match, "
-          "POST /v1/admin/rollout, GET /healthz, GET /metrics "
+          "POST /v1/admin/rollout, POST /v1/admin/ab[/promote|/abort], "
+          "GET /healthz, GET /metrics "
           "(add \"region\" to request bodies on multi-shard deployments)")
     print("zero-downtime rollout: POST /v1/admin/rollout or send SIGHUP "
-          "after replacing a model artifact")
+          "after replacing a model artifact; live A/B: POST /v1/admin/ab")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -715,7 +735,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "(or --cluster with --region shards)", file=sys.stderr)
         raise SystemExit(2)
     dataset = load_dataset(args.dataset)
-    matcher = LHMM.load(args.model, dataset)
+    matcher = LHMM.load(args.model, dataset, weights=args.weights)
     matcher.use_router(_resolve_router(args, dataset))
 
     pool = None
@@ -755,9 +775,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
           "DELETE /v1/sessions/<id>, POST /v1/match, "
-          "POST /v1/admin/reload-model, GET /healthz, GET /metrics")
+          "POST /v1/admin/reload-model, POST /v1/admin/ab[/promote|/abort], "
+          "GET /healthz, GET /metrics")
     print("hot reload: POST /v1/admin/reload-model or send SIGHUP after "
-          "replacing the model file")
+          "replacing the model file; live A/B: POST /v1/admin/ab")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -5,6 +5,10 @@ Public entry points:
 * :class:`LHMM` — the full matcher: ``fit(dataset)`` then ``match(trajectory)``.
 * :class:`LHMMConfig` — hyper-parameters and ablation switches
   (``LHMM-E/H/O/T/S`` from Table III map to config fields).
+* :func:`make_model` / :func:`registered_models` — the named-architecture
+  factory registry (:mod:`repro.core.registry`): serve, train, and the
+  CLI reconstruct models purely from a manifest's ``meta`` (architecture
+  name + config dict), never from pickled classes.
 * :class:`RelationGraph` — the multi-relational tower/road graph (§IV-B).
 * :class:`HetGraphEncoder` — relational message-passing encoder (Eq. 4–5).
 * :class:`ObservationLearner` / :class:`TransitionLearner` — learned
@@ -29,14 +33,19 @@ from repro.core.trellis import (
     VectorizedTrellis,
     make_trellis,
 )
-from repro.core.matcher import LHMM
+from repro.core.matcher import LHMM, arch_name
 from repro.core.online import OnlineLHMM
 from repro.core.parallel import ParallelMatcher
+from repro.core.registry import make_model, register_model, registered_models
 
 __all__ = [
     "LHMM",
     "OnlineLHMM",
     "ParallelMatcher",
+    "arch_name",
+    "make_model",
+    "register_model",
+    "registered_models",
     "CheckpointManager",
     "LHMMConfig",
     "RelationGraph",

@@ -20,6 +20,13 @@ Guarantees:
   refuses (``ArtifactIncompatible``) to resume checkpoints written under
   a different configuration, instead of silently continuing a different
   training run.
+
+Array-key conventions inside a trainer checkpoint: learner weights ride
+under ``obs.*``/``trans.*``, optimizer slots under ``opt.*``, and the
+trainer's EMA shadow weight set under ``ema.*`` (one ``ema.``-prefixed
+array per tracked parameter — ``docs/robustness.md`` documents the
+resume invariants; the shadow set must survive a resume byte-identically
+just like the raw weights).
 """
 
 from __future__ import annotations

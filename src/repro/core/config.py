@@ -44,6 +44,12 @@ class LHMMConfig:
             (paper: 1e-3 / 1e-4 / 0.1).
         negatives_per_positive: Negative roads sampled per positive in the
             observation classification stage (under-sampling balance).
+        ema_decay: Decay of the EMA shadow weight set the trainer
+            maintains alongside the raw weights (``shadow += (1 - decay)
+            * (weight - shadow)`` after every optimiser step).  Must be
+            in (0, 1); the shadow set is checkpointed and saved into
+            artifacts as a parallel weight set selectable at serve time
+            (``--weights ema``).
 
     Divergence handling (``docs/robustness.md``):
         max_rollbacks: How many times a diverged run may roll back to its
@@ -81,6 +87,7 @@ class LHMMConfig:
     weight_decay: float = 1e-4
     label_smoothing: float = 0.1
     negatives_per_positive: int = 8
+    ema_decay: float = 0.999
 
     max_rollbacks: int = 2
     rollback_lr_factor: float = 0.5
@@ -140,6 +147,8 @@ class LHMMConfig:
             raise ValueError("invalid training settings")
         if not 0.0 <= self.label_smoothing < 1.0:
             raise ValueError("label_smoothing must be in [0, 1)")
+        if not 0.0 < self.ema_decay < 1.0:
+            raise ValueError("ema_decay must be in (0, 1)")
         if self.max_rollbacks < 0:
             raise ValueError("max_rollbacks must be >= 0")
         if not 0.0 < self.rollback_lr_factor <= 1.0:

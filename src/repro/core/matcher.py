@@ -34,6 +34,7 @@ from repro.core.features import (
 )
 from repro.core.het_encoder import HetGraphEncoder, MlpNodeEncoder
 from repro.core.observation import ObservationLearner
+from repro.core.registry import register_model
 from repro.core.relation_graph import RelationGraph
 from repro.core.training import LHMMTrainer, TrainingReport
 from repro.core.transition import TransitionLearner
@@ -236,6 +237,26 @@ class _LHMMScorer:
         return values
 
 
+def arch_name(config: LHMMConfig) -> str:
+    """The registry name of the Table III variant ``config`` encodes.
+
+    First-match over the ablation switches, so the name is a pure
+    deterministic function of the config; construction always honours
+    the full config dict — the name only routes to a factory.
+    """
+    if not config.use_graph_encoder:
+        return "lhmm-e"
+    if not config.heterogeneous:
+        return "lhmm-h"
+    if not config.use_implicit_observation:
+        return "lhmm-o"
+    if not config.use_implicit_transition:
+        return "lhmm-t"
+    if not config.use_shortcuts:
+        return "lhmm-s"
+    return "lhmm"
+
+
 class LHMM:
     """Learning-enhanced HMM map matcher (the paper's model)."""
 
@@ -256,6 +277,12 @@ class LHMM:
         self.engine: Router | None = None
         self.report: TrainingReport | None = None
         self.last_parallel_stats: dict | None = None
+        # EMA shadow weight set in artifact layout (node_embeddings +
+        # obs.*/trans.*), captured from the trainer at fit time or from
+        # the artifact at load time; None when the model carries none.
+        self._ema_arrays: dict[str, np.ndarray] | None = None
+        #: Which weight set this instance serves ("raw" or "ema").
+        self.weights_variant: str = "raw"
         # Degradation cascade (docs/robustness.md): on internal failure,
         # fall back to heuristic HMM scoring, then nearest-road projection.
         self.degradation_enabled: bool = True
@@ -337,6 +364,7 @@ class LHMM:
             )
         self.report = trainer.train(samples, checkpoint=checkpoint, resume=resume)
         self.node_embeddings = trainer.node_embeddings
+        self._ema_arrays = trainer.ema_artifact_arrays()
         self.encoder.eval()
         self.observation_learner.eval()
         self.transition_learner.eval()
@@ -766,6 +794,13 @@ class LHMM:
         in, matching how a deployment would keep the (large, static) map
         separate from the (small, trained) model.
 
+        A model fitted by this build also carries its EMA shadow weight
+        set as a parallel ``ema.*`` array family (same layout: embeddings
+        plus learner weights; the mined graph counts are shared), and the
+        manifest meta records the architecture name (``arch``, resolved
+        through :mod:`repro.core.registry` at load time) and the weight
+        sets present (``weights``).
+
         The archive is a versioned envelope (``repro.nn.serialization``):
         every array is checksummed in an embedded manifest, the write is
         atomic, and the bytes are deterministic — saving the same fitted
@@ -785,36 +820,53 @@ class LHMM:
         payload.update(
             {f"trans.{k}": v for k, v in self.transition_learner.state_dict().items()}
         )
+        weight_sets = ["raw"]
+        if self._ema_arrays:
+            payload.update({f"ema.{k}": v for k, v in self._ema_arrays.items()})
+            weight_sets.append("ema")
         write_artifact(
             path,
             payload,
             kind=self.MODEL_KIND,
-            meta={"config": dataclasses.asdict(self.config)},
+            meta={
+                "config": dataclasses.asdict(self.config),
+                "arch": arch_name(self.config),
+                "weights": weight_sets,
+            },
         )
 
     @classmethod
-    def load(cls, path, dataset: MatchingDataset) -> "LHMM":
+    def load(cls, path, dataset: MatchingDataset, weights: str = "raw") -> "LHMM":
         """Restore a matcher saved by :meth:`save` onto ``dataset``'s map.
+
+        Construction is dispatched through the architecture registry
+        (:func:`repro.core.registry.make_model`) keyed by the manifest's
+        ``arch`` name — no class is ever unpickled and no architecture is
+        hardcoded here.  ``weights`` selects the weight set: ``"raw"``
+        (the default) or ``"ema"`` for the trainer's EMA shadow set.
 
         Raises:
             FileNotFoundError: no file at ``path``.
             ArtifactCorrupt: the archive is damaged (truncated, flipped
                 byte, checksum/shape/dtype disagreement).
             ArtifactIncompatible: intact but unusable here — wrong
-                artifact kind, unsupported format version, or a model
-                trained for a different map/configuration than
-                ``dataset`` provides.
+                artifact kind, unsupported format version, unknown
+                architecture name, a model trained for a different
+                map/configuration than ``dataset`` provides, or
+                ``weights="ema"`` against an artifact with no EMA set.
 
         Legacy archives written by older builds (bare ``np.savez`` with a
         ``config_json`` array) still load, behind a ``UserWarning``.
         """
         import json
 
+        from repro.core.registry import make_model
+
         artifact = read_artifact(path, kind=cls.MODEL_KIND, allow_legacy=True)
         arrays = artifact.arrays
         if artifact.manifest is not None:
-            config_dict = artifact.meta.get("config")
-            if not isinstance(config_dict, dict):
+            meta = dict(artifact.meta)
+            if not isinstance(meta.get("config"), dict):
                 raise ArtifactIncompatible(
                     f"{path}: artifact manifest carries no model configuration"
                 )
@@ -824,16 +876,111 @@ class LHMM:
                     f"{path}: archive has neither a manifest nor a legacy "
                     "config_json entry — not an LHMM model"
                 )
-            config_dict = json.loads(bytes(arrays["config_json"].tobytes()).decode())
+            meta = {
+                "config": json.loads(
+                    bytes(arrays["config_json"].tobytes()).decode()
+                )
+            }
         try:
-            config = LHMMConfig(**config_dict)
-            config.validate()
-        except (TypeError, ValueError) as error:
+            matcher = make_model(meta.get("arch", "lhmm"), **meta)
+        except ArtifactIncompatible as error:
+            raise ArtifactIncompatible(f"{path}: {error}") from error
+        matcher.attach_dataset(dataset)
+        matcher.load_state_dict(arrays, origin=str(path), weights=weights)
+        return matcher
+
+    def attach_dataset(self, dataset: MatchingDataset) -> "LHMM":
+        """Bind the (large, static) map this model serves.
+
+        Wires the road network, the routing engine, and an un-mined
+        relation-graph shell from ``dataset`` — the half of a fitted
+        matcher that is *not* stored in artifacts.  Call it between
+        :func:`~repro.core.registry.make_model` and
+        :meth:`load_state_dict`.  Returns ``self``.
+        """
+        self.network = dataset.network
+        self.engine = dataset.engine
+        self.graph = RelationGraph(dataset.network, dataset.towers)
+        return self
+
+    def load_state_dict(
+        self, arrays, origin: str = "state", weights: str = "raw"
+    ) -> "LHMM":
+        """Load artifact arrays into an attached matcher.
+
+        ``arrays`` is the envelope's array mapping (mined graph counts,
+        embeddings, learner weights, optional ``ema.*`` shadow set).
+        ``weights`` picks which weight set becomes the serving one:
+        ``"raw"`` or ``"ema"`` — the mined graph counts are shared
+        between sets.  Arrays are adopted by reference (read-only views
+        are fine: inference never writes parameters), so processes
+        attaching a shared-memory publication share one copy of the
+        trained state.  ``origin`` only labels error messages.
+
+        Raises :class:`~repro.errors.ArtifactIncompatible` when the
+        arrays do not fit this config or the attached map, or when
+        ``weights="ema"`` is requested from an artifact carrying no EMA
+        set.  Returns ``self``.
+        """
+        if weights not in ("raw", "ema"):
+            raise ValueError(f"weights must be 'raw' or 'ema', got {weights!r}")
+        if self.graph is None or self.network is None:
+            raise MatchFailure("call attach_dataset() before load_state_dict()")
+        config = self.config
+        prefix = "" if weights == "raw" else "ema."
+        if weights == "ema" and "ema.node_embeddings" not in arrays:
             raise ArtifactIncompatible(
-                f"{path}: stored configuration is not usable by this build "
-                f"({error})"
+                f"{origin}: artifact carries no EMA shadow weight set "
+                "(available weights: raw only — was it written by an older "
+                "build?)"
+            )
+        try:
+            self.graph.load_mining_state(
+                {
+                    "co_counts": arrays["graph.co_counts"],
+                    "sq_counts": arrays["graph.sq_counts"],
+                }
+            )
+            self.node_embeddings = arrays[f"{prefix}node_embeddings"]
+            self.observation_learner = ObservationLearner(
+                dim=config.embedding_dim,
+                hidden=config.mlp_hidden,
+                use_implicit=config.use_implicit_observation,
+                num_explicit=config.observation_feature_count,
+            )
+            self.observation_learner.load_state_dict(
+                {
+                    k[len(prefix) + len("obs.") :]: arrays[k]
+                    for k in arrays
+                    if k.startswith(f"{prefix}obs.")
+                }
+            )
+            self.transition_learner = TransitionLearner(
+                dim=config.embedding_dim,
+                hidden=config.mlp_hidden,
+                use_implicit=config.use_implicit_transition,
+            )
+            self.transition_learner.load_state_dict(
+                {
+                    k[len(prefix) + len("trans.") :]: arrays[k]
+                    for k in arrays
+                    if k.startswith(f"{prefix}trans.")
+                }
+            )
+        except (StateDictMismatch, KeyError, ValueError) as error:
+            raise ArtifactIncompatible(
+                f"{origin}: model does not fit this build or map "
+                f"({type(error).__name__}: {error}); was it trained on a "
+                "different dataset or package version?"
             ) from error
-        return cls.from_artifact_arrays(arrays, config, dataset, origin=str(path))
+        ema = {
+            k[len("ema.") :]: arrays[k] for k in arrays if k.startswith("ema.")
+        }
+        self._ema_arrays = ema or None
+        self.weights_variant = weights
+        self.observation_learner.eval()
+        self.transition_learner.eval()
+        return self
 
     @classmethod
     def from_artifact_arrays(
@@ -842,66 +989,46 @@ class LHMM:
         config: "LHMMConfig",
         dataset: MatchingDataset,
         origin: str = "artifact",
+        weights: str = "raw",
     ) -> "LHMM":
         """Construct a fitted matcher directly from envelope arrays.
 
-        This is the tail of :meth:`load` split out so callers that already
-        hold the artifact's arrays — in particular workers attaching a
+        The :meth:`attach_dataset` + :meth:`load_state_dict` pair for
+        callers that already hold a validated config object and the
+        artifact's arrays — in particular workers attaching a
         shared-memory publication of the model
-        (:mod:`repro.serve.shards`) — can build a matcher without
-        re-reading or copying the archive.  The embedding matrix and
-        learner weights are adopted by reference (read-only views are
-        fine: inference never writes parameters), so every attaching
-        process shares one copy of the trained state.
-
-        ``origin`` only labels error messages.  Raises
-        :class:`~repro.errors.ArtifactIncompatible` when the arrays do
-        not fit ``config`` or ``dataset``'s map.
+        (:mod:`repro.serve.shards`) — so they can build a matcher without
+        re-reading or copying the archive.
         """
         matcher = cls(config)
-        matcher.network = dataset.network
-        matcher.engine = dataset.engine
-        matcher.graph = RelationGraph(dataset.network, dataset.towers)
-        path = origin
-        try:
-            matcher.graph.load_mining_state(
-                {
-                    "co_counts": arrays["graph.co_counts"],
-                    "sq_counts": arrays["graph.sq_counts"],
-                }
-            )
-            matcher.node_embeddings = arrays["node_embeddings"]
-            matcher.observation_learner = ObservationLearner(
-                dim=config.embedding_dim,
-                hidden=config.mlp_hidden,
-                use_implicit=config.use_implicit_observation,
-                num_explicit=config.observation_feature_count,
-            )
-            matcher.observation_learner.load_state_dict(
-                {
-                    k[len("obs.") :]: arrays[k]
-                    for k in arrays
-                    if k.startswith("obs.")
-                }
-            )
-            matcher.transition_learner = TransitionLearner(
-                dim=config.embedding_dim,
-                hidden=config.mlp_hidden,
-                use_implicit=config.use_implicit_transition,
-            )
-            matcher.transition_learner.load_state_dict(
-                {
-                    k[len("trans.") :]: arrays[k]
-                    for k in arrays
-                    if k.startswith("trans.")
-                }
-            )
-        except (StateDictMismatch, KeyError, ValueError) as error:
-            raise ArtifactIncompatible(
-                f"{path}: model does not fit this build or map "
-                f"({type(error).__name__}: {error}); was it trained on a "
-                "different dataset or package version?"
-            ) from error
-        matcher.observation_learner.eval()
-        matcher.transition_learner.eval()
+        matcher.attach_dataset(dataset)
+        matcher.load_state_dict(arrays, origin=origin, weights=weights)
         return matcher
+
+
+def _builtin_lhmm_factory(config=None, **_extra) -> LHMM:
+    """Registry factory for the built-in LHMM family.
+
+    ``config`` is the manifest's stored configuration dict; every Table
+    III variant is encoded entirely by its ablation switches in there,
+    so all family names share this one factory (the name only routes —
+    the config is authoritative).  Extra manifest keys are ignored so
+    manifests can grow fields without breaking older builds.
+    """
+    if not isinstance(config, dict):
+        raise ArtifactIncompatible(
+            "manifest meta carries no 'config' mapping for the lhmm family"
+        )
+    try:
+        cfg = LHMMConfig(**config)
+        cfg.validate()
+    except (TypeError, ValueError) as error:
+        raise ArtifactIncompatible(
+            f"stored configuration is not usable by this build ({error})"
+        ) from error
+    return LHMM(cfg)
+
+
+for _arch in ("lhmm", "lhmm-e", "lhmm-h", "lhmm-o", "lhmm-t", "lhmm-s"):
+    register_model(_arch)(_builtin_lhmm_factory)
+del _arch

@@ -1,0 +1,84 @@
+"""Named-architecture factory registry for model construction.
+
+Serving, training, the cluster workers, and the CLI all need to turn a
+stored artifact back into a live model.  Pickling classes into the
+artifact would tie every consumer to one code layout (and be a code
+execution vector); instead the artifact manifest carries a *name* —
+``meta["arch"]`` — and this registry maps names to factory callables
+that build an architecture purely from the manifest ``meta`` dict:
+
+    matcher = make_model(artifact.meta.get("arch", "lhmm"), **artifact.meta)
+    matcher.attach_dataset(dataset)
+    matcher.load_state_dict(artifact.arrays, origin=path)
+
+Builders receive the manifest keys as keyword arguments (``config`` is
+the stored :class:`~repro.core.config.LHMMConfig` dict) and must
+tolerate extra keys — manifests grow fields over time.  Registration
+happens at import of the defining module; :func:`make_model` imports
+the built-in family lazily so the registry is always populated without
+creating an import cycle with :mod:`repro.core.matcher`.
+
+Unknown names raise :class:`~repro.errors.ArtifactIncompatible` listing
+every registered name, so a typo'd or future-format artifact fails with
+an actionable message instead of an ``AttributeError`` deep in serving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ArtifactIncompatible
+
+#: name -> factory callable ``(**meta) -> model``
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_model(name: str) -> Callable[[Callable], Callable]:
+    """Class/function decorator registering ``name`` as an architecture.
+
+    The decorated callable is invoked as ``builder(**meta)`` with the
+    artifact's manifest ``meta`` keys and must return an un-fitted model
+    instance ready for :meth:`attach_dataset` + :meth:`load_state_dict`.
+    Re-registering a name replaces the previous builder (latest wins),
+    which keeps test doubles cheap.
+    """
+
+    def decorator(builder: Callable) -> Callable:
+        _REGISTRY[name] = builder
+        return builder
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    # The built-in LHMM family registers itself at module import; pull
+    # it in lazily so `import repro.core.registry` alone never cycles
+    # back through the (heavy) matcher module.
+    import repro.core.matcher  # noqa: F401
+
+
+def registered_models() -> list[str]:
+    """Sorted names of every registered architecture."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def make_model(name: str, **meta):
+    """Construct the architecture registered under ``name`` from manifest meta.
+
+    ``meta`` is the artifact manifest's ``meta`` mapping, passed through
+    verbatim (so ``config=...`` reaches the builder).  Raises
+    :class:`ArtifactIncompatible` for an unknown name, listing the
+    registered names — the error a stale server build gives a
+    newer-format artifact.
+    """
+    _ensure_builtins()
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ArtifactIncompatible(
+            f"unknown model architecture {name!r} (registered: {known}); "
+            "was the artifact written by a newer build?"
+        ) from None
+    return builder(**meta)

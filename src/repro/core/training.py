@@ -129,6 +129,14 @@ class LHMMTrainer:
         self.engine = engine
         self._rng = ensure_rng(rng)
         self.node_embeddings: np.ndarray | None = None
+        # EMA shadow weight set: one float64 shadow per trainable
+        # parameter, nudged toward the raw weights after every optimizer
+        # step.  Consumes no RNG (raw training is unchanged by it) and
+        # travels in every checkpoint (``ema.*``), so resume, rollback,
+        # and the retention sweep all keep it bit-identical.
+        self._ema: dict[str, np.ndarray] = {
+            name: param.data.copy() for name, param in self._tracked_parameters()
+        }
         # Candidate pools are repeatedly needed for the same points across
         # epochs and stages; cache them per (sample, point).
         self._pool_cache: dict[tuple[int, int], list[int]] = {}
@@ -254,6 +262,8 @@ class LHMMTrainer:
                 arrays[f"{prefix}.{key}"] = value
         if self.node_embeddings is not None:
             arrays["embeddings"] = self.node_embeddings
+        for key, value in self._ema.items():
+            arrays[f"ema.{key}"] = value
         if runtime is not None:
             for key, value in runtime.optimizer.state_dict().items():
                 arrays[f"opt.{key}"] = value
@@ -306,6 +316,15 @@ class LHMMTrainer:
         self.node_embeddings = (
             arrays["embeddings"].copy() if "embeddings" in arrays else None
         )
+        self._ema = {
+            key[len("ema."):]: value.copy()
+            for key, value in arrays.items()
+            if key.startswith("ema.")
+        }
+        if not self._ema:  # legacy checkpoint without a shadow set
+            self._ema = {
+                name: param.data.copy() for name, param in self._tracked_parameters()
+            }
         self._rng.bit_generator.state = meta["rng_state"]
         self._rollbacks = int(meta.get("rollbacks", 0))
         self._lr_scale = float(meta.get("lr_scale", 1.0))
@@ -471,7 +490,74 @@ class LHMMTrainer:
                 f"step {step} (limit {limit})"
             )
         optimizer.step()
+        self._ema_update()
         return value
+
+    # ----------------------------------------------------- EMA shadow weights
+    def _tracked_parameters(self):
+        """``(dotted_name, Parameter)`` pairs across all three modules."""
+        for prefix, module in (
+            ("encoder", self.encoder),
+            ("obs", self.observation),
+            ("trans", self.transition),
+        ):
+            for name, param in module.named_parameters():
+                yield f"{prefix}.{name}", param
+
+    def _ema_update(self) -> None:
+        """Nudge every shadow toward its raw weight after a step.
+
+        The update is ``shadow += (1 - decay) * (weight - shadow)``: for
+        a parameter the step did not change (frozen, or in another
+        stage's optimizer) the difference is exactly zero, so the shadow
+        of an untouched weight is bitwise-stable — the invariant the EMA
+        determinism tests pin.
+        """
+        decay = self.config.ema_decay
+        for name, param in self._tracked_parameters():
+            shadow = self._ema[name]
+            shadow += (1.0 - decay) * (param.data - shadow)
+
+    def ema_state(self) -> dict[str, np.ndarray]:
+        """Copy of the shadow set keyed ``encoder.*``/``obs.*``/``trans.*``."""
+        return {name: value.copy() for name, value in self._ema.items()}
+
+    def ema_node_embeddings(self) -> np.ndarray:
+        """Encoder output under the EMA encoder weights.
+
+        Swaps the shadow encoder weights in, runs one forward pass, and
+        swaps the raw weights back.  :meth:`Module.load_state_dict`
+        round-trips float64 arrays bitwise, so the raw weights are
+        untouched by the excursion.
+        """
+        raw = self.encoder.state_dict()
+        self.encoder.load_state_dict(
+            {
+                key[len("encoder."):]: value
+                for key, value in self._ema.items()
+                if key.startswith("encoder.")
+            }
+        )
+        try:
+            with no_grad():
+                embeddings = self.encoder().numpy().copy()
+        finally:
+            self.encoder.load_state_dict(raw)
+        return embeddings
+
+    def ema_artifact_arrays(self) -> dict[str, np.ndarray]:
+        """The EMA weight set in artifact layout.
+
+        Mirrors what :meth:`LHMM.save` stores for the raw set:
+        ``node_embeddings`` (the encoder forward under EMA weights — the
+        encoder itself is never reconstructed at load time) plus the
+        ``obs.*``/``trans.*`` learner weights.
+        """
+        arrays = {"node_embeddings": self.ema_node_embeddings()}
+        for key, value in self._ema.items():
+            if key.startswith(("obs.", "trans.")):
+                arrays[key] = value.copy()
+        return arrays
 
     def _freeze_embeddings(self) -> None:
         """Cache encoder output; later stages and inference reuse it."""

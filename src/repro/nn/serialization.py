@@ -30,6 +30,14 @@ the same bytes (resume-parity tests compare artifacts with ``filecmp``),
 and a crashed writer can never leave a half-written archive under the
 final name.
 
+Model artifacts written by :meth:`LHMM.save` use the ``meta`` mapping as
+the *only* reconstruction recipe: ``meta["arch"]`` names the registered
+architecture (:mod:`repro.core.registry` — the factory registry builds
+the model, no classes are ever pickled), ``meta["config"]`` carries the
+full configuration dict, and ``meta["weights"]`` lists the weight sets
+in the payload (``["raw"]``, or ``["raw", "ema"]`` when the trainer's
+EMA shadow set rides along under ``ema.*``-prefixed array keys).
+
 ``save_state``/``load_state`` are the module-level convenience wrappers.
 They write *exactly* the path they are given: the historical
 ``np.savez`` behaviour of silently appending ``.npz`` to suffixless

@@ -31,8 +31,21 @@ self-healing (:mod:`repro.serve.control`): a supervision loop probes and
 respawns workers, a queue-depth autoscaler sizes the fleet between
 ``--min-workers`` and ``--max-workers``, and ``POST /v1/admin/rollout``
 swaps in a new artifact generation with zero downtime.
+
+Both deployment shapes can also run a live **A/B test**
+(:mod:`repro.serve.ab`): ``POST /v1/admin/ab`` loads a challenger
+generation aside the champion and routes a deterministic hash-based
+fraction of match traffic to it, with per-generation counters on
+``/metrics`` and ``promote``/``abort`` endpoints to finalise.
 """
 
+from repro.serve.ab import (
+    ABState,
+    GenerationStats,
+    canonical_key,
+    routes_to_challenger,
+    split_fraction,
+)
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
 from repro.serve.client import (
     MatchingClient,
@@ -55,6 +68,7 @@ from repro.serve.shards import DEFAULT_REGION, ShardRegistry, ShardSpec
 from repro.serve.shm import SegmentJanitor, SharedArrayPack
 
 __all__ = [
+    "ABState",
     "AdmissionGate",
     "AutoscalerPolicy",
     "Backpressure",
@@ -64,6 +78,7 @@ __all__ = [
     "ControlJournal",
     "CrashTracker",
     "DEFAULT_REGION",
+    "GenerationStats",
     "MatchingClient",
     "MatchingServer",
     "MicroBatcher",
@@ -83,4 +98,7 @@ __all__ = [
     "ShardSpec",
     "StreamingSession",
     "UnknownSessionError",
+    "canonical_key",
+    "routes_to_challenger",
+    "split_fraction",
 ]

@@ -336,6 +336,49 @@ class MatchingClient:
             payload["model"] = model
         return self._request("POST", "/v1/admin/rollout", payload)
 
+    def start_ab(
+        self,
+        model: str | None = None,
+        split: float | None = None,
+        weights: str | None = None,
+        region: str | None = None,
+    ) -> dict:
+        """``POST /v1/admin/ab`` — start an A/B test against a challenger.
+
+        The server loads (threaded) or stages + canaries (cluster) the
+        challenger at ``model`` and routes the deterministic ``split``
+        fraction of match traffic to it; ``weights`` selects its weight
+        set (``"raw"``/``"ema"``), ``region`` its shard (cluster only).
+        Omitted fields take the server defaults.  Raises
+        :class:`ServeClientError` with 409 when a test or rollout is
+        already live, or with the failure status when the challenger was
+        refused — the champion keeps all traffic then.
+        """
+        payload: dict = {}
+        for name, value in (
+            ("model", model),
+            ("split", split),
+            ("weights", weights),
+            ("region", region),
+        ):
+            if value is not None:
+                payload[name] = value
+        return self._request("POST", "/v1/admin/ab", payload)
+
+    def promote_ab(self, region: str | None = None) -> dict:
+        """``POST /v1/admin/ab/promote`` — challenger becomes the server.
+
+        Returns the promotion summary including the final per-generation
+        ``"ab"`` snapshot; 409 when no test is live.
+        """
+        payload = {} if region is None else {"region": region}
+        return self._request("POST", "/v1/admin/ab/promote", payload)
+
+    def abort_ab(self, region: str | None = None) -> dict:
+        """``POST /v1/admin/ab/abort`` — drop the challenger untouched."""
+        payload = {} if region is None else {"region": region}
+        return self._request("POST", "/v1/admin/ab/abort", payload)
+
     def health(self) -> dict:
         """``GET /healthz``."""
         return self._request("GET", "/healthz")

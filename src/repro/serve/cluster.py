@@ -44,6 +44,12 @@ On top of the data plane sits a **control plane** (primitives in
   deterministically onto the new generation, in-flight requests finish
   on the old one, and a failed canary unlinks the staged segments with
   the old generation never disturbed;
+* **live A/B traffic splitting** (``POST /v1/admin/ab``): a challenger
+  generation is staged and canaried exactly like a rollout, then served
+  by one dedicated worker receiving a deterministic hash-based fraction
+  of ``/v1/match`` traffic (:mod:`repro.serve.ab`); per-generation
+  counters ride ``/metrics``, and ``promote``/``abort`` finalise the
+  test through the same stage→canary→swap machinery;
 * **deadline propagation + load shedding**: a client ``deadline_ms``
   becomes an absolute monotonic deadline riding the IPC frames; expired
   work is shed at the admission-queue head (and at op start in the
@@ -87,6 +93,7 @@ from repro.errors import (
     WorkerCrash,
 )
 from repro.serve import ipc, protocol
+from repro.serve.ab import ABState, canonical_key
 from repro.serve.control import (
     AdmissionGate,
     AutoscalerPolicy,
@@ -252,6 +259,24 @@ class _SessionRecord:
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
 
+@dataclass(slots=True)
+class _ABRecord:
+    """One live A/B test in the cluster: staged shard + its worker.
+
+    The challenger generation stays *staged* (never committed) for the
+    whole test: it is served by one dedicated worker forked against a
+    staged registry view, held outside the handles map and the ring so
+    neither the supervisor, the autoscaler, nor session routing ever
+    see it.  ``promote`` commits the shard and runs the normal fleet
+    swap; ``abort`` unlinks it with the champion never disturbed.
+    """
+
+    region: str
+    state: object  # ABState
+    staged: object  # LoadedShard
+    handle: "_WorkerHandle"
+
+
 class _HttpError(Exception):
     """Internal: carry status + payload up to the HTTP dispatcher."""
 
@@ -299,6 +324,10 @@ class _ResponseCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (a new generation was committed); keep stats."""
+        self._entries.clear()
 
     def stats(self) -> dict:
         return {
@@ -510,7 +539,7 @@ class _WorkerRuntime:
         process attached to a *staged* generation: a non-empty problem
         list vetoes the rollout before any serving worker is touched.
         """
-        from repro.testing.golden import run_canary
+        from repro.testing.golden import canary_trajectories, run_canary
 
         region = message.get("region", DEFAULT_REGION)
         count = message.get("count", 5)
@@ -518,7 +547,10 @@ class _WorkerRuntime:
             raise ProtocolError("field 'count' must be a positive integer")
         matcher = self._matcher(region)
         shard = self.registry.shard(region)
-        trajectories = [s.cellular for s in shard.dataset.samples[:count]]
+        # The one shared canary-set definition (repro.testing.golden):
+        # regenerating the corpus or re-cutting the dataset can never
+        # desync this probe from the threaded server's reload gate.
+        trajectories = canary_trajectories(shard.dataset, count)
         return {
             "problems": run_canary(matcher, trajectories),
             "checked": len(trajectories),
@@ -687,6 +719,9 @@ _ROUTES = (
     ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
     ("POST", re.compile(r"^/v1/match$"), "match"),
     ("POST", re.compile(r"^/v1/admin/rollout$"), "rollout"),
+    ("POST", re.compile(r"^/v1/admin/ab$"), "ab_start"),
+    ("POST", re.compile(r"^/v1/admin/ab/promote$"), "ab_promote"),
+    ("POST", re.compile(r"^/v1/admin/ab/abort$"), "ab_abort"),
     ("GET", re.compile(r"^/healthz$"), "healthz"),
     ("GET", re.compile(r"^/metrics$"), "metrics"),
 )
@@ -765,6 +800,8 @@ class ClusterServer:
         self._workers_target = self.config.num_workers
         self._control_task: asyncio.Task | None = None
         self._rollout_lock = asyncio.Lock()
+        #: Live A/B tests, keyed by region (see :class:`_ABRecord`).
+        self._ab: dict[str, _ABRecord] = {}
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -821,7 +858,11 @@ class ClusterServer:
         # now — its own ``parent_sock`` and each sibling's.  It must close
         # them all or gateway death never EOFs any worker's socket (the
         # fleet would keep itself alive, see ``_worker_main``).
-        inherited = (parent_sock, *(h.sock for h in self._handles.values()))
+        inherited = (
+            parent_sock,
+            *(h.sock for h in self._handles.values()),
+            *(r.handle.sock for r in self._ab.values()),
+        )
         process = self._mp_context.Process(
             target=_worker_main,
             args=(
@@ -935,6 +976,8 @@ class ClusterServer:
         self._thread.join(timeout=10.0)
         for handle in self._handles.values():
             handle.reap()
+        for record in self._ab.values():
+            record.handle.reap()
         self.registry.close(unlink=True)
         self._journal.record("cluster_stopped")
         self._journal.close()
@@ -967,9 +1010,11 @@ class ClusterServer:
                 except Exception:  # noqa: BLE001 - best effort during drain
                     pass
         self._records.clear()
-        for handle in list(self._handles.values()):
+        ab_handles = [record.handle for record in self._ab.values()]
+        for handle in list(self._handles.values()) + ab_handles:
             if not handle.alive:
                 continue
+            handle.retiring = True
             try:
                 await handle.call({"op": "shutdown"}, timeout=5.0)
             except Exception:  # noqa: BLE001
@@ -1217,12 +1262,146 @@ class ClusterServer:
 
         See :meth:`handle_rollout` for semantics; raises the same errors.
         """
-        if self._loop is None or self._thread is None or not self._thread.is_alive():
-            raise RuntimeError("cluster is not running")
-        future = asyncio.run_coroutine_threadsafe(
-            self._rollout_async(region, model), self._loop
+        return self._run_on_loop(self._rollout_async(region, model))
+
+    async def _stage_and_canary(
+        self,
+        region: str,
+        model: str | None,
+        weights: str | None = None,
+        event: str = "rollout",
+    ) -> tuple:
+        """Stage a candidate generation and canary it on a probe worker.
+
+        Shared by the rollout and A/B-start paths.  On success the
+        candidate is left *staged* (caller commits or keeps serving it
+        aside) and ``(staged_shard, canary_checked)`` returns; on any
+        failure the staged segments are unlinked with the serving
+        generation never touched, and the error propagates (wrapped in
+        :class:`ModelReloadFailed` unless it already is one).
+        """
+        loop = asyncio.get_running_loop()
+        # 1) Stage: load + validate the candidate into its own fresh
+        # segment.  Artifact taxonomy errors propagate as-is (422/500
+        # on the wire) and nothing was staged.
+        try:
+            staged = await loop.run_in_executor(
+                None, self.registry.stage_model, region, model, weights
+            )
+        except BaseException as error:
+            self.metrics.increment("rollout_failures_total")
+            self._journal.record(
+                f"{event}_rejected", region=region, error=str(error)
+            )
+            raise
+        self._journal.record(
+            f"{event}_staged",
+            region=region,
+            generation=staged.generation,
+            segment=staged.pack.segment_name,
         )
-        return future.result()
+        # 2) Canary: a throwaway probe worker forked against a staged
+        # *view* of the registry smoke-checks the candidate.  No
+        # serving worker is touched yet.
+        try:
+            view = self.registry.staged_view(region)
+            probe = self._fork_worker(
+                f"probe-{region}-g{staged.generation}",
+                staged.generation,
+                registry=view,
+                register=False,
+            )
+            try:
+                await probe.connect(self._ignore_down)
+                result = await probe.call(
+                    {
+                        "op": "canary",
+                        "region": region,
+                        "count": self.config.canary_count,
+                    },
+                    timeout=self.config.op_timeout_s,
+                )
+            finally:
+                try:
+                    await probe.call({"op": "shutdown"}, timeout=5.0)
+                except (WorkerCrash, _WorkerOpError):
+                    pass
+                probe.close()
+                await loop.run_in_executor(None, probe.reap)
+            problems = result.get("problems") or []
+            if problems:
+                raise ModelReloadFailed(
+                    f"candidate generation {staged.generation} for region "
+                    f"{region!r} failed the canary ({len(problems)} "
+                    "problem(s)): " + "; ".join(problems[:3])
+                )
+        except BaseException as error:
+            # Rollback: unlink the staged segments; the serving
+            # generation was never touched.
+            await loop.run_in_executor(None, self.registry.abort_staged, region)
+            self.metrics.increment("rollout_failures_total")
+            self._journal.record(
+                f"{event}_rolled_back",
+                region=region,
+                generation=staged.generation,
+                error=str(error),
+            )
+            if isinstance(error, (ModelReloadFailed, asyncio.CancelledError)):
+                raise
+            raise ModelReloadFailed(
+                f"canary probe for region {region!r} generation "
+                f"{staged.generation} failed: {error}"
+            ) from error
+        return staged, result.get("checked", 0)
+
+    async def _swap_fleet(self, event: str = "rollout") -> tuple[int, int]:
+        """Swap every serving worker onto the committed generation.
+
+        One worker at a time: fork a replacement, let it answer a ping,
+        put it in the old worker's ring slot, drain the old worker's
+        in-flight ops, shut it down.  Returns ``(swapped, failed)``; a
+        worker whose replacement cannot start keeps serving its old
+        (still-mapped) generation and is counted as failed.
+        """
+        loop = asyncio.get_running_loop()
+        swapped = failed_swaps = 0
+        for name in sorted(self._handles):
+            old = self._handles.get(name)
+            if old is None or not old.alive or old.retiring:
+                continue
+            try:
+                replacement = self._fork_worker(
+                    name, old.generation + 1, register=False
+                )
+                await replacement.connect(self._on_worker_down)
+                await replacement.call({"op": "ping"}, timeout=10.0)
+            except (WorkerCrash, _WorkerOpError) as error:
+                # The old worker keeps serving the old generation (its
+                # mapping stays valid until retire() below — and even
+                # that only unlinks the name, not live mappings).
+                failed_swaps += 1
+                self._journal.record(
+                    f"{event}_swap_failed", worker=name, error=str(error)
+                )
+                continue
+            self._handles[name] = replacement
+            # Drain: let the old worker finish its in-flight ops; new
+            # work is already routing to the replacement (same ring
+            # slot, same name — sessions replay on generation drift).
+            drain_deadline = time.monotonic() + self.config.drain_timeout_s
+            while old.inflight > 0 and time.monotonic() < drain_deadline:
+                await asyncio.sleep(0.02)
+            try:
+                await old.call({"op": "shutdown"}, timeout=5.0)
+            except (WorkerCrash, _WorkerOpError):
+                pass
+            old.close()
+            await loop.run_in_executor(None, old.reap)
+            swapped += 1
+            self._journal.record(
+                f"{event}_swapped", worker=name, generation=replacement.generation
+            )
+        return swapped, failed_swaps
 
     async def _rollout_async(self, region: str, model: str | None = None) -> dict:
         if self._rollout_lock.locked():
@@ -1230,6 +1409,13 @@ class ClusterServer:
                 409,
                 "a rollout is already in progress",
                 extra={"code": "rollout_in_progress"},
+            )
+        if region in self._ab:
+            raise _HttpError(
+                409,
+                f"an A/B test is live for region {region!r}; promote or "
+                "abort it before rolling out",
+                extra={"code": "ab_in_progress"},
             )
         async with self._rollout_lock:
             self._check_draining()
@@ -1239,121 +1425,17 @@ class ClusterServer:
             self._journal.record(
                 "rollout_start", region=region, model=model or "<configured>"
             )
-            # 1) Stage: load + validate the candidate into its own fresh
-            # segment.  Artifact taxonomy errors propagate as-is (422/500
-            # on the wire) and nothing was staged.
-            try:
-                staged = await loop.run_in_executor(
-                    None, self.registry.stage_model, region, model
-                )
-            except BaseException as error:
-                self.metrics.increment("rollout_failures_total")
-                self._journal.record(
-                    "rollout_rejected", region=region, error=str(error)
-                )
-                raise
-            self._journal.record(
-                "rollout_staged",
-                region=region,
-                generation=staged.generation,
-                segment=staged.pack.segment_name,
-            )
-            # 2) Canary: a throwaway probe worker forked against a staged
-            # *view* of the registry smoke-checks the candidate.  No
-            # serving worker is touched yet.
-            try:
-                view = self.registry.staged_view(region)
-                probe = self._fork_worker(
-                    f"probe-{region}-g{staged.generation}",
-                    staged.generation,
-                    registry=view,
-                    register=False,
-                )
-                try:
-                    await probe.connect(self._ignore_down)
-                    result = await probe.call(
-                        {
-                            "op": "canary",
-                            "region": region,
-                            "count": self.config.canary_count,
-                        },
-                        timeout=self.config.op_timeout_s,
-                    )
-                finally:
-                    try:
-                        await probe.call({"op": "shutdown"}, timeout=5.0)
-                    except (WorkerCrash, _WorkerOpError):
-                        pass
-                    probe.close()
-                    await loop.run_in_executor(None, probe.reap)
-                problems = result.get("problems") or []
-                if problems:
-                    raise ModelReloadFailed(
-                        f"candidate generation {staged.generation} for region "
-                        f"{region!r} failed the canary ({len(problems)} "
-                        "problem(s)): " + "; ".join(problems[:3])
-                    )
-            except BaseException as error:
-                # Rollback: unlink the staged segments; the serving
-                # generation was never touched.
-                await loop.run_in_executor(None, self.registry.abort_staged, region)
-                self.metrics.increment("rollout_failures_total")
-                self._journal.record(
-                    "rollout_rolled_back",
-                    region=region,
-                    generation=staged.generation,
-                    error=str(error),
-                )
-                if isinstance(error, (ModelReloadFailed, asyncio.CancelledError)):
-                    raise
-                raise ModelReloadFailed(
-                    f"canary probe for region {region!r} generation "
-                    f"{staged.generation} failed: {error}"
-                ) from error
-            # 3) Commit, then swap the fleet one worker at a time.  New
+            staged, checked = await self._stage_and_canary(region, model)
+            # Commit, then swap the fleet one worker at a time.  New
             # forks (including respawns) now inherit the new generation.
             old_shard = self.registry.commit_staged(region)
+            # Cached responses belong to the replaced generation now.
+            self._cache.clear()
             self._journal.record(
                 "rollout_committed", region=region, generation=staged.generation
             )
-            swapped = failed_swaps = 0
-            for name in sorted(self._handles):
-                old = self._handles.get(name)
-                if old is None or not old.alive or old.retiring:
-                    continue
-                try:
-                    replacement = self._fork_worker(
-                        name, old.generation + 1, register=False
-                    )
-                    await replacement.connect(self._on_worker_down)
-                    await replacement.call({"op": "ping"}, timeout=10.0)
-                except (WorkerCrash, _WorkerOpError) as error:
-                    # The old worker keeps serving the old generation (its
-                    # mapping stays valid until retire() below — and even
-                    # that only unlinks the name, not live mappings).
-                    failed_swaps += 1
-                    self._journal.record(
-                        "rollout_swap_failed", worker=name, error=str(error)
-                    )
-                    continue
-                self._handles[name] = replacement
-                # Drain: let the old worker finish its in-flight ops; new
-                # work is already routing to the replacement (same ring
-                # slot, same name — sessions replay on generation drift).
-                drain_deadline = time.monotonic() + self.config.drain_timeout_s
-                while old.inflight > 0 and time.monotonic() < drain_deadline:
-                    await asyncio.sleep(0.02)
-                try:
-                    await old.call({"op": "shutdown"}, timeout=5.0)
-                except (WorkerCrash, _WorkerOpError):
-                    pass
-                old.close()
-                await loop.run_in_executor(None, old.reap)
-                swapped += 1
-                self._journal.record(
-                    "rollout_swapped", worker=name, generation=replacement.generation
-                )
-            # 4) Retire the replaced generation's segment.  Workers that
+            swapped, failed_swaps = await self._swap_fleet()
+            # Retire the replaced generation's segment.  Workers that
             # failed to swap keep their private mapping alive; the name
             # disappears so nothing new can attach.
             await loop.run_in_executor(None, self.registry.retire, old_shard)
@@ -1363,11 +1445,239 @@ class ClusterServer:
                 "generation": staged.generation,
                 "workers_swapped": swapped,
                 "workers_failed": failed_swaps,
-                "canary_checked": result.get("checked", 0),
+                "canary_checked": checked,
                 "duration_s": round(time.monotonic() - started, 3),
             }
             self._journal.record("rollout_done", **summary)
             return summary
+
+    # ------------------------------------------------------------ A/B testing
+    def _run_on_loop(self, coro) -> dict:
+        """Run a control-plane coroutine on the gateway loop (tests/CLI)."""
+        if self._loop is None or self._thread is None or not self._thread.is_alive():
+            coro.close()
+            raise RuntimeError("cluster is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def start_ab(
+        self,
+        region: str = DEFAULT_REGION,
+        model: str | None = None,
+        split: float = 0.1,
+        weights: str | None = None,
+    ) -> dict:
+        """Thread-safe A/B start (tests / direct callers).
+
+        See :meth:`handle_ab_start` for semantics; raises the same errors.
+        """
+        return self._run_on_loop(self._ab_start_async(region, model, split, weights))
+
+    def promote_ab(self, region: str = DEFAULT_REGION) -> dict:
+        """Thread-safe A/B promote; see :meth:`handle_ab_promote`."""
+        return self._run_on_loop(self._ab_promote_async(region))
+
+    def abort_ab(self, region: str = DEFAULT_REGION) -> dict:
+        """Thread-safe A/B abort; see :meth:`handle_ab_abort`."""
+        return self._run_on_loop(self._ab_abort_async(region))
+
+    async def _on_ab_worker_down(self, handle: _WorkerHandle) -> None:
+        """A challenger worker died: the champion absorbs its share.
+
+        No respawn — a challenger that cannot stay up has failed its
+        audition; the test stays live (counters keep their history) and
+        routing falls back to the champion until promote/abort resolves.
+        """
+        if not handle.retiring:
+            for record in self._ab.values():
+                if record.handle is handle:
+                    self.metrics.increment("ab_challenger_deaths_total")
+                    self._journal.record(
+                        "ab_challenger_down", region=record.region
+                    )
+                    break
+        await asyncio.get_running_loop().run_in_executor(None, handle.reap)
+
+    async def _retire_challenger(self, record: _ABRecord) -> None:
+        """Drain + shut down one A/B test's dedicated challenger worker."""
+        handle = record.handle
+        handle.retiring = True
+        if handle.alive:
+            drain_deadline = time.monotonic() + self.config.drain_timeout_s
+            while handle.inflight > 0 and time.monotonic() < drain_deadline:
+                await asyncio.sleep(0.02)
+            try:
+                await handle.call({"op": "shutdown"}, timeout=5.0)
+            except (WorkerCrash, _WorkerOpError):
+                pass
+        handle.close()
+        await asyncio.get_running_loop().run_in_executor(None, handle.reap)
+
+    async def _ab_start_async(
+        self, region: str, model: str | None, split: float, weights: str | None
+    ) -> dict:
+        if self._rollout_lock.locked():
+            raise _HttpError(
+                409,
+                "a rollout is already in progress",
+                extra={"code": "rollout_in_progress"},
+            )
+        async with self._rollout_lock:
+            self._check_draining()
+            current = self.registry.shard(region)  # 404 early
+            if region in self._ab:
+                raise _HttpError(
+                    409,
+                    f"an A/B test is already live for region {region!r}; "
+                    "promote or abort it first",
+                    extra={"code": "ab_in_progress"},
+                )
+            try:
+                state = ABState(
+                    split=split,
+                    champion_generation=current.generation,
+                    challenger_generation=current.generation + 1,
+                    challenger_model="",
+                    challenger_weights=weights or current.spec.weights,
+                )
+            except ValueError as error:
+                raise ProtocolError(str(error)) from error
+            self._journal.record(
+                "ab_start",
+                region=region,
+                model=model or "<configured>",
+                split=state.split,
+            )
+            staged, checked = await self._stage_and_canary(
+                region, model, weights=weights, event="ab"
+            )
+            state.challenger_model = staged.spec.model
+            state.challenger_weights = staged.spec.weights
+            # One dedicated worker serves the challenger's split: forked
+            # against the staged view, never in the handles map or the
+            # ring, so the supervisor/autoscaler/session routing cannot
+            # see it and streaming sessions stay on the champion.
+            loop = asyncio.get_running_loop()
+            view = self.registry.staged_view(region)
+            handle = self._fork_worker(
+                f"ab-{region}-g{staged.generation}",
+                staged.generation,
+                registry=view,
+                register=False,
+            )
+            try:
+                await handle.connect(self._on_ab_worker_down)
+                await handle.call({"op": "ping"}, timeout=10.0)
+            except (WorkerCrash, _WorkerOpError) as error:
+                handle.close()
+                await loop.run_in_executor(None, handle.reap)
+                await loop.run_in_executor(None, self.registry.abort_staged, region)
+                self.metrics.increment("rollout_failures_total")
+                self._journal.record(
+                    "ab_rolled_back",
+                    region=region,
+                    generation=staged.generation,
+                    error=str(error),
+                )
+                raise ModelReloadFailed(
+                    f"challenger worker for region {region!r} generation "
+                    f"{staged.generation} failed to start: {error}"
+                ) from error
+            self._ab[region] = _ABRecord(
+                region=region, state=state, staged=staged, handle=handle
+            )
+            self.metrics.increment("ab_starts_total")
+            summary = {
+                "region": region,
+                "split": state.split,
+                "champion_generation": state.champion_generation,
+                "challenger_generation": state.challenger_generation,
+                "challenger_model": state.challenger_model,
+                "challenger_weights": state.challenger_weights,
+                "canary_checked": checked,
+            }
+            self._journal.record("ab_started", **summary)
+            return summary
+
+    async def _ab_promote_async(self, region: str) -> dict:
+        if self._rollout_lock.locked():
+            raise _HttpError(
+                409,
+                "a rollout is already in progress",
+                extra={"code": "rollout_in_progress"},
+            )
+        async with self._rollout_lock:
+            self._check_draining()
+            record = self._ab.get(region)
+            if record is None:
+                raise _HttpError(
+                    409,
+                    f"no A/B test is live for region {region!r}",
+                    extra={"code": "no_ab_test"},
+                )
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            # Commit first: from here every new fork — the fleet swap
+            # below, respawns, scale-ups — attaches the challenger
+            # generation.  The challenger worker keeps answering its
+            # split until the swap completes, so requests admitted
+            # mid-promote finish on whichever generation the split
+            # assigned them and nothing is dropped.
+            old_shard = self.registry.commit_staged(region)
+            self._cache.clear()
+            self._journal.record(
+                "ab_committed", region=region, generation=record.staged.generation
+            )
+            swapped, failed_swaps = await self._swap_fleet(event="ab")
+            await loop.run_in_executor(None, self.registry.retire, old_shard)
+            await self._retire_challenger(record)
+            self._ab.pop(region, None)
+            self.metrics.increment("ab_promotions_total")
+            self.metrics.increment("rollouts_total")
+            summary = {
+                "region": region,
+                "generation": record.staged.generation,
+                "workers_swapped": swapped,
+                "workers_failed": failed_swaps,
+                "duration_s": round(time.monotonic() - started, 3),
+                "ab": record.state.snapshot(),
+            }
+            self._journal.record(
+                "ab_promoted",
+                region=region,
+                generation=record.staged.generation,
+                workers_swapped=swapped,
+                workers_failed=failed_swaps,
+            )
+            return summary
+
+    async def _ab_abort_async(self, region: str) -> dict:
+        if self._rollout_lock.locked():
+            raise _HttpError(
+                409,
+                "a rollout is already in progress",
+                extra={"code": "rollout_in_progress"},
+            )
+        async with self._rollout_lock:
+            record = self._ab.pop(region, None)
+            if record is None:
+                raise _HttpError(
+                    409,
+                    f"no A/B test is live for region {region!r}",
+                    extra={"code": "no_ab_test"},
+                )
+            await self._retire_challenger(record)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.registry.abort_staged, region
+            )
+            self.metrics.increment("ab_aborts_total")
+            self._journal.record(
+                "ab_aborted", region=region, generation=record.staged.generation
+            )
+            return {
+                "region": region,
+                "generation": self.registry.shard(region).generation,
+                "ab": record.state.snapshot(),
+            }
 
     # ------------------------------------------------------------- admission
     def _check_draining(self) -> None:
@@ -1438,7 +1748,33 @@ class ClusterServer:
         claimed: dict[tuple, asyncio.Future] = {}
         use_cache = self.config.cache_size > 0
         loop = asyncio.get_running_loop()
+        # Live A/B: the deterministic key hash assigns each trajectory a
+        # side *before* cache/singleflight — a challenger-assigned item
+        # must reach the challenger generation, never a champion cache
+        # entry, so the observed split over a known trace is exact.
+        ab = self._ab.get(region)
+        ab_started = time.perf_counter() if ab is not None else 0.0
+        challenger_items: dict[int, object] = {}
+        challenger_served: set[int] = set()
+        challenger_task: asyncio.Task | None = None
+        if ab is not None and ab.handle.alive:
+            for i, item in enumerate(body):
+                if ab.state.assign(canonical_key(item)):
+                    challenger_items[i] = item
+        if challenger_items:
+            op: dict = {
+                "op": "match",
+                "region": region,
+                "trajectories": list(challenger_items.values()),
+            }
+            if deadline is not None:
+                op["deadline"] = deadline
+            challenger_task = asyncio.create_task(
+                ab.handle.call(op, timeout=self.config.op_timeout_s)
+            )
         for i, key in enumerate(keys):
+            if i in challenger_items:
+                continue  # bypasses the champion cache and singleflight
             if use_cache:
                 cached = self._cache.get(key)
                 if cached is not None:
@@ -1481,8 +1817,49 @@ class ClusterServer:
             ):
                 if amount:
                     self.metrics.increment(name, amount)
+        if challenger_task is not None:
+            try:
+                response = await challenger_task
+                challenger_served.update(challenger_items)
+            except (WorkerCrash, _WorkerOpError) as error:
+                # The challenger died (or refused the op) mid-request:
+                # the champion fleet absorbs its share so nothing drops;
+                # the slots are accounted to the champion generation.
+                self.metrics.increment("ab_failovers_total")
+                self._journal.record(
+                    "ab_failover", region=region, error=str(error)
+                )
+                response = await self._match_on_worker(
+                    region, list(challenger_items.values()), deadline
+                )
+            for i, slot in zip(challenger_items, response["results"]):
+                slots[i] = slot
+            for name, amount in (
+                ("trajectories_matched", response.get("matched", 0)),
+                ("match_degraded_total", response.get("degraded", 0)),
+                ("match_failed_total", response.get("failed", 0)),
+            ):
+                if amount:
+                    self.metrics.increment(name, amount)
         for i, future in waiters:
             slots[i] = await asyncio.shield(future)
+        if ab is not None:
+            # Exactly one per-generation record per admitted trajectory:
+            # the counters across both generations sum to the admitted
+            # total by construction (chaos suite invariant).
+            elapsed = time.perf_counter() - ab_started
+            for i, slot in enumerate(slots):
+                failed = not (slot or {}).get("ok", False)
+                degraded = (
+                    not failed
+                    and slot["result"].get("provenance", "lhmm") != "lhmm"
+                )
+                ab.state.stats_for(i in challenger_served).record(
+                    requests=1,
+                    degraded=int(degraded),
+                    failed=int(failed),
+                    seconds=elapsed,
+                )
         encoded: list[dict] = []
         for slot in slots:
             assert slot is not None
@@ -1702,6 +2079,54 @@ class ClusterServer:
             raise ProtocolError("field 'model' must be a string path")
         return 200, await self._rollout_async(region, model)
 
+    @staticmethod
+    def _ab_region(payload: dict) -> str:
+        region = payload.get("region", DEFAULT_REGION)
+        if not isinstance(region, str):
+            raise ProtocolError("field 'region' must be a string")
+        return region
+
+    async def handle_ab_start(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab`` — load a challenger, start splitting.
+
+        Body: ``{"region": ..., "model": ..., "split": 0.1, "weights":
+        "raw"|"ema"}`` (all optional).  The challenger generation is
+        staged, canaried on a probe worker, and then served by one
+        dedicated worker that receives the deterministic ``split``
+        fraction of ``/v1/match`` traffic for the region; streaming
+        sessions stay on the champion.  Per-generation counters appear
+        under ``"ab"`` on ``/metrics`` until ``promote``/``abort``
+        resolves the test.  A concurrent rollout or live test answers
+        409.
+        """
+        self._check_draining()
+        region = self._ab_region(payload)
+        model = payload.get("model")
+        split = payload.get("split", 0.1)
+        weights = payload.get("weights")
+        if model is not None and not isinstance(model, str):
+            raise ProtocolError("field 'model' must be a string path")
+        if isinstance(split, bool) or not isinstance(split, (int, float)):
+            raise ProtocolError("field 'split' must be a number in (0, 1]")
+        if weights is not None and weights not in ("raw", "ema"):
+            raise ProtocolError("field 'weights' must be 'raw' or 'ema'")
+        return 200, await self._ab_start_async(region, model, float(split), weights)
+
+    async def handle_ab_promote(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab/promote`` — challenger becomes sole server.
+
+        Commits the challenger's staged generation and runs the normal
+        zero-downtime fleet swap; requests admitted mid-promote finish
+        on whichever generation the split assigned them.  Returns the
+        final per-generation snapshot.
+        """
+        self._check_draining()
+        return 200, await self._ab_promote_async(self._ab_region(payload))
+
+    async def handle_ab_abort(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab/abort`` — drop the challenger untouched."""
+        return 200, await self._ab_abort_async(self._ab_region(payload))
+
     # --------------------------------------------------------- observability
     async def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``GET /healthz`` — fleet liveness and shard inventory."""
@@ -1736,6 +2161,7 @@ class ClusterServer:
             "active_sessions": len(self._records),
             "inflight_ops": self._gate.inflight,
             "queue_depth": self._gate.depth,
+            "ab_live": sorted(self._ab),
         }
 
     async def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
@@ -1753,6 +2179,11 @@ class ClusterServer:
             "scale_downs_total",
             "rollouts_total",
             "rollout_failures_total",
+            "ab_starts_total",
+            "ab_promotions_total",
+            "ab_aborts_total",
+            "ab_challenger_deaths_total",
+            "ab_failovers_total",
         ):
             snapshot["counters"].setdefault(name, 0)
         workers = []
@@ -1797,6 +2228,11 @@ class ClusterServer:
             "journal_tail": self._journal.tail(20),
         }
         snapshot["generations"] = self.registry.generations()
+        if self._ab:
+            snapshot["ab"] = {
+                region: record.state.snapshot()
+                for region, record in sorted(self._ab.items())
+            }
         if self.config.extra_metrics:
             snapshot["extra"] = dict(self.config.extra_metrics)
         return 200, snapshot

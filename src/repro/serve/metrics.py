@@ -5,6 +5,11 @@ themselves with :meth:`observe`; anything else that wants to count events
 (sessions, batches, matched trajectories) uses :meth:`increment`.  The
 snapshot is plain JSON so operators can scrape it with nothing fancier
 than ``curl``.
+
+:class:`RollingWindow` is reused beyond the autoscaler: the per-generation
+A/B serving stats (:class:`repro.serve.ab.GenerationStats`) build their
+recent-latency percentiles on it, so the ``/metrics`` ``"ab"`` section
+reports the same windowed p50/p95 semantics as the admission gate.
 """
 
 from __future__ import annotations

@@ -53,6 +53,7 @@ from repro.errors import (
     ServerOverloaded,
 )
 from repro.serve import protocol
+from repro.serve.ab import ABState, canonical_key
 from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import ProtocolError
@@ -109,6 +110,9 @@ _ROUTES = (
     ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "close_session"),
     ("POST", re.compile(r"^/v1/match$"), "match"),
     ("POST", re.compile(r"^/v1/admin/reload-model$"), "reload_model"),
+    ("POST", re.compile(r"^/v1/admin/ab$"), "ab_start"),
+    ("POST", re.compile(r"^/v1/admin/ab/promote$"), "ab_promote"),
+    ("POST", re.compile(r"^/v1/admin/ab/abort$"), "ab_abort"),
     ("GET", re.compile(r"^/healthz$"), "healthz"),
     ("GET", re.compile(r"^/metrics$"), "metrics"),
 )
@@ -173,14 +177,20 @@ class MatchingServer:
         self.model_path = model_path
         self.dataset = dataset
         if canary_trajectories is None and dataset is not None:
-            canary_trajectories = [
-                s.cellular for s in dataset.samples[: self.DEFAULT_CANARY_COUNT]
-            ]
+            from repro.testing.golden import canary_trajectories as canary_set
+
+            canary_trajectories = canary_set(dataset, self.DEFAULT_CANARY_COUNT)
         self.canary_trajectories = list(canary_trajectories or [])
         #: Monotonic counter of the model currently serving; bumped on
         #: every successful hot reload.
         self.model_generation = 1
         self._reload_lock = threading.Lock()
+        # Live A/B test between the serving model and a challenger
+        # generation (None when no test is running).  The challenger
+        # matcher is held aside — never in :attr:`matcher` — until
+        # :meth:`promote_ab` swaps it in.
+        self.ab: ABState | None = None
+        self._ab_matcher: LHMM | None = None
         self.sessions = SessionManager(
             matcher,
             default_lag=self.config.default_lag,
@@ -244,34 +254,13 @@ class MatchingServer:
         opened before the swap finish on the model they started with.
         """
         with self._reload_lock:
-            path = path if path is not None else self.model_path
-            if path is None or self.dataset is None:
-                raise ModelReloadFailed(
-                    "server has no reloadable model (start it with "
-                    "model_path= and dataset=, e.g. via the serve CLI)"
+            if self.ab is not None:
+                raise _HttpError(
+                    409,
+                    "an A/B test is live; promote or abort it before "
+                    "reloading the serving model",
                 )
-            try:
-                candidate = LHMM.load(path, self.dataset)
-            except FileNotFoundError as error:
-                self.metrics.increment("model_reload_failures_total")
-                raise ModelReloadFailed(
-                    f"no model artifact at {path}; is the path right?"
-                ) from error
-            except ReproError:
-                self.metrics.increment("model_reload_failures_total")
-                raise
-            problems = []
-            if self.canary_trajectories:
-                from repro.testing.golden import run_canary
-
-                problems = run_canary(candidate, self.canary_trajectories)
-            if problems:
-                self.metrics.increment("model_reload_failures_total")
-                raise ModelReloadFailed(
-                    f"candidate model at {path} failed the canary "
-                    f"({len(problems)} problem(s)): " + "; ".join(problems[:3])
-                )
-            candidate.degradation_enabled = self.matcher.degradation_enabled
+            candidate, path = self._load_candidate(path)
             with self._infer_lock:
                 self.matcher = candidate
                 self.sessions.matcher = candidate
@@ -284,6 +273,146 @@ class MatchingServer:
                 "model_path": str(path),
                 "canary_trajectories": len(self.canary_trajectories),
             }
+
+    def _load_candidate(self, path, weights: str = "raw"):
+        """Load + canary a candidate model aside the serving one.
+
+        Shared by hot reload and A/B start: the candidate must load
+        cleanly and pass the golden canary before any traffic touches
+        it.  Returns ``(matcher, path)``; counts every failure in
+        ``model_reload_failures_total``.
+        """
+        path = path if path is not None else self.model_path
+        if path is None or self.dataset is None:
+            raise ModelReloadFailed(
+                "server has no reloadable model (start it with "
+                "model_path= and dataset=, e.g. via the serve CLI)"
+            )
+        try:
+            candidate = LHMM.load(path, self.dataset, weights=weights)
+        except FileNotFoundError as error:
+            self.metrics.increment("model_reload_failures_total")
+            raise ModelReloadFailed(
+                f"no model artifact at {path}; is the path right?"
+            ) from error
+        except ReproError:
+            self.metrics.increment("model_reload_failures_total")
+            raise
+        problems = []
+        if self.canary_trajectories:
+            from repro.testing.golden import run_canary
+
+            problems = run_canary(candidate, self.canary_trajectories)
+        if problems:
+            self.metrics.increment("model_reload_failures_total")
+            raise ModelReloadFailed(
+                f"candidate model at {path} failed the canary "
+                f"({len(problems)} problem(s)): " + "; ".join(problems[:3])
+            )
+        candidate.degradation_enabled = self.matcher.degradation_enabled
+        return candidate, path
+
+    # ------------------------------------------------------------- A/B testing
+    def start_ab(
+        self, model=None, split: float = 0.1, weights: str = "raw"
+    ) -> dict:
+        """Load a challenger generation and start splitting live traffic.
+
+        The challenger loads aside the serving (champion) model, must
+        pass the same golden canary as a hot reload, and then receives
+        the deterministic ``split`` fraction of ``/v1/match`` traffic
+        (per-trajectory key hash — see :mod:`repro.serve.ab`).  Streaming
+        sessions always stay on the champion.  Per-generation counters
+        and latency appear under ``"ab"`` on ``/metrics`` until
+        :meth:`promote_ab` or :meth:`abort_ab` resolves the test.
+        """
+        with self._reload_lock:
+            if self.ab is not None:
+                raise _HttpError(
+                    409,
+                    "an A/B test is already live; promote or abort it first",
+                )
+            try:
+                state = ABState(
+                    split=split,
+                    champion_generation=self.model_generation,
+                    challenger_generation=self.model_generation + 1,
+                    challenger_model="",
+                    challenger_weights=weights,
+                )
+            except ValueError as error:
+                raise ProtocolError(str(error)) from error
+            candidate, path = self._load_candidate(model, weights=weights)
+            state.challenger_model = str(path)
+            self._ab_matcher = candidate
+            self.ab = state
+            self.metrics.increment("ab_starts_total")
+            return {
+                "split": state.split,
+                "champion_generation": state.champion_generation,
+                "challenger_generation": state.challenger_generation,
+                "challenger_model": state.challenger_model,
+                "challenger_weights": weights,
+            }
+
+    def promote_ab(self) -> dict:
+        """Atomically make the challenger the sole serving generation.
+
+        The swap happens under the shared inference lock — exactly like
+        a hot reload — so no request ever sees a half-promoted model;
+        requests admitted before the promote finish on whichever
+        generation the split assigned them.  Returns the final A/B
+        snapshot alongside the new generation number.
+        """
+        with self._reload_lock:
+            state, candidate = self.ab, self._ab_matcher
+            if state is None or candidate is None:
+                raise _HttpError(409, "no A/B test is live")
+            with self._infer_lock:
+                self.matcher = candidate
+                self.sessions.matcher = candidate
+                self.model_path = state.challenger_model
+                self.model_generation += 1
+                generation = self.model_generation
+                self.ab = None
+                self._ab_matcher = None
+            self.metrics.increment("ab_promotions_total")
+            self.metrics.increment("model_reloads_total")
+            return {
+                "generation": generation,
+                "model_path": state.challenger_model,
+                "ab": state.snapshot(),
+            }
+
+    def abort_ab(self) -> dict:
+        """Drop the challenger; the champion keeps all traffic."""
+        with self._reload_lock:
+            state = self.ab
+            if state is None:
+                raise _HttpError(409, "no A/B test is live")
+            with self._infer_lock:
+                self.ab = None
+                self._ab_matcher = None
+            self.metrics.increment("ab_aborts_total")
+            return {
+                "generation": self.model_generation,
+                "ab": state.snapshot(),
+            }
+
+    def _record_ab_slot(
+        self, state: ABState, challenger: bool, slot, seconds: float
+    ) -> None:
+        """Account one routed trajectory to its generation's counters."""
+        failed = isinstance(slot, MatchError)
+        degraded = (
+            not failed and getattr(slot, "provenance", "lhmm") != "lhmm"
+        )
+        state.stats_for(challenger).record(
+            requests=1,
+            degraded=int(degraded),
+            failed=int(failed),
+            seconds=seconds,
+        )
 
     def _model_status(self) -> dict:
         """Model-lifecycle counters for ``/healthz`` and ``/metrics``."""
@@ -418,12 +547,40 @@ class MatchingServer:
         for i, trajectory in enumerate(trajectories):
             label = "trajectory" if single else f"trajectories[{i}]"
             self.matcher.validate_trajectory(trajectory, context=label)
-        # Each trajectory is admitted individually so one HTTP request's
-        # batch can merge with other requests' work in the same micro-batch.
-        futures = [self.batcher.submit(t) for t in trajectories]
-        slots = [
-            future.result(timeout=self.config.request_timeout_s) for future in futures
-        ]
+        # Live A/B: the deterministic key hash of each trajectory's
+        # canonical payload decides its generation.  Snapshot the state
+        # once so a concurrent promote/abort cannot split one request's
+        # accounting across two tests.
+        state, challenger = self.ab, self._ab_matcher
+        if state is not None and challenger is not None:
+            to_challenger = [state.assign(canonical_key(item)) for item in body]
+        else:
+            to_challenger = [False] * len(body)
+        started = time.perf_counter()
+        # Each champion trajectory is admitted individually so one HTTP
+        # request's batch can merge with other requests' work in the same
+        # micro-batch; challenger trajectories run directly on the
+        # challenger matcher under the shared inference lock.
+        futures = {
+            i: self.batcher.submit(t)
+            for i, t in enumerate(trajectories)
+            if not to_challenger[i]
+        }
+        slots = []
+        for i, trajectory in enumerate(trajectories):
+            if to_challenger[i]:
+                try:
+                    with self._infer_lock:
+                        slot = challenger.match(trajectory)
+                except Exception as error:  # noqa: BLE001 - slotted per item
+                    slot = MatchError.from_exception(error, index=i)
+            else:
+                slot = futures[i].result(timeout=self.config.request_timeout_s)
+            if state is not None:
+                self._record_ab_slot(
+                    state, to_challenger[i], slot, time.perf_counter() - started
+                )
+            slots.append(slot)
         encoded: list[dict] = []
         matched = degraded = failed = 0
         for slot in slots:
@@ -463,6 +620,35 @@ class MatchingServer:
         info = self.reload_model(path)
         return 200, {"status": "reloaded", **info}
 
+    def handle_ab_start(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab`` — load a challenger and start splitting.
+
+        Body: ``{"model": path?, "split": 0.1?, "weights": "raw"|"ema"?}``.
+        The challenger must pass the golden canary before it sees any
+        traffic; the champion keeps serving untouched either way.
+        """
+        self._check_draining()
+        model = payload.get("model")
+        if model is not None and not isinstance(model, str):
+            raise ProtocolError("field 'model' must be a string path")
+        split = payload.get("split", 0.1)
+        if isinstance(split, bool) or not isinstance(split, (int, float)):
+            raise ProtocolError("field 'split' must be a number in (0, 1]")
+        weights = payload.get("weights", "raw")
+        if weights not in ("raw", "ema"):
+            raise ProtocolError("field 'weights' must be 'raw' or 'ema'")
+        info = self.start_ab(model=model, split=float(split), weights=weights)
+        return 200, {"status": "ab_started", **info}
+
+    def handle_ab_promote(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab/promote`` — challenger becomes sole server."""
+        self._check_draining()
+        return 200, {"status": "promoted", **self.promote_ab()}
+
+    def handle_ab_abort(self, payload: dict, match: re.Match) -> tuple[int, dict]:
+        """``POST /v1/admin/ab/abort`` — drop the challenger."""
+        return 200, {"status": "aborted", **self.abort_ab()}
+
     def handle_healthz(self, payload: dict, match: re.Match) -> tuple[int, dict]:
         """``GET /healthz`` — liveness, protocol version, and load snapshot.
 
@@ -477,13 +663,16 @@ class MatchingServer:
             status = "degraded"
         else:
             status = "ok"
+        model = self._model_status()
+        state = self.ab
+        model["ab_live"] = state is not None
         return 200, {
             "status": status,
             "protocol_version": protocol.PROTOCOL_VERSION,
             "active_sessions": len(self.sessions),
             "queue_depth": self.batcher.queue_depth,
             "degraded": events,
-            "model": self._model_status(),
+            "model": model,
         }
 
     def handle_metrics(self, payload: dict, match: re.Match) -> tuple[int, dict]:
@@ -498,6 +687,11 @@ class MatchingServer:
                 snapshot["counters"][name] = value
         for name, value in self._model_status().items():
             snapshot["counters"][name] = value
+        for name in ("ab_starts_total", "ab_promotions_total", "ab_aborts_total"):
+            snapshot["counters"].setdefault(name, 0)
+        state = self.ab
+        if state is not None:
+            snapshot["ab"] = state.snapshot()
         if self.pool is not None:
             snapshot["pool"] = self.pool.stats()
         snapshot["sessions"] = self.sessions.stats()

@@ -62,12 +62,17 @@ class ShardSpec:
     router: str = "dijkstra"
     ubodt_delta_m: float = 3000.0
     ubodt_table: str | None = None
+    #: Which artifact weight set workers attach: ``"raw"`` (the trained
+    #: weights) or ``"ema"`` (the trainer's shadow set, when present).
+    weights: str = "raw"
 
     def __post_init__(self) -> None:
         if not self.region or "/" in self.region:
             raise ValueError(f"invalid region name {self.region!r}")
         if self.router not in ("dijkstra", "ubodt"):
             raise ValueError(f"unknown router {self.router!r}")
+        if self.weights not in ("raw", "ema"):
+            raise ValueError(f"unknown weight set {self.weights!r}")
 
 
 @dataclass(slots=True)
@@ -166,6 +171,12 @@ class ShardRegistry:
                 f"{spec.model}: artifact manifest carries no model "
                 "configuration (cluster serving needs a manifest envelope)"
             )
+        if spec.weights == "ema" and "ema.node_embeddings" not in artifact.arrays:
+            raise ArtifactIncompatible(
+                f"{spec.model}: artifact carries no EMA shadow weight set "
+                "(available weights: raw only — was it written by an older "
+                "build?)"
+            )
         arrays: dict[str, np.ndarray] = {
             f"model.{key}": value for key, value in artifact.arrays.items()
         }
@@ -205,15 +216,19 @@ class ShardRegistry:
         )
 
     # ----------------------------------------------------------- generations
-    def stage_model(self, region: str, model: str | None = None) -> LoadedShard:
+    def stage_model(
+        self, region: str, model: str | None = None, weights: str | None = None
+    ) -> LoadedShard:
         """Publish a candidate artifact generation for ``region``.
 
         Loads and validates the artifact at ``model`` (default: the
         region's configured path, re-read from disk), publishes it into a
-        fresh segment, and parks it as the region's *staged* shard.  The
-        serving generation is untouched; call :meth:`commit_staged` or
-        :meth:`abort_staged` to resolve.  Raises the artifact taxonomy
-        errors on a bad candidate — in which case nothing was staged.
+        fresh segment, and parks it as the region's *staged* shard.
+        ``weights`` selects the candidate's weight set (default: keep the
+        region's current selection).  The serving generation is
+        untouched; call :meth:`commit_staged` or :meth:`abort_staged` to
+        resolve.  Raises the artifact taxonomy errors on a bad candidate
+        — in which case nothing was staged.
         """
         current = self.shard(region)
         previous = self._staged.pop(region, None)
@@ -229,6 +244,7 @@ class ShardRegistry:
             router=current.spec.router,
             ubodt_delta_m=current.spec.ubodt_delta_m,
             ubodt_table=current.spec.ubodt_table,
+            weights=weights if weights is not None else current.spec.weights,
         )
         staged = self._load_shard(
             spec,
@@ -319,6 +335,7 @@ class ShardRegistry:
                 "arrays": len(shard.pack.meta["arrays"]),
                 "router": shard.spec.router,
                 "model": shard.spec.model,
+                "weights": shard.spec.weights,
                 "generation": shard.generation,
             }
             for region, shard in self._shards.items()
@@ -362,6 +379,7 @@ class ShardRegistry:
             config,
             shard.dataset,
             origin=shard.spec.model,
+            weights=shard.spec.weights,
         )
         if shard.spec.router == "ubodt":
             table = Ubodt.attach_sorted(

@@ -151,6 +151,21 @@ def load_corpus(path: Path) -> dict[str, Any]:
     return json.loads(path.read_text())
 
 
+#: How many dataset samples the default serve-side canary set uses.
+DEFAULT_CANARY_COUNT = 5
+
+
+def canary_trajectories(dataset, count: int = DEFAULT_CANARY_COUNT) -> list:
+    """The serve-side canary set for ``dataset``.
+
+    The single definition of "which trajectories must a candidate model
+    match before serving": the threaded server's hot reload, the cluster
+    rollout probe, and the A/B challenger gate all call this, so a
+    corpus or dataset change can never desync one gate from the others.
+    """
+    return [s.cellular for s in dataset.samples[:count]]
+
+
 def run_canary(matcher: LHMM, trajectories: list) -> list[str]:
     """Smoke-check a candidate matcher before it starts serving.
 

@@ -417,3 +417,102 @@ class TestStallDetection:
         finally:
             server.shutdown()
         assert leaked_segments() == []
+
+
+class TestABSplitUnderFire:
+    def test_ab_split_survives_worker_sigkill_exactly(
+        self, cluster_paths, trained_lhmm, tiny_dataset
+    ):
+        """A 20% challenger split under open-loop Poisson load with a
+        champion fleet worker SIGKILLed mid-stream: every response stays
+        bit-identical to the generation its key hash assigned it, the
+        per-generation request counters sum exactly to the admitted
+        requests, and the observed split is the exact count predicted by
+        the deterministic key hash over the trace — not a statistical
+        estimate.  A streaming session rides through the kill and commits
+        a path bit-identical to an uninterrupted decoder."""
+        from repro.core import LHMM
+        from repro.serve import canonical_key, routes_to_challenger
+        from repro.serve import protocol
+
+        dataset_path, model_path = cluster_paths
+        ema_matcher = LHMM.load(model_path, tiny_dataset, weights="ema")
+        registry = _publish(cluster_paths)
+        server = ClusterServer(
+            registry, ClusterConfig(port=0, num_workers=2, cache_size=0)
+        ).start()
+        try:
+            client = MatchingClient(server.host, server.port, timeout=60.0)
+            info = client.start_ab(split=0.2, weights="ema")
+            assert info["challenger_generation"] == 2
+
+            samples = tiny_dataset.test[:6]
+            split = 0.2
+            expected_path = {}
+            assigned = {}
+            for s in samples:
+                key = canonical_key(protocol.encode_trajectory(s.cellular))
+                hit = routes_to_challenger(key, split)
+                assigned[s.sample_id] = hit
+                expected_path[s.sample_id] = (
+                    ema_matcher if hit else trained_lhmm
+                ).match(s.cellular).path
+
+            stream_sample = tiny_dataset.test[7]
+            points = list(stream_sample.cellular.points)
+            session = client.create_session(lag=3)
+            for point in points[: len(points) // 2]:
+                session.feed(point)
+
+            # SIGKILL one champion fleet worker mid-stream (never the
+            # dedicated challenger worker — that failover has its own
+            # test); the supervisor must respawn it under fire.
+            victim = next(iter(server._handles.values())).process
+            killer = threading.Timer(1.0, os.kill, (victim.pid, signal.SIGKILL))
+            killer.start()
+
+            trace = make_trace(samples, rate_per_s=25.0, count=60, seed=20260808)
+            expected_challenger = sum(
+                1 for _, s in trace if assigned[s.sample_id]
+            )
+            assert 0 < expected_challenger < len(trace)  # both sides exercised
+            results, _wall = open_loop(
+                server.host, server.port, trace,
+                client_threads=6, max_attempts=8, deadline_s=60.0,
+            )
+            killer.join(timeout=30)
+
+            # Nothing dropped, and every response is bit-identical to the
+            # generation the key hash deterministically assigned it.
+            assert len(results) == 60
+            assert [r for r in results if not r[1]] == []
+            for _latency, _ok, sample, path in results:
+                assert path == expected_path[sample.sample_id]
+
+            # Exact split accounting: the counters across both
+            # generations sum to the admitted requests, and the observed
+            # split is the hash-predicted count exactly.
+            metrics = client.metrics()
+            generations = metrics["ab"]["default"]["generations"]
+            by_role = {g["role"]: g for g in generations.values()}
+            assert by_role["challenger"]["requests"] == expected_challenger
+            assert by_role["champion"]["requests"] == 60 - expected_challenger
+            assert by_role["champion"]["failed"] == 0
+            assert by_role["challenger"]["failed"] == 0
+            assert metrics["counters"]["ab_challenger_deaths_total"] == 0
+            assert metrics["counters"]["worker_deaths_total"] >= 1
+            assert metrics["counters"]["worker_respawns_total"] >= 1
+
+            # The generation-1 streaming session commits bit-identically
+            # through the kill (sessions always stay on the champion).
+            for point in points[len(points) // 2 :]:
+                _feed_with_retry(session, point)
+            assert session.close() == OnlineLHMM(
+                trained_lhmm, lag=3
+            ).match_stream(stream_sample.cellular)
+
+            client.abort_ab()
+            assert client.health()["ab_live"] == []
+        finally:
+            server.shutdown()
+        assert leaked_segments() == []

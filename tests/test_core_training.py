@@ -115,3 +115,53 @@ class TestStages:
         assert np.all(targets >= 0.0) and np.all(targets <= 1.0)
         # implicit + 3 explicit transition features
         assert features.shape[1] == 4
+
+
+class TestEMAShadowWeights:
+    """Determinism invariants of the trainer's EMA shadow weight set."""
+
+    def test_shadow_of_frozen_weights_equals_weights_exactly(self, trainer_setup):
+        """For parameters the optimizer never moved, the shadow must stay
+        *bitwise* equal to the raw weight — ``(1 - d) * (w - s)`` is exactly
+        zero when ``w == s`` — no matter how many updates run."""
+        trainer, _ = trainer_setup
+        for _ in range(50):
+            trainer._ema_update()
+        params = dict(trainer._tracked_parameters())
+        shadows = trainer.ema_state()
+        assert set(shadows) == set(params)
+        for name, param in params.items():
+            assert shadows[name].tobytes() == param.data.tobytes(), name
+
+    def test_shadow_diverges_from_moving_weights(self, tiny_dataset):
+        """After a real fit, the shadow is a genuine second weight set."""
+        matcher = LHMM(tiny_lhmm_config(), rng=5).fit(tiny_dataset)
+        ema = matcher._ema_arrays
+        assert ema is not None
+        assert set(ema) == {
+            "node_embeddings",
+            *(k for k in ema if k.startswith(("obs.", "trans."))),
+        }
+        assert not np.array_equal(ema["node_embeddings"], matcher.node_embeddings)
+
+    def test_ema_consumes_no_rng(self, tiny_dataset):
+        """The raw weights are invariant under the decay setting: the EMA
+        update reads the RNG stream exactly zero times."""
+        config_a = tiny_lhmm_config()
+        config_b = tiny_lhmm_config()
+        config_b.ema_decay = 0.5
+        a = LHMM(config_a, rng=5).fit(tiny_dataset)
+        b = LHMM(config_b, rng=5).fit(tiny_dataset)
+        assert a.node_embeddings.tobytes() == b.node_embeddings.tobytes()
+        # ... while the shadow set itself does honour the decay.
+        assert (
+            a._ema_arrays["node_embeddings"].tobytes()
+            != b._ema_arrays["node_embeddings"].tobytes()
+        )
+
+    @pytest.mark.parametrize("decay", [0.0, 1.0, -0.1, 1.5])
+    def test_ema_decay_is_validated(self, decay):
+        config = tiny_lhmm_config()
+        config.ema_decay = decay
+        with pytest.raises(ValueError, match="ema_decay"):
+            config.validate()

@@ -1,0 +1,167 @@
+"""Generation parity through the architecture registry.
+
+An artifact's manifest ``meta`` (``arch`` name + ``config`` dict +
+``weights`` list) must be the *only* reconstruction recipe: for every
+registered architecture, ``make_model(name, **meta)`` followed by
+``attach_dataset`` + ``load_state_dict`` has to rebuild a matcher whose
+outputs are bit-identical to :meth:`LHMM.load` — and both must agree
+with the matcher that wrote the artifact.  The default architecture is
+additionally pinned against the committed golden corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core import LHMM, LHMMConfig, arch_name, make_model, registered_models
+from repro.core.matcher import LHMM as MatcherLHMM
+from repro.errors import ArtifactIncompatible
+from repro.nn.serialization import read_artifact
+from repro.serve import protocol
+from repro.testing import golden
+
+from .conftest import tiny_lhmm_config
+
+#: Ablation switch per Table III variant — ``arch_name`` must map each
+#: config onto its registry name and the registry must round-trip it.
+VARIANT_FLAGS = {
+    "lhmm": {},
+    "lhmm-e": {"use_graph_encoder": False},
+    "lhmm-h": {"heterogeneous": False},
+    "lhmm-o": {"use_implicit_observation": False},
+    "lhmm-t": {"use_implicit_transition": False},
+    "lhmm-s": {"use_shortcuts": False},
+}
+
+
+def _variant_config(name: str) -> LHMMConfig:
+    # epochs=0 keeps the per-variant fit cheap: parity only needs the
+    # initialised weights to survive the round-trip, not a good model.
+    return replace(tiny_lhmm_config(), epochs=0, **VARIANT_FLAGS[name])
+
+
+def _served_bytes(matcher: LHMM, samples) -> list[dict]:
+    return [
+        protocol.encode_match_result(matcher.match(s.cellular)) for s in samples
+    ]
+
+
+class TestRegistry:
+    def test_builtin_family_is_registered(self):
+        assert set(VARIANT_FLAGS) <= set(registered_models())
+
+    def test_unknown_name_lists_registered_names(self):
+        with pytest.raises(ArtifactIncompatible) as excinfo:
+            make_model("lhmm-zz", config={})
+        message = str(excinfo.value)
+        assert "lhmm-zz" in message
+        for name in registered_models():
+            assert name in message
+
+    def test_arch_name_covers_every_variant(self):
+        for name in VARIANT_FLAGS:
+            assert arch_name(_variant_config(name)) == name
+
+    def test_factory_honours_the_config_dict(self):
+        config = _variant_config("lhmm-s")
+        matcher = make_model("lhmm-s", config=asdict(config))
+        assert isinstance(matcher, MatcherLHMM)
+        assert matcher.config.use_shortcuts is False
+        assert matcher.config.embedding_dim == config.embedding_dim
+
+    def test_factory_tolerates_extra_manifest_keys(self):
+        """Manifests grow fields over time; builders must not choke."""
+        matcher = make_model(
+            "lhmm",
+            config=asdict(tiny_lhmm_config()),
+            arch="lhmm",
+            weights=["raw", "ema"],
+            future_field={"nested": True},
+        )
+        assert isinstance(matcher, MatcherLHMM)
+
+
+class TestManifestOnlyReconstruction:
+    @pytest.mark.parametrize("name", sorted(VARIANT_FLAGS))
+    def test_every_variant_rebuilds_bit_identical(
+        self, name, tiny_dataset, tmp_path
+    ):
+        fitted = LHMM(_variant_config(name), rng=5).fit(tiny_dataset)
+        path = tmp_path / f"{name}.npz"
+        fitted.save(path)
+
+        artifact = read_artifact(path, kind=LHMM.MODEL_KIND)
+        meta = artifact.meta
+        assert meta["arch"] == name
+        assert meta["weights"] == ["raw", "ema"]
+
+        # Reconstruction recipe A: the raw registry path.
+        rebuilt = make_model(meta["arch"], **meta)
+        rebuilt.attach_dataset(tiny_dataset)
+        rebuilt.load_state_dict(artifact.arrays, origin=str(path))
+        # Recipe B: the public loader (dispatches through the same registry).
+        loaded = LHMM.load(path, tiny_dataset)
+
+        samples = tiny_dataset.test[:3]
+        reference = _served_bytes(fitted, samples)
+        assert _served_bytes(rebuilt, samples) == reference
+        assert _served_bytes(loaded, samples) == reference
+
+    def test_ema_weights_rebuild_bit_identical(self, tiny_dataset, tmp_path):
+        fitted = LHMM(tiny_lhmm_config(), rng=5).fit(tiny_dataset)
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+
+        artifact = read_artifact(path, kind=LHMM.MODEL_KIND)
+        rebuilt = make_model(artifact.meta["arch"], **artifact.meta)
+        rebuilt.attach_dataset(tiny_dataset)
+        rebuilt.load_state_dict(artifact.arrays, origin=str(path), weights="ema")
+        loaded = LHMM.load(path, tiny_dataset, weights="ema")
+
+        samples = tiny_dataset.test[:3]
+        assert _served_bytes(rebuilt, samples) == _served_bytes(loaded, samples)
+        assert rebuilt.weights_variant == "ema"
+
+    def test_unknown_arch_in_manifest_fails_actionably(
+        self, tiny_dataset, tmp_path
+    ):
+        from repro.nn.serialization import write_artifact
+
+        fitted = LHMM(_variant_config("lhmm"), rng=5).fit(tiny_dataset)
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        artifact = read_artifact(path, kind=LHMM.MODEL_KIND)
+        meta = artifact.meta
+        meta["arch"] = "lhmm-from-the-future"
+        forged = tmp_path / "future.npz"
+        write_artifact(forged, artifact.arrays, kind=LHMM.MODEL_KIND, meta=meta)
+
+        with pytest.raises(ArtifactIncompatible) as excinfo:
+            LHMM.load(forged, tiny_dataset)
+        assert "lhmm-from-the-future" in str(excinfo.value)
+        assert "lhmm-s" in str(excinfo.value)  # lists the registered names
+
+
+class TestGoldenCorpusParity:
+    def test_registry_reconstruction_matches_committed_corpus(self, tmp_path):
+        """The registry path reproduces the pinned golden matches exactly."""
+        corpus_path = golden.default_corpus_path()
+        assert corpus_path.exists(), (
+            f"missing {corpus_path}; generate with `python -m repro golden --regen`"
+        )
+        corpus = golden.load_corpus(corpus_path)
+
+        dataset = golden.build_golden_dataset()
+        matcher = golden.build_golden_matcher(dataset)
+        path = tmp_path / "golden.npz"
+        matcher.save(path)
+
+        artifact = read_artifact(path, kind=LHMM.MODEL_KIND)
+        rebuilt = make_model(artifact.meta["arch"], **artifact.meta)
+        rebuilt.attach_dataset(dataset)
+        rebuilt.load_state_dict(artifact.arrays, origin=str(path))
+
+        records = golden.compute_golden_records(rebuilt, dataset)
+        assert golden.diff_records(records, corpus["records"]) == []

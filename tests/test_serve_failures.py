@@ -204,6 +204,7 @@ class TestModelReload:
             "model_generation": 1,
             "model_reloads_total": 0,
             "model_reload_failures_total": 0,
+            "ab_live": False,
         }
 
     def test_missing_artifact_is_refused_and_old_model_serves(
