@@ -317,6 +317,37 @@ def test_cluster_serve_throughput(cluster_artifacts):
             f"p99 {uncached['p99_ms']:7.1f} ms  errors {uncached['error_rate']:.1%}"
         )
 
+    # ---- phase 4: uncached again, workers dialing back over TCP ----
+    # Same trace, same fleet size, same zero cache — the only variable is
+    # the gateway<->worker transport (inherited socketpair vs localhost
+    # TCP frames), so the delta is the federation transport's overhead.
+    registry = ShardRegistry.publish(
+        [ShardSpec(region="default", dataset=dataset_path, model=model_path)]
+    )
+    config = ClusterConfig(
+        port=0, num_workers=NUM_WORKERS, cache_size=0, max_inflight=128,
+        worker_transport="tcp",
+    )
+    with ClusterServer(registry, config) as server:
+        probe = MatchingClient(server.host, server.port, timeout=60.0)
+        for sample in samples:  # warm routers/pools, no response cache
+            probe.match_with_retry([sample.cellular])
+        trace = make_trace(
+            samples, UNCACHED_RATE, UNCACHED_REQUESTS, TRACE_SEED + 1
+        )
+        results, wall_s = open_loop(server.host, server.port, trace)
+        uncached_tcp = _summarise(results, wall_s)
+        _assert_parity(results, matcher, expected_cache)
+        assert uncached_tcp["error_rate"] == 0.0
+        tcp_delta = uncached_tcp["req_per_s"] / max(uncached["req_per_s"], 1e-9)
+        lines.append(
+            f"tcp      /v1/match {len(results):4d} requests  offered "
+            f"{UNCACHED_RATE:6.0f} req/s  achieved {uncached_tcp['req_per_s']:7.1f} req/s   "
+            f"p50 {uncached_tcp['p50_ms']:7.1f} ms  p95 {uncached_tcp['p95_ms']:7.1f} ms  "
+            f"p99 {uncached_tcp['p99_ms']:7.1f} ms  "
+            f"({tcp_delta:.2f}x of socketpair throughput)"
+        )
+
     lines.append(
         "all served paths verified identical to direct LHMM / OnlineLHMM calls"
     )
@@ -342,6 +373,11 @@ def test_cluster_serve_throughput(cluster_artifacts):
             "batch_error_rate": metric(cached["error_rate"], "ratio", "lower"),
             "uncached_req_per_s": metric(uncached["req_per_s"], "req/s", "higher"),
             "uncached_p95_ms": metric(uncached["p95_ms"], "ms", "lower"),
+            "uncached_tcp_req_per_s": metric(
+                uncached_tcp["req_per_s"], "req/s", "higher"
+            ),
+            "uncached_tcp_p95_ms": metric(uncached_tcp["p95_ms"], "ms", "lower"),
+            "tcp_vs_socketpair_throughput": metric(tcp_delta, "ratio", "higher"),
             "stream_points_per_s": metric(
                 total_points / stream_wall_s, "pts/s", "higher"
             ),
@@ -354,7 +390,9 @@ def test_cluster_serve_throughput(cluster_artifacts):
         f"({NUM_WORKERS} workers over one shared-memory artifact set, "
         f"{shared_kb:.0f} KiB shared); cached phase answers from the "
         "gateway response cache (byte-identical to worker responses), "
-        "uncached phase crosses IPC into the worker fleet per request; "
+        "uncached phase crosses IPC into the worker fleet per request; the "
+        "tcp phase repeats it with workers dialed back over localhost TCP "
+        "frames (the federation transport) to record the transport delta; "
         "all served paths verified against direct LHMM / OnlineLHMM calls",
     )
     save_report("serve_throughput", "\n".join(lines))

@@ -214,6 +214,48 @@ def _build_parser() -> argparse.ArgumentParser:
                             "and respawned (default: no timeout)")
     serve.add_argument("--log-requests", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--transport", choices=["socketpair", "tcp"],
+                       default="socketpair",
+                       help="(cluster) gateway<->worker transport: inherited "
+                            "socketpairs (default) or length-prefixed frames "
+                            "over TCP with generation-fenced handshakes")
+    serve.add_argument("--node", default=None, metavar="NAME",
+                       help="(cluster) federation node name; giving it turns "
+                            "this gateway into a federation member that "
+                            "routes, proxies, and replicates across --peer "
+                            "gateways")
+    serve.add_argument("--fed-host", default="127.0.0.1", metavar="HOST",
+                       help="(cluster) interface the federation frame "
+                            "listener binds")
+    serve.add_argument("--fed-port", type=int, default=0, metavar="N",
+                       help="(cluster) federation listener port "
+                            "(0 = pick a free port)")
+    serve.add_argument("--peer", action="append", default=None,
+                       metavar="NAME=HOST:FEDPORT",
+                       help="(cluster) a peer gateway's federation endpoint; "
+                            "repeatable")
+    serve.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                       help="(cluster) HTTP address peers should redirect/"
+                            "proxy clients to for this node's regions "
+                            "(default: the bound --host/--port)")
+    serve.add_argument("--route-mode", choices=["proxy", "redirect"],
+                       default="proxy",
+                       help="(cluster) serve misrouted /v1/match requests by "
+                            "proxying to the owner over the federation link, "
+                            "or answer HTTP 307 redirects to it")
+    serve.add_argument("--fed-heartbeat", type=float, default=1.0,
+                       metavar="S",
+                       help="(cluster) seconds between federation peer "
+                            "heartbeats")
+    serve.add_argument("--fed-heartbeat-timeout", type=float, default=3.0,
+                       metavar="S",
+                       help="(cluster) silent seconds before a peer is "
+                            "declared down and its regions answer 503 + "
+                            "Retry-After")
+    serve.add_argument("--no-replicate", action="store_true",
+                       help="(cluster) disable session-journal replication "
+                            "to peer gateways (federation keeps routing but "
+                            "loses failover)")
 
     return parser
 
@@ -669,11 +711,41 @@ def _parse_region_specs(args: argparse.Namespace) -> list:
     return specs
 
 
+def _parse_federation(args: argparse.Namespace):
+    """Build a FederationConfig from --node/--peer/... (None without --node)."""
+    if args.node is None:
+        if args.peer:
+            raise ValueError("--peer requires --node (a name for this gateway)")
+        return None
+    from repro.serve import FederationConfig, PeerSpec
+
+    peers = tuple(PeerSpec.parse(item) for item in args.peer or [])
+    advertise_host = advertise_port = None
+    if args.advertise is not None:
+        host, colon, port = args.advertise.rpartition(":")
+        if not colon or not host or not port.isdigit():
+            raise ValueError(f"--advertise {args.advertise!r}: expected HOST:PORT")
+        advertise_host, advertise_port = host, int(port)
+    return FederationConfig(
+        node=args.node,
+        listen_host=args.fed_host,
+        listen_port=args.fed_port,
+        peers=peers,
+        advertise_host=advertise_host,
+        advertise_port=advertise_port,
+        heartbeat_interval_s=args.fed_heartbeat,
+        heartbeat_timeout_s=args.fed_heartbeat_timeout,
+        replicate=not args.no_replicate,
+        route_mode=args.route_mode,
+    )
+
+
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     from repro.serve import ClusterConfig, ClusterServer, ShardRegistry
 
     try:
         specs = _parse_region_specs(args)
+        federation = _parse_federation(args)
     except ValueError as error:
         print(f"error [usage]: {error}", file=sys.stderr)
         return 2
@@ -696,6 +768,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         min_workers=args.min_workers,
         max_workers=args.max_workers,
         journal_path=args.journal,
+        worker_transport=args.transport,
+        federation=federation,
     )
     server = ClusterServer(registry, config).start()
     _install_rollout_signal(server)
@@ -703,7 +777,13 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     if server.min_workers != server.max_workers:
         workers_note += f" (autoscaling {server.min_workers}..{server.max_workers})"
     print(f"cluster gateway at {server.address} ({workers_note}, "
-          f"router={args.router})")
+          f"router={args.router}, transport={args.transport})")
+    if federation is not None and server._fed is not None:
+        fed = server._fed
+        peer_names = ", ".join(sorted(p.name for p in federation.peers)) or "none"
+        print(f"federation node {federation.node!r} listening on "
+              f"{federation.listen_host}:{fed.fed_port} (peers: {peer_names}, "
+              f"route-mode={federation.route_mode})")
     print("endpoints: POST /v1/sessions, POST /v1/sessions/<id>/points, "
           "DELETE /v1/sessions/<id>, POST /v1/match, "
           "POST /v1/admin/rollout, POST /v1/admin/ab[/promote|/abort], "

@@ -37,6 +37,16 @@ Both deployment shapes can also run a live **A/B test**
 generation aside the champion and routes a deterministic hash-based
 fraction of match traffic to it, with per-generation counters on
 ``/metrics`` and ``promote``/``abort`` endpoints to finalise.
+
+Beyond one host, gateways **federate** (:mod:`repro.serve.federation`
+over :mod:`repro.serve.transport`): each node owns a subset of regions,
+advertises them over fenced TCP handshakes, proxies or 307-redirects
+misrouted requests to the owner, and ships every streaming session's
+point journal to one peer so a SIGKILLed gateway's sessions fail over
+with a bit-identical committed path.  Workers can likewise dial the
+gateway over TCP (``--transport tcp``) instead of inheriting a
+socketpair, with generation-fenced check-ins so a stale worker never
+serves after a respawn.
 """
 
 from repro.serve.ab import (
@@ -50,22 +60,35 @@ from repro.serve.batching import Backpressure, MicroBatcher, ServiceClosed
 from repro.serve.client import (
     MatchingClient,
     ServeClientError,
+    ServeRedirect,
     ServerBusy,
     StreamingSession,
 )
-from repro.serve.cluster import ClusterConfig, ClusterServer, ConsistentHashRing
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterServer,
+    ConsistentHashRing,
+    SessionFenced,
+)
 from repro.serve.control import (
     AdmissionGate,
     AutoscalerPolicy,
     ControlJournal,
     CrashTracker,
 )
+from repro.serve.federation import FederationConfig, FederationRuntime, PeerSpec
 from repro.serve.metrics import RollingWindow, ServeMetrics
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import MatchingServer, ServeConfig
 from repro.serve.sessions import SessionLimitError, SessionManager, UnknownSessionError
 from repro.serve.shards import DEFAULT_REGION, ShardRegistry, ShardSpec
 from repro.serve.shm import SegmentJanitor, SharedArrayPack
+from repro.serve.transport import (
+    FenceRegistry,
+    FrameListener,
+    PeerLink,
+    TransportConfig,
+)
 
 __all__ = [
     "ABState",
@@ -78,25 +101,34 @@ __all__ = [
     "ControlJournal",
     "CrashTracker",
     "DEFAULT_REGION",
+    "FederationConfig",
+    "FederationRuntime",
+    "FenceRegistry",
+    "FrameListener",
     "GenerationStats",
     "MatchingClient",
     "MatchingServer",
     "MicroBatcher",
     "PROTOCOL_VERSION",
+    "PeerLink",
+    "PeerSpec",
     "ProtocolError",
     "RollingWindow",
     "SegmentJanitor",
     "ServeClientError",
     "ServeConfig",
     "ServeMetrics",
+    "ServeRedirect",
     "ServerBusy",
     "ServiceClosed",
+    "SessionFenced",
     "SessionLimitError",
     "SessionManager",
     "SharedArrayPack",
     "ShardRegistry",
     "ShardSpec",
     "StreamingSession",
+    "TransportConfig",
     "UnknownSessionError",
     "canonical_key",
     "routes_to_challenger",

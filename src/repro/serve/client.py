@@ -46,6 +46,22 @@ class ServerBusy(ServeClientError):
         self.retry_after_s = retry_after_s
 
 
+class ServeRedirect(ServeClientError):
+    """The resource lives on another gateway (3xx + ``Location``).
+
+    A federated cluster answers ``307 Temporary Redirect`` for sessions
+    and (in redirect routing mode) matches whose region another gateway
+    owns.  :meth:`MatchingClient.match_with_retry` and the session
+    methods follow these automatically (capped hops); a caller using the
+    raw methods can catch this and re-point the client at
+    :attr:`location`.
+    """
+
+    def __init__(self, status: int, message: str, payload: dict, location: str) -> None:
+        super().__init__(status, message, payload)
+        self.location = location
+
+
 def _as_point_payload(point) -> dict:
     if isinstance(point, TrajectoryPoint):
         return protocol.encode_point(point)
@@ -72,12 +88,18 @@ class StreamingSession:
         self.session_id = session_id
         self.lag = lag
         self._final: dict | None = None
+        #: Monotonic feed sequence number: sent with every feed and only
+        #: advanced on success, so a failover retry of the same batch is
+        #: deduplicated server-side instead of double-committing points.
+        self._seq = 0
 
     def feed(self, points: Iterable[TrajectoryPoint] | TrajectoryPoint) -> dict:
         """Send one point or a list of points; returns committed state."""
         if isinstance(points, (TrajectoryPoint, dict)):
             points = [points]
-        return self.client.feed_points(self.session_id, list(points))
+        state = self.client.feed_points(self.session_id, list(points), seq=self._seq)
+        self._seq += 1
+        return state
 
     def close(self) -> list[int]:
         """Finalise the session and return the complete matched path."""
@@ -108,12 +130,26 @@ class MatchingClient:
     )
 
     def __init__(
-        self, host: str, port: int, timeout: float = 60.0, keep_alive: bool = False
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        keep_alive: bool = False,
+        fallbacks: Sequence[tuple[str, int]] = (),
+        failover_deadline_s: float = 20.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.keep_alive = keep_alive
+        #: Peer gateway addresses to rotate through when the primary is
+        #: unreachable (federated deployments).  Session ops fail over
+        #: here — the peer holding the replicated journal adopts the
+        #: session and the stream continues bit-identically.
+        self.fallbacks = tuple(fallbacks)
+        #: Total wall-clock budget one failover-capable request may spend
+        #: across redirects, target rotation, and Retry-After waits.
+        self.failover_deadline_s = failover_deadline_s
         self._connection: http.client.HTTPConnection | None = None
 
     # --------------------------------------------------------------- plumbing
@@ -168,6 +204,10 @@ class MatchingClient:
         if 200 <= response.status < 300:
             return parsed
         message = parsed.get("error", response.reason)
+        if response.status in (301, 302, 307, 308):
+            location = response.headers.get("Location") or parsed.get("location")
+            if location:
+                raise ServeRedirect(response.status, message, parsed, location)
         if response.status in (429, 503):
             # Overload answers carry a retry hint; surface them as
             # ServerBusy so retry loops can honour it.  A 503 without any
@@ -182,6 +222,73 @@ class MatchingClient:
             if retry_after is not None:
                 raise ServerBusy(response.status, message, parsed, float(retry_after))
         raise ServeClientError(response.status, message, parsed)
+
+    # -------------------------------------------------------------- failover
+    def _retarget(self, host: str, port: int) -> None:
+        """Re-point this client at another gateway (sticks for later calls)."""
+        if (host, port) == (self.host, self.port):
+            return
+        self.close()
+        self.host = host
+        self.port = port
+
+    @staticmethod
+    def _parse_location(location: str, default_path: str) -> tuple[str, int, str]:
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(location)
+        host = parts.hostname
+        if host is None:
+            raise ServeClientError(502, f"unparseable redirect location {location!r}")
+        path = parts.path or default_path
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        return host, parts.port or 80, path
+
+    def _request_failover(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        max_redirect_hops: int = 4,
+    ) -> dict:
+        """:meth:`_request` with redirects, target rotation, and 503 waits.
+
+        Follows ``307`` redirects (capped at ``max_redirect_hops``, the
+        client retargeting itself so the stream stays on the owner), and
+        on transient transport failures — resets, refusals, *and* read
+        timeouts from a half-open TCP connection to a stopped host —
+        rotates through ``[primary, *fallbacks]`` with a short backoff.
+        ``503 + Retry-After`` (partitioned region, drain) waits and
+        retries.  Everything is bounded by ``failover_deadline_s``; when
+        the budget runs out the last error is raised.
+        """
+        deadline = time.monotonic() + self.failover_deadline_s
+        targets = [(self.host, self.port), *self.fallbacks]
+        hops = 0
+        rotations = 0
+        while True:
+            try:
+                return self._request(method, path, payload)
+            except ServeRedirect as error:
+                hops += 1
+                if hops > max_redirect_hops:
+                    raise
+                host, port, path = self._parse_location(error.location, path)
+                self._retarget(host, port)
+            except ServerBusy as error:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise
+                time.sleep(min(max(error.retry_after_s, 0.05), 2.0, remaining))
+            except (*self.TRANSIENT_ERRORS, TimeoutError):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise
+                rotations += 1
+                host, port = targets[rotations % len(targets)]
+                self._retarget(host, port)
+                time.sleep(min(0.05 * min(rotations, 8), 1.0, max(0.0, remaining)))
 
     # -------------------------------------------------------------- streaming
     def create_session(
@@ -202,17 +309,28 @@ class MatchingClient:
             payload["context_window"] = context_window
         if region is not None:
             payload["region"] = region
-        response = self._request("POST", "/v1/sessions", payload)
+        response = self._request_failover("POST", "/v1/sessions", payload)
         return StreamingSession(self, response["session_id"], response["lag"])
 
-    def feed_points(self, session_id: str, points: Sequence) -> dict:
-        """Feed points into a session; returns committed state."""
-        payload = {"points": [_as_point_payload(p) for p in points]}
-        return self._request("POST", f"/v1/sessions/{session_id}/points", payload)
+    def feed_points(self, session_id: str, points: Sequence, seq: int | None = None) -> dict:
+        """Feed points into a session; returns committed state.
+
+        ``seq`` (a client-side monotonic counter) makes the feed
+        idempotent: a retry of an already-accepted ``seq`` — e.g. after a
+        timeout whose request actually landed, or against the gateway
+        that adopted the session — returns the committed state without
+        feeding the points twice.
+        """
+        payload: dict = {"points": [_as_point_payload(p) for p in points]}
+        if seq is not None:
+            payload["seq"] = seq
+        return self._request_failover(
+            "POST", f"/v1/sessions/{session_id}/points", payload
+        )
 
     def close_session(self, session_id: str) -> dict:
         """Finalise a session; returns ``{"path": [...], "points": n}``."""
-        return self._request("DELETE", f"/v1/sessions/{session_id}")
+        return self._request_failover("DELETE", f"/v1/sessions/{session_id}")
 
     # ------------------------------------------------------------------ batch
     def match(
@@ -258,6 +376,7 @@ class MatchingClient:
         rng: random.Random | None = None,
         region: str | None = None,
         deadline_ms: float | None = None,
+        max_redirect_hops: int = 4,
     ) -> list[dict]:
         """Like :meth:`match`, with capped exponential backoff on transient failures.
 
@@ -280,9 +399,27 @@ class MatchingClient:
         """
         rng = rng or random.Random()
         started = clock()
+
+        def _match_following_redirects() -> list[dict]:
+            # A federated gateway in redirect mode answers 307 with the
+            # region owner's address: follow (retargeting the client so
+            # the hop sticks) without burning a retry attempt — the hop
+            # cap bounds a redirect loop instead, and a still-redirecting
+            # answer past the cap propagates as its ServeRedirect.
+            hops = 0
+            while True:
+                try:
+                    return self.match(trajectories, region=region, deadline_ms=deadline_ms)
+                except ServeRedirect as error:
+                    hops += 1
+                    if hops > max_redirect_hops:
+                        raise
+                    host, port, _ = self._parse_location(error.location, "/v1/match")
+                    self._retarget(host, port)
+
         for attempt in range(max_attempts):
             try:
-                return self.match(trajectories, region=region, deadline_ms=deadline_ms)
+                return _match_following_redirects()
             except (ServeClientError, *self.TRANSIENT_ERRORS) as error:
                 retry_after = 0.0
                 if isinstance(error, ServerBusy):

@@ -241,6 +241,24 @@ class ClusterConfig:
     #: Control-journal JSONL path (falls back to ``$REPRO_CLUSTER_JOURNAL``;
     #: ``None`` keeps the journal in memory only).
     journal_path: str | None = None
+    # ---- worker transport ----------------------------------------------
+    #: ``"socketpair"`` (inherited fd, the default) or ``"tcp"`` — workers
+    #: dial back to a gateway frame listener with a generation-fenced
+    #: handshake (:mod:`repro.serve.transport`), so a stale worker from a
+    #: superseded fork can never serve after its replacement checked in.
+    worker_transport: str = "socketpair"
+    worker_listen_host: str = "127.0.0.1"
+    #: How long the gateway waits for a freshly forked TCP worker to dial
+    #: back and complete its handshake before declaring the fork dead.
+    worker_connect_timeout_s: float = 15.0
+    #: TCP-worker idle read timeout: a worker that hears nothing (not
+    #: even a probe ping) for this long assumes a half-open gateway link
+    #: and exits, instead of pinning resources forever.
+    worker_idle_timeout_s: float = 120.0
+    # ---- federation -----------------------------------------------------
+    #: A :class:`repro.serve.federation.FederationConfig` joining this
+    #: gateway to peer gateways on other hosts; ``None`` = standalone.
+    federation: object | None = None
     extra_metrics: dict = field(default_factory=dict)
 
 
@@ -256,6 +274,15 @@ class _SessionRecord:
     generation: int
     journal: list[dict] = field(default_factory=list)
     last_touched: float = 0.0
+    #: Federation fencing token: bumped each time a replica gateway
+    #: adopts the session, so a superseded owner's ops are rejectable.
+    fence: int = 0
+    #: Highest client ``seq`` accepted (idempotent feed retries) and the
+    #: state returned for it (replayed verbatim on a duplicate).
+    last_seq: int = -1
+    last_state: dict | None = None
+    #: Whether the replica peer holds the full journal (federation).
+    replica_synced: bool = False
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
 
@@ -275,6 +302,16 @@ class _ABRecord:
     state: object  # ABState
     staged: object  # LoadedShard
     handle: "_WorkerHandle"
+
+
+class SessionFenced(Exception):
+    """A federated session op lost a fencing race (HTTP 409).
+
+    Raised when this gateway's fence for a session turns out to be stale
+    — a replica peer adopted the session while this gateway was
+    partitioned or stopped.  The local record is already dropped by the
+    time this propagates; the adopted copy is the only one that commits.
+    """
 
 
 class _HttpError(Exception):
@@ -563,6 +600,62 @@ class _WorkerRuntime:
         return {"closed_sessions": len(finished)}
 
 
+def _drop_inherited(inherited_socks: tuple) -> None:
+    """Close fork-inherited gateway-side sockets (see ``_worker_main``).
+
+    TCP-transport siblings are ``asyncio.trsock.TransportSocket`` views
+    (no ``close()`` since 3.11) — close those by file descriptor.
+    """
+    for stale in inherited_socks:
+        try:
+            stale.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        except AttributeError:
+            try:
+                os.close(stale.fileno())
+            except (OSError, ValueError):  # pragma: no cover - already closed
+                pass
+
+
+def _worker_signals() -> None:
+    """Detach from the gateway's signal fate (see ``_worker_main``)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+
+
+def _worker_loop(sock: socket.socket, registry: ShardRegistry, options: dict) -> int:
+    """The worker's request loop over an established socket; exit code."""
+    idle_timeout = options.get("idle_timeout_s")
+    try:
+        runtime = _WorkerRuntime(registry, options)
+        while True:
+            message = ipc.recv_message(sock, timeout=idle_timeout)
+            if message is None:
+                break
+            ipc.send_message(sock, runtime.handle(message))
+            if message.get("op") == "shutdown":
+                break
+    except TimeoutError:
+        # Half-open gateway link (TCP only): nothing — not even a probe
+        # ping — arrived within the idle window.  Exit; respawn machinery
+        # on a live gateway replaces us, a dead gateway needs no workers.
+        return 1
+    except (ipc.IpcError, OSError, BrokenPipeError):  # gateway went away
+        return 1
+    except Exception:  # pragma: no cover - startup failure (bad artifact)
+        return 2
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+    return 0
+
+
 def _worker_main(
     sock: socket.socket,
     registry: ShardRegistry,
@@ -575,41 +668,58 @@ def _worker_main(
     # reads EOF after the gateway is SIGKILLed (each keeps the others'
     # write ends alive), leaving an orphan fleet pinning the janitor
     # pipe and therefore the shared segments.
-    for stale in inherited_socks:
-        try:
-            stale.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
+    _drop_inherited(inherited_socks)
     # The gateway's signals are not ours: a Ctrl+C against the CLI lands
     # on the whole process group, but workers must only exit on a
     # shutdown op (or gateway death = socket EOF) so drains stay orderly.
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    try:
-        signal.signal(signal.SIGHUP, signal.SIG_IGN)
-    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
-        pass
-    exit_code = 0
-    try:
-        runtime = _WorkerRuntime(registry, options)
-        while True:
-            message = ipc.recv_message(sock)
-            if message is None:
-                break
-            ipc.send_message(sock, runtime.handle(message))
-            if message.get("op") == "shutdown":
-                break
-    except (ipc.IpcError, OSError, BrokenPipeError):  # gateway went away
-        exit_code = 1
-    except Exception:  # pragma: no cover - startup failure (bad artifact)
-        exit_code = 2
-    finally:
+    _worker_signals()
+    exit_code = _worker_loop(sock, registry, options)
+    # Skip interpreter teardown: a fork child sharing the gateway's
+    # state must not run its atexit hooks (resource tracker, etc.).
+    os._exit(exit_code)
+
+
+def _worker_main_tcp(
+    address: tuple[str, int],
+    hello: dict,
+    registry: ShardRegistry,
+    options: dict,
+    inherited_socks: tuple = (),
+    guard_fds: tuple = (),
+) -> None:
+    """Entry point of a TCP-transport worker: dial back, handshake, serve.
+
+    Unlike the socketpair path the worker holds *no* inherited IPC fd:
+    it connects to the gateway's worker frame listener and identifies
+    itself with a generation-fenced hello ``{node, generation, token}``.
+    A stale fork (its name already respawned under a newer generation)
+    is rejected at handshake time and exits with code 3 — it can never
+    serve a single op.  The worker also closes the fork-inherited
+    janitor guard fd(s): with remote transport, segment cleanup keys on
+    the gateway process alone (see :class:`repro.serve.shm.SegmentJanitor`).
+    """
+    from repro.serve import transport
+
+    _drop_inherited(inherited_socks)
+    for fd in guard_fds:
         try:
-            sock.close()
-        except OSError:  # pragma: no cover
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
             pass
-        # Skip interpreter teardown: a fork child sharing the gateway's
-        # state must not run its atexit hooks (resource tracker, etc.).
-        os._exit(exit_code)
+    _worker_signals()
+    try:
+        sock, _ack = transport.dial_blocking(
+            address[0],
+            address[1],
+            hello,
+            deadline_s=float(options.get("connect_timeout_s", 15.0)),
+        )
+    except transport.HandshakeRejected:
+        os._exit(3)  # fenced: a newer generation of this name checked in
+    except Exception:  # noqa: BLE001 - gateway gone before we dialed
+        os._exit(1)
+    exit_code = _worker_loop(sock, registry, options)
+    os._exit(exit_code)
 
 
 # =====================================================================
@@ -618,11 +728,23 @@ def _worker_main(
 class _WorkerHandle:
     """One worker process as seen from the gateway's event loop."""
 
-    def __init__(self, name: str, generation: int, process, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        name: str,
+        generation: int,
+        process,
+        sock: socket.socket | None,
+        token: str = "",
+    ) -> None:
         self.name = name
         self.generation = generation
         self.process = process
+        #: Gateway-side socketpair end; ``None`` for TCP-transport
+        #: workers, which dial back instead of inheriting an fd.
         self.sock = sock
+        #: Handshake fencing token (TCP transport): the dial-back hello
+        #: must present the exact (generation, token) this fork was given.
+        self.token = token
         self.alive = True
         self.requests_total = 0
         self.inflight = 0
@@ -641,6 +763,19 @@ class _WorkerHandle:
     async def connect(self, on_down) -> None:
         """Wrap the socketpair end in asyncio streams; start the reader."""
         reader, writer = await asyncio.open_connection(sock=self.sock)
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop(reader, on_down))
+
+    def adopt_streams(self, reader, writer, on_down) -> None:
+        """Take over an accepted dial-back connection (TCP transport).
+
+        The frame listener already read and answered the worker's hello;
+        from here the streams behave exactly like a connected socketpair.
+        ``self.sock`` is set to the underlying socket so sibling-fd
+        bookkeeping (``_fork_worker``'s inherited list) keeps working.
+        """
+        self.sock = writer.get_extra_info("socket")
         self._writer = writer
         self._write_lock = asyncio.Lock()
         self._reader_task = asyncio.create_task(self._read_loop(reader, on_down))
@@ -802,6 +937,29 @@ class ClusterServer:
         self._rollout_lock = asyncio.Lock()
         #: Live A/B tests, keyed by region (see :class:`_ABRecord`).
         self._ab: dict[str, _ABRecord] = {}
+        # ---- worker transport ------------------------------------------
+        if self.config.worker_transport not in ("socketpair", "tcp"):
+            raise ValueError(
+                "worker_transport must be 'socketpair' or 'tcp', got "
+                f"{self.config.worker_transport!r}"
+            )
+        #: Pre-bound listening socket for TCP worker dial-back (bound in
+        #: :meth:`start`, *before* the first fork — the ephemeral port
+        #: must be known when the worker's hello address is built).
+        self._worker_listen_sock: socket.socket | None = None
+        self._worker_listener = None  # transport.FrameListener
+        #: name -> (generation, token) the next dial-back hello must
+        #: present; anything else is a stale fork and is fenced out.
+        self._worker_expect: dict[str, tuple[int, str]] = {}
+        #: name -> future resolved with (reader, writer) at check-in.
+        self._worker_checkin: dict[str, asyncio.Future] = {}
+        # ---- federation -------------------------------------------------
+        if self.config.federation is not None:
+            from repro.serve.federation import FederationRuntime
+
+            self._fed = FederationRuntime(self, self.config.federation)
+        else:
+            self._fed = None
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -846,7 +1004,6 @@ class ClusterServer:
 
         if self._mp_context is None:
             self._mp_context = multiprocessing.get_context("fork")
-        parent_sock, child_sock = socket.socketpair()
         options = {
             "name": name,
             "default_lag": self.config.default_lag,
@@ -855,29 +1012,67 @@ class ClusterServer:
             "session_ttl_s": self.config.session_ttl_s,
         }
         # The forked child inherits every gateway-side IPC fd open right
-        # now — its own ``parent_sock`` and each sibling's.  It must close
-        # them all or gateway death never EOFs any worker's socket (the
-        # fleet would keep itself alive, see ``_worker_main``).
-        inherited = (
-            parent_sock,
-            *(h.sock for h in self._handles.values()),
-            *(r.handle.sock for r in self._ab.values()),
+        # now — each sibling's socketpair end or accepted dial-back
+        # connection (and, on the socketpair path, its own parent end).
+        # It must close them all or gateway death never EOFs any worker's
+        # socket (the fleet would keep itself alive, see ``_worker_main``).
+        siblings = tuple(
+            h.sock
+            for h in (*self._handles.values(), *(r.handle for r in self._ab.values()))
+            if h.sock is not None
         )
-        process = self._mp_context.Process(
-            target=_worker_main,
-            args=(
-                child_sock,
-                registry if registry is not None else self.registry,
-                options,
-                inherited,
-            ),
-            name=f"repro-cluster-{name}",
-            daemon=True,
-        )
-        process.start()
-        child_sock.close()
-        parent_sock.setblocking(False)
-        handle = _WorkerHandle(name, generation, process, parent_sock)
+        if self.config.worker_transport == "tcp":
+            # Dial-back transport: the child gets no IPC fd at all — it
+            # connects to the worker listener and presents a one-time
+            # fenced hello.  It also drops the janitor guard fd(s): with
+            # remote transport, segment cleanup keys on the gateway alone.
+            token = os.urandom(8).hex()
+            self._worker_expect[name] = (generation, token)
+            stale = self._worker_checkin.pop(name, None)
+            if stale is not None and not stale.done():
+                stale.cancel()
+            options["connect_timeout_s"] = self.config.worker_connect_timeout_s
+            options["idle_timeout_s"] = self.config.worker_idle_timeout_s
+            assert self._worker_listen_sock is not None
+            address = self._worker_listen_sock.getsockname()[:2]
+            hello = {
+                "node": name,
+                "generation": generation,
+                "token": token,
+                "role": "worker",
+            }
+            process = self._mp_context.Process(
+                target=_worker_main_tcp,
+                args=(
+                    address,
+                    hello,
+                    registry if registry is not None else self.registry,
+                    options,
+                    (self._worker_listen_sock, *siblings),
+                    self.registry.guard_fds(),
+                ),
+                name=f"repro-cluster-{name}",
+                daemon=True,
+            )
+            process.start()
+            handle = _WorkerHandle(name, generation, process, None, token=token)
+        else:
+            parent_sock, child_sock = socket.socketpair()
+            process = self._mp_context.Process(
+                target=_worker_main,
+                args=(
+                    child_sock,
+                    registry if registry is not None else self.registry,
+                    options,
+                    (parent_sock, *siblings),
+                ),
+                name=f"repro-cluster-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_sock.close()
+            parent_sock.setblocking(False)
+            handle = _WorkerHandle(name, generation, process, parent_sock)
         if register:
             self._handles[name] = handle
             self._ring.add(name)
@@ -902,6 +1097,17 @@ class ClusterServer:
             raise RuntimeError("cluster already started")
         self._started = True
         atexit.register(self._cleanup_at_exit)
+        if self.config.worker_transport == "tcp":
+            # Bind the dial-back listener *before* the first fork: the
+            # workers' hello address (with its resolved ephemeral port)
+            # must exist when their Process args are built.  The asyncio
+            # FrameListener adopts this already-bound socket later.
+            listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listen.bind((self.config.worker_listen_host, 0))
+            listen.listen(128)
+            listen.setblocking(False)
+            self._worker_listen_sock = listen
         for i in range(self.config.num_workers):
             self._fork_worker(f"w{i}", generation=1)
         ready = threading.Event()
@@ -935,12 +1141,24 @@ class ClusterServer:
             loop.close()
 
     async def _async_start(self) -> None:
+        if self._worker_listen_sock is not None:
+            from repro.serve.transport import FrameListener, TransportConfig
+
+            self._worker_listener = FrameListener(
+                self._on_worker_hello,
+                config=TransportConfig(
+                    handshake_timeout_s=self.config.worker_connect_timeout_s
+                ),
+            )
+            await self._worker_listener.start(sock=self._worker_listen_sock)
         for handle in self._handles.values():
-            await handle.connect(self._on_worker_down)
+            await self._connect_worker(handle, self._on_worker_down)
         self._server = await asyncio.start_server(
             self._serve_connection, self.config.host, self.config.port
         )
         self._bound = self._server.sockets[0].getsockname()[:2]
+        if self._fed is not None:
+            await self._fed.start()
         self._control_task = asyncio.create_task(self._control_loop())
         self._journal.record(
             "cluster_started",
@@ -948,6 +1166,82 @@ class ClusterServer:
             min_workers=self._min_workers,
             max_workers=self._max_workers,
         )
+
+    async def _on_worker_hello(self, payload: dict, reader, writer):
+        """Frame-listener callback: a TCP worker dialed back with a hello.
+
+        The handshake is the fencing point: only the exact
+        ``(generation, token)`` pair minted by the *latest* fork of a
+        name is admitted.  A stale fork — e.g. one that was wedged while
+        its replacement was forked and checked in — is rejected here and
+        exits before it can serve a single op.
+        """
+        name = payload.get("node")
+        expected = self._worker_expect.get(name) if isinstance(name, str) else None
+        presented = (payload.get("generation"), payload.get("token"))
+        if expected is None or presented != expected:
+            self.metrics.increment("workers_fenced_total")
+            self._journal.record(
+                "worker_fenced",
+                worker=name,
+                generation=payload.get("generation"),
+            )
+            return (
+                "reject",
+                {
+                    "ok": False,
+                    "error": {
+                        "code": "stale_worker",
+                        "message": f"worker {name!r} handshake is stale "
+                        "(a newer generation was forked)",
+                    },
+                },
+            )
+        future = self._worker_checkin.get(name)
+        if future is None or future.done():
+            future = asyncio.get_running_loop().create_future()
+            self._worker_checkin[name] = future
+        future.set_result((reader, writer))
+        # "detach": the listener hands the streams over; the worker
+        # handle adopts them in _connect_worker.
+        return ("detach", {"ok": True, "node": name})
+
+    async def _connect_worker(self, handle: _WorkerHandle, on_down) -> None:
+        """Attach a freshly forked worker's IPC streams to its handle.
+
+        Socketpair transport wraps the inherited fd; TCP transport waits
+        (bounded) for the worker's fenced dial-back and adopts the
+        accepted streams.  Raises :class:`WorkerCrash` when a TCP worker
+        never checks in — callers treat that like any other fork death.
+        """
+        if handle.sock is not None:
+            await handle.connect(on_down)
+            return
+        future = self._worker_checkin.get(handle.name)
+        if future is None or (future.done() and future.cancelled()):
+            future = asyncio.get_running_loop().create_future()
+            self._worker_checkin[handle.name] = future
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.shield(future), timeout=self.config.worker_connect_timeout_s
+            )
+        except asyncio.TimeoutError as error:
+            handle.alive = False
+            raise WorkerCrash(
+                f"worker {handle.name} never dialed back within "
+                f"{self.config.worker_connect_timeout_s}s"
+            ) from error
+        except asyncio.CancelledError:
+            if future.cancelled():  # superseded by a newer fork of the name
+                handle.alive = False
+                raise WorkerCrash(
+                    f"worker {handle.name} check-in superseded by a newer fork"
+                ) from None
+            raise
+        finally:
+            if self._worker_checkin.get(handle.name) is future:
+                self._worker_checkin.pop(handle.name, None)
+        handle.adopt_streams(reader, writer, on_down)
 
     def serve_forever(self) -> None:
         """Block the calling thread until :meth:`shutdown` (CLI mode)."""
@@ -963,6 +1257,12 @@ class ClusterServer:
         finalised during the drain, mirroring the single-process server.
         """
         if self._loop is None or self._thread is None or not self._thread.is_alive():
+            if self._worker_listen_sock is not None:
+                try:
+                    self._worker_listen_sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._worker_listen_sock = None
             self.registry.close(unlink=True)
             self._journal.close()
             atexit.unregister(self._cleanup_at_exit)
@@ -986,6 +1286,11 @@ class ClusterServer:
 
     async def _async_shutdown(self, drain: bool) -> dict:
         self._draining = True
+        if self._fed is not None:
+            try:
+                await self._fed.stop()
+            except Exception:  # noqa: BLE001 - peers may already be gone
+                pass
         if self._control_task is not None:
             self._control_task.cancel()
             await asyncio.gather(self._control_task, return_exceptions=True)
@@ -1020,6 +1325,10 @@ class ClusterServer:
             except Exception:  # noqa: BLE001
                 pass
             handle.close()
+        if self._worker_listener is not None:
+            await self._worker_listener.stop()
+            self._worker_listener = None
+            self._worker_listen_sock = None
         return {"sessions": finished, "drained": drain}
 
     def __enter__(self) -> "ClusterServer":
@@ -1091,7 +1400,10 @@ class ClusterServer:
         replacement = self._fork_worker(
             handle.name, handle.generation + 1, register=False
         )
-        await replacement.connect(self._on_worker_down)
+        try:
+            await self._connect_worker(replacement, self._on_worker_down)
+        except WorkerCrash:
+            replacement.alive = False  # restart the cycle below
         self._handles[handle.name] = replacement
         self._ring.add(handle.name)  # no-op unless something removed it
         self.metrics.increment("worker_respawns_total")
@@ -1210,7 +1522,7 @@ class ClusterServer:
         )
         handle = self._fork_worker(name, generation=1, register=False)
         try:
-            await handle.connect(self._on_worker_down)
+            await self._connect_worker(handle, self._on_worker_down)
             await handle.call({"op": "ping"}, timeout=10.0)
         except (WorkerCrash, _WorkerOpError) as error:
             self._journal.record("scale_up_failed", worker=name, error=str(error))
@@ -1312,7 +1624,7 @@ class ClusterServer:
                 register=False,
             )
             try:
-                await probe.connect(self._ignore_down)
+                await self._connect_worker(probe, self._ignore_down)
                 result = await probe.call(
                     {
                         "op": "canary",
@@ -1373,7 +1685,7 @@ class ClusterServer:
                 replacement = self._fork_worker(
                     name, old.generation + 1, register=False
                 )
-                await replacement.connect(self._on_worker_down)
+                await self._connect_worker(replacement, self._on_worker_down)
                 await replacement.call({"op": "ping"}, timeout=10.0)
             except (WorkerCrash, _WorkerOpError) as error:
                 # The old worker keeps serving the old generation (its
@@ -1565,7 +1877,7 @@ class ClusterServer:
                 register=False,
             )
             try:
-                await handle.connect(self._on_ab_worker_down)
+                await self._connect_worker(handle, self._on_ab_worker_down)
                 await handle.call({"op": "ping"}, timeout=10.0)
             except (WorkerCrash, _WorkerOpError) as error:
                 handle.close()
@@ -1731,6 +2043,10 @@ class ClusterServer:
         region = payload.get("region", DEFAULT_REGION)
         if not isinstance(region, str):
             raise ProtocolError("field 'region' must be a string")
+        if self._fed is not None and region not in self.registry.regions:
+            # A federated peer may own this region: proxy, redirect, or
+            # answer 503 when the owner is partitioned away.
+            return await self._fed.handle_remote_match(region, payload, deadline)
         self.registry.shard(region)  # 404 early on unknown regions
         body = payload.get("trajectories")
         single = False
@@ -1860,6 +2176,11 @@ class ClusterServer:
                     failed=int(failed),
                     seconds=elapsed,
                 )
+        return self._encode_match_slots(slots, single)
+
+    @staticmethod
+    def _encode_match_slots(slots: list, single: bool) -> tuple[int, dict]:
+        """Worker result slots → the HTTP response (shared with federation)."""
         encoded: list[dict] = []
         for slot in slots:
             assert slot is not None
@@ -1969,6 +2290,10 @@ class ClusterServer:
         region = payload.get("region", DEFAULT_REGION)
         if not isinstance(region, str):
             raise ProtocolError("field 'region' must be a string")
+        if self._fed is not None and region not in self.registry.regions:
+            # Sessions are sticky to the owning host: redirect to the
+            # peer that serves this region (503 when partitioned away).
+            raise self._fed.remote_session_error(region, "/v1/sessions")
         self.registry.shard(region)
         lag = payload.get("lag")
         context_window = payload.get("context_window")
@@ -2015,6 +2340,11 @@ class ClusterServer:
         )
         self._records[session_id] = record
         self.metrics.increment("sessions_created")
+        if self._fed is not None:
+            # Replicate-before-return (semi-sync): a reachable replica
+            # acks the empty journal before the client sees the id; an
+            # unreachable one is resynced on reconnect.
+            await self._fed.replicate_open(record)
         return 201, {
             "session_id": session_id,
             "lag": opened["lag"],
@@ -2023,16 +2353,48 @@ class ClusterServer:
             "worker": name,
         }
 
+    async def _resolve_session(self, session_id: str, path: str) -> _SessionRecord:
+        """Find a session record, consulting the federation on a miss.
+
+        A locally unknown id may be a session another gateway owns (307
+        to the live owner) or one whose owner died and whose journal this
+        gateway replicates — in that case the federation *adopts* it: a
+        fenced record is minted from the replica journal and stored, and
+        the normal replay machinery rebuilds it on a local worker.
+        """
+        try:
+            return self._session_record(session_id)
+        except UnknownSessionError:
+            if self._fed is None:
+                raise
+            record = self._fed.resolve_session(session_id, path)
+            self._records[session_id] = record
+            return record
+
     async def handle_feed_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
-        """``POST /v1/sessions/{id}/points`` — journal + forward the feed."""
+        """``POST /v1/sessions/{id}/points`` — journal + forward the feed.
+
+        An optional integer ``seq`` makes feeds idempotent across
+        failover retries: a duplicate of the last accepted ``seq``
+        answers the cached state without re-feeding the decoder, so a
+        client that resends after a timeout (or against the adopted
+        replica) can never double-commit points.
+        """
         self._check_draining()
         deadline = protocol.decode_deadline_ms(payload)
         await self._gate.acquire(deadline)
         try:
-            record = self._session_record(match.group("sid"))
+            sid = match.group("sid")
+            record = await self._resolve_session(sid, f"/v1/sessions/{sid}/points")
             points = payload.get("points")
             if not isinstance(points, list) or not points:
                 raise ProtocolError("points: expected a non-empty list of points")
+            seq = payload.get("seq")
+            if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+                raise ProtocolError("field 'seq' must be an integer")
+            if seq is not None and seq <= record.last_seq and record.last_state is not None:
+                self.metrics.increment("feed_duplicates_total")
+                return 200, record.last_state
             extra: dict = {"points": points}
             if deadline is not None:
                 extra["deadline"] = deadline
@@ -2041,19 +2403,38 @@ class ClusterServer:
             # payload, 4xx) must not poison a future replay.
             record.journal.extend(points)
             record.last_touched = time.monotonic()
+            if seq is not None:
+                record.last_seq = seq
+            record.last_state = state["state"]
             self.metrics.increment("points_fed", len(points))
+            if self._fed is not None:
+                # Semi-sync journal shipping; raises SessionFenced (409)
+                # if the replica adopted the session while we were away.
+                await self._fed.replicate_feed(record, points)
             return 200, state["state"]
         finally:
             self._gate.release()
 
     async def handle_close_session(self, payload: dict, match: re.Match) -> tuple[int, dict]:
-        """``DELETE /v1/sessions/{id}`` — finalise and return the path."""
+        """``DELETE /v1/sessions/{id}`` — finalise and return the path.
+
+        Under federation the close is the *commit point*: the replica
+        peer must approve it (fence check) before the final path is
+        computed, so after a partition heals exactly one side — the one
+        holding the highest fence — ever commits the session.
+        """
         await self._gate.acquire(None)
         try:
-            record = self._session_record(match.group("sid"))
+            sid = match.group("sid")
+            record = await self._resolve_session(sid, f"/v1/sessions/{sid}")
+            if self._fed is not None and not await self._fed.confirm_close(record):
+                self._records.pop(record.session_id, None)
+                raise SessionFenced(record.session_id)
             final = await self._session_op(record, "session.close", {})
             self._records.pop(record.session_id, None)
             self.metrics.increment("sessions_closed")
+            if self._fed is not None:
+                self._fed.drop_replica(record)
             return 200, final["final"]
         finally:
             self._gate.release()
@@ -2133,6 +2514,7 @@ class ClusterServer:
         alive = len(self._alive_handles())
         counters = self.metrics.snapshot()["counters"]
         breakers = self._crash_tracker.open_breakers()
+        fed_snapshot = self._fed.snapshot() if self._fed is not None else None
         if self._draining:
             status = "draining"
         elif alive == 0:
@@ -2141,13 +2523,19 @@ class ClusterServer:
             alive < self._workers_target
             or breakers
             or counters.get("worker_deaths_total")
+            or (fed_snapshot is not None and fed_snapshot["partitioned"])
         ):
             status = "degraded"
         else:
             status = "ok"
+        extra: dict = {}
+        if fed_snapshot is not None:
+            extra["federation"] = fed_snapshot
         return 200, {
             "status": status,
             "mode": "cluster",
+            "worker_transport": self.config.worker_transport,
+            **extra,
             "protocol_version": protocol.PROTOCOL_VERSION,
             "regions": self.registry.regions,
             "generations": self.registry.generations(),
@@ -2184,8 +2572,26 @@ class ClusterServer:
             "ab_aborts_total",
             "ab_challenger_deaths_total",
             "ab_failovers_total",
+            "workers_fenced_total",
+            "feed_duplicates_total",
         ):
             snapshot["counters"].setdefault(name, 0)
+        if self._fed is not None:
+            for name in (
+                "fed_proxied_matches_total",
+                "fed_redirects_total",
+                "fed_partition_503_total",
+                "fed_replications_total",
+                "fed_replication_failures_total",
+                "fed_resyncs_total",
+                "fed_adoptions_total",
+                "fed_fenced_total",
+                "fed_fenced_hellos_total",
+                "fed_peer_up_total",
+                "fed_peer_down_total",
+            ):
+                snapshot["counters"].setdefault(name, 0)
+            snapshot["federation"] = self._fed.snapshot()
         workers = []
         for name, handle in sorted(self._handles.items()):
             info: dict = {
@@ -2269,6 +2675,12 @@ class ClusterServer:
             retry_after = self.config.retry_after_s
             headers["Retry-After"] = str(max(1, round(retry_after)))
             status, response = 429, {"error": str(error), "retry_after_s": retry_after}
+        except SessionFenced as error:
+            status, response = 409, {
+                "error": f"session {error.args[0]} was adopted by a peer "
+                "gateway (fencing); its commit happens there",
+                "code": "session_fenced",
+            }
         except _HttpError as error:
             status, response = error.status, {"error": str(error), **error.extra}
             headers.update(error.headers)
@@ -2355,6 +2767,7 @@ class ClusterServer:
 _REASONS = {
     200: "OK",
     201: "Created",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
